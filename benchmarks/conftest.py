@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (figure) or one ablation; the
+``report`` fixture persists the printed comparison to
+``benchmarks/out/<test>.txt`` so results survive pytest's output capture
+and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+class Reporter:
+    def __init__(self, name: str):
+        self.name = name
+        self.lines = []
+
+    def __call__(self, text: str = "") -> None:
+        self.lines.append(str(text))
+
+    def flush(self) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{self.name}.txt"
+        content = "\n".join(self.lines) + "\n"
+        path.write_text(content)
+        print()  # visible under `pytest -s`
+        print(content)
+
+
+@pytest.fixture
+def report(request):
+    reporter = Reporter(request.node.name.replace("/", "_"))
+    yield reporter
+    reporter.flush()

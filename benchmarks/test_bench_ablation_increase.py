@@ -1,0 +1,58 @@
+"""ABLATION increase policy — smallest-LP-meeting-goal (default) vs
+jump-to-optimal-LP.
+
+Both appear in the paper: the Figure 1/2 worked example increases to the
+minimal goal-meeting LP (3, which equals the optimal there), while the
+reported peaks of Figures 5–7 suggest a more aggressive allocation.  The
+ablation quantifies the trade-off: `optimal` finishes earlier but burns
+more thread-seconds; `minimal` allocates just enough to meet the goal.
+"""
+
+import pytest
+
+from repro.bench import comparison_table, format_row, run_twitter_scenario
+
+
+def compare():
+    minimal = run_twitter_scenario(
+        "fig5-minimal", goal=9.5, n_tweets=300, increase_policy="minimal"
+    )
+    optimal = run_twitter_scenario(
+        "fig5-optimal", goal=9.5, n_tweets=300, increase_policy="optimal"
+    )
+    return minimal, optimal
+
+
+def test_ablation_increase(benchmark, report):
+    minimal, optimal = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    assert minimal.met_goal and optimal.met_goal
+    assert minimal.correct and optimal.correct
+    # optimal allocates at least as many threads and never finishes later.
+    assert optimal.peak_active >= minimal.peak_active
+    assert optimal.finish_wct <= minimal.finish_wct + 1e-9
+
+    def integral(steps):
+        total = 0.0
+        for (t0, a0), (t1, _a1) in zip(steps, steps[1:]):
+            total += a0 * (t1 - t0)
+        return total
+
+    report("ABLATION — increase policy (minimal vs optimal), FIG5 setup")
+    report()
+    report(
+        comparison_table(
+            [
+                format_row("finish WCT (minimal)", None, minimal.finish_wct),
+                format_row("finish WCT (optimal)", None, optimal.finish_wct),
+                format_row("peak LP (minimal)", None, minimal.peak_active),
+                format_row("peak LP (optimal)", None, optimal.peak_active,
+                           "closer to the paper's 17"),
+                format_row("busy thread-seconds (minimal)", None,
+                           round(integral(minimal.lp_steps), 3)),
+                format_row("busy thread-seconds (optimal)", None,
+                           round(integral(optimal.lp_steps), 3)),
+            ],
+            title="measured:",
+        )
+    )

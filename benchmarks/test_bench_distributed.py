@@ -1,0 +1,77 @@
+"""EXTENSION — the paper's platform-independence claim, made executable.
+
+Paper §4/§6: the autonomic solution "could also be adapted to a distributed
+execution environment … by a centralised distribution of tasks to a
+distributed set of workers, adding or removing workers like adding or
+removing threads in a centralised manner."
+
+This bench runs the FIG5 control problem on the simulated distributed
+platform with increasing communication latency.  The *unchanged* controller
+enrolls workers instead of threads; communication cost is absorbed into
+the observed ``t(m)`` values, so planning degrades gracefully.
+"""
+
+import pytest
+
+from repro.bench import comparison_table, format_row
+from repro.core.controller import AutonomicController
+from repro.core.qos import QoS
+from repro.runtime.distributed import SimulatedDistributedPlatform
+from repro.workloads.synthetic_text import TweetCorpusGenerator
+from repro.workloads.wordcount import TwitterCountApp
+
+LATENCIES = (0.0, 0.01, 0.05, 0.2)
+
+
+def run_with_latency(latency: float):
+    corpus = TweetCorpusGenerator(seed=2014).corpus(300)
+    app = TwitterCountApp()
+    platform = SimulatedDistributedPlatform(
+        parallelism=1,
+        cost_model=app.cost_model(),
+        max_parallelism=24,
+        dispatch_latency=latency,
+        collect_latency=latency,
+    )
+    AutonomicController(platform, app.skeleton, qos=QoS.wall_clock(9.5, max_lp=24))
+    result = app.skeleton.compute(corpus, platform=platform)
+    assert result == app.reference_count(corpus)
+    return {
+        "latency": latency,
+        "finish": platform.now(),
+        "peak": platform.metrics.peak_active(),
+        "met": platform.now() <= 9.5 + 1e-9,
+    }
+
+
+def sweep():
+    return [run_with_latency(lat) for lat in LATENCIES]
+
+
+def test_distributed_latency_sweep(benchmark, report):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Zero latency reproduces the multicore FIG5 outcome.
+    assert results[0]["met"]
+    assert results[0]["finish"] == pytest.approx(9.47, abs=0.2)
+    # Moderate latency: still met (the controller compensates with workers).
+    assert results[1]["met"]
+    # Finish time is non-decreasing in latency.
+    finishes = [r["finish"] for r in results]
+    assert all(b >= a - 1e-9 for a, b in zip(finishes, finishes[1:]))
+
+    report("EXTENSION — FIG5 control problem on distributed workers")
+    report()
+    rows = [
+        format_row(
+            f"latency {r['latency']:.2f}s each way",
+            None,
+            r["finish"],
+            f"peak workers {r['peak']}, goal {'met' if r['met'] else 'MISSED'}",
+        )
+        for r in results
+    ]
+    report(comparison_table(rows, title="finish WCT vs communication latency:"))
+    report()
+    report("paper claim reproduced: the identical controller tunes remote-"
+           "worker enrollment; no autonomic code changes were needed.")

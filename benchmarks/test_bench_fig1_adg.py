@@ -1,0 +1,66 @@
+"""FIG1 — regenerate the paper's Figure 1: the Activity Dependency Graph
+of ``map(fs, map(fs, seq(fe), fm), fm)`` at WCT 70 under LP 2.
+
+Checks the figure's activity times (actual and estimated) and benchmarks
+the ADG construction + best-effort scheduling pass — the work the
+autonomic layer performs at every analysis point.
+"""
+
+import pytest
+
+from repro.bench import (
+    FIG1_NOW,
+    PAPER_FIG1_EXPECTED,
+    build_figure1_adg,
+    comparison_table,
+    format_row,
+)
+from repro.core.schedule import best_effort_schedule, limited_lp_schedule
+from repro.viz import render_adg_with_schedule
+
+
+def analysis_pass():
+    adg, index = build_figure1_adg()
+    be = best_effort_schedule(adg, FIG1_NOW)
+    return adg, index, be
+
+
+def test_fig1_adg(benchmark, report):
+    adg, index, be = benchmark(analysis_pass)
+
+    # -- the figure's activity boxes -------------------------------------
+    # actual times
+    outer_split = adg.activity(index["outer_split"][0])
+    assert (outer_split.start, outer_split.end) == (0.0, 10.0)
+    merge_1 = adg.activity(index["merge_1"][0])
+    assert (merge_1.start, merge_1.end) == (65.0, 70.0)
+    # the late third split: started 65, estimated to end at 75
+    split_3 = index["split_3"][0]
+    assert adg.activity(split_3).start == 65.0
+    assert be.end_of(split_3) == pytest.approx(75.0)
+    # best-effort estimates of the third map's executes: [75, 90]
+    for aid in index["fe_3"]:
+        assert (be.start_of(aid), be.end_of(aid)) == (75.0, 90.0)
+    # inner merge 3 at [90, 95]; outer merge at [95, 100]
+    assert be.end_of(index["merge_3"][0]) == pytest.approx(95.0)
+    assert be.end_of(index["outer_merge"][0]) == pytest.approx(
+        PAPER_FIG1_EXPECTED["best_effort_wct"]
+    )
+
+    limited = limited_lp_schedule(adg, FIG1_NOW, 2)
+    report("FIG1 — Activity Dependency Graph at WCT=70 (paper Figure 1)")
+    report()
+    report(render_adg_with_schedule(adg, be, "best-effort overlay:"))
+    report()
+    report(
+        comparison_table(
+            [
+                format_row("best-effort WCT", PAPER_FIG1_EXPECTED["best_effort_wct"], be.wct),
+                format_row("limited-LP(2) WCT", PAPER_FIG1_EXPECTED["limited_lp2_wct"], limited.wct),
+                format_row("fe_3 estimated start", 75.0, be.start_of(index["fe_3"][0])),
+                format_row("fe_3 estimated end", 90.0, be.end_of(index["fe_3"][0])),
+                format_row("activities", 17, len(adg)),
+            ],
+            title="paper vs measured:",
+        )
+    )

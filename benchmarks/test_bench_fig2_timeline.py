@@ -1,0 +1,73 @@
+"""FIG2 — regenerate the paper's Figure 2: the timeline used to estimate
+the total WCT and the optimal level of parallelism.
+
+Expected (read off the paper's figure and text): the best-effort timeline
+peaks at 3 active threads during [75, 90) ⇒ optimal LP = 3; the
+limited-LP(2) execution never exceeds 2 threads and finishes at WCT 115;
+with a WCT goal of 100, Skandium increases the LP to 3.
+"""
+
+import pytest
+
+from repro.bench import (
+    FIG1_NOW,
+    PAPER_FIG1_EXPECTED,
+    build_figure1_adg,
+    comparison_table,
+    format_row,
+)
+from repro.core.schedule import (
+    best_effort_schedule,
+    limited_lp_schedule,
+    minimal_lp_greedy,
+    optimal_lp,
+)
+from repro.viz import render_two_timelines
+
+
+def timeline_analysis():
+    adg, _ = build_figure1_adg()
+    be = best_effort_schedule(adg, FIG1_NOW)
+    limited = limited_lp_schedule(adg, FIG1_NOW, 2)
+    opt = optimal_lp(adg, FIG1_NOW)
+    increase = minimal_lp_greedy(adg, FIG1_NOW, PAPER_FIG1_EXPECTED["wct_goal"])
+    return be, limited, opt, increase
+
+
+def test_fig2_timeline(benchmark, report):
+    be, limited, opt, increase = benchmark(timeline_analysis)
+
+    assert be.wct == PAPER_FIG1_EXPECTED["best_effort_wct"]
+    assert limited.wct == PAPER_FIG1_EXPECTED["limited_lp2_wct"]
+    assert opt == PAPER_FIG1_EXPECTED["optimal_lp"]
+    assert increase is not None
+    assert increase[0] == PAPER_FIG1_EXPECTED["lp_increase_to"]
+
+    # The best-effort peak of 3 threads must lie inside [75, 90).
+    steps = be.timeline(from_time=FIG1_NOW)
+    peak_times = [t for t, lvl in steps if lvl == 3]
+    assert peak_times and min(peak_times) == pytest.approx(75.0)
+    # Limited LP never exceeds 2 from now on.
+    assert limited.peak(from_time=FIG1_NOW) <= 2
+
+    report("FIG2 — timeline: limited-LP(2) vs best effort (paper Figure 2)")
+    report()
+    report(
+        render_two_timelines(
+            limited.timeline(), be.timeline(),
+            "limited LP (2 threads)", "best effort",
+            width=66, height=8,
+        )
+    )
+    report()
+    report(
+        comparison_table(
+            [
+                format_row("optimal LP", PAPER_FIG1_EXPECTED["optimal_lp"], opt),
+                format_row("limited-LP(2) WCT", 115.0, limited.wct),
+                format_row("best-effort WCT", 100.0, be.wct),
+                format_row("LP chosen for goal 100", 3, increase[0]),
+            ],
+            title="paper vs measured:",
+        )
+    )

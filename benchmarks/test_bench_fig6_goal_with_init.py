@@ -1,0 +1,71 @@
+"""FIG6 — "Goal with initialization": same 9.5 s goal, but ``t(m)`` and
+``|m|`` warm-started from a previous execution's final values.
+
+Paper-reported behaviour: the LP rises at ≈6.4 s — right when the
+single-threaded I/O-bound first split completes, *before* any merge has
+run (the cold run had to wait until 7.6 s); no extra thread is activated
+during the I/O split itself ("it is performing I/O tasks ... there is no
+need for more than one thread"); execution finishes at ≈8.4 s, earlier
+than the cold run.
+"""
+
+import pytest
+
+from repro.bench import (
+    PAPER_SCENARIOS,
+    comparison_table,
+    format_row,
+    run_twitter_scenario,
+)
+from repro.viz import render_timeline
+
+PAPER = PAPER_SCENARIOS["goal_with_init"]
+
+
+def scenario_pair():
+    cold = run_twitter_scenario("goal_without_init", goal=9.5, n_tweets=500)
+    warm = run_twitter_scenario(
+        "goal_with_init", goal=9.5, n_tweets=500,
+        initialize_from=cold.estimate_snapshot,
+    )
+    return cold, warm
+
+
+def test_fig6_goal_with_init(benchmark, report):
+    cold, warm = benchmark.pedantic(scenario_pair, rounds=3, iterations=1)
+
+    assert warm.correct and warm.met_goal
+    # Warm estimates let the first increase land right at the end of the
+    # first split (6.4 s), before any merge has been observed.
+    assert warm.first_increase_time == pytest.approx(6.4, abs=0.05)
+    # The paper's qualitative claims:
+    assert warm.first_active_rise < cold.first_increase_time
+    assert warm.finish_wct < cold.finish_wct
+    # One thread only during the I/O-bound first split.
+    assert warm.first_active_rise >= 6.4 - 1e-6
+
+    report("FIG6 — goal 9.5 s with initialization (paper Figure 6)")
+    report()
+    report(render_timeline(warm.lp_steps, "active threads vs WCT", width=66, height=8))
+    report()
+    report(
+        comparison_table(
+            [
+                format_row("WCT goal", 9.5, warm.goal),
+                format_row("finish WCT", PAPER["paper_finish"], warm.finish_wct,
+                           "goal met" if warm.met_goal else "MISSED"),
+                format_row("first LP increase", PAPER["paper_first_increase"],
+                           warm.first_increase_time,
+                           "right after the I/O-bound first split"),
+                format_row("peak active LP", PAPER["paper_peak_lp"], warm.peak_active),
+                format_row("cold finish (FIG5)", 9.3, cold.finish_wct,
+                           "warm run must beat it"),
+            ],
+            title="paper vs measured:",
+        )
+    )
+    report()
+    report("shape checks:")
+    report(f"  warm reacts earlier : {warm.first_active_rise:.2f}s < "
+           f"{cold.first_increase_time:.2f}s")
+    report(f"  warm finishes faster: {warm.finish_wct:.2f}s < {cold.finish_wct:.2f}s")

@@ -1,0 +1,87 @@
+"""OVERHEAD — cost of the event layer (the SoC premise of the paper).
+
+The approach hinges on events being cheap enough to emit at every muscle
+boundary.  We measure interpreter throughput (muscle executions per
+second on the zero-cost simulator) with 0, 1 and 8 listeners, plus the
+full autonomic stack attached.
+"""
+
+import pytest
+
+from repro.bench import comparison_table, format_row
+from repro.core.controller import AutonomicController
+from repro.core.qos import QoS
+from repro.events import CountingListener
+from repro.runtime.simulator import SimulatedPlatform
+from repro.skeletons import Execute, Map, Merge, Seq, Split
+from repro.runtime.interpreter import run
+
+WIDTH = 200
+
+
+def program():
+    fs = Split(lambda v: list(range(WIDTH)), name="fs")
+    fe = Execute(lambda v: v + 1, name="fe")
+    fm = Merge(sum, name="fm")
+    return Map(fs, Seq(fe), fm)
+
+
+def run_with_listeners(n_listeners: int) -> None:
+    platform = SimulatedPlatform(parallelism=4)
+    for _ in range(n_listeners):
+        platform.add_listener(CountingListener())
+    run(program(), 0, platform)
+
+
+def run_with_autonomics() -> None:
+    platform = SimulatedPlatform(parallelism=4, max_parallelism=8)
+    AutonomicController(platform, qos=QoS.wall_clock(1000.0, max_lp=8))
+    run(program(), 0, platform)
+
+
+class TestEventOverhead:
+    def test_bare(self, benchmark):
+        benchmark(run_with_listeners, 0)
+
+    def test_one_listener(self, benchmark):
+        benchmark(run_with_listeners, 1)
+
+    def test_eight_listeners(self, benchmark):
+        benchmark(run_with_listeners, 8)
+
+    def test_full_autonomic_stack(self, benchmark):
+        benchmark(run_with_autonomics)
+
+
+def test_overhead_summary(benchmark, report):
+    """Single comparative pass with wall-clock ratios."""
+    import time
+
+    def measure(fn, *args):
+        t0 = time.perf_counter()
+        for _ in range(3):
+            fn(*args)
+        return (time.perf_counter() - t0) / 3
+
+    bare = measure(run_with_listeners, 0)
+    one = measure(run_with_listeners, 1)
+    eight = measure(run_with_listeners, 8)
+    full = measure(run_with_autonomics)
+    benchmark.pedantic(run_with_listeners, args=(1,), rounds=3, iterations=1)
+
+    report("OVERHEAD — event layer cost (200-wide map, ~404 events/run)")
+    report()
+    report(
+        comparison_table(
+            [
+                format_row("no listeners (s/run)", None, round(bare, 5)),
+                format_row("1 listener (s/run)", None, round(one, 5),
+                           f"{one / bare:.2f}x bare"),
+                format_row("8 listeners (s/run)", None, round(eight, 5),
+                           f"{eight / bare:.2f}x bare"),
+                format_row("full autonomic stack (s/run)", None, round(full, 5),
+                           f"{full / bare:.2f}x bare"),
+            ],
+            title="measured:",
+        )
+    )

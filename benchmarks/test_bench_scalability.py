@@ -1,0 +1,74 @@
+"""SCALABILITY — cost of one analysis pass vs ADG size.
+
+The controller re-schedules the projected ADG at every analysis point, so
+projection + scheduling must stay cheap as programs grow.  We measure the
+full analysis pass (project + best-effort + limited-LP + minimal search)
+on two-level map programs of increasing width.
+"""
+
+import pytest
+
+from repro.bench import comparison_table, format_row
+from repro.core.estimator import EstimatorRegistry
+from repro.core.adg import ADG
+from repro.core.projection import project_skeleton
+from repro.core.schedule import (
+    best_effort_schedule,
+    limited_lp_schedule,
+    minimal_lp_greedy,
+)
+from repro.skeletons import Execute, Map, Merge, Seq, Split
+
+
+def make_program(outer: int, inner: int):
+    fs1 = Split(lambda v: [v] * outer, name="fs1")
+    fs2 = Split(lambda v: [v] * inner, name="fs2")
+    fe = Execute(lambda v: v, name="fe")
+    fm = Merge(lambda rs: 0, name="fm")
+    skel = Map(fs1, Map(fs2, Seq(fe), fm), fm)
+    reg = EstimatorRegistry()
+    reg.time_estimator(fs1).initialize(1.0)
+    reg.card_estimator(fs1).initialize(outer)
+    reg.time_estimator(fs2).initialize(0.5)
+    reg.card_estimator(fs2).initialize(inner)
+    reg.time_estimator(fe).initialize(0.1)
+    reg.time_estimator(fm).initialize(0.05)
+    return skel, reg
+
+
+def analysis_pass(skel, reg):
+    adg = ADG()
+    project_skeleton(skel, adg, [], reg)
+    best = best_effort_schedule(adg, 0.0)
+    limited_lp_schedule(adg, 0.0, 4)
+    minimal_lp_greedy(adg, 0.0, best.wct * 1.5, max_lp=24)
+    return len(adg)
+
+
+SIZES = [(3, 5), (5, 10), (10, 20), (20, 40)]
+
+
+@pytest.mark.parametrize("outer,inner", SIZES, ids=[f"{o}x{i}" for o, i in SIZES])
+def test_analysis_scaling(benchmark, outer, inner):
+    skel, reg = make_program(outer, inner)
+    n = benchmark(analysis_pass, skel, reg)
+    # activities = 1 + outer*(1 + inner + 1) + 1
+    assert n == 2 + outer * (inner + 2)
+
+
+def test_scalability_summary(benchmark, report):
+    import time
+
+    rows = []
+    for outer, inner in SIZES:
+        skel, reg = make_program(outer, inner)
+        t0 = time.perf_counter()
+        n = analysis_pass(skel, reg)
+        elapsed = time.perf_counter() - t0
+        rows.append(format_row(f"{n} activities", None, round(elapsed * 1e3, 3), "ms/analysis"))
+    benchmark.pedantic(
+        analysis_pass, args=make_program(5, 10), rounds=5, iterations=1
+    )
+    report("SCALABILITY — one full analysis pass vs ADG size")
+    report()
+    report(comparison_table(rows, title="measured:"))

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The paper's future work, running: autonomic control of *distributed*
+workers.
+
+The paper (Sections 4 and 6) sketches how the approach extends beyond a
+multicore: "a centralised distribution of tasks to a distributed set of
+workers, adding or removing workers like adding or removing threads in a
+centralised manner."  This example runs the Section-5 Twitter count on the
+simulated distributed platform — remote workers with per-task dispatch and
+collect latencies, optionally heterogeneous speeds — under the *identical*
+autonomic controller.
+
+Run:  python examples/distributed_workers.py
+"""
+
+from repro import AutonomicController, QoS, SimulatedDistributedPlatform
+from repro.viz import render_timeline
+from repro.workloads import TweetCorpusGenerator, TwitterCountApp
+
+
+def run_cluster(latency: float, speeds=None, label: str = "", goal: float = 9.5) -> None:
+    corpus = TweetCorpusGenerator(seed=2014).corpus(1_000)
+    app = TwitterCountApp()
+    platform = SimulatedDistributedPlatform(
+        parallelism=1,
+        cost_model=app.cost_model(),
+        max_parallelism=24,
+        dispatch_latency=latency,
+        collect_latency=latency,
+        worker_speeds=speeds,
+    )
+    controller = AutonomicController(
+        platform, app.skeleton, qos=QoS.wall_clock(goal, max_lp=24)
+    )
+    result = app.skeleton.compute(corpus, platform=platform)
+    assert result == app.reference_count(corpus)
+
+    print(f"--- {label} ---")
+    print(f"  finish: {platform.now():.2f}s (goal {goal}s, "
+          f"{'met' if platform.now() <= goal else 'MISSED'})")
+    print(f"  peak enrolled workers: {platform.metrics.peak_active()}")
+    for d in controller.changed_decisions():
+        print(f"  t={d.time:6.3f}s {d.action:9s} workers {d.lp_before} -> {d.lp_after}")
+    print(render_timeline(platform.metrics.as_steps(), "  active workers",
+                          width=60, height=5))
+    print()
+
+
+def main() -> None:
+    run_cluster(latency=0.0, label="local cluster (no communication cost)")
+    # Communication inflates the (serial) critical path: the paper's 9.5 s
+    # goal becomes infeasible around 50 ms/hop, so we allow the slack the
+    # round trips cost.  The controller still plans with the inflated t(m)
+    # values it *observes* — estimators absorb the communication overhead.
+    run_cluster(latency=0.05, goal=10.5,
+                label="LAN cluster (50 ms each way per task)")
+    # Heterogeneous workers violate the paper's constant-t(m) assumption
+    # (one estimate blends fast- and slow-worker observations), so the
+    # projections carry error and the goal needs room for it.
+    run_cluster(latency=0.02, goal=12.0, speeds=[1.0, 1.0, 0.5, 0.5],
+                label="heterogeneous cluster (half-speed workers join later)")
+    # An infeasible goal: the controller saturates at the worker cap and
+    # degrades gracefully instead of thrashing.
+    run_cluster(latency=0.1, goal=9.5,
+                label="WAN cluster, infeasible goal (graceful saturation)")
+    print("Note: the controller code is byte-for-byte the one used for")
+    print("multicore thread tuning — the paper's platform-independence claim.")
+
+
+if __name__ == "__main__":
+    main()

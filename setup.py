@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so `python setup.py develop` works in offline environments where the
+`wheel` package (required by PEP 517 editable installs) is unavailable.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,171 @@
+"""repro — autonomic algorithmic skeletons using events.
+
+A from-scratch Python reproduction of *Pabon & Henrio, "Self-Configuration
+and Self-Optimization Autonomic Skeletons using Events"* (PMAM/PPoPP 2014):
+a Skandium-style nestable skeleton library, the event-driven
+separation-of-concerns layer it builds on, and the paper's autonomic layer
+that guarantees a wall-clock-time goal by retuning the number of threads
+*while a skeleton executes*.
+
+Quickstart::
+
+    from repro import Map, Seq, SimulatedPlatform, AutonomicController, WCTGoal
+
+    skel = Map(split_fn, Seq(work_fn), merge_fn)
+    platform = SimulatedPlatform(parallelism=1, cost_model=my_costs,
+                                 max_parallelism=24)
+    controller = AutonomicController(platform, skel, qos=QoS(wct=WCTGoal(9.5)))
+    result = skel.compute(data, platform=platform)
+
+See ``examples/quickstart.py`` for a complete runnable program.
+"""
+
+from .errors import (
+    ADGError,
+    EstimateNotReadyError,
+    ExecutionError,
+    MuscleExecutionError,
+    MuscleTypeError,
+    PlatformError,
+    QoSError,
+    ReproError,
+    SchedulingError,
+    SkeletonDefinitionError,
+    StateMachineError,
+    WorkloadError,
+)
+from .events import (
+    CountingListener,
+    Event,
+    EventBus,
+    EventRecorder,
+    GenericListener,
+    LatchListener,
+    Listener,
+    LoggingListener,
+    When,
+    Where,
+)
+from .runtime import (
+    CallableCostModel,
+    ConstantCostModel,
+    CostModel,
+    PerItemCostModel,
+    Platform,
+    RealClock,
+    SimulatedDistributedPlatform,
+    SimulatedPlatform,
+    SkeletonFuture,
+    TableCostModel,
+    ThreadPoolPlatform,
+    VirtualClock,
+    ZeroCostModel,
+    run,
+    submit,
+)
+from .skeletons import (
+    Condition,
+    DivideAndConquer,
+    Execute,
+    Farm,
+    For,
+    Fork,
+    If,
+    Map,
+    Merge,
+    Muscle,
+    Pipe,
+    Seq,
+    Skeleton,
+    Split,
+    While,
+    sequential_evaluate,
+)
+from .version import __version__
+
+from .core import (
+    ADG,
+    Activity,
+    AutonomicController,
+    EstimatorRegistry,
+    HistoryEstimator,
+    QoS,
+    WCTGoal,
+    best_effort_schedule,
+    limited_lp_schedule,
+    minimal_lp_greedy,
+    optimal_lp,
+)
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "SkeletonDefinitionError",
+    "MuscleTypeError",
+    "ExecutionError",
+    "MuscleExecutionError",
+    "PlatformError",
+    "SchedulingError",
+    "ADGError",
+    "EstimateNotReadyError",
+    "QoSError",
+    "StateMachineError",
+    "WorkloadError",
+    # events
+    "Event",
+    "EventBus",
+    "EventRecorder",
+    "Listener",
+    "GenericListener",
+    "LoggingListener",
+    "CountingListener",
+    "LatchListener",
+    "When",
+    "Where",
+    # skeletons
+    "Skeleton",
+    "Seq",
+    "Farm",
+    "Pipe",
+    "While",
+    "For",
+    "If",
+    "Map",
+    "Fork",
+    "DivideAndConquer",
+    "Muscle",
+    "Execute",
+    "Split",
+    "Merge",
+    "Condition",
+    "sequential_evaluate",
+    # runtime
+    "Platform",
+    "SimulatedPlatform",
+    "SimulatedDistributedPlatform",
+    "ThreadPoolPlatform",
+    "SkeletonFuture",
+    "run",
+    "submit",
+    "RealClock",
+    "VirtualClock",
+    "CostModel",
+    "ZeroCostModel",
+    "ConstantCostModel",
+    "TableCostModel",
+    "CallableCostModel",
+    "PerItemCostModel",
+    # autonomic core
+    "ADG",
+    "Activity",
+    "AutonomicController",
+    "EstimatorRegistry",
+    "HistoryEstimator",
+    "QoS",
+    "WCTGoal",
+    "best_effort_schedule",
+    "limited_lp_schedule",
+    "minimal_lp_greedy",
+    "optimal_lp",
+]

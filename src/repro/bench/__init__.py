@@ -1,0 +1,28 @@
+"""Benchmark harness: scenario runners and paper-vs-measured reporting."""
+
+from .fig1 import (
+    FIG1_ESTIMATES,
+    FIG1_NOW,
+    PAPER_FIG1_EXPECTED,
+    build_figure1_adg,
+)
+from .report import comparison_table, format_row
+from .scenario import (
+    PAPER_SCENARIOS,
+    PAPER_SEQUENTIAL_WCT,
+    ScenarioResult,
+    run_twitter_scenario,
+)
+
+__all__ = [
+    "build_figure1_adg",
+    "FIG1_NOW",
+    "FIG1_ESTIMATES",
+    "PAPER_FIG1_EXPECTED",
+    "comparison_table",
+    "format_row",
+    "ScenarioResult",
+    "run_twitter_scenario",
+    "PAPER_SCENARIOS",
+    "PAPER_SEQUENTIAL_WCT",
+]

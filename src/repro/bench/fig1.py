@@ -1,0 +1,93 @@
+"""The paper's worked example: Figure 1 ADG state and Figure 2 analysis.
+
+``map(fs, map(fs, seq(fe), fm), fm)`` with ``t(fs)=10, t(fe)=15, t(fm)=5,
+|fs|=3``, executed with LP = 2, observed at WCT = 70:
+
+* outer split finished ``[0, 10]``;
+* inner maps 1 and 2: splits ``[10, 20]``, six executes pairwise on the
+  two threads over ``[20, 65]``, merge of map 1 ``[65, 70]``, merge of
+  map 2 ready but waiting;
+* inner map 3: split started at 65, still running (expected end 75).
+
+From this state the paper derives: best-effort WCT **100**, a timeline
+peaking at **3** concurrent activities in ``[75, 90)`` (the optimal LP),
+and a limited-LP(2) WCT of **115** — so with a WCT goal of 100 "Skandium
+will autonomically increase LP to 3".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.adg import ADG
+
+__all__ = [
+    "FIG1_NOW",
+    "FIG1_ESTIMATES",
+    "build_figure1_adg",
+    "PAPER_FIG1_EXPECTED",
+]
+
+FIG1_NOW = 70.0
+
+FIG1_ESTIMATES = {"t_fs": 10.0, "t_fe": 15.0, "t_fm": 5.0, "fs_card": 3}
+
+#: The numbers the paper reads off Figures 1 and 2.
+PAPER_FIG1_EXPECTED = {
+    "best_effort_wct": 100.0,
+    "optimal_lp": 3,
+    "limited_lp2_wct": 115.0,
+    "wct_goal": 100.0,
+    "lp_increase_to": 3,
+}
+
+
+def build_figure1_adg() -> Tuple[ADG, Dict[str, List[int]]]:
+    """Construct the Figure 1 ADG state at WCT 70.
+
+    Returns the graph plus a name → activity-ids index for assertions.
+    """
+    t_fs, t_fe, t_fm = (
+        FIG1_ESTIMATES["t_fs"],
+        FIG1_ESTIMATES["t_fe"],
+        FIG1_ESTIMATES["t_fm"],
+    )
+    adg = ADG()
+    index: Dict[str, List[int]] = {}
+
+    def reg(key: str, aid: int) -> int:
+        index.setdefault(key, []).append(aid)
+        return aid
+
+    outer_split = reg("outer_split", adg.add("fs", t_fs, [], 0.0, 10.0, role="split"))
+
+    # Inner map 1 — fully finished (merge ran [65, 70]).
+    s1 = reg("split_1", adg.add("fs", t_fs, [outer_split], 10.0, 20.0, role="split"))
+    f1 = [
+        reg("fe_1", adg.add("fe", t_fe, [s1], 20.0, 35.0)),
+        reg("fe_1", adg.add("fe", t_fe, [s1], 20.0, 35.0)),
+        reg("fe_1", adg.add("fe", t_fe, [s1], 35.0, 50.0)),
+    ]
+    m1 = reg("merge_1", adg.add("fm", t_fm, f1, 65.0, 70.0, role="merge"))
+
+    # Inner map 2 — executes finished, merge ready but not started.
+    s2 = reg("split_2", adg.add("fs", t_fs, [outer_split], 10.0, 20.0, role="split"))
+    f2 = [
+        reg("fe_2", adg.add("fe", t_fe, [s2], 35.0, 50.0)),
+        reg("fe_2", adg.add("fe", t_fe, [s2], 50.0, 65.0)),
+        reg("fe_2", adg.add("fe", t_fe, [s2], 50.0, 65.0)),
+    ]
+    m2 = reg("merge_2", adg.add("fm", t_fm, f2, role="merge"))
+
+    # Inner map 3 — split started at 65, still running at 70.
+    s3 = reg("split_3", adg.add("fs", t_fs, [outer_split], 65.0, None, role="split"))
+    f3 = [
+        reg("fe_3", adg.add("fe", t_fe, [s3])),
+        reg("fe_3", adg.add("fe", t_fe, [s3])),
+        reg("fe_3", adg.add("fe", t_fe, [s3])),
+    ]
+    m3 = reg("merge_3", adg.add("fm", t_fm, f3, role="merge"))
+
+    reg("outer_merge", adg.add("fm", t_fm, [m1, m2, m3], role="merge"))
+    adg.validate()
+    return adg, index

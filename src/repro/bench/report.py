@@ -1,0 +1,39 @@
+"""Paper-vs-measured reporting helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["comparison_table", "format_row"]
+
+
+def format_row(
+    metric: str, paper, measured, note: str = ""
+) -> Tuple[str, str, str, str]:
+    def fmt(v) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    return (metric, fmt(paper), fmt(measured), note)
+
+
+def comparison_table(
+    rows: Sequence[Tuple[str, str, str, str]], title: Optional[str] = None
+) -> str:
+    """Render aligned `metric | paper | measured | note` rows."""
+    headers = ("metric", "paper", "measured", "note")
+    all_rows: List[Tuple[str, str, str, str]] = [headers] + list(rows)
+    widths = [max(len(r[c]) for r in all_rows) for c in range(4)]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(all_rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

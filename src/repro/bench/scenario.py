@@ -1,0 +1,125 @@
+"""Scenario runner for the paper's evaluation (Figures 5, 6, 7).
+
+Runs the two-level-Map Twitter-count application on the simulator with
+the calibrated cost model, an autonomic controller and a chosen WCT goal;
+captures everything the figures report: the active-thread trajectory, the
+finish WCT, the peak LP and the instant of the first autonomic increase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.controller import AutonomicController, Decision
+from ..core.persistence import snapshot_estimates
+from ..core.qos import QoS
+from ..runtime.simulator import SimulatedPlatform
+from ..workloads.synthetic_text import TweetCorpusGenerator
+from ..workloads.wordcount import TwitterCountApp
+
+__all__ = ["ScenarioResult", "run_twitter_scenario", "PAPER_SCENARIOS"]
+
+#: What the paper reports for its three execution scenarios.
+PAPER_SCENARIOS = {
+    "goal_without_init": {
+        "goal": 9.5,
+        "initialized": False,
+        "paper_finish": 9.3,
+        "paper_peak_lp": 17,
+        "paper_first_increase": 7.6,
+    },
+    "goal_with_init": {
+        "goal": 9.5,
+        "initialized": True,
+        "paper_finish": 8.4,
+        "paper_peak_lp": 19,
+        "paper_first_increase": 6.4,
+    },
+    "goal_10_5": {
+        "goal": 10.5,
+        "initialized": False,
+        "paper_finish": 10.6,
+        "paper_peak_lp": 10,
+        "paper_first_increase": 8.7,
+    },
+}
+
+#: The paper's reported single-threaded WCT.
+PAPER_SEQUENTIAL_WCT = 12.5
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a Figure 5/6/7 reproduction needs to report."""
+
+    name: str
+    goal: float
+    finish_wct: float
+    peak_active: int
+    first_increase_time: Optional[float]
+    first_active_rise: Optional[float]
+    lp_steps: List[Tuple[float, int]]
+    decisions: List[Decision]
+    correct: bool
+    estimate_snapshot: Dict[str, Any] = field(default_factory=dict)
+    controller_summary: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def met_goal(self) -> bool:
+        return self.finish_wct <= self.goal + 1e-9
+
+
+def run_twitter_scenario(
+    name: str,
+    goal: float,
+    initialize_from: Optional[Dict[str, Any]] = None,
+    n_tweets: int = 2_000,
+    max_lp: int = 24,
+    rho: float = 0.5,
+    increase_policy: str = "minimal",
+    decrease_policy: str = "halving",
+    seed: int = 2014,
+) -> ScenarioResult:
+    """Run one autonomic execution of the Twitter-count application.
+
+    ``n_tweets`` scales the *functional* data only — virtual durations
+    come from the calibrated cost model, so the LP trajectory is
+    independent of the corpus size (2 000 tweets keep the functional work
+    fast while still producing meaningful counts).
+    """
+    corpus = TweetCorpusGenerator(seed=seed).corpus(n_tweets)
+    app = TwitterCountApp()
+    platform = SimulatedPlatform(
+        parallelism=1,
+        cost_model=app.cost_model(),
+        max_parallelism=max_lp,
+    )
+    controller = AutonomicController(
+        platform,
+        app.skeleton,
+        qos=QoS.wall_clock(goal, max_lp=max_lp),
+        rho=rho,
+        increase_policy=increase_policy,
+        decrease_policy=decrease_policy,
+    )
+    if initialize_from is not None:
+        controller.initialize_estimates(app.skeleton, initialize_from)
+
+    result = app.skeleton.compute(corpus, platform=platform)
+    correct = result == app.reference_count(corpus)
+
+    first_inc = controller.first_increase()
+    return ScenarioResult(
+        name=name,
+        goal=goal,
+        finish_wct=platform.now(),
+        peak_active=platform.metrics.peak_active(),
+        first_increase_time=first_inc.time if first_inc else None,
+        first_active_rise=platform.metrics.first_time_active_above(1),
+        lp_steps=platform.metrics.as_steps(),
+        decisions=list(controller.decisions),
+        correct=correct,
+        estimate_snapshot=snapshot_estimates(app.skeleton, controller.estimators),
+        controller_summary=controller.summary(),
+    )

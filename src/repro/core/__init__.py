@@ -1,0 +1,97 @@
+"""The paper's contribution: the autonomic layer.
+
+History-based cost estimators (``t(m)``, ``|m|``), per-skeleton tracking
+state machines, Activity Dependency Graphs, WCT/LP schedulers and the
+autonomic controller that retunes the level of parallelism while a
+skeleton executes.
+"""
+
+from .adg import ADG, Activity
+from .controller import AutonomicController, Decision
+from .estimator import EstimatorRegistry, HistoryEstimator
+from .estimators_ext import (
+    KalmanEstimator,
+    MedianEstimator,
+    PercentileEstimator,
+    SlidingWindowEstimator,
+)
+from .persistence import (
+    load_estimates,
+    muscle_keys,
+    restore_estimates,
+    save_estimates,
+    snapshot_estimates,
+)
+from .projection import estimated_total_work, project_skeleton
+from .qos import MaxLPGoal, QoS, WCTGoal
+from .schedule import (
+    ScheduledActivity,
+    ScheduleResult,
+    best_effort_schedule,
+    concurrency_timeline,
+    exact_minimal_lp,
+    limited_lp_schedule,
+    minimal_lp_greedy,
+    optimal_lp,
+    peak_concurrency,
+)
+from .statemachines import (
+    MACHINE_TYPES,
+    UNSUPPORTED_KINDS,
+    DacMachine,
+    FarmMachine,
+    ForkMachine,
+    ForMachine,
+    IfMachine,
+    MachineRegistry,
+    MapMachine,
+    PipeMachine,
+    SeqMachine,
+    TrackingMachine,
+    WhileMachine,
+)
+
+__all__ = [
+    "ADG",
+    "Activity",
+    "AutonomicController",
+    "Decision",
+    "EstimatorRegistry",
+    "HistoryEstimator",
+    "SlidingWindowEstimator",
+    "MedianEstimator",
+    "PercentileEstimator",
+    "KalmanEstimator",
+    "QoS",
+    "WCTGoal",
+    "MaxLPGoal",
+    "project_skeleton",
+    "estimated_total_work",
+    "ScheduleResult",
+    "ScheduledActivity",
+    "best_effort_schedule",
+    "limited_lp_schedule",
+    "optimal_lp",
+    "minimal_lp_greedy",
+    "exact_minimal_lp",
+    "concurrency_timeline",
+    "peak_concurrency",
+    "MachineRegistry",
+    "TrackingMachine",
+    "MACHINE_TYPES",
+    "UNSUPPORTED_KINDS",
+    "SeqMachine",
+    "MapMachine",
+    "FarmMachine",
+    "PipeMachine",
+    "WhileMachine",
+    "ForMachine",
+    "DacMachine",
+    "IfMachine",
+    "ForkMachine",
+    "snapshot_estimates",
+    "restore_estimates",
+    "save_estimates",
+    "load_estimates",
+    "muscle_keys",
+]

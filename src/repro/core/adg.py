@@ -1,0 +1,210 @@
+"""Activity Dependency Graph (ADG) — the paper's Figure 1 structure.
+
+An ADG models one (possibly still running) skeleton execution as a DAG of
+*activities*.  Each activity corresponds to one muscle execution and knows:
+
+* its estimated duration ``t(m)``;
+* its **actual** start time, when the muscle has started;
+* its **actual** end time, when the muscle has finished;
+* its predecessor activities (data dependencies defined by the skeleton
+  program: a merge depends on every sub-result, an iteration's condition
+  depends on the previous body, ...).
+
+Activities whose times are not yet actual get them from the schedulers in
+:mod:`repro.core.schedule` — under a best-effort (infinite LP) or a
+limited-LP strategy, exactly as in the paper's Figure 1 where each
+activity box shows an actual time, a best-effort estimate, or a limited-LP
+estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ADGError
+
+__all__ = ["Activity", "ADG"]
+
+
+@dataclass
+class Activity:
+    """One muscle execution in the dependency graph."""
+
+    id: int
+    name: str
+    duration: float
+    preds: Tuple[int, ...] = ()
+    start: Optional[float] = None
+    end: Optional[float] = None
+    #: free-form tag for rendering/tests: "split", "execute", "merge",
+    #: "condition" — mirrors the muscle flavour.
+    role: str = "execute"
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def started(self) -> bool:
+        return self.start is not None
+
+    @property
+    def status(self) -> str:
+        if self.finished:
+            return "finished"
+        if self.started:
+            return "running"
+        return "pending"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Activity({self.id}, {self.name!r}, d={self.duration:.6g}, "
+            f"{self.status}, preds={list(self.preds)})"
+        )
+
+
+class ADG:
+    """A DAG of :class:`Activity` nodes with validation and queries."""
+
+    def __init__(self):
+        self._activities: Dict[int, Activity] = {}
+        self._succs: Dict[int, List[int]] = {}
+        self._next_id = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        duration: float,
+        preds: Iterable[int] = (),
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        role: str = "execute",
+    ) -> int:
+        """Add an activity; returns its id.
+
+        Predecessors must already exist (construction is topological by
+        design — projection walks the program structure forward), which
+        also guarantees acyclicity.
+        """
+        preds = tuple(preds)
+        for p in preds:
+            if p not in self._activities:
+                raise ADGError(f"predecessor {p} does not exist")
+        if duration < 0:
+            raise ADGError(f"negative duration {duration} for activity {name!r}")
+        if start is None and end is not None:
+            raise ADGError(f"activity {name!r} has an end but no start")
+        if start is not None and end is not None and end < start:
+            raise ADGError(f"activity {name!r} ends before it starts")
+        aid = self._next_id
+        self._next_id += 1
+        act = Activity(
+            id=aid, name=name, duration=float(duration), preds=preds,
+            start=start, end=end, role=role,
+        )
+        self._activities[aid] = act
+        self._succs[aid] = []
+        for p in preds:
+            self._succs[p].append(aid)
+        return aid
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._activities)
+
+    def __iter__(self):
+        return iter(self._activities.values())
+
+    def __contains__(self, aid: int) -> bool:
+        return aid in self._activities
+
+    def activity(self, aid: int) -> Activity:
+        try:
+            return self._activities[aid]
+        except KeyError:
+            raise ADGError(f"no activity with id {aid}") from None
+
+    @property
+    def activities(self) -> List[Activity]:
+        """Activities in id (i.e. topological) order."""
+        return [self._activities[i] for i in sorted(self._activities)]
+
+    def successors(self, aid: int) -> List[int]:
+        return list(self._succs.get(aid, ()))
+
+    def predecessors(self, aid: int) -> List[int]:
+        return list(self.activity(aid).preds)
+
+    def sources(self) -> List[int]:
+        """Activities with no predecessors."""
+        return [a.id for a in self.activities if not a.preds]
+
+    def terminals(self) -> List[int]:
+        """Activities with no successors."""
+        return [a.id for a in self.activities if not self._succs[a.id]]
+
+    def topological_order(self) -> List[int]:
+        """Ids in a deterministic topological order (= id order)."""
+        # add() enforces preds-before-succs, so id order is topological.
+        return sorted(self._activities)
+
+    # -- analysis -----------------------------------------------------------------
+
+    def finished_count(self) -> int:
+        return sum(1 for a in self if a.finished)
+
+    def running(self) -> List[Activity]:
+        return [a for a in self.activities if a.started and not a.finished]
+
+    def pending(self) -> List[Activity]:
+        return [a for a in self.activities if not a.started]
+
+    def total_estimated_work(self) -> float:
+        """Sum of durations of unfinished activities (sequential work left)."""
+        total = 0.0
+        for a in self:
+            if not a.finished:
+                total += a.duration
+        return total
+
+    def critical_path_length(self, now: float = 0.0) -> float:
+        """Length of the longest dependency chain of *unfinished* work.
+
+        A lower bound on any schedule's remaining makespan; the
+        branch-and-bound exact scheduler uses it for pruning.
+        """
+        longest: Dict[int, float] = {}
+        for aid in self.topological_order():
+            act = self._activities[aid]
+            if act.finished:
+                longest[aid] = 0.0
+                continue
+            base = max((longest[p] for p in act.preds), default=0.0)
+            longest[aid] = base + act.duration
+        return max(longest.values(), default=0.0)
+
+    def validate(self) -> None:
+        """Sanity-check structural invariants; raises :class:`ADGError`.
+
+        Construction already guarantees acyclicity; this verifies the
+        temporal consistency of actual times: a finished activity may not
+        end before a finished predecessor ended, and no activity may start
+        before a finished predecessor's end.
+        """
+        for act in self:
+            for p in act.preds:
+                pred = self.activity(p)
+                if act.started and pred.finished and act.start < pred.end - 1e-9:
+                    raise ADGError(
+                        f"activity {act.name!r} starts at {act.start} before "
+                        f"predecessor {pred.name!r} ends at {pred.end}"
+                    )
+                if act.started and not pred.finished:
+                    raise ADGError(
+                        f"activity {act.name!r} started but predecessor "
+                        f"{pred.name!r} has not finished"
+                    )

@@ -1,0 +1,324 @@
+"""The autonomic controller — the paper's self-configuration /
+self-optimization loop.
+
+A MAPE loop over the event stream of a running skeleton:
+
+* **Monitor** — the :class:`~repro.core.statemachines.MachineRegistry`
+  consumes every event, updating estimators and the live execution state;
+* **Analyze** — on analysis points (AFTER events of muscles), once every
+  muscle has at least one observation (or the estimators were
+  warm-initialized), project the ADG and compute (a) the best-effort WCT
+  and optimal LP, (b) the WCT achievable under the current LP;
+* **Plan** — compare against the QoS deadline: if the current LP misses
+  it, pick a higher LP (policy below); if half the current LP would still
+  meet it, halve (the paper: "first checks if the goal could be targeted
+  using half of threads, if it can, it decreases the number of threads to
+  the half" — which is why Skandium "does not reduce the LP as fast as it
+  increases it");
+* **Execute** — apply the new LP to the platform, live.
+
+Increase policies:
+
+* ``"minimal"`` (default) — the smallest LP whose greedy limited-LP
+  schedule meets the deadline (the paper's worked example: at WCT 70 with
+  goal 100, limited-LP(2) = 115 misses, so "Skandium will autonomically
+  increase LP to 3" — and 3 is exactly the smallest LP meeting 100 there).
+  Falls back to the optimal LP (best-effort peak) when no LP meets the
+  deadline.
+* ``"optimal"`` — jump straight to the optimal LP whenever the current LP
+  misses the deadline (more aggressive; used by the ablation bench).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import QoSError, StateMachineError
+from ..events.bus import Listener
+from ..events.types import Event, When, Where
+from ..runtime.platform import Platform
+from ..skeletons.base import Skeleton
+from .estimator import EstimatorRegistry
+from .qos import QoS
+from .schedule import (
+    best_effort_schedule,
+    limited_lp_schedule,
+    minimal_lp_greedy,
+    optimal_lp,
+)
+from .statemachines import UNSUPPORTED_KINDS, MachineRegistry
+
+__all__ = ["Decision", "AutonomicController"]
+
+_EPS = 1e-9
+
+#: AFTER events that trigger an analysis (muscle completions change the
+#: ADG materially; BEFORE events and control markers do not).
+_ANALYSIS_WHERE = (Where.SKELETON, Where.SPLIT, Where.MERGE, Where.CONDITION)
+
+
+@dataclass
+class Decision:
+    """One analysis outcome, for observability and the benches."""
+
+    time: float
+    trigger: str
+    lp_before: int
+    lp_after: int
+    wct_best_effort: float
+    wct_current_lp: float
+    optimal_lp: int
+    deadline: float
+    action: str  # "increase" | "decrease" | "hold" | "unreachable"
+    reason: str = ""
+
+    @property
+    def changed(self) -> bool:
+        return self.lp_after != self.lp_before
+
+
+class AutonomicController(Listener):
+    """Self-configuring / self-optimizing LP controller (see module docs).
+
+    Parameters
+    ----------
+    platform:
+        The platform whose parallelism is tuned.  The controller registers
+        itself on the platform's event bus.
+    skeleton:
+        Optional: validate up front that the program contains only
+        patterns the autonomic layer supports.
+    qos:
+        The goal(s): a WCT goal and/or a maximum LP.
+    rho:
+        Weight of the latest observation in the history estimators
+        (paper default 0.5).
+    increase_policy:
+        ``"minimal"`` or ``"optimal"`` (see module docstring).
+    decrease_policy:
+        ``"halving"`` (paper) or ``"none"`` (never shrink — ablation).
+    extensions:
+        Allow If/Fork tracking (off by default, as in the paper).
+    min_analysis_interval:
+        Throttle: skip analyses closer than this many (platform clock)
+        seconds to the previous one.  0 analyzes on every analysis point.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        skeleton: Optional[Skeleton] = None,
+        qos: Optional[QoS] = None,
+        rho: float = 0.5,
+        increase_policy: str = "minimal",
+        decrease_policy: str = "halving",
+        extensions: bool = False,
+        min_analysis_interval: float = 0.0,
+        estimators: Optional[EstimatorRegistry] = None,
+    ):
+        if qos is None:
+            raise QoSError("AutonomicController needs a QoS specification")
+        if increase_policy not in ("minimal", "optimal"):
+            raise QoSError(f"unknown increase policy {increase_policy!r}")
+        if decrease_policy not in ("halving", "none"):
+            raise QoSError(f"unknown decrease policy {decrease_policy!r}")
+        self.platform = platform
+        self.qos = qos
+        self.estimators = estimators or EstimatorRegistry(rho=rho)
+        self.machines = MachineRegistry(self.estimators, extensions=extensions)
+        self.increase_policy = increase_policy
+        self.decrease_policy = decrease_policy
+        self.min_analysis_interval = min_analysis_interval
+        self.decisions: List[Decision] = []
+        self._exec_start: Dict[int, float] = {}  # root index -> start time
+        self._last_analysis: Optional[float] = None
+        self._lock = threading.RLock()
+        self._attached = False
+        if skeleton is not None:
+            self.validate(skeleton)
+        # Effective LP ceiling: intersect the QoS max with the platform max.
+        self._max_lp = self._effective_max_lp()
+        self.attach()
+
+    # -- setup -----------------------------------------------------------------
+
+    def validate(self, skeleton: Skeleton) -> None:
+        """Reject programs containing paper-unsupported patterns."""
+        if self.machines.extensions:
+            return
+        for node in skeleton.walk():
+            if node.kind in UNSUPPORTED_KINDS:
+                raise StateMachineError(
+                    f"skeleton contains {node.kind!r}, unsupported by the "
+                    f"autonomic layer (paper §4); pass extensions=True to opt in"
+                )
+
+    def _effective_max_lp(self) -> Optional[int]:
+        caps = [
+            c
+            for c in (self.qos.max_threads, self.platform.max_parallelism)
+            if c is not None
+        ]
+        return min(caps) if caps else None
+
+    def attach(self) -> None:
+        """Register on the platform's bus (idempotent)."""
+        if not self._attached:
+            self.platform.add_listener(self)
+            self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self.platform.bus.remove_listener(self)
+            self._attached = False
+
+    # -- warm start --------------------------------------------------------------
+
+    def initialize_estimates(self, skeleton: Skeleton, snapshot: Dict[str, Any]) -> None:
+        """Warm-start ``t(m)`` / ``|m|`` from a previous run's snapshot.
+
+        See :mod:`repro.core.persistence` for producing snapshots.  With
+        warm estimates the first analysis can react before every muscle
+        has run once — the paper's scenario 2, where the LP rises right
+        after the first (I/O-bound) split instead of after the first
+        merge.
+        """
+        from .persistence import restore_estimates
+
+        restore_estimates(skeleton, self.estimators, snapshot)
+
+    # -- Listener API ----------------------------------------------------------------
+
+    def on_event(self, event: Event) -> Any:
+        # Monitor: the machine registry sees every event first.
+        self.machines.on_event(event)
+        if event.parent_index is None and event.index not in self._exec_start:
+            self._exec_start[event.index] = event.timestamp
+        # Analyze on muscle-completion analysis points.
+        if event.when is When.AFTER and event.where in _ANALYSIS_WHERE:
+            self._maybe_analyze(trigger=event.label)
+        return event.value
+
+    # -- analysis ----------------------------------------------------------------------
+
+    def _maybe_analyze(self, trigger: str) -> None:
+        if self.qos.wct is None:
+            return  # nothing to plan for; max LP is enforced by clamping
+        now = self.platform.now()
+        with self._lock:
+            if (
+                self._last_analysis is not None
+                and self.min_analysis_interval > 0
+                and now - self._last_analysis < self.min_analysis_interval
+            ):
+                return
+            roots = self.machines.unfinished_roots()
+            if not roots:
+                return
+            # Gate: every needed estimate available (first-run cold start
+            # waits for the first merge, as in the paper's scenario 1).
+            for machine in roots:
+                if not self.estimators.ready_for(machine.skel):
+                    return
+            self._last_analysis = now
+            self._analyze(now, roots, trigger)
+
+    def _analyze(self, now: float, roots, trigger: str) -> None:
+        adg, _terminals = self.machines.project_roots(now, roots)
+        if len(adg) == 0:
+            return
+        deadline = min(
+            self.qos.wct.deadline(self._exec_start.get(m.index, 0.0))
+            for m in roots
+        )
+        current_lp = self.platform.get_parallelism()
+        best = best_effort_schedule(adg, now)
+        opt_lp = best.peak(from_time=now)
+        current = limited_lp_schedule(adg, now, current_lp)
+
+        lp_after = current_lp
+        action = "hold"
+        reason = ""
+        if current.wct > deadline + _EPS:
+            # The current LP misses the goal: self-optimize upward.
+            target = self._pick_increase(adg, now, deadline, current_lp, opt_lp)
+            if target > current_lp:
+                lp_after = self.platform.set_parallelism(target)
+                action = "increase"
+                reason = (
+                    f"limited-LP({current_lp}) WCT {current.wct:.3f} misses "
+                    f"deadline {deadline:.3f}"
+                )
+            else:
+                action = "unreachable"
+                reason = (
+                    f"no LP <= {self._max_lp or 'inf'} meets deadline "
+                    f"{deadline:.3f}; best effort {best.wct:.3f}"
+                )
+        elif self.decrease_policy == "halving" and current_lp > 1:
+            # Goal is safe: can we do it with half the threads?
+            half = current_lp // 2
+            half_schedule = limited_lp_schedule(adg, now, half)
+            if half_schedule.wct <= deadline + _EPS:
+                lp_after = self.platform.set_parallelism(half)
+                action = "decrease"
+                reason = (
+                    f"limited-LP({half}) WCT {half_schedule.wct:.3f} still "
+                    f"meets deadline {deadline:.3f}"
+                )
+        self.decisions.append(
+            Decision(
+                time=now,
+                trigger=trigger,
+                lp_before=current_lp,
+                lp_after=lp_after,
+                wct_best_effort=best.wct,
+                wct_current_lp=current.wct,
+                optimal_lp=opt_lp,
+                deadline=deadline,
+                action=action,
+                reason=reason,
+            )
+        )
+
+    def _pick_increase(
+        self, adg, now: float, deadline: float, current_lp: int, opt_lp: int
+    ) -> int:
+        cap = self._max_lp
+        ceiling = opt_lp if cap is None else min(opt_lp, cap)
+        if self.increase_policy == "optimal":
+            return max(current_lp, ceiling)
+        found = minimal_lp_greedy(
+            adg, now, deadline, max_lp=cap, start_lp=current_lp + 1
+        )
+        if found is not None:
+            return found[0]
+        # Nothing meets the deadline: allocate the best-effort peak (the
+        # closest we can get), clamped by the cap.
+        return max(current_lp, ceiling)
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def changed_decisions(self) -> List[Decision]:
+        """Only the decisions that actually changed the LP."""
+        return [d for d in self.decisions if d.changed]
+
+    def first_increase(self) -> Optional[Decision]:
+        for d in self.decisions:
+            if d.action == "increase" and d.changed:
+                return d
+        return None
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact run summary used by the bench harness."""
+        increases = [d for d in self.decisions if d.action == "increase" and d.changed]
+        decreases = [d for d in self.decisions if d.action == "decrease" and d.changed]
+        return {
+            "analyses": len(self.decisions),
+            "increases": len(increases),
+            "decreases": len(decreases),
+            "first_increase_time": increases[0].time if increases else None,
+            "max_lp_set": max((d.lp_after for d in self.decisions), default=None),
+        }

@@ -1,0 +1,193 @@
+"""Alternative cost-estimation algorithms — the paper's future work.
+
+Paper §6: "Other initiatives based on this work involves the analyses of
+different WCT estimation algorithms comparing its overhead costs".  This
+module provides drop-in alternatives to the paper's exponentially-weighted
+:class:`~repro.core.estimator.HistoryEstimator`, all sharing its interface
+(``update / initialize / ready / value / peek``), pluggable into
+:class:`~repro.core.estimator.EstimatorRegistry` via its ``factory``
+argument and therefore usable by the unchanged autonomic controller:
+
+* :class:`SlidingWindowEstimator` — arithmetic mean of the last *k*
+  observations; bounded memory, forgets abruptly;
+* :class:`MedianEstimator` — median of the last *k*; robust to outlier
+  muscle executions (GC pauses, page faults);
+* :class:`PercentileEstimator` — upper percentile of the last *k*; a
+  *conservative* planner that prefers over-allocating threads to missing
+  the goal;
+* :class:`KalmanEstimator` — 1-D constant-value Kalman filter; adapts its
+  own gain from the observed noise instead of a fixed ρ.
+
+The ablation bench ``benchmarks/test_bench_ablation_estimators.py``
+compares tracking error and per-update cost across all of them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import EstimateNotReadyError, QoSError
+
+__all__ = [
+    "SlidingWindowEstimator",
+    "MedianEstimator",
+    "PercentileEstimator",
+    "KalmanEstimator",
+]
+
+
+class _WindowedEstimator:
+    """Shared machinery: a bounded window plus warm-start support."""
+
+    def __init__(self, window: int = 8):
+        if window < 1:
+            raise QoSError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+        self._initial: Optional[float] = None
+        self.initialized = False
+        self.observations = 0
+        self.last_actual: Optional[float] = None
+
+    # -- production ---------------------------------------------------------
+
+    def initialize(self, value: float) -> None:
+        self._initial = float(value)
+        self.initialized = True
+
+    def update(self, actual: float) -> float:
+        actual = float(actual)
+        self.last_actual = actual
+        self.observations += 1
+        self._values.append(actual)
+        return self.value
+
+    # -- consumption ---------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        return bool(self._values) or self._initial is not None
+
+    @property
+    def value(self) -> float:
+        if self._values:
+            return self._aggregate(list(self._values))
+        if self._initial is not None:
+            return self._initial
+        raise EstimateNotReadyError("estimator has no observation yet")
+
+    def peek(self, default: Optional[float] = None) -> Optional[float]:
+        return self.value if self.ready else default
+
+    def _aggregate(self, values) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(window={self.window}, "
+            f"n={self.observations}, value={self.peek()})"
+        )
+
+
+class SlidingWindowEstimator(_WindowedEstimator):
+    """Mean of the last *window* observations."""
+
+    def _aggregate(self, values) -> float:
+        return sum(values) / len(values)
+
+
+class MedianEstimator(_WindowedEstimator):
+    """Median of the last *window* observations (outlier-robust)."""
+
+    def _aggregate(self, values) -> float:
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class PercentileEstimator(_WindowedEstimator):
+    """Upper percentile of the last *window* observations.
+
+    Planning with e.g. the 80th percentile makes WCT projections
+    pessimistic, trading extra threads for goal-attainment robustness —
+    an alternative to :class:`~repro.core.qos.WCTGoal`'s margin.
+    """
+
+    def __init__(self, window: int = 8, percentile: float = 0.8):
+        super().__init__(window)
+        if not 0.0 < percentile <= 1.0:
+            raise QoSError(f"percentile must be in (0, 1], got {percentile}")
+        self.percentile = percentile
+
+    def _aggregate(self, values) -> float:
+        ordered = sorted(values)
+        rank = max(0, math.ceil(self.percentile * len(ordered)) - 1)
+        return ordered[rank]
+
+
+class KalmanEstimator:
+    """1-D Kalman filter over a (noisily observed) constant muscle cost.
+
+    State: estimate ``x`` with variance ``p``; every observation carries
+    measurement variance ``r`` (estimated online from the innovation
+    sequence).  Compared with a fixed ρ, the gain ``k = p / (p + r)``
+    starts high (fast convergence) and drops as confidence accumulates,
+    while process noise ``q`` keeps it from freezing entirely, so gradual
+    drifts are still tracked.
+    """
+
+    def __init__(self, process_noise: float = 1e-4):
+        if process_noise < 0:
+            raise QoSError("process_noise must be non-negative")
+        self.q = process_noise
+        self._x: Optional[float] = None
+        self._p = 1.0
+        self._r = 1e-2
+        self.initialized = False
+        self.observations = 0
+        self.last_actual: Optional[float] = None
+
+    def initialize(self, value: float) -> None:
+        self._x = float(value)
+        self._p = 1e-2
+        self.initialized = True
+
+    def update(self, actual: float) -> float:
+        actual = float(actual)
+        self.last_actual = actual
+        self.observations += 1
+        if self._x is None:
+            self._x = actual
+            self._p = 1e-2
+            return self._x
+        # Predict: variance grows by process noise (scaled by the state so
+        # the filter is unit-free across second- and millisecond-scale costs).
+        scale = max(abs(self._x), 1e-12)
+        p = self._p + self.q * scale * scale
+        # Innovation-based measurement-noise adaptation.
+        innovation = actual - self._x
+        self._r = 0.9 * self._r + 0.1 * (innovation * innovation + 1e-12)
+        gain = p / (p + self._r)
+        self._x = self._x + gain * innovation
+        self._p = (1.0 - gain) * p
+        return self._x
+
+    @property
+    def ready(self) -> bool:
+        return self._x is not None
+
+    @property
+    def value(self) -> float:
+        if self._x is None:
+            raise EstimateNotReadyError("estimator has no observation yet")
+        return self._x
+
+    def peek(self, default: Optional[float] = None) -> Optional[float]:
+        return self._x if self._x is not None else default
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KalmanEstimator(x={self._x}, p={self._p:.3g}, r={self._r:.3g})"

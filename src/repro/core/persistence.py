@@ -1,0 +1,100 @@
+"""Estimate snapshots — the paper's "initialization of t(m) and |m|".
+
+Scenario 2 of the paper warm-starts the estimation functions "with their
+corresponding final value of a previous execution", letting the autonomic
+layer react before every muscle has executed once.  This module snapshots
+an :class:`~repro.core.estimator.EstimatorRegistry` for a given skeleton
+and restores it later — across process boundaries via JSON.
+
+Keys are structural, not identity-based: muscle estimates are stored under
+``"<pre-order node index>:<muscle flavour>"`` so a snapshot taken from one
+construction of a program applies to a *fresh* construction of the same
+program shape (muscle uids differ between constructions).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, Tuple, Union
+
+from ..errors import ReproError
+from ..skeletons.base import Skeleton
+from ..skeletons.muscles import Muscle
+from .estimator import EstimatorRegistry
+
+__all__ = [
+    "muscle_keys",
+    "snapshot_estimates",
+    "restore_estimates",
+    "save_estimates",
+    "load_estimates",
+]
+
+
+def muscle_keys(skel: Skeleton) -> Iterator[Tuple[str, Muscle]]:
+    """Yield ``(stable key, muscle)`` pairs for every muscle of *skel*.
+
+    The key combines the pre-order index of the owning skeleton node with
+    the muscle flavour — unique because no pattern owns two muscles of the
+    same flavour.
+    """
+    for node_idx, node in enumerate(skel.walk()):
+        for muscle in node.own_muscles:
+            yield f"{node_idx}:{muscle.kind.value}", muscle
+
+
+def snapshot_estimates(skel: Skeleton, registry: EstimatorRegistry) -> Dict[str, Any]:
+    """Capture the current estimates of *skel*'s muscles as a plain dict."""
+    data: Dict[str, Any] = {"version": 1, "estimates": {}}
+    for key, muscle in muscle_keys(skel):
+        entry: Dict[str, float] = {}
+        t_est = registry.time_estimator(muscle)
+        if t_est.ready:
+            entry["t"] = t_est.value
+        c_est = registry.card_estimator(muscle)
+        if c_est.ready:
+            entry["card"] = c_est.value
+        if entry:
+            data["estimates"][key] = entry
+    return data
+
+
+def restore_estimates(
+    skel: Skeleton, registry: EstimatorRegistry, data: Dict[str, Any]
+) -> int:
+    """Warm-start *registry* from a snapshot; returns #estimates restored.
+
+    Unknown keys are ignored (the snapshot may come from a larger
+    program); malformed payloads raise :class:`ReproError`.
+    """
+    if not isinstance(data, dict) or "estimates" not in data:
+        raise ReproError("malformed estimate snapshot (missing 'estimates')")
+    estimates = data["estimates"]
+    restored = 0
+    for key, muscle in muscle_keys(skel):
+        entry = estimates.get(key)
+        if not entry:
+            continue
+        if "t" in entry:
+            registry.time_estimator(muscle).initialize(float(entry["t"]))
+            restored += 1
+        if "card" in entry:
+            registry.card_estimator(muscle).initialize(float(entry["card"]))
+            restored += 1
+    return restored
+
+
+def save_estimates(
+    path: Union[str, Path], skel: Skeleton, registry: EstimatorRegistry
+) -> None:
+    """Snapshot to a JSON file."""
+    Path(path).write_text(json.dumps(snapshot_estimates(skel, registry), indent=2))
+
+
+def load_estimates(
+    path: Union[str, Path], skel: Skeleton, registry: EstimatorRegistry
+) -> int:
+    """Restore from a JSON file; returns #estimates restored."""
+    data = json.loads(Path(path).read_text())
+    return restore_estimates(skel, registry, data)

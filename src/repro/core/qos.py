@@ -1,0 +1,84 @@
+"""Quality-of-service goals (paper Section 4).
+
+Skandium 1.1b1 supports two related QoS types that this library
+reproduces:
+
+* **WCT** (Wall Clock Time): "it is possible to ask for a WCT of 100
+  seconds for the completion of a specific task" — expressed relative to
+  the start of the skeleton execution;
+* **LP** (Level of Parallelism): an upper bound on the threads the
+  autonomic layer may allocate, "to avoid potential overloading of the
+  system".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import QoSError
+
+__all__ = ["WCTGoal", "MaxLPGoal", "QoS"]
+
+
+@dataclass(frozen=True)
+class WCTGoal:
+    """Finish within *seconds* of the execution's start.
+
+    ``margin`` (a fraction of the goal, default 0) makes the controller
+    aim slightly *inside* the goal, compensating estimate noise: with
+    ``margin=0.1`` and a 10 s goal, analyses target 9 s.
+    """
+
+    seconds: float
+    margin: float = 0.0
+
+    def __post_init__(self):
+        if self.seconds <= 0:
+            raise QoSError(f"WCT goal must be positive, got {self.seconds}")
+        if not 0.0 <= self.margin < 1.0:
+            raise QoSError(f"margin must be in [0, 1), got {self.margin}")
+
+    @property
+    def effective_seconds(self) -> float:
+        """The goal the controller actually plans against."""
+        return self.seconds * (1.0 - self.margin)
+
+    def deadline(self, start_time: float) -> float:
+        """Absolute planning deadline for an execution started at *start_time*."""
+        return start_time + self.effective_seconds
+
+
+@dataclass(frozen=True)
+class MaxLPGoal:
+    """Never allocate more than *threads* workers."""
+
+    threads: int
+
+    def __post_init__(self):
+        if self.threads < 1:
+            raise QoSError(f"max LP must be >= 1, got {self.threads}")
+
+
+@dataclass(frozen=True)
+class QoS:
+    """Combined QoS specification handed to the autonomic controller."""
+
+    wct: Optional[WCTGoal] = None
+    max_lp: Optional[MaxLPGoal] = None
+
+    def __post_init__(self):
+        if self.wct is None and self.max_lp is None:
+            raise QoSError("QoS needs at least one goal (wct and/or max_lp)")
+
+    @staticmethod
+    def wall_clock(seconds: float, max_lp: Optional[int] = None, margin: float = 0.0) -> "QoS":
+        """Convenience constructor: ``QoS.wall_clock(9.5, max_lp=24)``."""
+        return QoS(
+            wct=WCTGoal(seconds, margin=margin),
+            max_lp=MaxLPGoal(max_lp) if max_lp is not None else None,
+        )
+
+    @property
+    def max_threads(self) -> Optional[int]:
+        return self.max_lp.threads if self.max_lp is not None else None

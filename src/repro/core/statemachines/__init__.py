@@ -1,0 +1,33 @@
+"""Per-skeleton tracking state machines (paper Figures 3 and 4, extended).
+
+Machines for every pattern the paper supports (Seq, Map, Farm, Pipe,
+While, For, D&C) plus opt-in extensions for the patterns the paper leaves
+unsupported (If, Fork).
+"""
+
+from .base import MuscleSpan, TrackingMachine
+from .composite import FarmMachine, PipeMachine
+from .conditional import IfMachine
+from .dac import DacMachine
+from .fork import ForkMachine
+from .loops import ForMachine, WhileMachine
+from .registry import MACHINE_TYPES, UNSUPPORTED_KINDS, MachineRegistry
+from .seq import SeqMachine
+from .smap import MapMachine
+
+__all__ = [
+    "TrackingMachine",
+    "MuscleSpan",
+    "MachineRegistry",
+    "MACHINE_TYPES",
+    "UNSUPPORTED_KINDS",
+    "SeqMachine",
+    "MapMachine",
+    "FarmMachine",
+    "PipeMachine",
+    "WhileMachine",
+    "ForMachine",
+    "DacMachine",
+    "IfMachine",
+    "ForkMachine",
+]

@@ -1,0 +1,157 @@
+"""Base class of the per-skeleton tracking state machines.
+
+The paper tracks skeleton executions with one state machine per skeleton
+type (Figure 3 for Seq, Figure 4 for Map), driven purely by events, with
+two responsibilities:
+
+1. update the history estimators ``t(m)`` and ``|m|`` whenever a muscle's
+   BEFORE/AFTER pair or a split's cardinality is observed;
+2. maintain the live Activity Dependency Graph of the running execution.
+
+This implementation keeps (2) as a *projection*: each machine records the
+actual timestamps it has seen and can, on demand, append its activities to
+an :class:`~repro.core.adg.ADG` — actual times for the past, estimates for
+the future (delegating unexplored structure to
+:func:`repro.core.projection.project_skeleton`).  Rebuilding on demand
+keeps machines simple and makes the ADG trivially consistent with the
+event history.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...errors import StateMachineError
+from ...events.types import Event, When, Where
+from ...skeletons.base import Skeleton
+from ..adg import ADG
+from ..estimator import EstimatorRegistry
+
+__all__ = ["TrackingMachine", "MuscleSpan"]
+
+
+class MuscleSpan:
+    """Actual start/end record of one muscle execution.
+
+    ``result`` stores condition outcomes; ``card`` stores split
+    cardinalities.
+    """
+
+    __slots__ = ("start", "end", "result", "card")
+
+    def __init__(self, start: Optional[float] = None):
+        self.start = start
+        self.end: Optional[float] = None
+        self.result: Optional[bool] = None
+        self.card: Optional[int] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def started(self) -> bool:
+        return self.start is not None
+
+    def add_to(
+        self,
+        adg: ADG,
+        name: str,
+        est_duration: float,
+        preds: List[int],
+        role: str,
+    ) -> int:
+        """Append this span to *adg* (actual when known, estimate else)."""
+        if self.finished:
+            return adg.add(
+                name, self.end - self.start, preds,
+                start=self.start, end=self.end, role=role,
+            )
+        if self.started:
+            return adg.add(
+                name, est_duration, preds, start=self.start, role=role
+            )
+        return adg.add(name, est_duration, preds, role=role)
+
+
+class TrackingMachine:
+    """One machine instance per skeleton-instance execution (one index)."""
+
+    kind: str = "?"
+
+    def __init__(
+        self,
+        skel: Skeleton,
+        index: int,
+        parent_index: Optional[int],
+        estimators: EstimatorRegistry,
+    ):
+        self.skel = skel
+        self.index = index
+        self.parent_index = parent_index
+        self.estimators = estimators
+        self.children: List["TrackingMachine"] = []
+        self.parent: Optional["TrackingMachine"] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: recursion depth for d&c node machines (0 elsewhere)
+        self.depth: int = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    def attach_child(self, child: "TrackingMachine", event: Event) -> None:
+        """A nested skeleton instance produced its first event."""
+        child.parent = self
+        self.children.append(child)
+        self.on_child_attached(child, event)
+
+    def on_child_attached(self, child: "TrackingMachine", event: Event) -> None:
+        """Hook for subclasses (default: nothing)."""
+
+    # -- event handling ----------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        """Route *event* to the ``handle_<when>_<where>`` method."""
+        if self.started_at is None:
+            self.started_at = event.timestamp
+        handler = getattr(
+            self,
+            f"handle_{event.when.name.lower()}_{event.where.name.lower()}",
+            None,
+        )
+        if handler is not None:
+            handler(event)
+        if event.when is When.AFTER and event.where is Where.SKELETON:
+            self.finished_at = event.timestamp
+
+    # -- projection ----------------------------------------------------------------
+
+    def project(
+        self,
+        adg: ADG,
+        preds: List[int],
+        now: float,
+    ) -> List[int]:
+        """Append this instance's activities to *adg*; return terminals."""
+        raise NotImplementedError
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _observe_span(self, muscle, span: MuscleSpan) -> None:
+        """Fold a completed span's duration into the estimators."""
+        if span.start is None or span.end is None:
+            raise StateMachineError(
+                f"{self.kind} machine observed an incomplete span for "
+                f"{muscle.name!r}"
+            )
+        self.estimators.observe_time(muscle, span.end - span.start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(index={self.index}, "
+            f"children={len(self.children)}, finished={self.finished})"
+        )

@@ -1,0 +1,40 @@
+"""Farm and Pipe tracking machines — pure structure, no own muscles.
+
+Both delegate estimation entirely to their nested machines; projection
+threads dependencies through the recorded children and falls back to
+structural projection for stages that have not started yet.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..adg import ADG
+from ..projection import project_skeleton
+from .base import TrackingMachine
+
+__all__ = ["FarmMachine", "PipeMachine"]
+
+
+class FarmMachine(TrackingMachine):
+    kind = "farm"
+
+    def project(self, adg: ADG, preds: List[int], now: float) -> List[int]:
+        if self.children:
+            return self.children[0].project(adg, preds, now)
+        return project_skeleton(self.skel.subskel, adg, preds, self.estimators)
+
+
+class PipeMachine(TrackingMachine):
+    kind = "pipe"
+
+    def project(self, adg: ADG, preds: List[int], now: float) -> List[int]:
+        # A single value flows through the stages in order, so child
+        # machines attach in stage order.
+        current = list(preds)
+        for k, stage in enumerate(self.skel.stages):
+            if k < len(self.children):
+                current = self.children[k].project(adg, current, now)
+            else:
+                current = project_skeleton(stage, adg, current, self.estimators)
+        return current

@@ -1,0 +1,134 @@
+"""Machine registry: routes events to tracking machines, builds live ADGs.
+
+The registry is an event-bus listener.  For every event it looks up the
+machine of the event's instance index, creating it on first sight (and
+attaching it to its parent machine via the event's ``parent_index``), then
+lets the machine consume the event.  Root machines — skeleton executions
+submitted at top level — are what the autonomic controller projects and
+schedules.
+
+Thread safety: a single re-entrant lock guards machine creation, event
+consumption and projection, so the controller can analyze a consistent
+snapshot while worker threads keep publishing events.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from ...errors import StateMachineError
+from ...events.bus import Listener
+from ...events.types import Event
+from ..adg import ADG
+from ..estimator import EstimatorRegistry
+from .base import TrackingMachine
+from .composite import FarmMachine, PipeMachine
+from .conditional import IfMachine
+from .dac import DacMachine
+from .fork import ForkMachine
+from .loops import ForMachine, WhileMachine
+from .seq import SeqMachine
+from .smap import MapMachine
+
+__all__ = ["MachineRegistry", "MACHINE_TYPES", "UNSUPPORTED_KINDS"]
+
+MACHINE_TYPES: Dict[str, Type[TrackingMachine]] = {
+    "seq": SeqMachine,
+    "farm": FarmMachine,
+    "pipe": PipeMachine,
+    "while": WhileMachine,
+    "for": ForMachine,
+    "map": MapMachine,
+    "fork": ForkMachine,
+    "if": IfMachine,
+    "dac": DacMachine,
+}
+
+#: Kinds the paper's autonomic layer does not support ("the support for
+#: those types of skeletons are under construction"); tracking them
+#: requires the ``extensions`` opt-in.
+UNSUPPORTED_KINDS = frozenset({"if", "fork"})
+
+
+class MachineRegistry(Listener):
+    """Event listener that maintains one tracking machine per instance."""
+
+    def __init__(self, estimators: EstimatorRegistry, extensions: bool = False):
+        self.estimators = estimators
+        self.extensions = extensions
+        self.lock = threading.RLock()
+        self._machines: Dict[int, TrackingMachine] = {}
+        self.roots: List[TrackingMachine] = []
+
+    # -- Listener API ------------------------------------------------------
+
+    def on_event(self, event: Event) -> Any:
+        with self.lock:
+            machine = self._machines.get(event.index)
+            if machine is None:
+                machine = self._create(event)
+            machine.on_event(event)
+        return event.value
+
+    # -- machine management ---------------------------------------------------
+
+    def _create(self, event: Event) -> TrackingMachine:
+        kind = event.kind
+        cls = MACHINE_TYPES.get(kind)
+        if cls is None:
+            raise StateMachineError(f"no tracking machine for kind {kind!r}")
+        if kind in UNSUPPORTED_KINDS and not self.extensions:
+            raise StateMachineError(
+                f"the autonomic layer does not support {kind!r} skeletons "
+                f"(as in the paper); pass extensions=True to opt in"
+            )
+        machine = cls(event.skeleton, event.index, event.parent_index, self.estimators)
+        self._machines[event.index] = machine
+        parent = (
+            self._machines.get(event.parent_index)
+            if event.parent_index is not None
+            else None
+        )
+        if parent is not None:
+            parent.attach_child(machine, event)
+        else:
+            self.roots.append(machine)
+        return machine
+
+    def machine(self, index: int) -> Optional[TrackingMachine]:
+        with self.lock:
+            return self._machines.get(index)
+
+    def __len__(self) -> int:
+        with self.lock:
+            return len(self._machines)
+
+    # -- projection ----------------------------------------------------------------
+
+    def unfinished_roots(self) -> List[TrackingMachine]:
+        with self.lock:
+            return [m for m in self.roots if not m.finished]
+
+    def project_roots(
+        self, now: float, roots: Optional[List[TrackingMachine]] = None
+    ) -> Tuple[ADG, List[int]]:
+        """Build one merged ADG of the given roots (default: unfinished).
+
+        Returns ``(adg, terminal ids)``.  Concurrent top-level executions
+        (e.g. values streaming through a farm) share the worker pool, so
+        the controller schedules their union.
+        """
+        with self.lock:
+            targets = roots if roots is not None else self.unfinished_roots()
+            adg = ADG()
+            terminals: List[int] = []
+            for machine in targets:
+                terminals.extend(machine.project(adg, [], now))
+            return adg, terminals
+
+    def reset(self) -> None:
+        """Forget all machines (estimators are kept — they are the history)."""
+        with self.lock:
+            self._machines.clear()
+            self.roots.clear()

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SkeletonDefinitionError",
+    "MuscleTypeError",
+    "ExecutionError",
+    "MuscleExecutionError",
+    "PlatformError",
+    "PlatformShutdownError",
+    "SchedulingError",
+    "ADGError",
+    "EstimateNotReadyError",
+    "QoSError",
+    "StateMachineError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class SkeletonDefinitionError(ReproError):
+    """A skeleton was constructed with invalid structure or arguments."""
+
+
+class MuscleTypeError(SkeletonDefinitionError):
+    """A muscle of the wrong flavour was supplied to a skeleton."""
+
+
+class ExecutionError(ReproError):
+    """A skeleton execution failed."""
+
+
+class MuscleExecutionError(ExecutionError):
+    """A user muscle raised an exception during execution.
+
+    The original exception is available both as ``__cause__`` and through
+    :attr:`cause`; :attr:`muscle_name` identifies the failing muscle and
+    :attr:`trace` holds the skeleton trace active when the failure happened.
+    """
+
+    def __init__(self, muscle_name: str, cause: BaseException, trace=()):
+        super().__init__(f"muscle {muscle_name!r} raised {cause!r}")
+        self.muscle_name = muscle_name
+        self.cause = cause
+        self.trace = tuple(trace)
+
+
+class PlatformError(ReproError):
+    """An execution platform was misused or failed internally."""
+
+
+class PlatformShutdownError(PlatformError):
+    """Work was submitted to a platform that has been shut down."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling computation received invalid input."""
+
+
+class ADGError(ReproError):
+    """An Activity Dependency Graph operation failed (e.g. a cycle)."""
+
+
+class EstimateNotReadyError(ReproError):
+    """An estimate was requested before any observation or initialization."""
+
+
+class QoSError(ReproError):
+    """A quality-of-service goal was declared with invalid parameters."""
+
+
+class StateMachineError(ReproError):
+    """A tracking state machine received an event it cannot accept."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator or application muscle was misconfigured."""

@@ -1,0 +1,41 @@
+"""Event-driven separation-of-concerns layer (paper Section 3).
+
+This package implements the event model of the authors' earlier work
+("Tackling algorithmic skeleton's inversion of control", PDP 2012) that the
+reproduced paper builds its autonomic layer on: statically defined event
+hooks raised around every muscle execution, delivered synchronously on the
+muscle's worker, with listeners able to observe *and transform* partial
+solutions.
+"""
+
+from .bus import EventBus, Listener
+from .correlation import IndexAllocator, check_balanced, pair_events
+from .listeners import (
+    CountingListener,
+    FilteredListener,
+    GenericListener,
+    LatchListener,
+    LoggingListener,
+    ValueTransformListener,
+)
+from .recorder import EventRecorder
+from .types import Event, When, Where, event_label
+
+__all__ = [
+    "EventBus",
+    "Listener",
+    "IndexAllocator",
+    "pair_events",
+    "check_balanced",
+    "Event",
+    "When",
+    "Where",
+    "event_label",
+    "EventRecorder",
+    "GenericListener",
+    "FilteredListener",
+    "LoggingListener",
+    "CountingListener",
+    "LatchListener",
+    "ValueTransformListener",
+]

@@ -1,0 +1,156 @@
+"""The event bus: registration and synchronous dispatch of listeners.
+
+The bus is the seam between the functional world (skeletons and muscles)
+and the non-functional world (logging, monitoring, the autonomic layer).
+Listeners are invoked *synchronously on the worker that executed the
+related muscle*, matching the guarantee of the paper: "the handler is
+executed on the same thread than the related muscle".
+
+Listeners may transform the partial solution: whatever a listener returns
+becomes the event's ``value`` and is what the skeleton execution continues
+with (the paper motivates this with on-the-fly encryption of partial
+solutions).  A listener that wants to leave the value untouched simply
+returns it unchanged.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Any, Callable, List, Optional
+
+from .types import Event, When, Where
+
+__all__ = ["Listener", "EventBus"]
+
+_log = logging.getLogger(__name__)
+
+
+class Listener:
+    """Base class for event listeners.
+
+    Subclasses override :meth:`on_event`; the return value replaces the
+    event's partial solution.  The default implementation is the identity.
+
+    A listener can restrict the events it receives by overriding
+    :meth:`accepts` (cheaper than filtering inside the handler because the
+    bus skips the call entirely).
+    """
+
+    def accepts(self, event: Event) -> bool:
+        """Return ``True`` when the listener wants to receive *event*."""
+        return True
+
+    def on_event(self, event: Event) -> Any:
+        """Handle *event*; return the (possibly replaced) partial solution."""
+        return event.value
+
+
+class _CallableListener(Listener):
+    """Adapter wrapping a plain callable ``fn(event) -> value``."""
+
+    def __init__(
+        self,
+        fn: Callable[[Event], Any],
+        kind: Optional[str] = None,
+        when: Optional[When] = None,
+        where: Optional[Where] = None,
+    ):
+        self._fn = fn
+        self._kind = kind
+        self._when = when
+        self._where = where
+
+    def accepts(self, event: Event) -> bool:
+        return event.matches(self._kind, self._when, self._where)
+
+    def on_event(self, event: Event) -> Any:
+        return self._fn(event)
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for skeleton events.
+
+    Parameters
+    ----------
+    propagate_errors:
+        When ``True`` (the default) an exception raised by a listener
+        aborts the skeleton execution — non-functional code is trusted,
+        as in Skandium.  When ``False`` the exception is logged and the
+        remaining listeners still run; the partial solution is left as it
+        was before the failing listener.
+    """
+
+    def __init__(self, propagate_errors: bool = True):
+        self._listeners: List[Listener] = []
+        self._lock = threading.Lock()
+        self.propagate_errors = propagate_errors
+        #: Total number of events published (cheap observability counter).
+        self.published = 0
+
+    # -- registration -----------------------------------------------------
+
+    def add_listener(self, listener: Listener) -> Listener:
+        """Register *listener* for all events it :meth:`~Listener.accepts`."""
+        if not isinstance(listener, Listener):
+            raise TypeError(f"expected a Listener, got {listener!r}")
+        with self._lock:
+            self._listeners.append(listener)
+        return listener
+
+    def add_callback(
+        self,
+        fn: Callable[[Event], Any],
+        kind: Optional[str] = None,
+        when: Optional[When] = None,
+        where: Optional[Where] = None,
+    ) -> Listener:
+        """Register a plain callable, optionally filtered by event shape.
+
+        Returns the wrapping :class:`Listener` so it can later be removed
+        with :meth:`remove_listener`.
+        """
+        listener = _CallableListener(fn, kind=kind, when=when, where=where)
+        return self.add_listener(listener)
+
+    def remove_listener(self, listener: Listener) -> bool:
+        """Unregister *listener*; returns ``True`` when it was registered."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+                return True
+            except ValueError:
+                return False
+
+    def listeners(self) -> List[Listener]:
+        """Snapshot of the registered listeners (in registration order)."""
+        with self._lock:
+            return list(self._listeners)
+
+    def clear(self) -> None:
+        """Unregister every listener."""
+        with self._lock:
+            self._listeners.clear()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def publish(self, event: Event) -> Any:
+        """Deliver *event* to every accepting listener, in order.
+
+        Each listener receives the event with the value produced by the
+        previous listener (pipeline semantics).  Returns the final partial
+        solution, which the caller must thread back into the execution.
+        """
+        self.published += 1
+        for listener in self.listeners():
+            if not listener.accepts(event):
+                continue
+            try:
+                event.value = listener.on_event(event)
+            except Exception:
+                if self.propagate_errors:
+                    raise
+                _log.exception(
+                    "listener %r failed on %s; continuing", listener, event.label
+                )
+        return event.value

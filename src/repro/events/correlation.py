@@ -1,0 +1,89 @@
+"""Correlation helpers: instance-index allocation and pairing checks.
+
+Every execution of a skeleton instance receives a fresh integer index from
+an :class:`IndexAllocator`.  The index appears as the ``i`` parameter of
+all the events of that instance, which is what lets the paper's state
+machines guard their transitions with ``[idx == i]``.
+
+:func:`pair_events` and :func:`check_balanced` are used by tests and by the
+:class:`repro.events.recorder.EventRecorder` to verify that every BEFORE
+event has exactly one matching AFTER event with identical
+``(index, where, extra-discriminators)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Iterable, List, Tuple
+
+from .types import Event, When
+
+__all__ = ["IndexAllocator", "pair_events", "check_balanced"]
+
+
+class IndexAllocator:
+    """Thread-safe monotonically increasing index source.
+
+    Indices start at 0 for the root skeleton instance of each execution so
+    that traces are reproducible run-to-run on the simulator.
+    """
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        """Return a fresh, never-before-returned index."""
+        with self._lock:
+            return next(self._counter)
+
+
+def _pair_key(event: Event) -> Tuple:
+    """Discriminator used to match a BEFORE event with its AFTER event."""
+    extra = event.extra
+    return (
+        event.index,
+        event.where,
+        extra.get("iteration"),
+        extra.get("child"),
+        extra.get("stage"),
+        extra.get("depth"),
+    )
+
+
+def pair_events(events: Iterable[Event]) -> List[Tuple[Event, Event]]:
+    """Pair BEFORE events with their matching AFTER events.
+
+    Returns the list of ``(before, after)`` pairs in order of the BEFORE
+    events.  Raises :class:`ValueError` when an AFTER arrives without a
+    pending BEFORE, or when BEFORE events are left unmatched.
+    """
+    pending: Dict[Tuple, List[Event]] = {}
+    pairs: List[Tuple[Event, Event]] = []
+    order: List[Tuple] = []
+    for event in events:
+        key = _pair_key(event)
+        if event.when is When.BEFORE:
+            pending.setdefault(key, []).append(event)
+            order.append(key)
+        else:
+            stack = pending.get(key)
+            if not stack:
+                raise ValueError(f"AFTER event without BEFORE: {event!r}")
+            before = stack.pop()
+            pairs.append((before, event))
+    unmatched = [k for k, v in pending.items() if v]
+    if unmatched:
+        raise ValueError(f"unmatched BEFORE events for keys: {unmatched!r}")
+    pairs.sort(key=lambda pair: (pair[0].timestamp, pair[0].index))
+    return pairs
+
+
+def check_balanced(events: Iterable[Event]) -> bool:
+    """Return ``True`` when every BEFORE has exactly one matching AFTER."""
+    try:
+        pair_events(events)
+    except ValueError:
+        return False
+    return True

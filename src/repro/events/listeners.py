@@ -1,0 +1,165 @@
+"""Ready-made listeners: logging, filtering, counting, waiting.
+
+These mirror the uses the paper demonstrates for the event layer (the
+simple logger of Listing 2) plus utilities that the test-suite and the
+autonomic layer build on.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import Counter
+from typing import Any, Callable, Optional
+
+from .bus import Listener
+from .types import Event, When, Where
+
+__all__ = [
+    "GenericListener",
+    "FilteredListener",
+    "LoggingListener",
+    "CountingListener",
+    "LatchListener",
+    "ValueTransformListener",
+]
+
+
+class GenericListener(Listener):
+    """Listener receiving *every* event, paper-style.
+
+    Subclasses override :meth:`handler`, whose signature mirrors the
+    paper's ``GenericListener.handler(Object param, Skeleton[] st, int i,
+    When when, Where where)``; the full :class:`Event` is passed as an
+    extra keyword for code that needs timestamps or extras.
+    """
+
+    def on_event(self, event: Event) -> Any:
+        return self.handler(
+            event.value,
+            event.trace,
+            event.index,
+            event.when,
+            event.where,
+            event=event,
+        )
+
+    def handler(self, param, trace, i, when, where, *, event: Event):
+        """Override me.  Must return the (possibly new) partial solution."""
+        return param
+
+
+class FilteredListener(Listener):
+    """Delegate to *inner* only for events matching the given filters."""
+
+    def __init__(
+        self,
+        inner: Listener,
+        kind: Optional[str] = None,
+        when: Optional[When] = None,
+        where: Optional[Where] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+    ):
+        self.inner = inner
+        self.kind = kind
+        self.when = when
+        self.where = where
+        self.predicate = predicate
+
+    def accepts(self, event: Event) -> bool:
+        if not event.matches(self.kind, self.when, self.where):
+            return False
+        if self.predicate is not None and not self.predicate(event):
+            return False
+        return self.inner.accepts(event)
+
+    def on_event(self, event: Event) -> Any:
+        return self.inner.on_event(event)
+
+
+class LoggingListener(Listener):
+    """The paper's Listing 2: log every event's identification.
+
+    Logs the current skeleton, when/where, the index, the partial solution
+    and the worker — one record per event, at the given level.
+    """
+
+    def __init__(self, logger: Optional[logging.Logger] = None, level: int = logging.INFO):
+        self.logger = logger or logging.getLogger("repro.events")
+        self.level = level
+
+    def on_event(self, event: Event) -> Any:
+        skel = event.trace[-1] if event.trace else event.skeleton
+        self.logger.log(self.level, "CURRSKEL: %s", type(skel).__name__)
+        self.logger.log(self.level, "WHEN/WHERE: %s/%s", event.when, event.where)
+        self.logger.log(self.level, "INDEX: %d", event.index)
+        self.logger.log(self.level, "PARTIAL SOL: %r", event.value)
+        self.logger.log(self.level, "WORKER: %s", event.worker)
+        return event.value
+
+
+class CountingListener(Listener):
+    """Count events by label; useful for overhead benchmarks and tests."""
+
+    def __init__(self):
+        self.counts: Counter = Counter()
+        self._lock = threading.Lock()
+
+    def on_event(self, event: Event) -> Any:
+        with self._lock:
+            self.counts[event.label] += 1
+        return event.value
+
+    def total(self) -> int:
+        with self._lock:
+            return sum(self.counts.values())
+
+
+class LatchListener(Listener):
+    """Block a test thread until a matching event has been seen.
+
+    ``wait(timeout)`` returns ``True`` when the predicate matched within
+    the timeout.  Works on the real thread-pool platform where events
+    arrive asynchronously.
+    """
+
+    def __init__(self, predicate: Callable[[Event], bool]):
+        self.predicate = predicate
+        self._event = threading.Event()
+        self.matched: Optional[Event] = None
+
+    def on_event(self, event: Event) -> Any:
+        if not self._event.is_set() and self.predicate(event):
+            self.matched = event
+            self._event.set()
+        return event.value
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+
+class ValueTransformListener(Listener):
+    """Replace the partial solution on matching events.
+
+    Demonstrates the paper's "modify partial solutions" capability (e.g.
+    encrypting data between distribution steps).  ``transform`` receives
+    the current value and returns the replacement.
+    """
+
+    def __init__(
+        self,
+        transform: Callable[[Any], Any],
+        kind: Optional[str] = None,
+        when: Optional[When] = None,
+        where: Optional[Where] = None,
+    ):
+        self.transform = transform
+        self.kind = kind
+        self.when = when
+        self.where = where
+
+    def accepts(self, event: Event) -> bool:
+        return event.matches(self.kind, self.when, self.where)
+
+    def on_event(self, event: Event) -> Any:
+        return self.transform(event.value)

@@ -1,0 +1,106 @@
+"""Event recorder: an append-only log of every event of an execution.
+
+The recorder underpins the test-suite (trace assertions, before/after
+balance properties) and the benchmark harness (deterministic event logs on
+the simulator).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from .bus import Listener
+from .correlation import check_balanced, pair_events
+from .types import Event, When, Where
+
+__all__ = ["EventRecorder"]
+
+
+class EventRecorder(Listener):
+    """Record every published event, preserving arrival order.
+
+    The recorder stores the events themselves (not copies); the ``value``
+    field of a recorded event reflects the value *after* all listeners ran,
+    because the bus mutates the event in place.  For most assertions the
+    identification fields (label, index, timestamp, extras) are what
+    matters.
+    """
+
+    def __init__(self):
+        self._events: List[Event] = []
+        self._lock = threading.Lock()
+
+    # -- Listener API ------------------------------------------------------
+
+    def on_event(self, event: Event) -> Any:
+        with self._lock:
+            self._events.append(event)
+        return event.value
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def events(self) -> List[Event]:
+        """Snapshot of the recorded events in arrival order."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def labels(self) -> List[str]:
+        """Event labels in arrival order (``["map@b", "map@bs", ...]``)."""
+        return [e.label for e in self.events]
+
+    def select(
+        self,
+        kind: Optional[str] = None,
+        when: Optional[When] = None,
+        where: Optional[Where] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+    ) -> List[Event]:
+        """Events matching the given filters, in arrival order."""
+        out = []
+        for event in self.events:
+            if not event.matches(kind, when, where):
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def first(self, **kwargs) -> Optional[Event]:
+        """First event matching :meth:`select` filters, or ``None``."""
+        matches = self.select(**kwargs)
+        return matches[0] if matches else None
+
+    def pairs(self):
+        """Matched ``(before, after)`` pairs (see :func:`pair_events`)."""
+        return pair_events(self.events)
+
+    def is_balanced(self) -> bool:
+        """``True`` when every BEFORE event has a matching AFTER event."""
+        return check_balanced(self.events)
+
+    def durations(self) -> List[float]:
+        """Observed durations of all before/after pairs, in pair order."""
+        return [after.timestamp - before.timestamp for before, after in self.pairs()]
+
+    def timestamps_monotonic(self) -> bool:
+        """``True`` when recorded timestamps never decrease.
+
+        Guaranteed on the simulator; on the thread pool it holds per
+        worker but the recorder sees a global interleaving, so this check
+        is only used in simulator tests.
+        """
+        events = self.events
+        return all(
+            events[i].timestamp <= events[i + 1].timestamp
+            for i in range(len(events) - 1)
+        )

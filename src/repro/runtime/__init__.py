@@ -1,0 +1,50 @@
+"""Execution runtime: interpreter, platforms, clocks, cost models, metrics.
+
+The runtime executes skeleton programs on two interchangeable platforms —
+:class:`ThreadPoolPlatform` (real OS threads, resizable live) and
+:class:`SimulatedPlatform` (deterministic discrete-event multicore
+simulation with virtual time) — through a single continuation-passing
+interpreter that emits the paper's events at every muscle boundary.
+"""
+
+from .clock import Clock, RealClock, VirtualClock
+from .costmodel import (
+    CallableCostModel,
+    ConstantCostModel,
+    CostModel,
+    PerItemCostModel,
+    TableCostModel,
+    ZeroCostModel,
+)
+from .distributed import SimulatedDistributedPlatform
+from .futures import SkeletonFuture
+from .interpreter import run, submit
+from .metrics import LPSample, LPSeries
+from .platform import Platform
+from .simulator import SimulatedPlatform
+from .task import Barrier, Execution, MuscleTask
+from .threadpool import ThreadPoolPlatform
+
+__all__ = [
+    "Clock",
+    "RealClock",
+    "VirtualClock",
+    "CostModel",
+    "ZeroCostModel",
+    "ConstantCostModel",
+    "TableCostModel",
+    "CallableCostModel",
+    "PerItemCostModel",
+    "SkeletonFuture",
+    "run",
+    "submit",
+    "LPSample",
+    "LPSeries",
+    "Platform",
+    "SimulatedPlatform",
+    "SimulatedDistributedPlatform",
+    "ThreadPoolPlatform",
+    "MuscleTask",
+    "Barrier",
+    "Execution",
+]

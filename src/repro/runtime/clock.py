@@ -1,0 +1,67 @@
+"""Clock abstraction — the seam between real and simulated execution.
+
+Every component that needs the current time (event timestamps, estimator
+updates, the ADG's "if the estimated end is in the past, use now" clamp,
+the autonomic controller's analysis) asks the platform's :class:`Clock`,
+never :func:`time.monotonic` directly.  This is what lets the identical
+autonomic code path run against the real thread pool and against the
+discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "RealClock", "VirtualClock"]
+
+
+class Clock:
+    """Abstract monotonic clock measured in seconds."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic, origin unspecified)."""
+        raise NotImplementedError
+
+
+class RealClock(Clock):
+    """Wall-clock backed by :func:`time.monotonic`, re-based at creation.
+
+    Re-basing (time starts at 0 when the clock is created) keeps real and
+    simulated timelines directly comparable in logs and plots.
+    """
+
+    def __init__(self):
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+
+class VirtualClock(Clock):
+    """Settable clock driven by the discrete-event simulator.
+
+    Time may only move forward; attempting to set it backwards raises
+    ``ValueError`` — that would mean the simulator's event queue was
+    corrupted, and silently accepting it would invalidate every estimate
+    derived from timestamps.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to *timestamp*."""
+        if timestamp < self._now - 1e-12:
+            raise ValueError(
+                f"virtual clock cannot go backwards: {timestamp} < {self._now}"
+            )
+        self._now = max(self._now, float(timestamp))
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by *delta* seconds (must be >= 0)."""
+        if delta < 0:
+            raise ValueError(f"virtual clock cannot go backwards by {delta}")
+        self._now += float(delta)

@@ -1,0 +1,145 @@
+"""Cost models — virtual durations of muscle executions on the simulator.
+
+On the real thread pool a muscle takes however long its Python body takes.
+On the :class:`repro.runtime.simulator.SimulatedPlatform` the muscle body
+still runs (so results are functionally correct) but the *virtual* time it
+occupies a core is supplied by a :class:`CostModel`.  This is the
+substitution lever that lets us calibrate workloads to the cost structure
+the paper reports (first split 6.4 s, second-level splits 7× faster,
+0.04 s per execute/merge muscle) without the authors' machine or dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+from ..skeletons.muscles import Muscle
+
+__all__ = [
+    "CostModel",
+    "ZeroCostModel",
+    "ConstantCostModel",
+    "TableCostModel",
+    "CallableCostModel",
+    "PerItemCostModel",
+]
+
+CostFn = Callable[[Muscle, Any], float]
+
+
+class CostModel:
+    """Maps a muscle execution to the virtual seconds it occupies a core."""
+
+    def duration(self, muscle: Muscle, value: Any) -> float:
+        """Virtual duration of executing *muscle* on input *value*."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(duration: float, muscle: Muscle) -> float:
+        if duration < 0:
+            raise ValueError(
+                f"cost model produced negative duration {duration} for "
+                f"muscle {muscle.name!r}"
+            )
+        return float(duration)
+
+
+class ZeroCostModel(CostModel):
+    """Every muscle is instantaneous — pure functional simulation."""
+
+    def duration(self, muscle: Muscle, value: Any) -> float:
+        return 0.0
+
+
+class ConstantCostModel(CostModel):
+    """Every muscle takes the same fixed virtual duration."""
+
+    def __init__(self, seconds: float):
+        self.seconds = self._check(float(seconds), muscle=_DUMMY)
+
+    def duration(self, muscle: Muscle, value: Any) -> float:
+        return self.seconds
+
+
+class TableCostModel(CostModel):
+    """Durations looked up per muscle (by object, uid or name).
+
+    ``table`` maps muscles — given as :class:`Muscle` objects, integer
+    uids, or name strings — to either a constant duration or a callable
+    ``fn(value) -> duration``.  Missing muscles fall back to *default*
+    (raises ``KeyError`` when no default was given).
+    """
+
+    def __init__(
+        self,
+        table: Mapping[Union[Muscle, int, str], Union[float, Callable[[Any], float]]],
+        default: Optional[float] = None,
+    ):
+        self._by_uid: Dict[int, Union[float, Callable[[Any], float]]] = {}
+        self._by_name: Dict[str, Union[float, Callable[[Any], float]]] = {}
+        for key, cost in table.items():
+            if isinstance(key, Muscle):
+                self._by_uid[key.uid] = cost
+            elif isinstance(key, int):
+                self._by_uid[key] = cost
+            elif isinstance(key, str):
+                self._by_name[key] = cost
+            else:
+                raise TypeError(f"bad cost table key: {key!r}")
+        self.default = default
+
+    def duration(self, muscle: Muscle, value: Any) -> float:
+        cost = self._by_uid.get(muscle.uid)
+        if cost is None:
+            cost = self._by_name.get(muscle.name)
+        if cost is None:
+            if self.default is None:
+                raise KeyError(f"no cost for muscle {muscle.name!r} (uid {muscle.uid})")
+            cost = self.default
+        if callable(cost):
+            cost = cost(value)
+        return self._check(cost, muscle)
+
+
+class CallableCostModel(CostModel):
+    """Durations computed by an arbitrary ``fn(muscle, value) -> float``."""
+
+    def __init__(self, fn: CostFn):
+        self._fn = fn
+
+    def duration(self, muscle: Muscle, value: Any) -> float:
+        return self._check(self._fn(muscle, value), muscle)
+
+
+class PerItemCostModel(CostModel):
+    """Duration proportional to ``len(value)`` plus a fixed overhead.
+
+    A convenient model for data-parallel workloads where muscle time
+    scales with chunk size: ``duration = overhead + per_item * len(value)``
+    (values without ``len`` count as one item).
+    """
+
+    def __init__(self, per_item: float, overhead: float = 0.0):
+        self.per_item = float(per_item)
+        self.overhead = float(overhead)
+        if self.per_item < 0 or self.overhead < 0:
+            raise ValueError("per_item and overhead must be non-negative")
+
+    def duration(self, muscle: Muscle, value: Any) -> float:
+        try:
+            items = len(value)  # type: ignore[arg-type]
+        except TypeError:
+            items = 1
+        return self.overhead + self.per_item * items
+
+
+class _Dummy(Muscle):
+    kind = None  # type: ignore[assignment]
+
+    def __init__(self):  # pragma: no cover - sentinel only
+        self.uid = 0
+        self.name = "<none>"
+        self.fn = lambda v: v
+
+
+_DUMMY = _Dummy()

@@ -1,0 +1,108 @@
+"""Simulated distributed execution — the paper's future-work platform.
+
+Paper §4: "The proposed solution is independent from the platform chosen
+for executing the skeleton … it could also be adapted to a distributed
+execution environment.  It could be achieved by a centralised distribution
+of tasks to distributed set of workers, adding or removing workers like
+adding or removing threads in a centralised manner."
+
+This platform realizes exactly that sketch on top of the discrete-event
+simulator: virtual *remote workers* replace cores, every task pays a
+dispatch latency (master → worker) and a collect latency (worker → master),
+and workers may be heterogeneous (per-worker speed factors).  The level of
+parallelism is the number of enrolled workers, tuned live by the same
+autonomic controller — no autonomic code changes at all, which is the
+paper's platform-independence claim made executable.
+
+Cost semantics: a task occupies its worker for
+
+    dispatch_latency + duration / speed(worker) + collect_latency
+
+so communication overhead is *absorbed into the observed muscle times*,
+exactly as it would be if the paper's event hooks ran on remote Skandium
+workers: the estimators learn inflated ``t(m)`` values and the controller
+plans with them — no special-casing anywhere downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import PlatformError
+from ..events.bus import EventBus
+from .costmodel import CostModel
+from .simulator import SimulatedPlatform
+from .task import MuscleTask
+
+__all__ = ["SimulatedDistributedPlatform"]
+
+
+class SimulatedDistributedPlatform(SimulatedPlatform):
+    """Master/worker distributed execution on virtual time.
+
+    Parameters
+    ----------
+    parallelism:
+        Initial number of enrolled remote workers.
+    dispatch_latency / collect_latency:
+        One-way communication costs (virtual seconds) paid per task.
+    worker_speeds:
+        Optional per-worker relative speeds; worker ``i`` executes muscle
+        bodies ``worker_speeds[i]`` times as fast as a baseline core.
+        Workers beyond the list run at the last listed speed (or 1.0 when
+        the list is empty), so growing the pool enrolls progressively
+        "further" machines if the tail speed is below 1.
+    """
+
+    def __init__(
+        self,
+        parallelism: int = 1,
+        cost_model: Optional[CostModel] = None,
+        max_parallelism: Optional[int] = None,
+        bus: Optional[EventBus] = None,
+        dispatch_latency: float = 0.0,
+        collect_latency: float = 0.0,
+        worker_speeds: Optional[Sequence[float]] = None,
+        trace_tasks: bool = False,
+        scheduling: str = "depth-first",
+    ):
+        super().__init__(
+            parallelism=parallelism,
+            cost_model=cost_model,
+            max_parallelism=max_parallelism,
+            bus=bus,
+            trace_tasks=trace_tasks,
+            scheduling=scheduling,
+        )
+        if dispatch_latency < 0 or collect_latency < 0:
+            raise PlatformError("communication latencies must be non-negative")
+        speeds = list(worker_speeds or ())
+        if any(s <= 0 for s in speeds):
+            raise PlatformError("worker speeds must be positive")
+        self.dispatch_latency = float(dispatch_latency)
+        self.collect_latency = float(collect_latency)
+        self.worker_speeds = speeds
+
+    # -- cost semantics --------------------------------------------------------
+
+    def worker_speed(self, worker: int) -> float:
+        """Relative speed of *worker* (see class docstring)."""
+        if not self.worker_speeds:
+            return 1.0
+        if worker < len(self.worker_speeds):
+            return self.worker_speeds[worker]
+        return self.worker_speeds[-1]
+
+    def _service_time(self, task: MuscleTask, value, core: int) -> float:
+        compute = self.cost_model.duration(task.muscle, value)
+        return (
+            self.dispatch_latency
+            + compute / self.worker_speed(core)
+            + self.collect_latency
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def round_trip_overhead(self) -> float:
+        """Fixed communication cost added to every muscle execution."""
+        return self.dispatch_latency + self.collect_latency

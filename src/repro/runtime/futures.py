@@ -1,0 +1,89 @@
+"""Futures returned by :meth:`Skeleton.input` (paper Listing 1).
+
+A :class:`SkeletonFuture` resolves with the skeleton's final result or
+with the exception that aborted the execution.  On the thread-pool
+platform resolution happens asynchronously; on the simulator the platform
+drives its event loop inside :meth:`get` until the future resolves.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from ..errors import ExecutionError
+
+__all__ = ["SkeletonFuture"]
+
+_UNSET = object()
+
+
+class SkeletonFuture:
+    """Write-once container for the result of one skeleton execution."""
+
+    def __init__(self, driver: Optional[Callable[["SkeletonFuture"], None]] = None):
+        self._result: Any = _UNSET
+        self._exception: Optional[BaseException] = None
+        self._done = threading.Event()
+        self._callbacks: List[Callable[["SkeletonFuture"], None]] = []
+        self._lock = threading.Lock()
+        # The simulator installs a driver that runs its event loop until
+        # this future resolves; the thread pool leaves it None and relies
+        # on the worker threads resolving the future asynchronously.
+        self._driver = driver
+
+    # -- production ----------------------------------------------------------
+
+    def set_result(self, value: Any) -> None:
+        """Resolve the future successfully.  May be called only once."""
+        with self._lock:
+            if self.done():
+                raise ExecutionError("future already resolved")
+            self._result = value
+            callbacks = list(self._callbacks)
+        self._done.set()
+        for cb in callbacks:
+            cb(self)
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Resolve the future with a failure.  May be called only once."""
+        with self._lock:
+            if self.done():
+                raise ExecutionError("future already resolved")
+            self._exception = exc
+            callbacks = list(self._callbacks)
+        self._done.set()
+        for cb in callbacks:
+            cb(self)
+
+    # -- consumption ----------------------------------------------------------
+
+    def done(self) -> bool:
+        """``True`` once a result or exception has been set."""
+        return self._done.is_set()
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Block until resolved; return the result or raise the failure."""
+        if not self.done() and self._driver is not None:
+            self._driver(self)
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"skeleton result not available within {timeout}s")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """Block until resolved; return the failure (or ``None``)."""
+        if not self.done() and self._driver is not None:
+            self._driver(self)
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"skeleton result not available within {timeout}s")
+        return self._exception
+
+    def add_done_callback(self, fn: Callable[["SkeletonFuture"], None]) -> None:
+        """Run ``fn(self)`` when resolved (immediately if already done)."""
+        with self._lock:
+            if not self.done():
+                self._callbacks.append(fn)
+                return
+        fn(self)

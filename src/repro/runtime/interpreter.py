@@ -1,0 +1,614 @@
+"""Continuation-passing interpreter: skeleton AST → muscle tasks + events.
+
+This module is the execution semantics of the library.  It decomposes a
+skeleton program into :class:`~repro.runtime.task.MuscleTask` units, wires
+them together with continuations and barriers, and emits the statically
+defined events of every pattern (see the per-skeleton modules under
+:mod:`repro.skeletons` for the event vocabularies).
+
+Design rules:
+
+* **every muscle execution is exactly one task** — the schedulable unit
+  the platform assigns to a worker and, on the simulator, the unit that
+  consumes virtual time;
+* **BEFORE/AFTER events are emitted by the task phases** on the worker
+  that runs the muscle (the paper's same-thread guarantee);
+* **control markers** (``farm@b``, ``pipe@bn`` …) take no worker time;
+  they are emitted inline from continuations;
+* **instance indices**: every skeleton-instance execution draws a fresh
+  index; all its events carry that index (the ``i`` of the paper), plus
+  the parent instance's index, which is how the autonomic layer attaches
+  tracking machines to their parents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from ..errors import ExecutionError
+from ..events.types import Event, When, Where
+from ..skeletons.base import Skeleton
+from ..skeletons.conditional import If
+from ..skeletons.dac import DivideAndConquer
+from ..skeletons.farm import Farm
+from ..skeletons.fork import Fork
+from ..skeletons.loops import For, While
+from ..skeletons.pipe import Pipe
+from ..skeletons.seq import Seq
+from ..skeletons.smap import Map
+from .futures import SkeletonFuture
+from .platform import Platform
+from .task import Barrier, Execution, MuscleTask
+
+__all__ = ["submit", "run"]
+
+Continuation = Callable[[Any], None]
+
+
+class _Instance:
+    """Execution context of one skeleton-instance (one index)."""
+
+    __slots__ = ("skel", "index", "parent_index", "trace", "index_trace", "state")
+
+    def __init__(self, skel: Skeleton, parent: Optional["_Instance"], state: "_ExecState"):
+        self.skel = skel
+        self.state = state
+        self.index = state.indices.next()
+        if parent is None:
+            self.parent_index: Optional[int] = None
+            self.trace: Tuple[Skeleton, ...] = (skel,)
+            self.index_trace: Tuple[int, ...] = (self.index,)
+        else:
+            self.parent_index = parent.index
+            self.trace = parent.trace + (skel,)
+            self.index_trace = parent.index_trace + (self.index,)
+
+    def emit(
+        self,
+        when: When,
+        where: Where,
+        value: Any,
+        worker: Optional[int] = None,
+        **extra: Any,
+    ) -> Any:
+        """Publish one event for this instance; returns the final value."""
+        platform = self.state.platform
+        event = Event(
+            skeleton=self.skel,
+            kind=self.skel.kind,
+            when=when,
+            where=where,
+            index=self.index,
+            parent_index=self.parent_index,
+            value=value,
+            timestamp=platform.now(),
+            trace=self.trace,
+            index_trace=self.index_trace,
+            worker=worker if worker is not None else platform.current_worker(),
+            extra=extra,
+        )
+        return platform.bus.publish(event)
+
+
+class _ExecState:
+    """Per-top-level-execution shared state (indices, platform, failure)."""
+
+    __slots__ = ("platform", "indices", "execution")
+
+    def __init__(self, platform: Platform, execution: Execution):
+        self.platform = platform
+        self.indices = platform.indices  # platform-scoped uniqueness
+        self.execution = execution
+
+
+def submit(skel: Skeleton, value: Any, platform: Platform) -> SkeletonFuture:
+    """Start executing *skel* on *value*; return the result future.
+
+    This is what :meth:`Skeleton.input` delegates to.  On the simulator
+    the returned future drives the event loop when ``get()`` is called; on
+    the thread pool the execution proceeds asynchronously right away.
+    """
+    future = platform.new_future()
+    execution = Execution(future)
+    state = _ExecState(platform, execution)
+
+    def root_continuation(result: Any) -> None:
+        execution.finish(result)
+
+    try:
+        _start(skel, value, state, None, root_continuation)
+    except Exception as exc:  # structural errors surface via the future too
+        execution.fail(exc)
+    return future
+
+
+def run(skel: Skeleton, value: Any, platform: Platform) -> Any:
+    """Synchronously execute *skel* on *value* and return the result."""
+    return submit(skel, value, platform).get()
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+
+
+def _start(
+    skel: Skeleton,
+    value: Any,
+    state: _ExecState,
+    parent: Optional[_Instance],
+    cont: Continuation,
+) -> None:
+    """Begin execution of one skeleton instance."""
+    if state.execution.failed:
+        return
+    inst = _Instance(skel, parent, state)
+    starter = _STARTERS.get(type(skel))
+    if starter is None:
+        raise ExecutionError(f"no interpreter for skeleton type {type(skel).__name__}")
+    starter(skel, value, state, inst, cont)
+
+
+def _guarded(state: _ExecState, fn: Callable[[Any], None]) -> Continuation:
+    """Wrap a continuation so library/listener errors fail the execution."""
+
+    def guarded(result: Any) -> None:
+        if state.execution.failed:
+            return
+        try:
+            fn(result)
+        except Exception as exc:
+            state.execution.fail(exc)
+
+    return guarded
+
+
+def _submit_task(
+    state: _ExecState,
+    inst: _Instance,
+    muscle,
+    value: Any,
+    before_events,
+    after_events,
+    continuation: Continuation,
+    body: Optional[Callable[[Any], Any]] = None,
+    label: str = "",
+    event_payload: Callable[[Any], Any] = lambda result: result,
+    rebuild: Callable[[Any, Any], Any] = lambda result, payload: payload,
+) -> None:
+    """Build and submit one muscle task.
+
+    ``before_events`` / ``after_events`` are lists of
+    ``(when, where, extra_fn)`` tuples where ``extra_fn(body_result)``
+    produces the event extras (so e.g. ``fs_card`` can depend on the split
+    result).  Events are emitted in list order.
+
+    Condition tasks internally compute ``(value, bool)`` pairs; they pass
+    ``event_payload`` to publish only the partial solution on the event
+    and ``rebuild`` to re-attach the boolean to whatever the listeners
+    returned, so user listeners never see interpreter internals.
+    """
+
+    def emit_before(worker: Optional[int]) -> Any:
+        current = value
+        for when, where, extra_fn in before_events:
+            current = inst.emit(
+                when, where, current, worker=worker, **(extra_fn(current) or {})
+            )
+        return current
+
+    def emit_after(result: Any, worker: Optional[int]) -> Any:
+        payload = event_payload(result)
+        for when, where, extra_fn in after_events:
+            payload = inst.emit(
+                when, where, payload, worker=worker, **(extra_fn(result) or {})
+            )
+        return rebuild(result, payload)
+
+    task = MuscleTask(
+        muscle=muscle,
+        value=value,
+        emit_before=emit_before,
+        body=body,
+        emit_after=emit_after,
+        continuation=_guarded(state, continuation),
+        execution=state.execution,
+        label=label or f"{inst.skel.kind}#{inst.index}:{muscle.name}",
+    )
+    state.platform.submit(task)
+
+
+_NO_EXTRA = lambda _v: {}
+
+
+# ---------------------------------------------------------------------------
+# seq
+
+
+def _start_seq(skel: Seq, value: Any, state: _ExecState, inst: _Instance, cont: Continuation) -> None:
+    _submit_task(
+        state,
+        inst,
+        skel.execute,
+        value,
+        before_events=[(When.BEFORE, Where.SKELETON, _NO_EXTRA)],
+        after_events=[(When.AFTER, Where.SKELETON, _NO_EXTRA)],
+        continuation=cont,
+    )
+
+
+# ---------------------------------------------------------------------------
+# farm
+
+
+def _start_farm(skel: Farm, value: Any, state: _ExecState, inst: _Instance, cont: Continuation) -> None:
+    value = inst.emit(When.BEFORE, Where.SKELETON, value)
+
+    def done(result: Any) -> None:
+        result = inst.emit(When.AFTER, Where.SKELETON, result)
+        cont(result)
+
+    _start(skel.subskel, value, state, inst, _guarded(state, done))
+
+
+# ---------------------------------------------------------------------------
+# pipe
+
+
+def _start_pipe(skel: Pipe, value: Any, state: _ExecState, inst: _Instance, cont: Continuation) -> None:
+    value = inst.emit(When.BEFORE, Where.SKELETON, value)
+    stages = skel.stages
+
+    def run_stage(k: int, current: Any) -> None:
+        if k == len(stages):
+            current = inst.emit(When.AFTER, Where.SKELETON, current)
+            cont(current)
+            return
+        current = inst.emit(When.BEFORE, Where.NESTED, current, stage=k)
+
+        def stage_done(result: Any, k: int = k) -> None:
+            result = inst.emit(When.AFTER, Where.NESTED, result, stage=k)
+            run_stage(k + 1, result)
+
+        _start(stages[k], current, state, inst, _guarded(state, stage_done))
+
+    run_stage(0, value)
+
+
+# ---------------------------------------------------------------------------
+# while
+
+
+def _start_while(skel: While, value: Any, state: _ExecState, inst: _Instance, cont: Continuation) -> None:
+    value = inst.emit(When.BEFORE, Where.SKELETON, value)
+
+    def evaluate_condition(current: Any, iteration: int) -> None:
+        def cond_body(v: Any):
+            return (v, skel.condition(v))
+
+        def cond_done(pair) -> None:
+            v, flag = pair
+            if flag:
+                def body_done(result: Any) -> None:
+                    evaluate_condition(result, iteration + 1)
+
+                _start(skel.subskel, v, state, inst, _guarded(state, body_done))
+            else:
+                out = inst.emit(When.AFTER, Where.SKELETON, v)
+                cont(out)
+
+        _submit_task(
+            state,
+            inst,
+            skel.condition,
+            current,
+            before_events=[
+                (When.BEFORE, Where.CONDITION, lambda _v, k=iteration: {"iteration": k})
+            ],
+            after_events=[
+                (
+                    When.AFTER,
+                    Where.CONDITION,
+                    lambda pair, k=iteration: {"iteration": k, "cond_result": pair[1]},
+                )
+            ],
+            continuation=cond_done,
+            body=cond_body,
+            event_payload=lambda pair: pair[0],
+            rebuild=lambda pair, v: (v, pair[1]),
+        )
+
+    evaluate_condition(value, 0)
+
+
+# ---------------------------------------------------------------------------
+# for
+
+
+def _start_for(skel: For, value: Any, state: _ExecState, inst: _Instance, cont: Continuation) -> None:
+    value = inst.emit(When.BEFORE, Where.SKELETON, value)
+    times = skel.times
+
+    def run_iteration(k: int, current: Any) -> None:
+        if k == times:
+            current = inst.emit(When.AFTER, Where.SKELETON, current)
+            cont(current)
+            return
+        current = inst.emit(When.BEFORE, Where.NESTED, current, iteration=k)
+
+        def iter_done(result: Any, k: int = k) -> None:
+            result = inst.emit(When.AFTER, Where.NESTED, result, iteration=k)
+            run_iteration(k + 1, result)
+
+        _start(skel.subskel, current, state, inst, _guarded(state, iter_done))
+
+    run_iteration(0, value)
+
+
+# ---------------------------------------------------------------------------
+# if
+
+
+def _start_if(skel: If, value: Any, state: _ExecState, inst: _Instance, cont: Continuation) -> None:
+    def cond_body(v: Any):
+        return (v, skel.condition(v))
+
+    def cond_done(pair) -> None:
+        v, flag = pair
+        branch = skel.true_skel if flag else skel.false_skel
+
+        def branch_done(result: Any) -> None:
+            result = inst.emit(When.AFTER, Where.SKELETON, result)
+            cont(result)
+
+        _start(branch, v, state, inst, _guarded(state, branch_done))
+
+    _submit_task(
+        state,
+        inst,
+        skel.condition,
+        value,
+        before_events=[
+            (When.BEFORE, Where.SKELETON, _NO_EXTRA),
+            (When.BEFORE, Where.CONDITION, _NO_EXTRA),
+        ],
+        after_events=[
+            (When.AFTER, Where.CONDITION, lambda pair: {"cond_result": pair[1]})
+        ],
+        continuation=cond_done,
+        body=cond_body,
+        event_payload=lambda pair: pair[0],
+        rebuild=lambda pair, v: (v, pair[1]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# map
+
+
+def _start_map(skel: Map, value: Any, state: _ExecState, inst: _Instance, cont: Continuation) -> None:
+    def split_done(parts) -> None:
+        parts = list(parts)
+
+        def merge_ready(results) -> None:
+            _submit_task(
+                state,
+                inst,
+                skel.merge,
+                results,
+                before_events=[(When.BEFORE, Where.MERGE, _NO_EXTRA)],
+                after_events=[
+                    (When.AFTER, Where.MERGE, _NO_EXTRA),
+                    (When.AFTER, Where.SKELETON, _NO_EXTRA),
+                ],
+                continuation=cont,
+            )
+
+        barrier = Barrier(len(parts), _guarded(state, merge_ready))
+        for j, part in enumerate(parts):
+            part = inst.emit(When.BEFORE, Where.NESTED, part, child=j)
+
+            def child_done(result: Any, j: int = j) -> None:
+                result = inst.emit(When.AFTER, Where.NESTED, result, child=j)
+                barrier.arrive(j, result)
+
+            _start(skel.subskel, part, state, inst, _guarded(state, child_done))
+
+    _submit_task(
+        state,
+        inst,
+        skel.split,
+        value,
+        before_events=[
+            (When.BEFORE, Where.SKELETON, _NO_EXTRA),
+            (When.BEFORE, Where.SPLIT, _NO_EXTRA),
+        ],
+        after_events=[
+            (When.AFTER, Where.SPLIT, lambda parts: {"fs_card": len(parts)})
+        ],
+        continuation=split_done,
+    )
+
+
+# ---------------------------------------------------------------------------
+# fork
+
+
+def _start_fork(skel: Fork, value: Any, state: _ExecState, inst: _Instance, cont: Continuation) -> None:
+    def split_done(parts) -> None:
+        parts = list(parts)
+        if len(parts) != len(skel.subskels):
+            raise ExecutionError(
+                f"fork split produced {len(parts)} sub-problems for "
+                f"{len(skel.subskels)} nested skeletons"
+            )
+
+        def merge_ready(results) -> None:
+            _submit_task(
+                state,
+                inst,
+                skel.merge,
+                results,
+                before_events=[(When.BEFORE, Where.MERGE, _NO_EXTRA)],
+                after_events=[
+                    (When.AFTER, Where.MERGE, _NO_EXTRA),
+                    (When.AFTER, Where.SKELETON, _NO_EXTRA),
+                ],
+                continuation=cont,
+            )
+
+        barrier = Barrier(len(parts), _guarded(state, merge_ready))
+        for j, (sub, part) in enumerate(zip(skel.subskels, parts)):
+            part = inst.emit(When.BEFORE, Where.NESTED, part, child=j)
+
+            def child_done(result: Any, j: int = j) -> None:
+                result = inst.emit(When.AFTER, Where.NESTED, result, child=j)
+                barrier.arrive(j, result)
+
+            _start(sub, part, state, inst, _guarded(state, child_done))
+
+    _submit_task(
+        state,
+        inst,
+        skel.split,
+        value,
+        before_events=[
+            (When.BEFORE, Where.SKELETON, _NO_EXTRA),
+            (When.BEFORE, Where.SPLIT, _NO_EXTRA),
+        ],
+        after_events=[
+            (When.AFTER, Where.SPLIT, lambda parts: {"fs_card": len(parts)})
+        ],
+        continuation=split_done,
+    )
+
+
+# ---------------------------------------------------------------------------
+# divide & conquer
+#
+# Every recursion node is its own skeleton instance (fresh index, parent =
+# the enclosing dac node).  This mirrors the recursion tree into the event
+# stream, which is exactly what the tracking machine needs to project the
+# unexplored part of the tree from |fc| (estimated depth) and |fs| (fan-out).
+
+
+def _start_dac(skel: DivideAndConquer, value: Any, state: _ExecState, inst: _Instance, cont: Continuation) -> None:
+    _start_dac_node(skel, value, state, inst, cont, depth=0)
+
+
+def _start_dac_node(
+    skel: DivideAndConquer,
+    value: Any,
+    state: _ExecState,
+    inst: _Instance,
+    cont: Continuation,
+    depth: int,
+) -> None:
+    def cond_body(v: Any):
+        return (v, skel.condition(v))
+
+    def cond_done(pair) -> None:
+        v, divide = pair
+        if divide:
+            _dac_divide(skel, v, state, inst, cont, depth)
+        else:
+            def leaf_done(result: Any) -> None:
+                result = inst.emit(When.AFTER, Where.SKELETON, result, depth=depth)
+                cont(result)
+
+            _start(skel.subskel, v, state, inst, _guarded(state, leaf_done))
+
+    _submit_task(
+        state,
+        inst,
+        skel.condition,
+        value,
+        before_events=[
+            (When.BEFORE, Where.SKELETON, lambda _v: {"depth": depth}),
+            (When.BEFORE, Where.CONDITION, lambda _v: {"depth": depth}),
+        ],
+        after_events=[
+            (
+                When.AFTER,
+                Where.CONDITION,
+                lambda pair: {"depth": depth, "cond_result": pair[1]},
+            )
+        ],
+        continuation=cond_done,
+        body=cond_body,
+        event_payload=lambda pair: pair[0],
+        rebuild=lambda pair, v: (v, pair[1]),
+    )
+
+
+def _dac_divide(
+    skel: DivideAndConquer,
+    value: Any,
+    state: _ExecState,
+    inst: _Instance,
+    cont: Continuation,
+    depth: int,
+) -> None:
+    def split_done(parts) -> None:
+        parts = list(parts)
+
+        def merge_ready(results) -> None:
+            _submit_task(
+                state,
+                inst,
+                skel.merge,
+                results,
+                before_events=[
+                    (When.BEFORE, Where.MERGE, lambda _v: {"depth": depth})
+                ],
+                after_events=[
+                    (When.AFTER, Where.MERGE, lambda _v: {"depth": depth}),
+                    (When.AFTER, Where.SKELETON, lambda _v: {"depth": depth}),
+                ],
+                continuation=cont,
+            )
+
+        barrier = Barrier(len(parts), _guarded(state, merge_ready))
+        for j, part in enumerate(parts):
+            part = inst.emit(When.BEFORE, Where.NESTED, part, child=j, depth=depth)
+
+            def child_done(result: Any, j: int = j) -> None:
+                result = inst.emit(
+                    When.AFTER, Where.NESTED, result, child=j, depth=depth
+                )
+                barrier.arrive(j, result)
+
+            # Each sub-problem is a new dac *instance* one level deeper.
+            child_inst = _Instance(skel, inst, state)
+            _start_dac_node(
+                skel, part, state, child_inst,
+                _guarded(state, child_done), depth + 1,
+            )
+
+    _submit_task(
+        state,
+        inst,
+        skel.split,
+        value,
+        before_events=[(When.BEFORE, Where.SPLIT, lambda _v: {"depth": depth})],
+        after_events=[
+            (
+                When.AFTER,
+                Where.SPLIT,
+                lambda parts: {"depth": depth, "fs_card": len(parts)},
+            )
+        ],
+        continuation=split_done,
+    )
+
+
+_STARTERS = {
+    Seq: _start_seq,
+    Farm: _start_farm,
+    Pipe: _start_pipe,
+    While: _start_while,
+    For: _start_for,
+    If: _start_if,
+    Map: _start_map,
+    Fork: _start_fork,
+    DivideAndConquer: _start_dac,
+}

@@ -1,0 +1,127 @@
+"""Execution metrics: the level-of-parallelism trajectory of a run.
+
+The paper's evaluation figures (5, 6, 7) plot *number of active threads*
+against wall-clock time.  :class:`LPSeries` records exactly that — every
+change of the number of busy workers and of the allocated pool size, with
+timestamps from the platform's clock — and offers the step-function
+queries the benchmark harness needs (peak, value-at, first rise, ...).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["LPSample", "LPSeries"]
+
+
+@dataclass(frozen=True)
+class LPSample:
+    """One change point: at ``time``, ``active`` workers were busy and the
+    platform's allocated parallelism (pool size) was ``allocated``."""
+
+    time: float
+    active: int
+    allocated: int
+
+
+class LPSeries:
+    """Append-only record of the LP trajectory of one execution."""
+
+    def __init__(self):
+        self._samples: List[LPSample] = []
+        self._lock = threading.Lock()
+
+    def record(self, time: float, active: int, allocated: int) -> None:
+        """Append a change point (monotonically non-decreasing times)."""
+        with self._lock:
+            self._samples.append(LPSample(time, active, allocated))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def samples(self) -> List[LPSample]:
+        with self._lock:
+            return list(self._samples)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def peak_active(self) -> int:
+        """Maximum number of simultaneously busy workers observed."""
+        samples = self.samples
+        return max((s.active for s in samples), default=0)
+
+    def peak_allocated(self) -> int:
+        """Maximum allocated pool size observed."""
+        samples = self.samples
+        return max((s.allocated for s in samples), default=0)
+
+    def active_at(self, time: float) -> int:
+        """Active workers at *time* (step-function semantics)."""
+        level = 0
+        for sample in self.samples:
+            if sample.time > time:
+                break
+            level = sample.active
+        return level
+
+    def first_time_active_above(self, threshold: int) -> Optional[float]:
+        """Earliest time the active count strictly exceeded *threshold*.
+
+        This is how the benchmark harness measures "when did the autonomic
+        increase take effect" — e.g. the paper's ≈7.6 s in Figure 5 vs
+        ≈6.4 s in Figure 6.
+        """
+        for sample in self.samples:
+            if sample.active > threshold:
+                return sample.time
+        return None
+
+    def end_time(self) -> float:
+        """Timestamp of the last recorded change point."""
+        samples = self.samples
+        return samples[-1].time if samples else 0.0
+
+    def as_steps(self) -> List[Tuple[float, int]]:
+        """``(time, active)`` change points — the paper-figure series."""
+        return [(s.time, s.active) for s in self.samples]
+
+    def active_integral(self) -> float:
+        """∫ active(t) dt — total busy worker-seconds of the run.
+
+        Used by the ablation benches to compare resource usage of
+        controller policies (the paper motivates decreasing LP with energy
+        and overall system throughput).
+        """
+        samples = self.samples
+        total = 0.0
+        for i in range(len(samples) - 1):
+            total += samples[i].active * (samples[i + 1].time - samples[i].time)
+        return total
+
+    def merge_plateau(self, resolution: float) -> List[Tuple[float, int]]:
+        """Down-sample to one sample per *resolution* bucket (max active).
+
+        Useful to print compact series for figures with thousands of
+        change points.
+        """
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        out: List[Tuple[float, int]] = []
+        bucket_start: Optional[float] = None
+        bucket_max = 0
+        for time, active in self.as_steps():
+            bucket = int(time / resolution) * resolution
+            if bucket_start is None or bucket > bucket_start:
+                if bucket_start is not None:
+                    out.append((bucket_start, bucket_max))
+                bucket_start = bucket
+                bucket_max = active
+            else:
+                bucket_max = max(bucket_max, active)
+        if bucket_start is not None:
+            out.append((bucket_start, bucket_max))
+        return out

@@ -1,0 +1,128 @@
+"""Platform abstraction: where and how tasks actually run.
+
+A :class:`Platform` owns
+
+* a :class:`~repro.runtime.clock.Clock` (real or virtual),
+* the :class:`~repro.events.bus.EventBus` events are published on,
+* an :class:`~repro.runtime.metrics.LPSeries` recording the active-thread
+  trajectory, and
+* the *level of parallelism* (LP) — the paper's tunable knob.  The
+  autonomic controller calls :meth:`set_parallelism` while a skeleton is
+  running; platforms apply the change live.
+
+Two implementations ship with the library:
+:class:`repro.runtime.threadpool.ThreadPoolPlatform` (real OS threads) and
+:class:`repro.runtime.simulator.SimulatedPlatform` (deterministic
+discrete-event multicore simulation — the substitution for the paper's
+24-hardware-thread Xeon, see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..errors import PlatformError
+from ..events.bus import EventBus, Listener
+from .clock import Clock
+from .futures import SkeletonFuture
+from .metrics import LPSeries
+from .task import MuscleTask
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """Abstract execution platform (see module docstring)."""
+
+    def __init__(
+        self,
+        parallelism: int = 1,
+        max_parallelism: Optional[int] = None,
+        bus: Optional[EventBus] = None,
+        clock: Optional[Clock] = None,
+    ):
+        if parallelism < 1:
+            raise PlatformError(f"parallelism must be >= 1, got {parallelism}")
+        if max_parallelism is not None and max_parallelism < parallelism:
+            raise PlatformError(
+                f"max_parallelism {max_parallelism} below initial "
+                f"parallelism {parallelism}"
+            )
+        self._parallelism = parallelism
+        self.max_parallelism = max_parallelism
+        self.bus = bus or EventBus()
+        self._clock = clock
+        self.metrics = LPSeries()
+        self._lp_lock = threading.Lock()
+        # Instance indices are platform-scoped: unique across every
+        # execution submitted to this platform (so tracking machines never
+        # collide), deterministic for a fresh platform.
+        from ..events.correlation import IndexAllocator
+
+        self.indices = IndexAllocator()
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        if self._clock is None:
+            raise PlatformError("platform has no clock configured")
+        return self._clock
+
+    def now(self) -> float:
+        """Shorthand for ``self.clock.now()``."""
+        return self.clock.now()
+
+    # -- parallelism ------------------------------------------------------------
+
+    def get_parallelism(self) -> int:
+        """Currently allocated level of parallelism (pool size)."""
+        with self._lp_lock:
+            return self._parallelism
+
+    def set_parallelism(self, n: int) -> int:
+        """Change the allocated LP; returns the value actually applied.
+
+        Values are clamped to ``[1, max_parallelism]``.  Subclasses extend
+        this with the mechanics of growing/shrinking their worker set but
+        must call ``super().set_parallelism(n)`` first to validate, clamp
+        and store the new value.
+        """
+        n = int(n)
+        if n < 1:
+            n = 1
+        if self.max_parallelism is not None:
+            n = min(n, self.max_parallelism)
+        with self._lp_lock:
+            self._parallelism = n
+        return n
+
+    # -- work -------------------------------------------------------------------
+
+    def submit(self, task: MuscleTask) -> None:
+        """Queue *task* for execution."""
+        raise NotImplementedError
+
+    def current_worker(self) -> Optional[int]:
+        """Identifier of the worker running the calling code, if any."""
+        return None
+
+    def new_future(self) -> SkeletonFuture:
+        """Create a future suitable for this platform's driving model."""
+        return SkeletonFuture()
+
+    def shutdown(self) -> None:
+        """Release platform resources.  Idempotent."""
+
+    # -- convenience ---------------------------------------------------------------
+
+    def add_listener(self, listener: Listener) -> Listener:
+        """Register *listener* on the platform's event bus."""
+        return self.bus.add_listener(listener)
+
+    def __enter__(self) -> "Platform":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

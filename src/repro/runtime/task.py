@@ -1,0 +1,153 @@
+"""The unit of schedulable work: one muscle execution.
+
+The continuation-passing interpreter (:mod:`repro.runtime.interpreter`)
+decomposes a skeleton program into :class:`MuscleTask` objects.  A task has
+four phases, driven by the platform that runs it:
+
+1. ``emit_before(worker)`` — publish the BEFORE event(s) on the worker
+   about to run the muscle; returns the (possibly listener-transformed)
+   input value;
+2. ``body(value)`` — run the muscle itself;
+3. ``emit_after(result, worker)`` — publish the AFTER event(s); returns
+   the (possibly transformed) result;
+4. ``continuation(result)`` — bookkeeping that wires the result into the
+   rest of the program (resolves barriers, submits successor tasks).
+
+Splitting the phases is what lets the discrete-event simulator charge
+virtual time between BEFORE and AFTER while the thread pool simply runs
+them back to back.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from ..errors import ExecutionError, MuscleExecutionError
+from ..skeletons.muscles import Muscle
+from .futures import SkeletonFuture
+
+__all__ = ["Execution", "MuscleTask", "Barrier"]
+
+
+class Execution:
+    """Shared state of one top-level skeleton execution.
+
+    Holds the future the user waits on and the failure latch: once a
+    muscle (or listener) raises, the execution is marked failed, the
+    future resolves with the exception, and platforms silently drop the
+    execution's remaining tasks.
+    """
+
+    def __init__(self, future: SkeletonFuture):
+        self.future = future
+        self._failed = threading.Event()
+
+    @property
+    def failed(self) -> bool:
+        return self._failed.is_set()
+
+    def fail(self, exc: BaseException) -> None:
+        """Record the first failure; later failures are ignored."""
+        if self._failed.is_set():
+            return
+        self._failed.set()
+        if not self.future.done():
+            self.future.set_exception(exc)
+
+    def finish(self, result: Any) -> None:
+        """Resolve the user future with the final result."""
+        if not self.future.done():
+            self.future.set_result(result)
+
+
+class MuscleTask:
+    """One schedulable muscle execution (see module docstring)."""
+
+    __slots__ = (
+        "muscle",
+        "value",
+        "emit_before",
+        "emit_after",
+        "continuation",
+        "execution",
+        "label",
+        "seq",
+        "_body",
+    )
+
+    _seq_lock = threading.Lock()
+    _seq_counter = 0
+
+    def __init__(
+        self,
+        muscle: Muscle,
+        value: Any,
+        emit_before: Callable[[Optional[int]], Any],
+        body: Optional[Callable[[Any], Any]],
+        emit_after: Callable[[Any, Optional[int]], Any],
+        continuation: Callable[[Any], None],
+        execution: Execution,
+        label: str,
+    ):
+        self.muscle = muscle
+        self.value = value
+        self.emit_before = emit_before
+        self.emit_after = emit_after
+        self.continuation = continuation
+        self.execution = execution
+        self.label = label
+        # Submission sequence number: platforms use it for FIFO tie-breaks,
+        # which keeps the simulator fully deterministic.
+        with MuscleTask._seq_lock:
+            MuscleTask._seq_counter += 1
+            self.seq = MuscleTask._seq_counter
+        self._body = body
+
+    def body(self, value: Any) -> Any:
+        """Run the muscle on *value*, wrapping user errors."""
+        fn = self._body if self._body is not None else self.muscle
+        try:
+            return fn(value)
+        except Exception as exc:
+            raise MuscleExecutionError(self.muscle.name, exc) from exc
+
+    # MuscleTask deliberately has no run() — the platform owns phase
+    # sequencing because only it knows how time passes between phases.
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MuscleTask({self.label}, muscle={self.muscle.name!r}, seq={self.seq})"
+
+
+class Barrier:
+    """Collect *count* sub-results, then invoke a completion callback.
+
+    Used by Map/Fork/D&C joins.  ``arrive`` may be called from any worker;
+    the completion callback runs on the worker that delivered the last
+    result (matching the paper's same-thread event guarantee for the merge
+    muscle's BEFORE event, which the completion submits).
+    """
+
+    def __init__(self, count: int, on_complete: Callable[[List[Any]], None]):
+        if count <= 0:
+            raise ExecutionError(f"barrier needs a positive count, got {count}")
+        self._results: List[Any] = [None] * count
+        self._remaining = count
+        self._lock = threading.Lock()
+        self._on_complete = on_complete
+
+    def arrive(self, slot: int, result: Any) -> None:
+        """Deliver the result of sub-computation *slot*."""
+        with self._lock:
+            if self._remaining <= 0:
+                raise ExecutionError("barrier already completed")
+            self._results[slot] = result
+            self._remaining -= 1
+            done = self._remaining == 0
+        if done:
+            self._on_complete(self._results)
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._remaining

@@ -1,0 +1,206 @@
+"""Resizable thread-pool platform — real execution on OS threads.
+
+This is the Skandium-equivalent execution environment: a pool of worker
+threads pulling muscle tasks from a FIFO queue, whose size can be changed
+*while skeletons execute* — the mechanism the autonomic controller drives.
+
+Growing spawns new daemon worker threads immediately; shrinking is
+graceful: workers whose id is at or above the new target retire after
+finishing their current task (never aborting a muscle mid-flight), exactly
+like the simulator's cores.
+
+CPython note (DESIGN.md §1): for *CPU-bound pure-Python* muscles the GIL
+serializes execution, so raising the LP does not shrink wall-clock time.
+The pool is fully functional and useful for I/O-bound muscles, muscles
+that release the GIL (NumPy, file I/O, ``time.sleep``-style waits) and for
+exercising the event/autonomic machinery against real concurrency; the
+paper's quantitative figures are reproduced on the simulator.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import PlatformError
+from ..events.bus import EventBus
+from .clock import Clock, RealClock
+from .platform import Platform
+from .task import MuscleTask
+
+__all__ = ["ThreadPoolPlatform"]
+
+
+class _Worker(threading.Thread):
+    """One pool worker; runs tasks until told to retire."""
+
+    def __init__(self, pool: "ThreadPoolPlatform", worker_id: int):
+        super().__init__(name=f"repro-worker-{worker_id}", daemon=True)
+        self.pool = pool
+        self.worker_id = worker_id
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        pool = self.pool
+        while True:
+            task = pool._next_task(self.worker_id)
+            if task is None:
+                return  # retired or shut down
+            pool._run_task(task, self.worker_id)
+
+
+class ThreadPoolPlatform(Platform):
+    """Real-thread execution platform with a live-resizable worker pool."""
+
+    def __init__(
+        self,
+        parallelism: int = 1,
+        max_parallelism: Optional[int] = None,
+        bus: Optional[EventBus] = None,
+        clock: Optional[Clock] = None,
+    ):
+        super().__init__(
+            parallelism=parallelism,
+            max_parallelism=max_parallelism,
+            bus=bus,
+            clock=clock or RealClock(),
+        )
+        self._queue: Deque[MuscleTask] = deque()
+        self._cv = threading.Condition()
+        self._workers: dict[int, _Worker] = {}
+        self._next_worker_id = 0
+        self._active = 0
+        self._shutdown = False
+        self._local = threading.local()
+        self.metrics.record(self.now(), 0, parallelism)
+        self._ensure_workers()
+
+    # -- Platform API ---------------------------------------------------------
+
+    def submit(self, task: MuscleTask) -> None:
+        batch = getattr(self._local, "batch", None)
+        if batch is not None:
+            # Collected during a continuation and prepended when it ends:
+            # depth-first scheduling, like the simulator (and Skandium).
+            batch.append(task)
+            return
+        with self._cv:
+            if self._shutdown:
+                raise PlatformError("platform has been shut down")
+            self._queue.append(task)
+            self._cv.notify()
+
+    def current_worker(self) -> Optional[int]:
+        return getattr(self._local, "worker_id", None)
+
+    def set_parallelism(self, n: int) -> int:
+        applied = super().set_parallelism(n)
+        with self._cv:
+            self.metrics.record(self.now(), self._active, applied)
+            self._ensure_workers_locked()
+            # Wake idle workers so surplus ones notice they must retire.
+            self._cv.notify_all()
+        return applied
+
+    def shutdown(self) -> None:
+        with self._cv:
+            self._shutdown = True
+            self._cv.notify_all()
+        for worker in list(self._workers.values()):
+            if worker is not threading.current_thread():
+                worker.join(timeout=5.0)
+
+    # -- worker management -------------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        with self._cv:
+            self._ensure_workers_locked()
+
+    def _ensure_workers_locked(self) -> None:
+        """Spawn workers until the live count matches the target LP."""
+        target = self.get_parallelism()
+        live = len(self._workers)
+        while live < target:
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+            worker = _Worker(self, worker_id)
+            self._workers[worker_id] = worker
+            worker.start()
+            live += 1
+
+    def _worker_rank(self, worker_id: int) -> int:
+        """Position of *worker_id* among live workers (0 = most senior)."""
+        return sorted(self._workers).index(worker_id)
+
+    def _next_task(self, worker_id: int) -> Optional[MuscleTask]:
+        """Blocking fetch; returns None when the worker must exit."""
+        with self._cv:
+            while True:
+                if self._shutdown:
+                    self._workers.pop(worker_id, None)
+                    return None
+                if worker_id in self._workers and self._worker_rank(
+                    worker_id
+                ) >= self.get_parallelism():
+                    # Surplus worker: retire gracefully.
+                    self._workers.pop(worker_id, None)
+                    return None
+                task = None
+                while self._queue:
+                    candidate = self._queue.popleft()
+                    if not candidate.execution.failed:
+                        task = candidate
+                        break
+                if task is not None:
+                    self._active += 1
+                    self.metrics.record(self.now(), self._active, self.get_parallelism())
+                    return task
+                self._cv.wait(timeout=0.1)
+
+    def _run_task(self, task: MuscleTask, worker_id: int) -> None:
+        self._local.worker_id = worker_id
+        try:
+            value = task.emit_before(worker_id)
+            result = task.body(value)
+            result = task.emit_after(result, worker_id)
+        except Exception as exc:
+            task.execution.fail(exc)
+            return
+        finally:
+            self._local.worker_id = None
+            with self._cv:
+                self._active -= 1
+                self.metrics.record(self.now(), self._active, self.get_parallelism())
+        # Continuations run outside the busy-accounting window: they are
+        # bookkeeping, not muscle work (mirrors the simulator's zero-cost
+        # continuations).
+        self._local.worker_id = worker_id
+        self._local.batch = []
+        try:
+            if not task.execution.failed:
+                task.continuation(result)
+        finally:
+            self._local.worker_id = None
+            batch, self._local.batch = self._local.batch, None
+            if batch:
+                with self._cv:
+                    for spawned in reversed(batch):
+                        self._queue.appendleft(spawned)
+                    self._cv.notify_all()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def queued_tasks(self) -> int:
+        with self._cv:
+            return len(self._queue)
+
+    @property
+    def active_tasks(self) -> int:
+        with self._cv:
+            return self._active
+
+    @property
+    def live_workers(self) -> int:
+        with self._cv:
+            return len(self._workers)

@@ -1,0 +1,61 @@
+"""Skeleton algebra — a Python reproduction of the Skandium library.
+
+The nine nestable patterns of the paper's grammar::
+
+    Δ ::= seq(fe) | farm(Δ) | pipe(Δ1, Δ2) | while(fc, Δ) | if(fc, Δt, Δf)
+        | for(n, Δ) | map(fs, Δ, fm) | fork(fs, {Δ}, fm) | d&c(fc, fs, Δ, fm)
+
+Muscles (the sequential blocks) come in the four flavours of the paper:
+:class:`Execute`, :class:`Split`, :class:`Merge` and :class:`Condition`.
+Plain Python callables are accepted wherever a muscle is expected and are
+wrapped automatically.
+"""
+
+from .base import Skeleton
+from .conditional import If
+from .dac import DivideAndConquer
+from .farm import Farm
+from .fork import Fork
+from .loops import For, While
+from .muscles import (
+    Condition,
+    Execute,
+    Merge,
+    Muscle,
+    MuscleKind,
+    Split,
+    as_condition,
+    as_execute,
+    as_merge,
+    as_split,
+)
+from .pipe import Pipe
+from .seq import Seq
+from .smap import Map
+from .visitors import pretty_print, sequential_evaluate, structure_stats
+
+__all__ = [
+    "Skeleton",
+    "Seq",
+    "Farm",
+    "Pipe",
+    "While",
+    "For",
+    "If",
+    "Map",
+    "Fork",
+    "DivideAndConquer",
+    "Muscle",
+    "MuscleKind",
+    "Execute",
+    "Split",
+    "Merge",
+    "Condition",
+    "as_execute",
+    "as_split",
+    "as_merge",
+    "as_condition",
+    "pretty_print",
+    "sequential_evaluate",
+    "structure_stats",
+]

@@ -1,0 +1,41 @@
+"""``if(fc, Δtrue, Δfalse)`` — conditional branching.
+
+Events: ``if@b`` / ``if@a`` around the instance; ``if@bc`` / ``if@ac``
+around the condition muscle (the AFTER carries
+``extra={"cond_result": bool}``); the chosen branch's events are nested.
+
+Note: the paper's autonomic layer does *not* support If (its ADG would
+duplicate the whole graph per branch).  This library implements If fully
+at the skeleton/event level and provides opt-in autonomic support that
+projects the more expensive branch until the condition is observed (see
+:mod:`repro.core.statemachines.conditional`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import Skeleton, ensure_skeleton
+from .muscles import Condition, Muscle, as_condition
+
+__all__ = ["If"]
+
+
+class If(Skeleton):
+    """Two-way conditional skeleton."""
+
+    kind = "if"
+
+    def __init__(self, condition, true_skel, false_skel):
+        super().__init__()
+        self.condition: Condition = as_condition(condition, "if(fc, Δt, Δf)")
+        self.true_skel: Skeleton = ensure_skeleton(true_skel, "if true branch")
+        self.false_skel: Skeleton = ensure_skeleton(false_skel, "if false branch")
+
+    @property
+    def children(self) -> Tuple[Skeleton, ...]:
+        return (self.true_skel, self.false_skel)
+
+    @property
+    def own_muscles(self) -> Tuple[Muscle, ...]:
+        return (self.condition,)

@@ -1,0 +1,57 @@
+"""``d&c(fc, fs, Δ, fm)`` — divide and conquer.
+
+At each node of the recursion the condition muscle decides whether to keep
+dividing: when ``fc(value)`` is true the value is split, each sub-problem
+recurses, and the sub-results are merged; when false the nested skeleton
+is applied to the value directly (the leaf case).
+
+The cardinality ``|fc|`` of the condition muscle is, per the paper, *the
+estimated depth of the recursion tree*; together with ``|fs|`` (the
+fan-out) it lets the autonomic layer project the unexplored part of the
+recursion into the ADG.
+
+Events: ``dac@b`` / ``dac@a`` around each recursion node (with
+``extra={"depth": d}``), ``dac@bc`` / ``dac@ac`` around the condition
+(AFTER carries ``cond_result`` and ``depth``), ``dac@bs`` / ``dac@as``
+around the split when dividing (AFTER carries ``fs_card`` and ``depth``),
+and ``dac@bm`` / ``dac@am`` around the merge.  Leaf work produces the
+nested skeleton's own events.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import Skeleton, ensure_skeleton
+from .muscles import (
+    Condition,
+    Merge,
+    Muscle,
+    Split,
+    as_condition,
+    as_merge,
+    as_split,
+)
+
+__all__ = ["DivideAndConquer"]
+
+
+class DivideAndConquer(Skeleton):
+    """Divide-and-conquer skeleton."""
+
+    kind = "dac"
+
+    def __init__(self, condition, split, subskel, merge):
+        super().__init__()
+        self.condition: Condition = as_condition(condition, "d&c(fc, fs, Δ, fm)")
+        self.split: Split = as_split(split, "d&c(fc, fs, Δ, fm)")
+        self.subskel: Skeleton = ensure_skeleton(subskel, "d&c(fc, fs, Δ, fm)")
+        self.merge: Merge = as_merge(merge, "d&c(fc, fs, Δ, fm)")
+
+    @property
+    def children(self) -> Tuple[Skeleton, ...]:
+        return (self.subskel,)
+
+    @property
+    def own_muscles(self) -> Tuple[Muscle, ...]:
+        return (self.condition, self.split, self.merge)

@@ -1,0 +1,33 @@
+"""``farm(Δ)`` — task replication.
+
+A farm replicates its nested skeleton over independent inputs: each value
+submitted with :meth:`Skeleton.input` flows through its own instance of the
+nested skeleton, and independent submissions execute in parallel (subject
+to the platform's level of parallelism).  For a single input the farm is
+semantically transparent.
+
+Events: ``farm(Δ)@b(i)`` and ``farm(Δ)@a(i)`` marking entry and exit of
+each instance.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import Skeleton, ensure_skeleton
+
+__all__ = ["Farm"]
+
+
+class Farm(Skeleton):
+    """Task-replication skeleton."""
+
+    kind = "farm"
+
+    def __init__(self, subskel):
+        super().__init__()
+        self.subskel: Skeleton = ensure_skeleton(subskel, "farm(Δ)")
+
+    @property
+    def children(self) -> Tuple[Skeleton, ...]:
+        return (self.subskel,)

@@ -1,0 +1,50 @@
+"""``fork(fs, {Δ}, fm)`` — multiple instructions, multiple data.
+
+Like :class:`repro.skeletons.smap.Map` but with a *different* nested
+skeleton per sub-problem: the split must produce exactly as many
+sub-problems as there are nested skeletons (Skandium rejects mismatches;
+so do we), sub-problem ``j`` flows through nested skeleton ``j``.
+
+Events mirror Map's: ``fork@b``, ``fork@bs`` / ``fork@as`` (with
+``fs_card``), ``fork@bn`` / ``fork@an`` per branch (``extra={"child": j}``),
+``fork@bm`` / ``fork@am``, ``fork@a``.
+
+Note: the paper's autonomic layer leaves Fork unsupported because its
+state machine is non-deterministic; this library tracks it with an opt-in
+machine (see :mod:`repro.core.statemachines.fork`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import Skeleton, ensure_skeletons
+from .muscles import Merge, Muscle, Split, as_merge, as_split
+
+__all__ = ["Fork"]
+
+
+class Fork(Skeleton):
+    """Multiple-instruction data-parallel skeleton."""
+
+    kind = "fork"
+
+    def __init__(self, split, subskels, merge):
+        super().__init__()
+        self.split: Split = as_split(split, "fork(fs, {Δ}, fm)")
+        self.subskels: Tuple[Skeleton, ...] = ensure_skeletons(
+            subskels, "fork(fs, {Δ}, fm)"
+        )
+        if not self.subskels:
+            from ..errors import SkeletonDefinitionError
+
+            raise SkeletonDefinitionError("fork needs at least one nested skeleton")
+        self.merge: Merge = as_merge(merge, "fork(fs, {Δ}, fm)")
+
+    @property
+    def children(self) -> Tuple[Skeleton, ...]:
+        return self.subskels
+
+    @property
+    def own_muscles(self) -> Tuple[Muscle, ...]:
+        return (self.split, self.merge)

@@ -1,0 +1,67 @@
+"""``while(fc, Δ)`` and ``for(n, Δ)`` — iteration skeletons.
+
+**While** repeats its nested skeleton as long as the condition muscle
+returns ``True``.  The cardinality ``|fc|`` of the condition muscle — the
+estimated number of times it returns true over the loop — is what the
+autonomic layer uses to project the remaining iterations into the ADG.
+
+**For** repeats its nested skeleton a statically known number of times; no
+condition muscle is involved, so its projection is exact.
+
+Events:
+
+* while: ``while@b`` / ``while@a`` around the instance; ``while@bc`` /
+  ``while@ac`` around each condition evaluation (the AFTER carries
+  ``extra={"cond_result": bool, "iteration": k}``); the body's own events
+  are nested.
+* for: ``for@b`` / ``for@a`` around the instance, with the body's events
+  nested per iteration (``extra={"iteration": k}`` on nested markers).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import SkeletonDefinitionError
+from .base import Skeleton, ensure_skeleton
+from .muscles import Condition, Muscle, as_condition
+
+__all__ = ["While", "For"]
+
+
+class While(Skeleton):
+    """Condition-driven iteration skeleton."""
+
+    kind = "while"
+
+    def __init__(self, condition, subskel):
+        super().__init__()
+        self.condition: Condition = as_condition(condition, "while(fc, Δ)")
+        self.subskel: Skeleton = ensure_skeleton(subskel, "while(fc, Δ)")
+
+    @property
+    def children(self) -> Tuple[Skeleton, ...]:
+        return (self.subskel,)
+
+    @property
+    def own_muscles(self) -> Tuple[Muscle, ...]:
+        return (self.condition,)
+
+
+class For(Skeleton):
+    """Fixed-trip-count iteration skeleton."""
+
+    kind = "for"
+
+    def __init__(self, times: int, subskel):
+        super().__init__()
+        if not isinstance(times, int) or times < 0:
+            raise SkeletonDefinitionError(
+                f"for(n, Δ) needs a non-negative integer trip count, got {times!r}"
+            )
+        self.times = times
+        self.subskel: Skeleton = ensure_skeleton(subskel, "for(n, Δ)")
+
+    @property
+    def children(self) -> Tuple[Skeleton, ...]:
+        return (self.subskel,)

@@ -1,0 +1,176 @@
+"""Muscle wrappers — the sequential building blocks of skeleton programs.
+
+The paper defines four muscle flavours (Section 3):
+
+* **Execute** ``fe : P -> R`` — plain sequential computation;
+* **Split**   ``fs : P -> [R]`` — divide a problem into sub-problems;
+* **Merge**   ``fm : [P] -> R`` — combine sub-results;
+* **Condition** ``fc : P -> bool`` — drive While / If / D&C control flow.
+
+Muscles wrap user callables and give them a stable identity (:attr:`uid`)
+that the estimator registry keys ``t(m)`` and ``|m|`` on, plus a
+human-readable :attr:`name` used in traces, ADG renderings and logs.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..errors import MuscleTypeError
+
+__all__ = [
+    "MuscleKind",
+    "Muscle",
+    "Execute",
+    "Split",
+    "Merge",
+    "Condition",
+    "as_execute",
+    "as_split",
+    "as_merge",
+    "as_condition",
+]
+
+_uid_counter = itertools.count(1)
+_uid_lock = threading.Lock()
+
+
+def _next_uid() -> int:
+    with _uid_lock:
+        return next(_uid_counter)
+
+
+class MuscleKind(enum.Enum):
+    """The four muscle flavours of the paper."""
+
+    EXECUTE = "execute"
+    SPLIT = "split"
+    MERGE = "merge"
+    CONDITION = "condition"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Muscle:
+    """Base wrapper giving a user callable identity and a flavour.
+
+    Parameters
+    ----------
+    fn:
+        The user callable implementing the business logic.
+    name:
+        Optional human-readable name; defaults to the callable's
+        ``__name__`` (or the class name for callables without one) plus
+        the uid, so distinct muscle objects never collide.
+    """
+
+    kind: MuscleKind
+
+    def __init__(self, fn: Callable, name: Optional[str] = None):
+        if not callable(fn):
+            raise MuscleTypeError(f"muscle body must be callable, got {fn!r}")
+        self.fn = fn
+        self.uid = _next_uid()
+        base = name or getattr(fn, "__name__", type(fn).__name__)
+        if base == "<lambda>":
+            base = "lambda"
+        self.name = name or f"{base}#{self.uid}"
+
+    def __call__(self, *args: Any) -> Any:
+        return self.fn(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, uid={self.uid})"
+
+
+class Execute(Muscle):
+    """Execution muscle ``fe : P -> R``."""
+
+    kind = MuscleKind.EXECUTE
+
+
+class Split(Muscle):
+    """Split muscle ``fs : P -> [R]``.
+
+    Calling a :class:`Split` normalizes the result to a list and rejects
+    empty or non-sequence results early, so interpreter code downstream can
+    rely on a well-formed sub-problem list.
+    """
+
+    kind = MuscleKind.SPLIT
+
+    def __call__(self, value: Any) -> List[Any]:
+        result = self.fn(value)
+        if result is None or isinstance(result, (str, bytes)):
+            raise MuscleTypeError(
+                f"split muscle {self.name!r} must return a sequence of "
+                f"sub-problems, got {type(result).__name__}"
+            )
+        try:
+            parts = list(result)
+        except TypeError as exc:
+            raise MuscleTypeError(
+                f"split muscle {self.name!r} returned a non-iterable "
+                f"{type(result).__name__}"
+            ) from exc
+        if not parts:
+            raise MuscleTypeError(
+                f"split muscle {self.name!r} returned no sub-problems"
+            )
+        return parts
+
+
+class Merge(Muscle):
+    """Merge muscle ``fm : [P] -> R``."""
+
+    kind = MuscleKind.MERGE
+
+    def __call__(self, values: Sequence[Any]) -> Any:
+        return self.fn(list(values))
+
+
+class Condition(Muscle):
+    """Condition muscle ``fc : P -> bool``."""
+
+    kind = MuscleKind.CONDITION
+
+    def __call__(self, value: Any) -> bool:
+        return bool(self.fn(value))
+
+
+def _coerce(value: Any, cls: type, label: str) -> Muscle:
+    """Accept an existing muscle of the right flavour or wrap a callable."""
+    if isinstance(value, Muscle):
+        if not isinstance(value, cls):
+            raise MuscleTypeError(
+                f"{label} expects a {cls.__name__} muscle, got "
+                f"{type(value).__name__} {value.name!r}"
+            )
+        return value
+    if callable(value):
+        return cls(value)
+    raise MuscleTypeError(f"{label} expects a callable or {cls.__name__}, got {value!r}")
+
+
+def as_execute(value: Any, label: str = "execute") -> Execute:
+    """Coerce *value* into an :class:`Execute` muscle."""
+    return _coerce(value, Execute, label)  # type: ignore[return-value]
+
+
+def as_split(value: Any, label: str = "split") -> Split:
+    """Coerce *value* into a :class:`Split` muscle."""
+    return _coerce(value, Split, label)  # type: ignore[return-value]
+
+
+def as_merge(value: Any, label: str = "merge") -> Merge:
+    """Coerce *value* into a :class:`Merge` muscle."""
+    return _coerce(value, Merge, label)  # type: ignore[return-value]
+
+
+def as_condition(value: Any, label: str = "condition") -> Condition:
+    """Coerce *value* into a :class:`Condition` muscle."""
+    return _coerce(value, Condition, label)  # type: ignore[return-value]

@@ -1,0 +1,41 @@
+"""``pipe(Δ1, Δ2, …)`` — staged computation.
+
+The paper's grammar defines the binary ``pipe(Δ1, Δ2)``; as a convenience
+this implementation accepts two *or more* stages (``pipe(a, b, c)`` is the
+right-associated ``pipe(a, pipe(b, c))`` semantically, but kept flat for
+cleaner traces).  For a single value a pipe is sequential composition;
+pipeline parallelism materializes across multiple in-flight inputs.
+
+Events: ``pipe@b(i)`` / ``pipe@a(i)`` around the instance, plus nested
+markers ``pipe@bn`` / ``pipe@an`` carrying ``extra={"stage": k}`` around
+each stage.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import SkeletonDefinitionError
+from .base import Skeleton, ensure_skeleton
+
+__all__ = ["Pipe"]
+
+
+class Pipe(Skeleton):
+    """Staged-computation skeleton with two or more stages."""
+
+    kind = "pipe"
+
+    def __init__(self, *stages):
+        super().__init__()
+        if len(stages) == 1 and isinstance(stages[0], (list, tuple)):
+            stages = tuple(stages[0])
+        if len(stages) < 2:
+            raise SkeletonDefinitionError("pipe needs at least two stages")
+        self.stages: Tuple[Skeleton, ...] = tuple(
+            ensure_skeleton(s, f"pipe stage {k}") for k, s in enumerate(stages)
+        )
+
+    @property
+    def children(self) -> Tuple[Skeleton, ...]:
+        return self.stages

@@ -1,0 +1,27 @@
+"""``seq(fe)`` — wrap a sequential execution function as a skeleton.
+
+Events (paper Section 3): ``seq(fe)@b(i)`` and ``seq(fe)@a(i)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import Skeleton
+from .muscles import Execute, Muscle, as_execute
+
+__all__ = ["Seq"]
+
+
+class Seq(Skeleton):
+    """Leaf skeleton executing a single :class:`Execute` muscle."""
+
+    kind = "seq"
+
+    def __init__(self, execute):
+        super().__init__()
+        self.execute: Execute = as_execute(execute, "seq(fe)")
+
+    @property
+    def own_muscles(self) -> Tuple[Muscle, ...]:
+        return (self.execute,)

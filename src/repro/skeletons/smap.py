@@ -1,0 +1,41 @@
+"""``map(fs, Δ, fm)`` — single instruction, multiple data.
+
+The split muscle divides the problem into sub-problems; the nested
+skeleton is applied to *every* sub-problem (in parallel); the merge muscle
+combines the sub-results.
+
+Events (the eight of the paper, Section 3): ``map@b`` (beginning),
+``map@bs`` / ``map@as`` around the split (the AFTER carries
+``extra={"fs_card": n}`` — the number of sub-problems produced), ``map@bn``
+/ ``map@an`` around each nested sub-skeleton (``extra={"child": j}``),
+``map@bm`` / ``map@am`` around the merge, and ``map@a`` (end).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import Skeleton, ensure_skeleton
+from .muscles import Merge, Muscle, Split, as_merge, as_split
+
+__all__ = ["Map"]
+
+
+class Map(Skeleton):
+    """Data-parallel map skeleton."""
+
+    kind = "map"
+
+    def __init__(self, split, subskel, merge):
+        super().__init__()
+        self.split: Split = as_split(split, "map(fs, Δ, fm)")
+        self.subskel: Skeleton = ensure_skeleton(subskel, "map(fs, Δ, fm)")
+        self.merge: Merge = as_merge(merge, "map(fs, Δ, fm)")
+
+    @property
+    def children(self) -> Tuple[Skeleton, ...]:
+        return (self.subskel,)
+
+    @property
+    def own_muscles(self) -> Tuple[Muscle, ...]:
+        return (self.split, self.merge)

@@ -1,0 +1,153 @@
+"""Structural visitors over skeleton trees.
+
+Provides the Δ-syntax pretty printer, structural statistics and a reference
+*sequential evaluator* that defines the functional semantics every platform
+must agree with (used heavily by property-based tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..errors import ExecutionError, SkeletonDefinitionError
+from .base import Skeleton
+from .conditional import If
+from .dac import DivideAndConquer
+from .farm import Farm
+from .fork import Fork
+from .loops import For, While
+from .pipe import Pipe
+from .seq import Seq
+from .smap import Map
+
+__all__ = [
+    "pretty_print",
+    "structure_stats",
+    "sequential_evaluate",
+    "MAX_WHILE_ITERATIONS",
+]
+
+#: Safety bound for the reference evaluator: a While that loops more than
+#: this many times is considered divergent and raises.
+MAX_WHILE_ITERATIONS = 1_000_000
+
+
+def pretty_print(skel: Skeleton) -> str:
+    """Render *skel* in the paper's Δ syntax.
+
+    Examples: ``seq(fe)``, ``map(fs, map(fs, seq(fe), fm), fm)``,
+    ``d&c(fc, fs, seq(fe), fm)``.  Muscle slots are printed with their
+    canonical role letters to match the paper, not their user names.
+    """
+    if isinstance(skel, Seq):
+        return "seq(fe)"
+    if isinstance(skel, Farm):
+        return f"farm({pretty_print(skel.subskel)})"
+    if isinstance(skel, Pipe):
+        inner = ", ".join(pretty_print(s) for s in skel.stages)
+        return f"pipe({inner})"
+    if isinstance(skel, While):
+        return f"while(fc, {pretty_print(skel.subskel)})"
+    if isinstance(skel, For):
+        return f"for({skel.times}, {pretty_print(skel.subskel)})"
+    if isinstance(skel, If):
+        return (
+            f"if(fc, {pretty_print(skel.true_skel)}, "
+            f"{pretty_print(skel.false_skel)})"
+        )
+    if isinstance(skel, Map):
+        return f"map(fs, {pretty_print(skel.subskel)}, fm)"
+    if isinstance(skel, Fork):
+        inner = ", ".join(pretty_print(s) for s in skel.subskels)
+        return f"fork(fs, {{{inner}}}, fm)"
+    if isinstance(skel, DivideAndConquer):
+        return f"d&c(fc, fs, {pretty_print(skel.subskel)}, fm)"
+    raise SkeletonDefinitionError(f"unknown skeleton type: {type(skel).__name__}")
+
+
+def structure_stats(skel: Skeleton) -> Dict[str, int]:
+    """Count nodes per kind plus total muscles and tree depth."""
+    stats: Dict[str, int] = {}
+    for node in skel.walk():
+        stats[node.kind] = stats.get(node.kind, 0) + 1
+    stats["nodes"] = skel.node_count()
+    stats["muscles"] = len(skel.muscles())
+    stats["depth"] = skel.depth()
+    return stats
+
+
+def sequential_evaluate(
+    skel: Skeleton,
+    value: Any,
+    on_muscle: Callable[[Any, Any], None] | None = None,
+) -> Any:
+    """Reference (single-threaded, recursive) semantics of a skeleton.
+
+    This is the executable specification: every platform's result for
+    ``(skel, value)`` must equal ``sequential_evaluate(skel, value)``.
+
+    ``on_muscle(muscle, value)``, when given, is invoked before each muscle
+    application — tests use it to count muscle executions.
+    """
+
+    def call(muscle, arg):
+        if on_muscle is not None:
+            on_muscle(muscle, arg)
+        return muscle(arg)
+
+    if isinstance(skel, Seq):
+        return call(skel.execute, value)
+    if isinstance(skel, Farm):
+        return sequential_evaluate(skel.subskel, value, on_muscle)
+    if isinstance(skel, Pipe):
+        current = value
+        for stage in skel.stages:
+            current = sequential_evaluate(stage, current, on_muscle)
+        return current
+    if isinstance(skel, While):
+        current = value
+        iterations = 0
+        while call(skel.condition, current):
+            current = sequential_evaluate(skel.subskel, current, on_muscle)
+            iterations += 1
+            if iterations > MAX_WHILE_ITERATIONS:
+                raise ExecutionError(
+                    f"while skeleton exceeded {MAX_WHILE_ITERATIONS} iterations"
+                )
+        return current
+    if isinstance(skel, For):
+        current = value
+        for _ in range(skel.times):
+            current = sequential_evaluate(skel.subskel, current, on_muscle)
+        return current
+    if isinstance(skel, If):
+        branch = skel.true_skel if call(skel.condition, value) else skel.false_skel
+        return sequential_evaluate(branch, value, on_muscle)
+    if isinstance(skel, Map):
+        parts = call(skel.split, value)
+        results = [sequential_evaluate(skel.subskel, p, on_muscle) for p in parts]
+        return call(skel.merge, results)
+    if isinstance(skel, Fork):
+        parts = call(skel.split, value)
+        if len(parts) != len(skel.subskels):
+            raise ExecutionError(
+                f"fork split produced {len(parts)} sub-problems for "
+                f"{len(skel.subskels)} nested skeletons"
+            )
+        results = [
+            sequential_evaluate(sub, p, on_muscle)
+            for sub, p in zip(skel.subskels, parts)
+        ]
+        return call(skel.merge, results)
+    if isinstance(skel, DivideAndConquer):
+        def dac(node_value: Any, depth: int) -> Any:
+            if depth > MAX_WHILE_ITERATIONS:
+                raise ExecutionError("d&c recursion depth exceeded safety bound")
+            if call(skel.condition, node_value):
+                parts = call(skel.split, node_value)
+                results: List[Any] = [dac(p, depth + 1) for p in parts]
+                return call(skel.merge, results)
+            return sequential_evaluate(skel.subskel, node_value, on_muscle)
+
+        return dac(value, 0)
+    raise SkeletonDefinitionError(f"unknown skeleton type: {type(skel).__name__}")

@@ -1,0 +1,10 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: The paper this library reproduces.
+PAPER = (
+    "Gustavo Pabon and Ludovic Henrio. "
+    "Self-Configuration and Self-Optimization Autonomic Skeletons using "
+    "Events. PMAM 2014 (PPoPP workshops). DOI 10.1145/2560683.2560699."
+)

@@ -1,0 +1,16 @@
+"""Text/CSV visualization of timelines and ADGs (no plotting deps)."""
+
+from .adg_render import render_adg, render_adg_with_schedule
+from .ascii_timeline import render_timeline, render_two_timelines
+from .gantt import render_gantt
+from .series import read_series_csv, write_series_csv
+
+__all__ = [
+    "render_adg",
+    "render_adg_with_schedule",
+    "render_timeline",
+    "render_two_timelines",
+    "render_gantt",
+    "write_series_csv",
+    "read_series_csv",
+]

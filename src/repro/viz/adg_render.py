@@ -1,0 +1,68 @@
+"""Text rendering of Activity Dependency Graphs — the paper's Figure 1.
+
+Each activity prints as the paper's three-column box, ``start | muscle |
+end``, annotated with its status and predecessors; a schedule can be
+overlaid to show estimated times for unfinished activities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.adg import ADG
+from ..core.schedule import ScheduleResult
+
+__all__ = ["render_adg", "render_adg_with_schedule"]
+
+
+def render_adg(adg: ADG) -> str:
+    """Render *adg* as an aligned text table in topological order."""
+    lines = [
+        f"{'id':>4}  {'start':>9}  {'muscle':<16} {'end':>9}  {'status':<9} preds"
+    ]
+    for act in adg.activities:
+        start = f"{act.start:9.3f}" if act.started else "        ?"
+        end = f"{act.end:9.3f}" if act.finished else "        ?"
+        preds = ",".join(map(str, act.preds)) or "-"
+        lines.append(
+            f"{act.id:>4}  {start}  {act.name:<16} {end}  {act.status:<9} {preds}"
+        )
+    return "\n".join(lines)
+
+
+def render_adg_with_schedule(
+    adg: ADG, schedule: ScheduleResult, title: Optional[str] = None
+) -> str:
+    """Render *adg* with the schedule's times filling in estimates.
+
+    Actual times print plainly; schedule-estimated times print in square
+    brackets (the paper's figure distinguishes actual gray boxes from
+    estimated white boxes the same way).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'id':>4}  {'start':>11}  {'muscle':<16} {'end':>11}  preds"
+    )
+    for act in adg.activities:
+        entry = schedule.entries.get(act.id)
+        if act.started:
+            start = f"{act.start:11.3f}"
+        elif entry is not None:
+            start = f"[{entry.start:9.3f}]"
+        else:
+            start = "          ?"
+        if act.finished:
+            end = f"{act.end:11.3f}"
+        elif entry is not None:
+            end = f"[{entry.end:9.3f}]"
+        else:
+            end = "          ?"
+        preds = ",".join(map(str, act.preds)) or "-"
+        lines.append(f"{act.id:>4}  {start}  {act.name:<16} {end}  {preds}")
+    lines.append(
+        f"strategy={schedule.strategy} lp={schedule.lp or '∞'} "
+        f"now={schedule.now:.3f} wct={schedule.wct:.3f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""ASCII rendering of LP timelines — the paper's Figures 2 and 5–7 as text.
+
+No plotting dependencies: the benches print these charts directly into
+their captured output, and EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["render_timeline", "render_two_timelines"]
+
+
+def _sample_steps(
+    steps: Sequence[Tuple[float, int]], t0: float, t1: float, columns: int
+) -> List[int]:
+    """Sample a step function at *columns* points across [t0, t1]."""
+    values = []
+    idx = 0
+    level = 0
+    span = (t1 - t0) or 1.0
+    for c in range(columns):
+        t = t0 + span * c / max(1, columns - 1)
+        while idx < len(steps) and steps[idx][0] <= t + 1e-12:
+            level = steps[idx][1]
+            idx += 1
+        values.append(level)
+    return values
+
+
+def render_timeline(
+    steps: Sequence[Tuple[float, int]],
+    title: str = "",
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """Render one ``(time, level)`` step series as an ASCII area chart."""
+    if not steps:
+        return f"{title}\n(empty timeline)"
+    t0 = steps[0][0]
+    t1 = max(t for t, _ in steps)
+    peak = max((level for _, level in steps), default=0)
+    peak = max(peak, 1)
+    samples = _sample_steps(steps, t0, t1, width)
+    rows = []
+    for row in range(height, 0, -1):
+        threshold = peak * row / height
+        line = "".join("█" if v >= threshold - 1e-12 and v > 0 else " " for v in samples)
+        label = f"{threshold:5.1f} ┤"
+        rows.append(label + line)
+    axis = "      └" + "─" * width
+    footer = f"       t={t0:.2f}{' ' * max(1, width - 18)}t={t1:.2f}"
+    header = f"{title}  (peak={peak})" if title else f"(peak={peak})"
+    return "\n".join([header] + rows + [axis, footer])
+
+
+def render_two_timelines(
+    a: Sequence[Tuple[float, int]],
+    b: Sequence[Tuple[float, int]],
+    label_a: str,
+    label_b: str,
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """Overlay two step series (paper Figure 2: limited LP vs best effort).
+
+    ``a`` renders as ``█``, ``b`` as ``░``, overlap as ``▓``.
+    """
+    if not a and not b:
+        return "(empty timelines)"
+    t0 = min(s[0][0] for s in (a, b) if s)
+    t1 = max(max(t for t, _ in s) for s in (a, b) if s)
+    peak = max(
+        max((lv for _, lv in a), default=0), max((lv for _, lv in b), default=0), 1
+    )
+    sa = _sample_steps(a, t0, t1, width) if a else [0] * width
+    sb = _sample_steps(b, t0, t1, width) if b else [0] * width
+    rows = []
+    for row in range(height, 0, -1):
+        threshold = peak * row / height
+        line = []
+        for va, vb in zip(sa, sb):
+            ia = va >= threshold - 1e-12 and va > 0
+            ib = vb >= threshold - 1e-12 and vb > 0
+            line.append("▓" if ia and ib else "█" if ia else "░" if ib else " ")
+        rows.append(f"{threshold:5.1f} ┤" + "".join(line))
+    axis = "      └" + "─" * width
+    footer = f"       t={t0:.2f}{' ' * max(1, width - 18)}t={t1:.2f}"
+    legend = f"█ {label_a}   ░ {label_b}   ▓ both  (peak={peak})"
+    return "\n".join([legend] + rows + [axis, footer])

@@ -1,0 +1,60 @@
+"""Worker-lane Gantt rendering of simulator task logs.
+
+The simulator (with ``trace_tasks=True``) records
+``(start, end, core, label)`` for every task; this renders one text lane
+per core — which worker ran what, when — the natural companion to the
+LP timelines for debugging schedules and for teaching material.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["render_gantt"]
+
+TaskRecord = Tuple[float, float, int, str]
+
+
+def render_gantt(
+    task_log: Sequence[TaskRecord],
+    width: int = 72,
+    label_tasks: bool = True,
+) -> str:
+    """Render a task log as per-core text lanes.
+
+    Each lane shows busy spans as blocks; with ``label_tasks`` the first
+    characters of each task's label are written into its span (truncated
+    to the span's width).
+    """
+    if not task_log:
+        return "(empty task log)"
+    t0 = min(rec[0] for rec in task_log)
+    t1 = max(rec[1] for rec in task_log)
+    span = (t1 - t0) or 1.0
+    cores = sorted({rec[2] for rec in task_log})
+
+    def col(t: float) -> int:
+        return min(width - 1, int((t - t0) / span * width))
+
+    lines: List[str] = [
+        f"gantt: {len(task_log)} tasks on {len(cores)} cores, "
+        f"t=[{t0:.3f}, {t1:.3f}]"
+    ]
+    for core in cores:
+        lane = [" "] * width
+        for start, end, task_core, label in task_log:
+            if task_core != core:
+                continue
+            lo, hi = col(start), max(col(start), col(end) - (0 if end > start else 0))
+            if end - start <= 0:
+                # Zero-duration task: a single tick.
+                lane[lo] = "|" if lane[lo] == " " else lane[lo]
+                continue
+            hi = max(col(end) - 1, lo)
+            text = label if label_tasks else ""
+            for k in range(lo, hi + 1):
+                offset = k - lo
+                lane[k] = text[offset] if offset < len(text) else "█"
+        lines.append(f"core {core:>2} │{''.join(lane)}")
+    lines.append("        └" + "─" * width)
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""CSV export of benchmark series (LP trajectories, schedules).
+
+The bench harness writes every figure's data series next to the printed
+chart so downstream plotting (outside this offline environment) can
+regenerate publication-grade figures.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence, Tuple, Union
+
+__all__ = ["write_series_csv", "read_series_csv"]
+
+
+def write_series_csv(
+    path: Union[str, Path],
+    series: Iterable[Tuple[float, float]],
+    header: Sequence[str] = ("time", "value"),
+) -> int:
+    """Write ``(x, y)`` pairs as CSV; returns the number of rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for x, y in series:
+            writer.writerow([x, y])
+            rows += 1
+    return rows
+
+
+def read_series_csv(path: Union[str, Path]):
+    """Read back a two-column CSV written by :func:`write_series_csv`."""
+    with Path(path).open() as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        return header, [(float(a), float(b)) for a, b in reader]

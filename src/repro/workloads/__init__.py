@@ -1,0 +1,37 @@
+"""Workloads: the paper's evaluation application plus companion kernels.
+
+* :class:`TwitterCountApp` — the paper's two-level-Map hashtag /
+  commented-user count with the calibrated cost model (FIG5–FIG7);
+* :class:`TweetCorpusGenerator` — deterministic synthetic stand-in for
+  the paper's unavailable 1.2M-tweet dataset;
+* :class:`MergesortApp` — divide-and-conquer;
+* :class:`MonteCarloPiApp` — embarrassingly-parallel map;
+* :class:`TextPipelineApp` — staged pipe / farm-of-pipe.
+"""
+
+from .mergesort import MergesortApp, merge_sorted
+from .montecarlo import MonteCarloPiApp
+from .pipeline import TextPipelineApp
+from .synthetic_text import TweetCorpusGenerator, load_corpus, write_corpus
+from .wordcount import (
+    PAPER_COSTS,
+    TwitterCountApp,
+    count_terms,
+    merge_counts,
+    split_into,
+)
+
+__all__ = [
+    "TweetCorpusGenerator",
+    "write_corpus",
+    "load_corpus",
+    "TwitterCountApp",
+    "PAPER_COSTS",
+    "count_terms",
+    "merge_counts",
+    "split_into",
+    "MergesortApp",
+    "merge_sorted",
+    "MonteCarloPiApp",
+    "TextPipelineApp",
+]

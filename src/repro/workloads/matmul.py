@@ -1,0 +1,96 @@
+"""Block matrix multiplication — a NumPy map workload.
+
+Two purposes:
+
+* a realistic dense-linear-algebra kernel for the skeleton library
+  (``map`` over row blocks of ``A``, each execute computes
+  ``block @ B``, the merge stacks results);
+* the one workload in this repository where the **real thread pool**
+  can exhibit genuine parallel speedup in CPython: NumPy's matmul
+  releases the GIL, so raising the LP shortens wall-clock time — the
+  paper's original premise, observable without the simulator.
+
+NumPy is an optional dependency of the library; this module imports it
+lazily so the core package stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..runtime.costmodel import CallableCostModel
+from ..skeletons import Execute, Map, Merge, Seq, Split
+
+__all__ = ["BlockMatmulApp"]
+
+
+def _numpy():
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - numpy present in CI
+        raise WorkloadError("BlockMatmulApp requires numpy") from exc
+    return numpy
+
+
+class BlockMatmulApp:
+    """``map(fs, seq(fe), fm)`` computing ``A @ B`` by row blocks.
+
+    The input is the tuple ``(A, B)``; the split produces ``blocks`` row
+    slabs of ``A`` (each paired with ``B``), each execute multiplies its
+    slab, and the merge stacks the partial products.
+    """
+
+    def __init__(self, blocks: int = 4):
+        if blocks < 1:
+            raise WorkloadError(f"blocks must be >= 1, got {blocks}")
+        self.blocks = blocks
+        self.fs_rows = Split(self._split, name="fs-rowblocks")
+        self.fe_matmul = Execute(self._matmul, name="fe-matmul")
+        self.fm_stack = Merge(self._stack, name="fm-vstack")
+        self.skeleton = Map(self.fs_rows, Seq(self.fe_matmul), self.fm_stack)
+
+    def _split(self, ab: Tuple[Any, Any]) -> List[Tuple[Any, Any]]:
+        np = _numpy()
+        a, b = ab
+        a = np.asarray(a)
+        if a.ndim != 2 or np.asarray(b).ndim != 2:
+            raise WorkloadError("matmul inputs must be 2-D")
+        if a.shape[1] != np.asarray(b).shape[0]:
+            raise WorkloadError(
+                f"shape mismatch: {a.shape} @ {np.asarray(b).shape}"
+            )
+        slabs = np.array_split(a, min(self.blocks, a.shape[0]), axis=0)
+        return [(slab, b) for slab in slabs if slab.shape[0] > 0] or [(a, b)]
+
+    @staticmethod
+    def _matmul(slab_b: Tuple[Any, Any]):
+        slab, b = slab_b
+        return slab @ b
+
+    @staticmethod
+    def _stack(parts: Sequence[Any]):
+        np = _numpy()
+        return np.vstack(list(parts))
+
+    def reference(self, ab: Tuple[Any, Any]):
+        """Ground truth ``A @ B``."""
+        a, b = ab
+        return _numpy().asarray(a) @ _numpy().asarray(b)
+
+    def cost_model(self, per_flop: float = 1e-9) -> CallableCostModel:
+        """Simulator costs ∝ 2·m·k·n flops of each activity."""
+        np = _numpy()
+
+        def duration(muscle, value) -> float:
+            if muscle is self.fe_matmul:
+                slab, b = value
+                m, k = np.asarray(slab).shape
+                n = np.asarray(b).shape[1]
+                return per_flop * 2.0 * m * k * n
+            if muscle is self.fs_rows:
+                a, _b = value
+                return per_flop * np.asarray(a).size
+            return per_flop * sum(np.asarray(p).size for p in value)
+
+        return CallableCostModel(duration)

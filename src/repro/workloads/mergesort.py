@@ -1,0 +1,75 @@
+"""Merge sort as a divide-and-conquer skeleton workload.
+
+Exercises the D&C tracking machine: the condition muscle's cardinality
+estimates the recursion depth, the split's cardinality the fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import WorkloadError
+from ..runtime.costmodel import CallableCostModel
+from ..skeletons import Condition, DivideAndConquer, Execute, Merge, Seq, Split
+
+__all__ = ["MergesortApp", "merge_sorted"]
+
+
+def merge_sorted(parts: Sequence[List]) -> List:
+    """Two-way (or k-way) merge of sorted lists."""
+    import heapq
+
+    return list(heapq.merge(*parts))
+
+
+class MergesortApp:
+    """``d&c(fc, fs, seq(sort), fm)`` over integer lists.
+
+    ``threshold`` is the leaf size below which the nested skeleton sorts
+    directly; the expected recursion depth for input size *n* is
+    ``ceil(log2(n / threshold))``.
+    """
+
+    def __init__(self, threshold: int = 64):
+        if threshold < 1:
+            raise WorkloadError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.fc_divide = Condition(
+            lambda xs: len(xs) > self.threshold, name="fc-divide"
+        )
+        self.fs_half = Split(
+            lambda xs: [xs[: len(xs) // 2], xs[len(xs) // 2 :]], name="fs-half"
+        )
+        self.fe_sort = Execute(sorted, name="fe-sort")
+        self.fm_merge = Merge(merge_sorted, name="fm-merge")
+        self.skeleton = DivideAndConquer(
+            self.fc_divide, self.fs_half, Seq(self.fe_sort), self.fm_merge
+        )
+
+    def cost_model(self, per_item: float = 1e-4) -> CallableCostModel:
+        """Simulator costs: sort-dominated leaves, cheap splits/merges.
+
+        Leaf sorting costs ``per_item`` per element; splitting (slicing)
+        and merging cost 5% / 10% of that per element.  Keeping the
+        per-node cost variation small matters: the paper's estimation
+        model assumes an (approximately) constant ``t(m)`` per muscle, and
+        a merge whose cost spans an 8× range across tree levels would
+        defeat it (see DESIGN.md §4, "Controller triggers").
+        """
+
+        def duration(muscle, value) -> float:
+            try:
+                n = len(value)
+            except TypeError:
+                n = 1
+            if muscle is self.fc_divide:
+                return per_item * 0.5
+            if muscle is self.fs_half:
+                return per_item * n * 0.05
+            if muscle is self.fm_merge:
+                # Merge sees a list of parts.
+                total = sum(len(p) for p in value)
+                return per_item * total * 0.1
+            return per_item * n
+
+        return CallableCostModel(duration)

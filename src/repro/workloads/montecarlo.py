@@ -1,0 +1,75 @@
+"""Monte-Carlo π estimation — a Map workload with tunable grain.
+
+A classic embarrassingly-parallel kernel: ``n`` samples split into ``k``
+batches, each batch counts hits inside the unit circle, the merge sums the
+hits.  Deterministic per batch (each batch derives its own seed), so the
+parallel result equals the sequential result exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..runtime.costmodel import CallableCostModel
+from ..skeletons import Execute, Map, Merge, Seq, Split
+
+__all__ = ["MonteCarloPiApp"]
+
+Batch = Tuple[int, int]  # (seed, samples)
+
+
+class MonteCarloPiApp:
+    """``map(fs, seq(fe), fm)`` estimating π from ``(seed, n)`` inputs."""
+
+    def __init__(self, batches: int = 8):
+        if batches < 1:
+            raise WorkloadError(f"batches must be >= 1, got {batches}")
+        self.batches = batches
+        self.fs_batch = Split(self._split, name="fs-batches")
+        self.fe_sample = Execute(self._sample, name="fe-sample")
+        self.fm_reduce = Merge(self._reduce, name="fm-reduce")
+        self.skeleton = Map(self.fs_batch, Seq(self.fe_sample), self.fm_reduce)
+
+    def _split(self, job: Batch) -> List[Batch]:
+        seed, samples = job
+        per = samples // self.batches
+        out = []
+        remainder = samples - per * self.batches
+        for b in range(self.batches):
+            count = per + (1 if b < remainder else 0)
+            if count:
+                out.append((seed * 1_000_003 + b, count))
+        return out or [(seed, 0)]
+
+    @staticmethod
+    def _sample(batch: Batch) -> Tuple[int, int]:
+        seed, samples = batch
+        rng = random.Random(seed)
+        hits = 0
+        for _ in range(samples):
+            x, y = rng.random(), rng.random()
+            if x * x + y * y <= 1.0:
+                hits += 1
+        return hits, samples
+
+    @staticmethod
+    def _reduce(parts: Sequence[Tuple[int, int]]) -> float:
+        hits = sum(p[0] for p in parts)
+        total = sum(p[1] for p in parts)
+        if total == 0:
+            return 0.0
+        return 4.0 * hits / total
+
+    def cost_model(self, per_sample: float = 1e-6) -> CallableCostModel:
+        """Simulator costs ∝ samples per batch."""
+
+        def duration(muscle, value) -> float:
+            if muscle is self.fe_sample:
+                return per_sample * value[1]
+            if muscle is self.fs_batch:
+                return per_sample * 10
+            return per_sample * 10
+
+        return CallableCostModel(duration)

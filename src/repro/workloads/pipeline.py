@@ -1,0 +1,50 @@
+"""A staged text-processing pipeline — Pipe/Farm workload.
+
+Three stages over tweet chunks: normalize → extract terms → score.  Used
+by examples and tests to exercise Pipe (and Farm-of-Pipe) tracking,
+including pipeline parallelism across multiple in-flight inputs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence
+
+from ..runtime.costmodel import PerItemCostModel
+from ..skeletons import Execute, Farm, Pipe, Seq
+
+__all__ = ["TextPipelineApp"]
+
+
+class TextPipelineApp:
+    """``pipe(seq(normalize), seq(extract), seq(score))`` over tweet lists."""
+
+    def __init__(self):
+        self.fe_normalize = Execute(self._normalize, name="fe-normalize")
+        self.fe_extract = Execute(self._extract, name="fe-extract")
+        self.fe_score = Execute(self._score, name="fe-score")
+        self.skeleton = Pipe(
+            Seq(self.fe_normalize), Seq(self.fe_extract), Seq(self.fe_score)
+        )
+
+    def farmed(self) -> Farm:
+        """The pipeline wrapped in a farm for streaming multiple chunks."""
+        return Farm(self.skeleton)
+
+    @staticmethod
+    def _normalize(tweets: Sequence[str]) -> List[str]:
+        return [t.lower().strip() for t in tweets]
+
+    @staticmethod
+    def _extract(tweets: Sequence[str]) -> Counter:
+        counts: Counter = Counter()
+        for tweet in tweets:
+            counts.update(tok for tok in tweet.split() if tok.startswith(("#", "@")))
+        return counts
+
+    @staticmethod
+    def _score(counts: Counter) -> List:
+        return counts.most_common(10)
+
+    def cost_model(self, per_item: float = 1e-5) -> PerItemCostModel:
+        return PerItemCostModel(per_item=per_item, overhead=1e-4)

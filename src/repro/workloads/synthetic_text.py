@@ -1,0 +1,144 @@
+"""Synthetic tweet corpus — stand-in for the paper's unavailable dataset.
+
+The paper's evaluation counts hashtags and commented-users over "1.2
+million Colombian Twits from July 25th to August 5th of 2013"; the
+published download link is dead.  This generator produces a statistically
+similar corpus: short messages with Zipf-distributed hashtags (``#tag``)
+and user mentions (``@user``), fully deterministic given a seed, so every
+benchmark run sees identical data.
+
+The generator is intentionally dependency-free (no numpy) and streams —
+corpora of millions of tweets can be produced without holding more than
+one tweet in memory.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..errors import WorkloadError
+
+__all__ = ["TweetCorpusGenerator", "write_corpus", "load_corpus"]
+
+_WORDS = (
+    "el la de que y a en un ser se no haber por con su para como estar "
+    "tener le lo todo pero mas hacer o poder decir este ir otro ese si me "
+    "ya ver porque dar cuando muy sin vez mucho saber sobre mi alguno "
+    "mismo yo tambien hasta ano dos querer entre asi primero desde grande "
+    "eso ni nos llegar pasar tiempo ella bien dia uno siempre tanto hombre"
+).split()
+
+
+class TweetCorpusGenerator:
+    """Deterministic generator of tweet-like messages.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; identical seeds produce identical corpora.
+    n_hashtags / n_users:
+        Vocabulary sizes for ``#hashtag`` and ``@user`` tokens.
+    zipf_s:
+        Zipf exponent of the popularity distributions (≈1.1 matches the
+        heavy-tailed usage patterns of real social streams).
+    words_per_tweet:
+        Mean number of filler words per message.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2014,
+        n_hashtags: int = 500,
+        n_users: int = 2000,
+        zipf_s: float = 1.1,
+        words_per_tweet: int = 9,
+    ):
+        if n_hashtags < 1 or n_users < 1:
+            raise WorkloadError("vocabulary sizes must be positive")
+        if words_per_tweet < 1:
+            raise WorkloadError("words_per_tweet must be positive")
+        self.seed = seed
+        self.n_hashtags = n_hashtags
+        self.n_users = n_users
+        self.zipf_s = zipf_s
+        self.words_per_tweet = words_per_tweet
+        self._hashtags = [f"#tema{i}" for i in range(n_hashtags)]
+        self._users = [f"@usuario{i}" for i in range(n_users)]
+
+    # -- zipf sampling --------------------------------------------------------
+
+    @staticmethod
+    def _zipf_cdf(n: int, s: float) -> List[float]:
+        weights = [1.0 / (k ** s) for k in range(1, n + 1)]
+        total = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        return cdf
+
+    @staticmethod
+    def _sample(cdf: Sequence[float], rng: random.Random) -> int:
+        x = rng.random()
+        lo, hi = 0, len(cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- generation --------------------------------------------------------------
+
+    def tweets(self, count: int) -> Iterator[str]:
+        """Yield *count* deterministic tweet strings."""
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        rng = random.Random(self.seed)
+        tag_cdf = self._zipf_cdf(self.n_hashtags, self.zipf_s)
+        user_cdf = self._zipf_cdf(self.n_users, self.zipf_s)
+        for _ in range(count):
+            n_words = max(1, int(rng.gauss(self.words_per_tweet, 2)))
+            tokens = [rng.choice(_WORDS) for _ in range(n_words)]
+            # ~55% of tweets carry at least one hashtag, ~40% a mention,
+            # with occasional multiples — tweet-like densities.
+            if rng.random() < 0.55:
+                for _ in range(1 + (rng.random() < 0.2)):
+                    tokens.insert(
+                        rng.randrange(len(tokens) + 1),
+                        self._hashtags[self._sample(tag_cdf, rng)],
+                    )
+            if rng.random() < 0.40:
+                tokens.insert(
+                    rng.randrange(len(tokens) + 1),
+                    self._users[self._sample(user_cdf, rng)],
+                )
+            yield " ".join(tokens)
+
+    def corpus(self, count: int) -> List[str]:
+        """Materialize *count* tweets as a list."""
+        return list(self.tweets(count))
+
+
+def write_corpus(
+    path: Union[str, Path], count: int, generator: Optional[TweetCorpusGenerator] = None
+) -> int:
+    """Write a corpus to a text file, one tweet per line; returns bytes written."""
+    generator = generator or TweetCorpusGenerator()
+    path = Path(path)
+    written = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for tweet in generator.tweets(count):
+            line = tweet + "\n"
+            fh.write(line)
+            written += len(line.encode("utf-8"))
+    return written
+
+
+def load_corpus(path: Union[str, Path]) -> List[str]:
+    """Read a corpus file back into a list of tweets."""
+    return Path(path).read_text(encoding="utf-8").splitlines()

@@ -1,0 +1,138 @@
+"""The paper's evaluation application: hashtag & commented-user counting.
+
+"The problem was modelled as two nested Map skeletons:
+``map(fs, map(fs, seq(fe), fm), fm)``, where fs splits the input file on
+smaller chunks; fe produces a Java HashMap of words (Hashtags and
+Commented-Users) and its corresponding partial count; and finally fm
+merges partial counts into a global count."
+
+This module provides the same four muscles (on Python lists of tweet
+strings / ``collections.Counter``), the two-level skeleton builder, and
+the calibrated cost model that gives the simulator the paper's measured
+cost structure (DESIGN.md FIG5–FIG7):
+
+* first-level split ≈ 6.4 s — single-threaded file I/O;
+* second-level split ≈ 7× faster;
+* ≈ 0.04 s per execute and per merge muscle;
+* total sequential work ≈ 12.5 s.
+
+With 5 outer chunks × 7 inner chunks these constraints are simultaneously
+satisfied: ``6.4 + 5×(0.914 + 7×0.04 + 0.04) + 0.04 ≈ 12.6 s``, and the
+single-threaded prefix (first split, one inner split, its 7 executes, one
+merge) ends at ≈ 7.6 s — the paper's first-analysis instant.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import WorkloadError
+from ..runtime.costmodel import TableCostModel
+from ..skeletons import Execute, Map, Merge, Seq, Skeleton, Split
+
+__all__ = [
+    "count_terms",
+    "split_into",
+    "merge_counts",
+    "TwitterCountApp",
+    "PAPER_COSTS",
+]
+
+_TOKEN = re.compile(r"[#@]\w+")
+
+#: The paper's measured cost structure (seconds, virtual on the simulator).
+PAPER_COSTS = {
+    "first_split": 6.4,
+    "second_split": 6.4 / 7.0,
+    "execute": 0.04,
+    "merge": 0.04,
+    "outer_chunks": 5,
+    "inner_chunks": 7,
+}
+
+
+def count_terms(tweets: Sequence[str]) -> Counter:
+    """Count hashtags and ``@user`` mentions in a chunk of tweets (fe)."""
+    counts: Counter = Counter()
+    for tweet in tweets:
+        counts.update(_TOKEN.findall(tweet))
+    return counts
+
+
+def split_into(n: int):
+    """Build a splitter dividing a list into *n* contiguous chunks (fs)."""
+    if n < 1:
+        raise WorkloadError(f"chunk count must be >= 1, got {n}")
+
+    def split(items: Sequence) -> List[Sequence]:
+        items = list(items)
+        if len(items) < n:
+            # Degenerate corpus: one chunk per item (never empty chunks).
+            return [items[i : i + 1] for i in range(max(1, len(items)))] or [items]
+        size = (len(items) + n - 1) // n
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    return split
+
+
+def merge_counts(partials: Sequence[Counter]) -> Counter:
+    """Merge partial counts into a global count (fm)."""
+    total: Counter = Counter()
+    for partial in partials:
+        total.update(partial)
+    return total
+
+
+@dataclass
+class TwitterCountApp:
+    """The two-level Map application plus its calibrated cost model.
+
+    ``build()`` constructs fresh muscles and skeleton (fresh estimator
+    identities — one app instance per experiment run); ``cost_model()``
+    returns the simulator costs calibrated to the paper.
+    """
+
+    outer_chunks: int = PAPER_COSTS["outer_chunks"]
+    inner_chunks: int = PAPER_COSTS["inner_chunks"]
+
+    def __post_init__(self):
+        self.fs_file = Split(split_into(self.outer_chunks), name="fs-file")
+        self.fs_chunk = Split(split_into(self.inner_chunks), name="fs-chunk")
+        self.fe_count = Execute(count_terms, name="fe-count")
+        self.fm_merge = Merge(merge_counts, name="fm-merge")
+        self.skeleton: Skeleton = Map(
+            self.fs_file,
+            Map(self.fs_chunk, Seq(self.fe_count), self.fm_merge),
+            self.fm_merge,
+        )
+
+    def cost_model(self) -> TableCostModel:
+        """Simulator costs matching the paper's measured structure."""
+        return TableCostModel(
+            {
+                self.fs_file: PAPER_COSTS["first_split"],
+                self.fs_chunk: PAPER_COSTS["second_split"],
+                self.fe_count: PAPER_COSTS["execute"],
+                self.fm_merge: PAPER_COSTS["merge"],
+            }
+        )
+
+    def sequential_wct(self) -> float:
+        """Closed-form single-threaded WCT under :meth:`cost_model`."""
+        per_branch = (
+            PAPER_COSTS["second_split"]
+            + self.inner_chunks * PAPER_COSTS["execute"]
+            + PAPER_COSTS["merge"]
+        )
+        return (
+            PAPER_COSTS["first_split"]
+            + self.outer_chunks * per_branch
+            + PAPER_COSTS["merge"]
+        )
+
+    def reference_count(self, tweets: Sequence[str]) -> Counter:
+        """Ground truth for correctness checks."""
+        return count_terms(tweets)

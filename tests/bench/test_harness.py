@@ -1,0 +1,73 @@
+"""Unit tests for the bench harness (scenario runner, fig1 builder, report)."""
+
+import pytest
+
+from repro.bench import (
+    FIG1_NOW,
+    PAPER_SCENARIOS,
+    build_figure1_adg,
+    comparison_table,
+    format_row,
+    run_twitter_scenario,
+)
+
+
+class TestFig1Builder:
+    def test_shape(self):
+        adg, index = build_figure1_adg()
+        assert len(adg) == 17
+        assert len(index["fe_1"]) == 3
+        adg.validate()
+
+    def test_snapshot_time_consistent(self):
+        adg, _ = build_figure1_adg()
+        for act in adg:
+            if act.finished:
+                assert act.end <= FIG1_NOW
+
+
+class TestReport:
+    def test_format_row(self):
+        row = format_row("wct", 9.5, 9.469, "goal met")
+        assert row == ("wct", "9.500", "9.469", "goal met")
+
+    def test_format_none(self):
+        assert format_row("x", None, 3)[1] == "-"
+
+    def test_table_alignment(self):
+        table = comparison_table(
+            [format_row("a", 1.0, 2.0), format_row("bb", 10, 20)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "metric" in lines[1]
+        assert "-" in lines[2]
+
+
+@pytest.mark.slow
+class TestScenarioRunner:
+    def test_cold_scenario(self):
+        result = run_twitter_scenario("s1", goal=9.5, n_tweets=500)
+        assert result.correct
+        assert result.met_goal
+        assert result.peak_active > 1
+        assert result.first_increase_time == pytest.approx(7.63, abs=0.1)
+
+    def test_warm_scenario_uses_snapshot(self):
+        cold = run_twitter_scenario("s1", goal=9.5, n_tweets=500)
+        warm = run_twitter_scenario(
+            "s2", goal=9.5, n_tweets=500, initialize_from=cold.estimate_snapshot
+        )
+        assert warm.correct and warm.met_goal
+        assert warm.first_active_rise < cold.first_increase_time
+
+    def test_deterministic(self):
+        a = run_twitter_scenario("s", goal=9.5, n_tweets=300)
+        b = run_twitter_scenario("s", goal=9.5, n_tweets=300)
+        assert a.lp_steps == b.lp_steps
+        assert a.finish_wct == b.finish_wct
+
+    def test_paper_table_complete(self):
+        assert set(PAPER_SCENARIOS) == {
+            "goal_without_init", "goal_with_init", "goal_10_5"
+        }

@@ -1,0 +1,174 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro import (
+    DivideAndConquer,
+    EventRecorder,
+    Execute,
+    Farm,
+    For,
+    Fork,
+    If,
+    Map,
+    Merge,
+    Pipe,
+    Seq,
+    SimulatedPlatform,
+    Split,
+    ThreadPoolPlatform,
+    While,
+)
+from repro.runtime.costmodel import ConstantCostModel
+
+# Keep hypothesis fast and deterministic in CI-like offline runs.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+# ---------------------------------------------------------------------------
+# platforms
+
+
+@pytest.fixture
+def sim():
+    """Fresh zero-cost simulator with a recorder attached."""
+    platform = SimulatedPlatform(parallelism=2)
+    recorder = EventRecorder()
+    platform.add_listener(recorder)
+    platform.recorder = recorder  # convenience for tests
+    return platform
+
+
+@pytest.fixture
+def sim_timed():
+    """Simulator where every muscle costs one virtual second."""
+    platform = SimulatedPlatform(parallelism=2, cost_model=ConstantCostModel(1.0))
+    recorder = EventRecorder()
+    platform.add_listener(recorder)
+    platform.recorder = recorder
+    return platform
+
+
+@pytest.fixture
+def pool():
+    """Small real thread pool, shut down after the test."""
+    platform = ThreadPoolPlatform(parallelism=2, max_parallelism=8)
+    recorder = EventRecorder()
+    platform.add_listener(recorder)
+    platform.recorder = recorder
+    yield platform
+    platform.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# deterministic integer-program skeletons (for semantics comparisons)
+#
+# Every generated program maps an int to an int, so results are directly
+# comparable across the reference evaluator, the simulator and the pool.
+
+
+def _leaf() -> Seq:
+    return Seq(Execute(lambda v: v + 1, name="inc"))
+
+
+def _build(node) -> object:
+    kind = node[0]
+    if kind == "seq":
+        return Seq(Execute(lambda v, k=node[1]: v * 2 + k, name=f"leaf{node[1]}"))
+    if kind == "farm":
+        return Farm(_build(node[1]))
+    if kind == "pipe":
+        return Pipe(*[_build(c) for c in node[1]])
+    if kind == "for":
+        return For(node[1], _build(node[2]))
+    if kind == "while":
+        # A condition that returns True exactly n times, independent of the
+        # value: guarantees termination for arbitrary generated bodies while
+        # still exercising |fc| estimation.  Fresh per skeleton construction.
+        n_trues = node[1] % 4
+
+        def make_cond(n):
+            state = {"left": n}
+
+            def cond(_v):
+                if state["left"] > 0:
+                    state["left"] -= 1
+                    return True
+                return False
+
+            return cond
+
+        return While(make_cond(n_trues), _build(node[2]))
+    if kind == "if":
+        return If(lambda v, t=node[1]: v % 2 == t, _build(node[2]), _build(node[3]))
+    if kind == "map":
+        width = node[1]
+        return Map(
+            Split(lambda v, w=width: [v + i for i in range(w)], name=f"split{width}"),
+            _build(node[2]),
+            Merge(lambda rs: sum(rs) % 10_000_019, name="sum"),
+        )
+    if kind == "fork":
+        branches = [_build(c) for c in node[1]]
+        return Fork(
+            Split(lambda v, n=len(branches): [v + i for i in range(n)], name="forksplit"),
+            branches,
+            Merge(lambda rs: sum(rs) % 10_000_019, name="sum"),
+        )
+    if kind == "dac":
+        threshold = node[1]
+        return DivideAndConquer(
+            lambda v, t=threshold: v > t,
+            Split(lambda v: [v // 2, v - v // 2 - 1], name="halve"),
+            _build(node[2]),
+            Merge(lambda rs: sum(rs) % 10_000_019, name="sum"),
+        )
+    raise AssertionError(f"unknown node {node!r}")
+
+
+def _program_nodes(max_depth: int):
+    """Hypothesis strategy for program descriptions (plain tuples)."""
+    if max_depth <= 0:
+        return st.tuples(st.just("seq"), st.integers(0, 3))
+    sub = _program_nodes(max_depth - 1)
+    return st.one_of(
+        st.tuples(st.just("seq"), st.integers(0, 3)),
+        st.tuples(st.just("farm"), sub),
+        st.tuples(st.just("pipe"), st.lists(sub, min_size=2, max_size=3).map(tuple)),
+        st.tuples(st.just("for"), st.integers(0, 3), sub),
+        st.tuples(st.just("while"), st.integers(0, 40), sub),
+        st.tuples(st.just("if"), st.integers(0, 1), sub, sub),
+        st.tuples(st.just("map"), st.integers(1, 4), sub),
+        st.tuples(st.just("fork"), st.lists(sub, min_size=1, max_size=3).map(tuple)),
+        st.tuples(st.just("dac"), st.integers(5, 30), sub),
+    )
+
+
+#: Strategy producing (program-description, skeleton-builder) pairs; tests
+#: call ``build_program(desc)`` to get fresh skeletons (fresh muscle uids).
+program_descriptions = _program_nodes(max_depth=2)
+
+
+def build_program(desc):
+    """Construct a fresh skeleton from a description tuple."""
+    return _build(desc)
+
+
+@pytest.fixture
+def paper_map_program():
+    """The paper's ``map(fs, map(fs, seq(fe), fm), fm)`` on integer lists."""
+    fs1 = Split(lambda xs: [xs[i::3] for i in range(3)], name="fs1")
+    fs2 = Split(lambda xs: [xs[i::2] for i in range(2)], name="fs2")
+    fe = Execute(lambda xs: sum(xs), name="fe")
+    fm = Merge(lambda rs: sum(rs), name="fm")
+    return Map(fs1, Map(fs2, Seq(fe), fm), fm)

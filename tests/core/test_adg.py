@@ -1,0 +1,123 @@
+"""Unit tests for the Activity Dependency Graph."""
+
+import pytest
+
+from repro.core.adg import ADG
+from repro.errors import ADGError
+
+
+def chain(durations):
+    adg = ADG()
+    prev = []
+    for i, d in enumerate(durations):
+        prev = [adg.add(f"a{i}", d, prev)]
+    return adg
+
+
+class TestConstruction:
+    def test_ids_sequential(self):
+        adg = ADG()
+        assert adg.add("x", 1.0) == 0
+        assert adg.add("y", 1.0) == 1
+
+    def test_missing_pred_rejected(self):
+        adg = ADG()
+        with pytest.raises(ADGError):
+            adg.add("x", 1.0, [5])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ADGError):
+            ADG().add("x", -1.0)
+
+    def test_end_without_start_rejected(self):
+        with pytest.raises(ADGError):
+            ADG().add("x", 1.0, start=None, end=5.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ADGError):
+            ADG().add("x", 1.0, start=5.0, end=4.0)
+
+    def test_len_and_iter(self):
+        adg = chain([1, 1, 1])
+        assert len(adg) == 3
+        assert [a.name for a in adg] == ["a0", "a1", "a2"]
+
+
+class TestQueries:
+    def test_sources_terminals(self):
+        adg = ADG()
+        a = adg.add("a", 1)
+        b = adg.add("b", 1)
+        c = adg.add("c", 1, [a, b])
+        assert set(adg.sources()) == {a, b}
+        assert adg.terminals() == [c]
+
+    def test_successors_predecessors(self):
+        adg = ADG()
+        a = adg.add("a", 1)
+        b = adg.add("b", 1, [a])
+        assert adg.successors(a) == [b]
+        assert adg.predecessors(b) == [a]
+
+    def test_topological_order_is_id_order(self):
+        adg = chain([1, 1, 1, 1])
+        assert adg.topological_order() == [0, 1, 2, 3]
+
+    def test_activity_lookup_error(self):
+        with pytest.raises(ADGError):
+            chain([1]).activity(99)
+
+    def test_status_classification(self):
+        adg = ADG()
+        done = adg.add("done", 1, start=0.0, end=1.0)
+        running = adg.add("run", 1, start=1.0)
+        pending = adg.add("pend", 1)
+        assert adg.activity(done).status == "finished"
+        assert adg.activity(running).status == "running"
+        assert adg.activity(pending).status == "pending"
+        assert adg.finished_count() == 1
+        assert len(adg.running()) == 1
+        assert len(adg.pending()) == 1
+
+
+class TestAnalysis:
+    def test_total_estimated_work_skips_finished(self):
+        adg = ADG()
+        adg.add("done", 5, start=0.0, end=5.0)
+        adg.add("pend", 3)
+        assert adg.total_estimated_work() == 3.0
+
+    def test_critical_path(self):
+        adg = ADG()
+        a = adg.add("a", 2)
+        b = adg.add("b", 3, [a])
+        adg.add("c", 1, [a])
+        assert adg.critical_path_length() == 5.0
+
+    def test_critical_path_ignores_finished(self):
+        adg = ADG()
+        a = adg.add("a", 2, start=0.0, end=2.0)
+        adg.add("b", 3, [a])
+        assert adg.critical_path_length() == 3.0
+
+
+class TestValidation:
+    def test_valid_times_pass(self):
+        adg = ADG()
+        a = adg.add("a", 1, start=0.0, end=1.0)
+        adg.add("b", 1, [a], start=1.0, end=2.0)
+        adg.validate()
+
+    def test_start_before_pred_end_rejected(self):
+        adg = ADG()
+        a = adg.add("a", 1, start=0.0, end=5.0)
+        adg.add("b", 1, [a], start=3.0, end=6.0)
+        with pytest.raises(ADGError):
+            adg.validate()
+
+    def test_started_with_unfinished_pred_rejected(self):
+        adg = ADG()
+        a = adg.add("a", 1, start=0.0)  # running
+        adg.add("b", 1, [a], start=2.0)
+        with pytest.raises(ADGError):
+            adg.validate()

@@ -1,0 +1,176 @@
+"""Unit + property tests for the alternative estimation algorithms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.estimator import EstimatorRegistry
+from repro.core.estimators_ext import (
+    KalmanEstimator,
+    MedianEstimator,
+    PercentileEstimator,
+    SlidingWindowEstimator,
+)
+from repro.errors import EstimateNotReadyError, QoSError
+from repro.skeletons import Execute
+
+ALL = (
+    lambda: SlidingWindowEstimator(window=4),
+    lambda: MedianEstimator(window=5),
+    lambda: PercentileEstimator(window=5, percentile=0.8),
+    lambda: KalmanEstimator(),
+)
+
+
+@pytest.mark.parametrize("factory", ALL, ids=["window", "median", "p80", "kalman"])
+class TestCommonInterface:
+    def test_not_ready_initially(self, factory):
+        est = factory()
+        assert not est.ready
+        with pytest.raises(EstimateNotReadyError):
+            _ = est.value
+        assert est.peek(default=1.5) == 1.5
+
+    def test_first_observation(self, factory):
+        est = factory()
+        est.update(3.0)
+        assert est.ready
+        assert est.value == pytest.approx(3.0)
+
+    def test_initialize(self, factory):
+        est = factory()
+        est.initialize(9.0)
+        assert est.ready and est.initialized
+        assert est.value == pytest.approx(9.0)
+
+    def test_counts(self, factory):
+        est = factory()
+        est.update(1.0)
+        est.update(2.0)
+        assert est.observations == 2
+        assert est.last_actual == 2.0
+
+    @given(values=st.lists(st.floats(0.1, 100.0), min_size=1, max_size=25))
+    def test_property_convex_hull(self, factory, values):
+        est = factory()
+        for v in values:
+            est.update(v)
+        assert min(values) - 1e-6 <= est.value <= max(values) + 1e-6
+
+    def test_constant_signal_fixed_point(self, factory):
+        est = factory()
+        for _ in range(20):
+            est.update(4.2)
+        assert est.value == pytest.approx(4.2, rel=1e-6)
+
+    def test_registry_factory_integration(self, factory):
+        reg = EstimatorRegistry(factory=factory)
+        m = Execute(lambda v: v, name="m")
+        reg.observe_time(m, 2.0)
+        assert reg.t(m) == pytest.approx(2.0)
+        assert type(reg.time_estimator(m)) is type(factory())
+
+
+class TestWindowSemantics:
+    def test_window_forgets(self):
+        est = SlidingWindowEstimator(window=2)
+        for v in (10.0, 1.0, 1.0, 1.0):
+            est.update(v)
+        assert est.value == pytest.approx(1.0)
+
+    def test_mean(self):
+        est = SlidingWindowEstimator(window=4)
+        for v in (1.0, 2.0, 3.0):
+            est.update(v)
+        assert est.value == pytest.approx(2.0)
+
+    def test_bad_window(self):
+        with pytest.raises(QoSError):
+            SlidingWindowEstimator(window=0)
+
+    def test_observations_override_initial(self):
+        est = SlidingWindowEstimator(window=3)
+        est.initialize(100.0)
+        est.update(1.0)
+        assert est.value == pytest.approx(1.0)
+
+
+class TestMedian:
+    def test_outlier_robust(self):
+        est = MedianEstimator(window=5)
+        for v in (1.0, 1.0, 50.0, 1.0, 1.0):
+            est.update(v)
+        assert est.value == pytest.approx(1.0)
+
+    def test_even_window_midpoint(self):
+        est = MedianEstimator(window=4)
+        for v in (1.0, 3.0):
+            est.update(v)
+        assert est.value == pytest.approx(2.0)
+
+
+class TestPercentile:
+    def test_upper_percentile_conservative(self):
+        est = PercentileEstimator(window=5, percentile=0.8)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            est.update(v)
+        assert est.value >= 4.0
+
+    def test_percentile_one_is_max(self):
+        est = PercentileEstimator(window=5, percentile=1.0)
+        for v in (2.0, 9.0, 5.0):
+            est.update(v)
+        assert est.value == pytest.approx(9.0)
+
+    def test_validation(self):
+        with pytest.raises(QoSError):
+            PercentileEstimator(percentile=0.0)
+
+
+class TestKalman:
+    def test_converges_on_noisy_constant(self):
+        import random
+
+        rng = random.Random(7)
+        est = KalmanEstimator()
+        for _ in range(200):
+            est.update(5.0 + rng.gauss(0, 0.5))
+        assert est.value == pytest.approx(5.0, abs=0.4)
+
+    def test_tracks_drift(self):
+        est = KalmanEstimator(process_noise=1e-2)
+        for step in range(100):
+            est.update(1.0 + step * 0.05)
+        # Should be well past the initial value by the end of the drift.
+        assert est.value > 4.0
+
+    def test_validation(self):
+        with pytest.raises(QoSError):
+            KalmanEstimator(process_noise=-1)
+
+
+class TestControllerWithAlternativeEstimators:
+    @pytest.mark.parametrize(
+        "factory", ALL, ids=["window", "median", "p80", "kalman"]
+    )
+    def test_fig5_scenario_still_meets_goal(self, factory):
+        """The autonomic loop is estimator-agnostic: every alternative
+        algorithm still drives the FIG5 scenario inside its goal."""
+        from repro.bench.scenario import run_twitter_scenario
+        from repro.core.controller import AutonomicController
+        from repro.core.qos import QoS
+        from repro.runtime.simulator import SimulatedPlatform
+        from repro.workloads.synthetic_text import TweetCorpusGenerator
+        from repro.workloads.wordcount import TwitterCountApp
+
+        corpus = TweetCorpusGenerator(seed=2014).corpus(200)
+        app = TwitterCountApp()
+        platform = SimulatedPlatform(
+            parallelism=1, cost_model=app.cost_model(), max_parallelism=24
+        )
+        AutonomicController(
+            platform, app.skeleton, qos=QoS.wall_clock(9.5, max_lp=24),
+            estimators=EstimatorRegistry(factory=factory),
+        )
+        result = app.skeleton.compute(corpus, platform=platform)
+        assert result == app.reference_count(corpus)
+        assert platform.now() <= 9.5 + 1e-9

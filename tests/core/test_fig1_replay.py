@@ -1,0 +1,138 @@
+"""Replay the paper's Figure 1 state through the *tracking machines* and
+verify the projected ADG reproduces the Figure 2 analysis.
+
+This is the strongest fidelity test of the monitoring stack: instead of
+hand-building the ADG (as the benches do), we feed the machines the exact
+event history implied by the figure — outer split [0,10], two inner maps
+executed over [10,70] with LP 2, the third inner split running since 65 —
+and check that machines + projection + schedulers reproduce the paper's
+numbers: best-effort WCT 100, optimal LP 3, limited-LP(2) WCT 115.
+"""
+
+import pytest
+
+from repro.bench.fig1 import FIG1_ESTIMATES, FIG1_NOW, PAPER_FIG1_EXPECTED
+from repro.core.estimator import EstimatorRegistry
+from repro.core.schedule import (
+    best_effort_schedule,
+    limited_lp_schedule,
+    minimal_lp_greedy,
+)
+from repro.core.statemachines import MachineRegistry
+from repro.events.types import Event, When, Where
+from repro.skeletons import Execute, Map, Merge, Seq, Split
+
+
+@pytest.fixture
+def replayed():
+    fs = Split(lambda xs: [xs] * 3, name="fs")
+    fe = Execute(lambda xs: xs, name="fe")
+    fm = Merge(lambda rs: rs, name="fm")
+    inner = Map(fs, Seq(fe), fm)
+    outer = Map(fs, inner, fm)
+
+    est = EstimatorRegistry()
+    # The paper's givens: t(fs)=10, t(fe)=15, t(fm)=5, |fs|=3.
+    est.time_estimator(fs).initialize(FIG1_ESTIMATES["t_fs"])
+    est.card_estimator(fs).initialize(FIG1_ESTIMATES["fs_card"])
+    est.time_estimator(fe).initialize(FIG1_ESTIMATES["t_fe"])
+    est.time_estimator(fm).initialize(FIG1_ESTIMATES["t_fm"])
+    machines = MachineRegistry(est)
+
+    def emit(skel, index, when, where, ts, parent=None, **extra):
+        machines.on_event(
+            Event(
+                skeleton=skel, kind=skel.kind, when=when, where=where,
+                index=index, parent_index=parent, value=None, timestamp=ts,
+                extra=extra,
+            )
+        )
+
+    B, A = When.BEFORE, When.AFTER
+    SK, SP, ME, NE = Where.SKELETON, Where.SPLIT, Where.MERGE, Where.NESTED
+
+    # Outer map (index 0): split [0, 10] -> 3 sub-problems.
+    emit(outer, 0, B, SK, 0.0)
+    emit(outer, 0, B, SP, 0.0)
+    emit(outer, 0, A, SP, 10.0, fs_card=3)
+
+    # Inner map 1 (index 1): split [10,20], fes [20,35]x2 + [35,50],
+    # merge [65,70] (finished).
+    emit(inner, 1, B, SK, 10.0, parent=0)
+    emit(inner, 1, B, SP, 10.0, parent=0)
+    emit(inner, 1, A, SP, 20.0, parent=0, fs_card=3)
+    for idx, (s, e) in zip((10, 11, 12), ((20, 35), (20, 35), (35, 50))):
+        emit(inner.subskel, idx, B, SK, float(s), parent=1)
+        emit(inner.subskel, idx, A, SK, float(e), parent=1)
+    emit(inner, 1, B, ME, 65.0, parent=0)
+    emit(inner, 1, A, ME, 70.0, parent=0)
+    emit(inner, 1, A, SK, 70.0, parent=0)
+
+    # Inner map 2 (index 2): split [10,20], fes [35,50],[50,65],[50,65];
+    # merge not started.
+    emit(inner, 2, B, SK, 10.0, parent=0)
+    emit(inner, 2, B, SP, 10.0, parent=0)
+    emit(inner, 2, A, SP, 20.0, parent=0, fs_card=3)
+    for idx, (s, e) in zip((20, 21, 22), ((35, 50), (50, 65), (50, 65))):
+        emit(inner.subskel, idx, B, SK, float(s), parent=2)
+        emit(inner.subskel, idx, A, SK, float(e), parent=2)
+
+    # Inner map 3 (index 3): split started at 65, still running at 70.
+    emit(inner, 3, B, SK, 65.0, parent=0)
+    emit(inner, 3, B, SP, 65.0, parent=0)
+
+    adg, terminals = machines.project_roots(FIG1_NOW)
+    return adg, terminals, machines
+
+
+class TestProjectedStructure:
+    def test_activity_count(self, replayed):
+        adg, _, _ = replayed
+        # 1 outer split + 3 x (split + 3 fe + merge) + outer merge = 17.
+        assert len(adg) == 17
+
+    def test_terminal_is_outer_merge(self, replayed):
+        adg, terminals, _ = replayed
+        assert len(terminals) == 1
+        assert adg.activity(terminals[0]).role == "merge"
+
+    def test_finished_running_pending_mix(self, replayed):
+        adg, _, _ = replayed
+        statuses = [a.status for a in adg]
+        assert statuses.count("finished") == 10  # outer split, m1 (5), m2 split+3 fes
+        assert statuses.count("running") == 1  # m3's split
+        assert statuses.count("pending") == 6  # m2 merge, m3 fes+merge, outer merge
+
+    def test_validates(self, replayed):
+        adg, _, _ = replayed
+        adg.validate()
+
+
+class TestPaperNumbers:
+    def test_best_effort_wct(self, replayed):
+        adg, _, _ = replayed
+        be = best_effort_schedule(adg, FIG1_NOW)
+        assert be.wct == pytest.approx(PAPER_FIG1_EXPECTED["best_effort_wct"])
+
+    def test_optimal_lp(self, replayed):
+        adg, _, _ = replayed
+        be = best_effort_schedule(adg, FIG1_NOW)
+        assert be.peak(from_time=FIG1_NOW) == PAPER_FIG1_EXPECTED["optimal_lp"]
+
+    def test_limited_lp2(self, replayed):
+        adg, _, _ = replayed
+        l2 = limited_lp_schedule(adg, FIG1_NOW, 2)
+        assert l2.wct == pytest.approx(PAPER_FIG1_EXPECTED["limited_lp2_wct"])
+
+    def test_goal_100_needs_lp3(self, replayed):
+        adg, _, _ = replayed
+        found = minimal_lp_greedy(adg, FIG1_NOW, PAPER_FIG1_EXPECTED["wct_goal"])
+        assert found is not None
+        assert found[0] == PAPER_FIG1_EXPECTED["lp_increase_to"]
+
+    def test_running_split_projected_to_75(self, replayed):
+        adg, _, _ = replayed
+        be = best_effort_schedule(adg, FIG1_NOW)
+        running = [a for a in adg if a.status == "running"]
+        assert len(running) == 1
+        assert be.end_of(running[0].id) == pytest.approx(75.0)

@@ -1,0 +1,96 @@
+"""Unit tests for estimate snapshots (warm-start initialization)."""
+
+import json
+
+import pytest
+
+from repro import Execute, Map, Merge, Seq, Split, While
+from repro.core.estimator import EstimatorRegistry
+from repro.core.persistence import (
+    load_estimates,
+    muscle_keys,
+    restore_estimates,
+    save_estimates,
+    snapshot_estimates,
+)
+from repro.errors import ReproError
+
+
+def make_program():
+    fs = Split(lambda v: [v, v], name="fs")
+    fe = Execute(lambda v: v, name="fe")
+    fm = Merge(sum, name="fm")
+    return Map(fs, Seq(fe), fm)
+
+
+class TestKeys:
+    def test_keys_structural_and_unique(self):
+        skel = make_program()
+        keys = [k for k, _ in muscle_keys(skel)]
+        assert len(keys) == len(set(keys)) == 3
+        assert keys == ["0:split", "0:merge", "1:execute"]
+
+    def test_same_shape_same_keys(self):
+        a = dict(muscle_keys(make_program()))
+        b = dict(muscle_keys(make_program()))
+        assert set(a) == set(b)
+
+    def test_while_keys(self):
+        skel = While(lambda v: False, Seq(lambda v: v))
+        keys = [k for k, _ in muscle_keys(skel)]
+        assert keys == ["0:condition", "1:execute"]
+
+
+class TestRoundTrip:
+    def test_snapshot_restore_across_constructions(self):
+        src = make_program()
+        reg = EstimatorRegistry()
+        reg.observe_time(src.split, 6.4)
+        reg.observe_card(src.split, 5)
+        reg.observe_time(src.subskel.execute, 0.04)
+        reg.observe_time(src.merge, 0.05)
+        snap = snapshot_estimates(src, reg)
+
+        dst = make_program()  # fresh muscles, fresh uids
+        reg2 = EstimatorRegistry()
+        restored = restore_estimates(dst, reg2, snap)
+        assert restored == 4
+        assert reg2.t(dst.split) == pytest.approx(6.4)
+        assert reg2.card(dst.split) == pytest.approx(5.0)
+        assert reg2.ready_for(dst)
+        assert reg2.time_estimator(dst.split).initialized
+
+    def test_partial_snapshot(self):
+        src = make_program()
+        reg = EstimatorRegistry()
+        reg.observe_time(src.split, 1.0)  # only one estimate present
+        snap = snapshot_estimates(src, reg)
+        dst = make_program()
+        reg2 = EstimatorRegistry()
+        assert restore_estimates(dst, reg2, snap) == 1
+        assert not reg2.ready_for(dst)
+
+    def test_unknown_keys_ignored(self):
+        snap = {"version": 1, "estimates": {"42:execute": {"t": 1.0}}}
+        skel = Seq(lambda v: v)
+        assert restore_estimates(skel, EstimatorRegistry(), snap) == 0
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ReproError):
+            restore_estimates(Seq(lambda v: v), EstimatorRegistry(), {"bogus": 1})
+
+    def test_json_file_round_trip(self, tmp_path):
+        src = make_program()
+        reg = EstimatorRegistry()
+        for muscle in src.muscles():
+            reg.observe_time(muscle, 2.0)
+        reg.observe_card(src.split, 3)
+        path = tmp_path / "estimates.json"
+        save_estimates(path, src, reg)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+
+        dst = make_program()
+        reg2 = EstimatorRegistry()
+        assert load_estimates(path, dst, reg2) == 4
+        assert reg2.t(dst.merge) == pytest.approx(2.0)

@@ -1,0 +1,146 @@
+"""Unit tests for structural ADG projection of unstarted skeletons."""
+
+import pytest
+
+from repro.core.adg import ADG
+from repro.core.estimator import EstimatorRegistry
+from repro.core.projection import estimated_total_work, project_skeleton
+from repro.core.schedule import best_effort_schedule
+from repro.skeletons import (
+    DivideAndConquer,
+    Execute,
+    Farm,
+    For,
+    Fork,
+    If,
+    Map,
+    Merge,
+    Pipe,
+    Seq,
+    Split,
+    While,
+)
+
+
+def registry_for(skel, t=1.0, card=2):
+    reg = EstimatorRegistry()
+    for muscle in skel.muscles():
+        reg.time_estimator(muscle).initialize(t)
+    for muscle in EstimatorRegistry.required_cards(skel):
+        reg.card_estimator(muscle).initialize(card)
+    return reg
+
+
+def project(skel, reg):
+    adg = ADG()
+    terminals = project_skeleton(skel, adg, [], reg)
+    return adg, terminals
+
+
+class TestShapes:
+    def test_seq_one_activity(self):
+        skel = Seq(lambda v: v)
+        adg, terms = project(skel, registry_for(skel))
+        assert len(adg) == 1
+        assert len(terms) == 1
+
+    def test_map_shape(self):
+        skel = Map(lambda v: [v], Seq(lambda v: v), sum)
+        adg, terms = project(skel, registry_for(skel, card=3))
+        # split + 3 children + merge
+        assert len(adg) == 5
+        merge = adg.activity(terms[0])
+        assert len(merge.preds) == 3
+
+    def test_pipe_chains(self):
+        skel = Pipe(Seq(lambda v: v), Seq(lambda v: v))
+        adg, terms = project(skel, registry_for(skel))
+        assert len(adg) == 2
+        assert adg.activity(terms[0]).preds == (0,)
+
+    def test_for_repeats(self):
+        skel = For(3, Seq(lambda v: v))
+        adg, _ = project(skel, registry_for(skel))
+        assert len(adg) == 3
+
+    def test_while_iterations_plus_final_condition(self):
+        skel = While(lambda v: True, Seq(lambda v: v))
+        adg, terms = project(skel, registry_for(skel, card=2))
+        # (cond + body) * 2 + final cond
+        assert len(adg) == 5
+        assert adg.activity(terms[0]).role == "condition"
+
+    def test_while_card_zero(self):
+        skel = While(lambda v: False, Seq(lambda v: v))
+        reg = registry_for(skel, card=0)
+        adg, terms = project(skel, reg)
+        assert len(adg) == 1  # just the false condition
+
+    def test_farm_transparent(self):
+        skel = Farm(Seq(lambda v: v))
+        adg, _ = project(skel, registry_for(skel))
+        assert len(adg) == 1
+
+    def test_fork_uses_branch_count(self):
+        skel = Fork(lambda v: [v, v], [Seq(lambda v: v), Seq(lambda v: v)], sum)
+        adg, _ = project(skel, registry_for(skel))
+        assert len(adg) == 4  # split + 2 branches + merge
+
+    def test_if_projects_expensive_branch(self):
+        cheap = Seq(Execute(lambda v: v, name="cheap"))
+        costly = Pipe(Seq(Execute(lambda v: v, name="c1")),
+                      Seq(Execute(lambda v: v, name="c2")))
+        skel = If(lambda v: True, cheap, costly)
+        reg = registry_for(skel)
+        adg, _ = project(skel, reg)
+        # condition + the two-stage branch
+        assert len(adg) == 3
+
+    def test_dac_depth_zero_is_leaf(self):
+        skel = DivideAndConquer(lambda v: False, lambda v: [v], Seq(lambda v: v), sum)
+        reg = registry_for(skel, card=2)
+        reg.card_estimator(skel.condition).initialize(0)
+        adg, _ = project(skel, reg)
+        assert len(adg) == 2  # cond + leaf
+
+    def test_dac_depth_two_binary(self):
+        skel = DivideAndConquer(lambda v: True, lambda v: [v, v], Seq(lambda v: v), sum)
+        reg = registry_for(skel)
+        reg.card_estimator(skel.condition).initialize(2)
+        reg.card_estimator(skel.split).initialize(2)
+        adg, _ = project(skel, reg)
+        # depth 2 binary: 1 cond+split+merge at root, 2 at level 1,
+        # 4 leaves (cond+leaf each)
+        # root: cond split merge = 3; level1: 2*(3)=6; leaves: 4*(2)=8
+        assert len(adg) == 17
+
+
+class TestDurations:
+    def test_durations_from_estimates(self):
+        fs = Split(lambda v: [v], name="fs")
+        fe = Execute(lambda v: v, name="fe")
+        fm = Merge(sum, name="fm")
+        skel = Map(fs, Seq(fe), fm)
+        reg = EstimatorRegistry()
+        reg.time_estimator(fs).initialize(10.0)
+        reg.card_estimator(fs).initialize(3)
+        reg.time_estimator(fe).initialize(15.0)
+        reg.time_estimator(fm).initialize(5.0)
+        adg, _ = project(skel, reg)
+        # Paper figure 1 durations: best effort = 10 + 15 + 5
+        assert best_effort_schedule(adg, 0.0).wct == 30.0
+
+    def test_total_work(self):
+        skel = Map(lambda v: [v], Seq(lambda v: v), sum)
+        reg = registry_for(skel, t=2.0, card=3)
+        # split 2 + 3*2 + merge 2
+        assert estimated_total_work(skel, reg) == pytest.approx(10.0)
+
+
+class TestErrors:
+    def test_missing_estimate_raises(self):
+        from repro.errors import EstimateNotReadyError
+
+        skel = Seq(lambda v: v)
+        with pytest.raises(EstimateNotReadyError):
+            project(skel, EstimatorRegistry())

@@ -1,0 +1,55 @@
+"""Unit tests for QoS goals."""
+
+import pytest
+
+from repro.core.qos import MaxLPGoal, QoS, WCTGoal
+from repro.errors import QoSError
+
+
+class TestWCTGoal:
+    def test_deadline(self):
+        assert WCTGoal(10.0).deadline(5.0) == 15.0
+
+    def test_margin_shrinks_planning_goal(self):
+        goal = WCTGoal(10.0, margin=0.2)
+        assert goal.effective_seconds == pytest.approx(8.0)
+        assert goal.deadline(0.0) == pytest.approx(8.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(QoSError):
+            WCTGoal(0.0)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(QoSError):
+            WCTGoal(1.0, margin=1.0)
+        with pytest.raises(QoSError):
+            WCTGoal(1.0, margin=-0.1)
+
+
+class TestMaxLP:
+    def test_valid(self):
+        assert MaxLPGoal(4).threads == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(QoSError):
+            MaxLPGoal(0)
+
+
+class TestQoS:
+    def test_needs_at_least_one_goal(self):
+        with pytest.raises(QoSError):
+            QoS()
+
+    def test_wall_clock_helper(self):
+        qos = QoS.wall_clock(9.5, max_lp=24)
+        assert qos.wct.seconds == 9.5
+        assert qos.max_threads == 24
+
+    def test_wall_clock_without_max(self):
+        qos = QoS.wall_clock(9.5)
+        assert qos.max_threads is None
+
+    def test_max_lp_only(self):
+        qos = QoS(max_lp=MaxLPGoal(8))
+        assert qos.wct is None
+        assert qos.max_threads == 8

@@ -1,0 +1,162 @@
+"""Integration tests: machine registry fed by real simulator event streams."""
+
+import pytest
+
+from repro import (
+    DivideAndConquer,
+    Execute,
+    Map,
+    Merge,
+    Pipe,
+    Seq,
+    SimulatedPlatform,
+    Split,
+    While,
+    run,
+)
+from repro.core.estimator import EstimatorRegistry
+from repro.core.schedule import best_effort_schedule
+from repro.core.statemachines import MachineRegistry
+from repro.errors import StateMachineError
+from repro.runtime.costmodel import ConstantCostModel
+
+
+def run_with_registry(skel, value, parallelism=2, cost=1.0, extensions=False):
+    estimators = EstimatorRegistry()
+    machines = MachineRegistry(estimators, extensions=extensions)
+    platform = SimulatedPlatform(
+        parallelism=parallelism, cost_model=ConstantCostModel(cost)
+    )
+    platform.add_listener(machines)
+    result = run(skel, value, platform)
+    return machines, estimators, platform, result
+
+
+class TestRouting:
+    def test_root_machine_created(self):
+        skel = Seq(lambda v: v)
+        machines, _, _, _ = run_with_registry(skel, 0)
+        assert len(machines.roots) == 1
+        assert machines.roots[0].kind == "seq"
+        assert machines.roots[0].finished
+
+    def test_children_attach_to_parent(self):
+        skel = Map(lambda v: [v, v, v], Seq(lambda v: v), sum)
+        machines, _, _, _ = run_with_registry(skel, 0)
+        root = machines.roots[0]
+        assert len(root.children) == 3
+        assert all(c.parent is root for c in root.children)
+
+    def test_multiple_executions_multiple_roots(self):
+        skel = Seq(lambda v: v)
+        estimators = EstimatorRegistry()
+        machines = MachineRegistry(estimators)
+        platform = SimulatedPlatform()
+        platform.add_listener(machines)
+        run(skel, 1, platform)
+        run(skel, 2, platform)
+        assert len(machines.roots) == 2
+        assert machines.unfinished_roots() == []
+
+    def test_unsupported_kind_rejected_by_default(self):
+        from repro import If
+
+        skel = If(lambda v: True, Seq(lambda v: v), Seq(lambda v: v))
+        with pytest.raises(StateMachineError):
+            run_with_registry(skel, 0)
+
+    def test_extensions_allow_if(self):
+        from repro import If
+
+        skel = If(lambda v: True, Seq(lambda v: "t"), Seq(lambda v: "f"))
+        machines, _, _, result = run_with_registry(skel, 0, extensions=True)
+        assert result == "t"
+        assert machines.roots[0].finished
+
+    def test_reset(self):
+        skel = Seq(lambda v: v)
+        machines, _, _, _ = run_with_registry(skel, 0)
+        machines.reset()
+        assert len(machines) == 0 and machines.roots == []
+
+
+class TestEstimationFromRealRuns:
+    def test_constant_costs_learned_exactly(self):
+        fs = Split(lambda v: [v, v], name="fs")
+        fe = Execute(lambda v: v, name="fe")
+        fm = Merge(sum, name="fm")
+        skel = Map(fs, Seq(fe), fm)
+        machines, est, _, _ = run_with_registry(skel, 3, cost=2.0)
+        assert est.t(fs) == pytest.approx(2.0)
+        assert est.t(fe) == pytest.approx(2.0)
+        assert est.t(fm) == pytest.approx(2.0)
+        assert est.card(fs) == pytest.approx(2.0)
+
+    def test_while_cardinality_learned(self):
+        skel = While(lambda v: v < 3, Seq(lambda v: v + 1))
+        machines, est, _, _ = run_with_registry(skel, 0)
+        assert est.card(skel.condition) == pytest.approx(3.0)
+
+    def test_dac_depth_learned(self):
+        skel = DivideAndConquer(
+            lambda v: v >= 4,
+            Split(lambda v: [v // 2, v // 2], name="fs"),
+            Seq(lambda v: v),
+            Merge(sum, name="fm"),
+        )
+        machines, est, _, _ = run_with_registry(skel, 8)
+        # 8 -> 4,4 -> 2,2,2,2 : two dividing levels.
+        assert est.card(skel.condition) == pytest.approx(2.0)
+
+    def test_pipe_stage_estimates(self):
+        a = Execute(lambda v: v, name="a")
+        b = Execute(lambda v: v, name="b")
+        skel = Pipe(Seq(a), Seq(b))
+        _, est, _, _ = run_with_registry(skel, 0, cost=1.5)
+        assert est.t(a) == pytest.approx(1.5)
+        assert est.t(b) == pytest.approx(1.5)
+
+
+class TestProjectionConvergence:
+    def test_finished_projection_matches_simulated_times(self):
+        """After the run, the projected ADG is fully actual and its
+        best-effort schedule reproduces the simulation's makespan."""
+        fs = Split(lambda v: [v, v, v], name="fs")
+        skel = Map(fs, Seq(Execute(lambda v: v, name="fe")), Merge(sum, name="fm"))
+        machines, est, platform, _ = run_with_registry(skel, 0, parallelism=2)
+        adg, _ = machines.project_roots(platform.now(), roots=machines.roots)
+        assert all(a.finished for a in adg)
+        schedule = best_effort_schedule(adg, platform.now())
+        assert schedule.wct == pytest.approx(platform.now())
+
+    def test_projection_during_run_counts_all_work(self):
+        """Snapshot mid-run: the projected ADG always contains the full
+        remaining structure (here: total activity count is invariant)."""
+        fs = Split(lambda v: [v, v, v], name="fs")
+        fe = Execute(lambda v: v, name="fe")
+        fm = Merge(sum, name="fm")
+        skel = Map(fs, Seq(fe), fm)
+
+        estimators = EstimatorRegistry()
+        # Warm start so projection works from the first event.
+        estimators.time_estimator(fs).initialize(1.0)
+        estimators.card_estimator(fs).initialize(3)
+        estimators.time_estimator(fe).initialize(1.0)
+        estimators.time_estimator(fm).initialize(1.0)
+        machines = MachineRegistry(estimators)
+        platform = SimulatedPlatform(parallelism=1, cost_model=ConstantCostModel(1.0))
+        platform.add_listener(machines)
+
+        sizes = []
+        platform.bus.add_callback(
+            lambda e: (
+                sizes.append(len(machines.project_roots(platform.now())[0])),
+                e.value,
+            )[1]
+        )
+        run(skel, 0, platform)
+        # split + 3 children + merge = 5 at every snapshot except the very
+        # last event (map@a), where the root has just finished and no
+        # unfinished work remains.
+        assert sizes and all(s == 5 for s in sizes[:-1])
+        assert sizes[-1] == 0

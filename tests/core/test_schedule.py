@@ -1,0 +1,236 @@
+"""Unit tests for the WCT/LP schedulers — including the paper's Figure 1/2
+worked example."""
+
+import pytest
+
+from repro.bench import FIG1_NOW, PAPER_FIG1_EXPECTED, build_figure1_adg
+from repro.core.adg import ADG
+from repro.core.schedule import (
+    best_effort_schedule,
+    concurrency_timeline,
+    exact_minimal_lp,
+    limited_lp_schedule,
+    minimal_lp_greedy,
+    optimal_lp,
+    peak_concurrency,
+)
+from repro.errors import SchedulingError
+
+
+def fan(n, dur=1.0, with_join=True):
+    """source -> n parallel activities -> (optional) join."""
+    adg = ADG()
+    src = adg.add("src", dur)
+    mids = [adg.add(f"m{i}", dur, [src]) for i in range(n)]
+    if with_join:
+        adg.add("join", dur, mids)
+    return adg
+
+
+class TestBestEffort:
+    def test_chain(self):
+        adg = ADG()
+        a = adg.add("a", 2)
+        adg.add("b", 3, [a])
+        assert best_effort_schedule(adg, 0.0).wct == 5.0
+
+    def test_fan_runs_parallel(self):
+        result = best_effort_schedule(fan(5), 0.0)
+        assert result.wct == 3.0  # src + parallel + join
+        assert result.peak() == 5
+
+    def test_clamps_to_now(self):
+        adg = ADG()
+        adg.add("late", 2.0)
+        result = best_effort_schedule(adg, 10.0)
+        assert result.start_of(0) == 10.0
+        assert result.wct == 12.0
+
+    def test_running_activity_clamped_forward(self):
+        adg = ADG()
+        adg.add("r", 2.0, start=0.0)  # should have ended at 2; now is 5
+        result = best_effort_schedule(adg, 5.0)
+        assert result.end_of(0) == 5.0
+
+    def test_finished_pinned(self):
+        adg = ADG()
+        adg.add("f", 2.0, start=0.0, end=1.5)
+        result = best_effort_schedule(adg, 5.0)
+        assert result.end_of(0) == 1.5
+
+
+class TestLimitedLP:
+    def test_serializes_under_lp1(self):
+        result = limited_lp_schedule(fan(4), 0.0, 1)
+        assert result.wct == 6.0  # 1 + 4 + 1
+
+    def test_lp_equals_width_matches_best_effort(self):
+        adg = fan(4)
+        assert limited_lp_schedule(adg, 0.0, 4).wct == best_effort_schedule(adg, 0.0).wct
+
+    def test_rejects_zero_lp(self):
+        with pytest.raises(SchedulingError):
+            limited_lp_schedule(fan(2), 0.0, 0)
+
+    def test_rejects_bad_priority(self):
+        with pytest.raises(SchedulingError):
+            limited_lp_schedule(fan(2), 0.0, 1, priority="magic")
+
+    def test_running_occupies_worker(self):
+        adg = ADG()
+        adg.add("running", 5.0, start=0.0)  # busy until 5
+        adg.add("pending", 1.0)
+        result = limited_lp_schedule(adg, 1.0, 1)
+        # single worker is taken until 5, so pending runs [5, 6]
+        assert result.start_of(1) == 5.0
+        assert result.wct == 6.0
+
+    def test_more_running_than_lp_allowed(self):
+        # After a decrease, 3 activities may be running under LP 2.
+        adg = ADG()
+        for _ in range(3):
+            adg.add("r", 4.0, start=0.0)
+        adg.add("p", 1.0)
+        result = limited_lp_schedule(adg, 1.0, 2)
+        assert result.start_of(3) == 4.0  # waits for capacity within LP
+
+    def test_critical_path_priority_beats_fifo_here(self):
+        # Long chain released last: critical-path priority starts it first.
+        adg = ADG()
+        short = [adg.add(f"s{i}", 1.0) for i in range(2)]
+        long_head = adg.add("L0", 1.0)
+        adg.add("L1", 10.0, [long_head])
+        cp = limited_lp_schedule(adg, 0.0, 1, priority="critical-path")
+        fifo = limited_lp_schedule(adg, 0.0, 1, priority="fifo")
+        assert cp.wct <= fifo.wct
+        assert cp.start_of(long_head) == 0.0
+
+    def test_zero_duration_activities(self):
+        adg = ADG()
+        a = adg.add("z", 0.0)
+        b = adg.add("w", 1.0, [a])
+        result = limited_lp_schedule(adg, 0.0, 1)
+        assert result.wct == 1.0
+
+
+class TestOptimalLP:
+    def test_fan_width(self):
+        assert optimal_lp(fan(7), 0.0) == 7
+
+    def test_chain_is_one(self):
+        adg = ADG()
+        a = adg.add("a", 1)
+        adg.add("b", 1, [a])
+        assert optimal_lp(adg, 0.0) == 1
+
+    def test_counts_only_future(self):
+        adg = ADG()
+        # Historical burst of 5 parallel activities, all finished.
+        for _ in range(5):
+            adg.add("h", 1.0, start=0.0, end=1.0)
+        adg.add("tail", 1.0)
+        assert optimal_lp(adg, 2.0) == 1
+
+
+class TestMinimalLP:
+    def test_finds_smallest(self):
+        adg = fan(6)
+        # 1 + ceil(6/k) + 1 <= 5  =>  k >= 2
+        found = minimal_lp_greedy(adg, 0.0, deadline=5.0)
+        assert found is not None
+        assert found[0] == 2
+
+    def test_respects_max_lp(self):
+        assert minimal_lp_greedy(fan(6), 0.0, deadline=3.0, max_lp=2) is None
+
+    def test_unreachable_returns_none(self):
+        adg = ADG()
+        adg.add("long", 100.0)
+        assert minimal_lp_greedy(adg, 0.0, deadline=1.0) is None
+
+    def test_start_lp_floor(self):
+        found = minimal_lp_greedy(fan(6), 0.0, deadline=8.0, start_lp=3)
+        assert found is not None
+        assert found[0] >= 3
+
+
+class TestExactMinimal:
+    def test_matches_greedy_on_fan(self):
+        adg = fan(5)
+        greedy = minimal_lp_greedy(adg, 0.0, deadline=4.0)
+        exact = exact_minimal_lp(adg, 0.0, deadline=4.0)
+        assert greedy is not None and exact is not None
+        assert exact <= greedy[0]
+
+    def test_exact_respects_deadline(self):
+        adg = fan(4)
+        k = exact_minimal_lp(adg, 0.0, deadline=4.0)
+        assert k is not None
+        assert limited_lp_schedule(adg, 0.0, k).wct <= 4.0 + 1e-9
+
+    def test_unreachable(self):
+        adg = ADG()
+        adg.add("long", 100.0)
+        assert exact_minimal_lp(adg, 0.0, deadline=1.0) is None
+
+    def test_size_guard(self):
+        with pytest.raises(SchedulingError):
+            exact_minimal_lp(fan(40), 0.0, deadline=10.0)
+
+
+class TestTimelineHelpers:
+    def test_concurrency_timeline(self):
+        steps = concurrency_timeline([(0, 2), (1, 3), (2, 4)])
+        assert steps == [(0, 1), (1, 2), (2, 2), (3, 1), (4, 0)]
+
+    def test_zero_length_ignored(self):
+        assert concurrency_timeline([(1, 1)]) == []
+
+    def test_peak(self):
+        assert peak_concurrency([(0, 1), (1, 5), (2, 0)]) == 5
+        assert peak_concurrency([]) == 0
+
+    def test_crop_from_time(self):
+        steps = concurrency_timeline([(0, 10)], from_time=5.0)
+        assert steps[0] == (5.0, 1)
+
+
+class TestPaperWorkedExample:
+    """The paper's Figure 1 / Figure 2 numbers, end to end."""
+
+    def setup_method(self):
+        self.adg, self.index = build_figure1_adg()
+
+    def test_best_effort_wct_is_100(self):
+        be = best_effort_schedule(self.adg, FIG1_NOW)
+        assert be.wct == PAPER_FIG1_EXPECTED["best_effort_wct"]
+
+    def test_optimal_lp_is_3(self):
+        assert optimal_lp(self.adg, FIG1_NOW) == PAPER_FIG1_EXPECTED["optimal_lp"]
+
+    def test_limited_lp2_wct_is_115(self):
+        l2 = limited_lp_schedule(self.adg, FIG1_NOW, 2)
+        assert l2.wct == PAPER_FIG1_EXPECTED["limited_lp2_wct"]
+
+    def test_goal_100_increases_to_3(self):
+        found = minimal_lp_greedy(
+            self.adg, FIG1_NOW, PAPER_FIG1_EXPECTED["wct_goal"]
+        )
+        assert found is not None
+        assert found[0] == PAPER_FIG1_EXPECTED["lp_increase_to"]
+
+    def test_m3_executes_estimated_75_90(self):
+        be = best_effort_schedule(self.adg, FIG1_NOW)
+        for aid in self.index["fe_3"]:
+            assert be.start_of(aid) == 75.0
+            assert be.end_of(aid) == 90.0
+
+    def test_limited_peak_never_exceeds_two_in_future(self):
+        l2 = limited_lp_schedule(self.adg, FIG1_NOW, 2)
+        assert l2.peak(from_time=FIG1_NOW) <= 2
+
+    def test_best_effort_timeline_peaks_in_75_90(self):
+        be = best_effort_schedule(self.adg, FIG1_NOW)
+        steps = be.timeline(from_time=FIG1_NOW)
+        at_peak = [t for t, lvl in steps if lvl == 3]
+        assert at_peak and min(at_peak) == 75.0

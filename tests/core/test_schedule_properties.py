@@ -1,0 +1,150 @@
+"""Property-based tests of scheduler invariants over random ADGs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.adg import ADG
+from repro.core.schedule import (
+    best_effort_schedule,
+    exact_minimal_lp,
+    limited_lp_schedule,
+    minimal_lp_greedy,
+    optimal_lp,
+)
+
+_EPS = 1e-9
+
+
+@st.composite
+def random_adg(draw, max_nodes=12):
+    """Random DAG of pending activities (edges only point forward)."""
+    n = draw(st.integers(1, max_nodes))
+    adg = ADG()
+    for i in range(n):
+        preds = []
+        if i:
+            preds = draw(
+                st.lists(st.integers(0, i - 1), unique=True, max_size=min(i, 3))
+            )
+        duration = draw(
+            st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False)
+        )
+        adg.add(f"a{i}", duration, preds)
+    return adg
+
+
+@st.composite
+def random_adg_with_history(draw):
+    """Random DAG where a prefix of activities already ran."""
+    adg = draw(random_adg())
+    now = draw(st.floats(0.0, 20.0))
+    # Mark a dependency-closed prefix as finished with consistent times.
+    t = 0.0
+    for act in adg.activities:
+        if act.preds and not all(adg.activity(p).finished for p in act.preds):
+            continue
+        if draw(st.booleans()):
+            start = max(
+                [t] + [adg.activity(p).end for p in act.preds if adg.activity(p).finished]
+            )
+            act.start = start
+            act.end = start + act.duration
+            t = act.end
+    return adg, max(now, t)
+
+
+class TestDependencyRespect:
+    @given(random_adg())
+    def test_best_effort_respects_deps(self, adg):
+        result = best_effort_schedule(adg, 0.0)
+        for act in adg.activities:
+            for p in act.preds:
+                assert result.start_of(act.id) >= result.end_of(p) - _EPS
+
+    @given(random_adg(), st.integers(1, 4))
+    def test_limited_respects_deps(self, adg, lp):
+        result = limited_lp_schedule(adg, 0.0, lp)
+        for act in adg.activities:
+            for p in act.preds:
+                assert result.start_of(act.id) >= result.end_of(p) - _EPS
+
+    @given(random_adg(), st.integers(1, 4))
+    def test_limited_respects_lp(self, adg, lp):
+        result = limited_lp_schedule(adg, 0.0, lp)
+        assert result.peak() <= lp
+
+    @given(random_adg())
+    def test_all_scheduled(self, adg):
+        result = limited_lp_schedule(adg, 0.0, 2)
+        assert set(result.entries) == {a.id for a in adg.activities}
+
+
+class TestOrderings:
+    @given(random_adg(), st.integers(1, 4))
+    def test_best_effort_lower_bounds_limited(self, adg, lp):
+        be = best_effort_schedule(adg, 0.0).wct
+        lim = limited_lp_schedule(adg, 0.0, lp).wct
+        assert be <= lim + _EPS
+
+    @given(random_adg())
+    def test_limited_at_optimal_reaches_best_effort(self, adg):
+        opt = max(optimal_lp(adg, 0.0), 1)
+        be = best_effort_schedule(adg, 0.0).wct
+        lim = limited_lp_schedule(adg, 0.0, opt).wct
+        assert lim == pytest.approx(be)
+
+    @given(random_adg())
+    def test_wct_nonincreasing_in_lp(self, adg):
+        """Greedy list schedules with critical-path priority should not get
+        worse when workers are added (holds for these graph sizes)."""
+        wcts = [limited_lp_schedule(adg, 0.0, lp).wct for lp in (1, 2, 4, 8)]
+        for a, b in zip(wcts, wcts[1:]):
+            assert b <= a + _EPS
+
+
+class TestHistoryHandling:
+    @given(random_adg_with_history())
+    def test_finished_pinned_everywhere(self, pair):
+        adg, now = pair
+        for strategy in (
+            best_effort_schedule(adg, now),
+            limited_lp_schedule(adg, now, 2),
+        ):
+            for act in adg.activities:
+                if act.finished:
+                    assert strategy.start_of(act.id) == act.start
+                    assert strategy.end_of(act.id) == act.end
+
+    @given(random_adg_with_history())
+    def test_pending_never_starts_before_now(self, pair):
+        adg, now = pair
+        result = limited_lp_schedule(adg, now, 3)
+        for act in adg.activities:
+            if not act.started:
+                assert result.start_of(act.id) >= now - _EPS
+
+    @given(random_adg_with_history())
+    def test_wct_never_before_now(self, pair):
+        adg, now = pair
+        assert best_effort_schedule(adg, now).wct >= now - _EPS or all(
+            a.finished for a in adg.activities
+        )
+
+
+class TestMinimalSearch:
+    @given(random_adg(max_nodes=8), st.floats(1.0, 40.0))
+    def test_greedy_result_meets_deadline(self, adg, slack):
+        deadline = best_effort_schedule(adg, 0.0).wct + slack - 1.0
+        found = minimal_lp_greedy(adg, 0.0, deadline)
+        if found is not None:
+            lp, schedule = found
+            assert schedule.wct <= deadline + _EPS
+
+    @given(random_adg(max_nodes=7))
+    def test_exact_never_exceeds_greedy(self, adg):
+        deadline = limited_lp_schedule(adg, 0.0, 2).wct
+        greedy = minimal_lp_greedy(adg, 0.0, deadline)
+        exact = exact_minimal_lp(adg, 0.0, deadline)
+        if greedy is not None:
+            assert exact is not None
+            assert exact <= greedy[0]

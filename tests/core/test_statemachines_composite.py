@@ -1,0 +1,152 @@
+"""Tests for the composite and extension machines (Farm, Pipe, If, Fork),
+driven by real simulator event streams."""
+
+import pytest
+
+from repro import (
+    Execute,
+    Farm,
+    Fork,
+    If,
+    Map,
+    Merge,
+    Pipe,
+    Seq,
+    SimulatedPlatform,
+    Split,
+    run,
+)
+from repro.core.estimator import EstimatorRegistry
+from repro.core.schedule import best_effort_schedule
+from repro.core.statemachines import (
+    FarmMachine,
+    ForkMachine,
+    IfMachine,
+    MachineRegistry,
+    PipeMachine,
+)
+from repro.runtime.costmodel import ConstantCostModel
+
+
+def run_tracked(skel, value, cost=1.0, parallelism=2):
+    estimators = EstimatorRegistry()
+    machines = MachineRegistry(estimators, extensions=True)
+    platform = SimulatedPlatform(
+        parallelism=parallelism, cost_model=ConstantCostModel(cost)
+    )
+    platform.add_listener(machines)
+    result = run(skel, value, platform)
+    return machines, estimators, platform, result
+
+
+class TestFarmMachine:
+    def test_wraps_child(self):
+        machines, _, platform, _ = run_tracked(Farm(Seq(lambda v: v)), 0)
+        root = machines.roots[0]
+        assert isinstance(root, FarmMachine)
+        assert len(root.children) == 1
+
+    def test_projection_after_finish_is_actual(self):
+        machines, _, platform, _ = run_tracked(Farm(Seq(lambda v: v)), 0)
+        adg, _ = machines.project_roots(platform.now(), roots=machines.roots)
+        assert len(adg) == 1
+        assert all(a.finished for a in adg)
+
+
+class TestPipeMachine:
+    def test_stage_order(self):
+        a = Execute(lambda v: v + 1, name="stage-a")
+        b = Execute(lambda v: v * 2, name="stage-b")
+        machines, _, platform, result = run_tracked(Pipe(Seq(a), Seq(b)), 1)
+        assert result == 4
+        root = machines.roots[0]
+        assert isinstance(root, PipeMachine)
+        adg, _ = machines.project_roots(platform.now(), roots=machines.roots)
+        names = [act.name for act in adg.activities]
+        assert names == ["stage-a", "stage-b"]
+        # chained dependency
+        assert adg.activities[1].preds == (0,)
+
+    def test_partial_pipe_projection(self):
+        """Mid-run, unstarted stages come from structural projection."""
+        a = Execute(lambda v: v, name="a")
+        b = Execute(lambda v: v, name="b")
+        skel = Pipe(Seq(a), Seq(b))
+        estimators = EstimatorRegistry()
+        estimators.time_estimator(a).initialize(1.0)
+        estimators.time_estimator(b).initialize(1.0)
+        machines = MachineRegistry(estimators)
+        platform = SimulatedPlatform(parallelism=1, cost_model=ConstantCostModel(1.0))
+        platform.add_listener(machines)
+        sizes = []
+        platform.bus.add_callback(
+            lambda e: (
+                sizes.append(
+                    len(machines.project_roots(platform.now())[0])
+                    if machines.unfinished_roots()
+                    else 0
+                ),
+                e.value,
+            )[1]
+        )
+        run(skel, 0, platform)
+        assert all(s == 2 for s in sizes[:-1])
+
+
+class TestIfMachine:
+    def test_taken_branch_tracked(self):
+        skel = If(
+            lambda v: v > 0,
+            Seq(Execute(lambda v: "pos", name="pos")),
+            Seq(Execute(lambda v: "neg", name="neg")),
+        )
+        machines, est, platform, result = run_tracked(skel, 5)
+        assert result == "pos"
+        root = machines.roots[0]
+        assert isinstance(root, IfMachine)
+        assert root.cond_span.result is True
+        adg, _ = machines.project_roots(platform.now(), roots=machines.roots)
+        assert [a.name for a in adg.activities if a.role == "execute"] == [
+            machines.roots[0].skel.true_skel.execute.name
+        ]
+
+    def test_condition_time_estimated(self):
+        skel = If(lambda v: True, Seq(lambda v: v), Seq(lambda v: v))
+        machines, est, _, _ = run_tracked(skel, 0, cost=2.0)
+        assert est.t(skel.condition) == pytest.approx(2.0)
+
+
+class TestForkMachine:
+    def test_branch_assignment_by_skeleton(self):
+        left = Seq(Execute(lambda v: v + 1, name="left"))
+        right = Seq(Execute(lambda v: v * 10, name="right"))
+        skel = Fork(
+            Split(lambda v: [v, v], name="fs"), [left, right], Merge(list, name="fm")
+        )
+        machines, est, platform, result = run_tracked(skel, 3)
+        assert result == [4, 30]
+        root = machines.roots[0]
+        assert isinstance(root, ForkMachine)
+        adg, _ = machines.project_roots(platform.now(), roots=machines.roots)
+        execute_names = {a.name for a in adg.activities if a.role == "execute"}
+        assert execute_names == {left.execute.name, right.execute.name}
+
+    def test_split_card_observed(self):
+        skel = Fork(
+            Split(lambda v: [v, v], name="fs"),
+            [Seq(lambda v: v), Seq(lambda v: v)],
+            Merge(list, name="fm"),
+        )
+        machines, est, _, _ = run_tracked(skel, 0)
+        assert est.card(skel.split) == pytest.approx(2.0)
+
+    def test_projection_schedules_cleanly(self):
+        skel = Fork(
+            Split(lambda v: [v, v], name="fs"),
+            [Seq(lambda v: v), Seq(lambda v: v)],
+            Merge(list, name="fm"),
+        )
+        machines, _, platform, _ = run_tracked(skel, 0)
+        adg, _ = machines.project_roots(platform.now(), roots=machines.roots)
+        schedule = best_effort_schedule(adg, platform.now())
+        assert schedule.wct == pytest.approx(platform.now())

@@ -1,0 +1,110 @@
+"""Unit tests for the event bus: dispatch order, filtering, errors."""
+
+import logging
+
+import pytest
+
+from repro.events.bus import EventBus, Listener
+from repro.events.types import Event, When, Where
+
+
+def make_event(value=0, kind="seq", when=When.BEFORE, where=Where.SKELETON):
+    return Event(
+        skeleton=None, kind=kind, when=when, where=where,
+        index=0, parent_index=None, value=value, timestamp=0.0,
+    )
+
+
+class Recorder(Listener):
+    def __init__(self):
+        self.seen = []
+
+    def on_event(self, event):
+        self.seen.append(event.label)
+        return event.value
+
+
+class TestRegistration:
+    def test_add_and_remove(self):
+        bus = EventBus()
+        listener = Recorder()
+        bus.add_listener(listener)
+        assert bus.listeners() == [listener]
+        assert bus.remove_listener(listener)
+        assert bus.listeners() == []
+
+    def test_remove_missing_returns_false(self):
+        assert not EventBus().remove_listener(Recorder())
+
+    def test_add_requires_listener(self):
+        with pytest.raises(TypeError):
+            EventBus().add_listener(lambda e: e)
+
+    def test_add_callback_filters(self):
+        bus = EventBus()
+        seen = []
+        bus.add_callback(lambda e: seen.append(e.label) or e.value, kind="map")
+        bus.publish(make_event(kind="seq"))
+        bus.publish(make_event(kind="map"))
+        assert seen == ["map@b"]
+
+    def test_clear(self):
+        bus = EventBus()
+        bus.add_listener(Recorder())
+        bus.clear()
+        assert bus.listeners() == []
+
+
+class TestDispatch:
+    def test_publish_returns_value(self):
+        bus = EventBus()
+        assert bus.publish(make_event(value=7)) == 7
+
+    def test_listeners_called_in_order(self):
+        bus = EventBus()
+        order = []
+        bus.add_callback(lambda e: order.append("a") or e.value)
+        bus.add_callback(lambda e: order.append("b") or e.value)
+        bus.publish(make_event())
+        assert order == ["a", "b"]
+
+    def test_value_pipeline(self):
+        bus = EventBus()
+        bus.add_callback(lambda e: e.value + 1)
+        bus.add_callback(lambda e: e.value * 10)
+        assert bus.publish(make_event(value=1)) == 20
+
+    def test_published_counter(self):
+        bus = EventBus()
+        bus.publish(make_event())
+        bus.publish(make_event())
+        assert bus.published == 2
+
+    def test_accepts_skips_listener(self):
+        bus = EventBus()
+
+        class Picky(Recorder):
+            def accepts(self, event):
+                return event.kind == "map"
+
+        picky = Picky()
+        bus.add_listener(picky)
+        bus.publish(make_event(kind="seq"))
+        assert picky.seen == []
+
+
+class TestErrors:
+    def test_propagate_by_default(self):
+        bus = EventBus()
+        bus.add_callback(lambda e: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            bus.publish(make_event())
+
+    def test_swallow_when_configured(self, caplog):
+        bus = EventBus(propagate_errors=False)
+        bus.add_callback(lambda e: 1 / 0)
+        bus.add_callback(lambda e: e.value + 1)
+        with caplog.at_level(logging.ERROR):
+            result = bus.publish(make_event(value=1))
+        assert result == 2  # second listener still ran on the original value
+        assert any("failed" in r.message for r in caplog.records)

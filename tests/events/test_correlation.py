@@ -1,0 +1,95 @@
+"""Unit + property tests for index allocation and before/after pairing."""
+
+import threading
+
+from hypothesis import given, strategies as st
+
+from repro.events.correlation import IndexAllocator, check_balanced, pair_events
+from repro.events.types import Event, When, Where
+
+
+def ev(when, index=0, where=Where.SKELETON, ts=0.0, **extra):
+    return Event(
+        skeleton=None, kind="seq", when=when, where=where,
+        index=index, parent_index=None, value=None, timestamp=ts, extra=extra,
+    )
+
+
+class TestIndexAllocator:
+    def test_monotonic(self):
+        alloc = IndexAllocator()
+        assert [alloc.next() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_start_offset(self):
+        assert IndexAllocator(start=10).next() == 10
+
+    def test_thread_safe_uniqueness(self):
+        alloc = IndexAllocator()
+        out = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [alloc.next() for _ in range(200)]
+            with lock:
+                out.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(out) == len(set(out)) == 1600
+
+
+class TestPairing:
+    def test_simple_pair(self):
+        events = [ev(When.BEFORE, ts=1.0), ev(When.AFTER, ts=2.0)]
+        pairs = pair_events(events)
+        assert len(pairs) == 1
+        assert pairs[0][0].when is When.BEFORE
+
+    def test_pairs_respect_index(self):
+        events = [
+            ev(When.BEFORE, index=1, ts=0),
+            ev(When.BEFORE, index=2, ts=1),
+            ev(When.AFTER, index=2, ts=2),
+            ev(When.AFTER, index=1, ts=3),
+        ]
+        pairs = pair_events(events)
+        assert {(b.index, a.index) for b, a in pairs} == {(1, 1), (2, 2)}
+
+    def test_unmatched_after_raises(self):
+        try:
+            pair_events([ev(When.AFTER)])
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_unmatched_before_detected(self):
+        assert not check_balanced([ev(When.BEFORE)])
+
+    def test_discriminates_by_iteration(self):
+        events = [
+            ev(When.BEFORE, where=Where.CONDITION, iteration=0, ts=0),
+            ev(When.AFTER, where=Where.CONDITION, iteration=0, ts=1),
+            ev(When.BEFORE, where=Where.CONDITION, iteration=1, ts=2),
+            ev(When.AFTER, where=Where.CONDITION, iteration=1, ts=3),
+        ]
+        assert check_balanced(events)
+        assert len(pair_events(events)) == 2
+
+    @given(st.lists(st.integers(0, 5), max_size=20))
+    def test_property_balanced_nesting(self, indices):
+        """Any set of (before, after) pairs, arbitrarily interleaved by
+        index, is balanced."""
+        events = []
+        ts = 0.0
+        for i in indices:
+            events.append(ev(When.BEFORE, index=i, ts=ts))
+            ts += 1
+        for i in reversed(indices):
+            events.append(ev(When.AFTER, index=i, ts=ts))
+            ts += 1
+        assert check_balanced(events)
+        assert len(pair_events(events)) == len(indices)

@@ -1,0 +1,112 @@
+"""Unit tests for the ready-made listeners."""
+
+import logging
+import threading
+
+from repro.events import (
+    CountingListener,
+    EventBus,
+    FilteredListener,
+    GenericListener,
+    LatchListener,
+    LoggingListener,
+    ValueTransformListener,
+    When,
+    Where,
+)
+from repro.events.types import Event
+
+
+def make_event(value=0, kind="seq", when=When.BEFORE, where=Where.SKELETON, index=0):
+    return Event(
+        skeleton=None, kind=kind, when=when, where=where,
+        index=index, parent_index=None, value=value, timestamp=0.0,
+    )
+
+
+class TestGenericListener:
+    def test_handler_receives_paper_signature(self):
+        captured = {}
+
+        class L(GenericListener):
+            def handler(self, param, trace, i, when, where, *, event):
+                captured.update(param=param, i=i, when=when, where=where)
+                return param
+
+        L().on_event(make_event(value=9, index=4, when=When.AFTER))
+        assert captured == {
+            "param": 9, "i": 4, "when": When.AFTER, "where": Where.SKELETON
+        }
+
+    def test_default_handler_is_identity(self):
+        assert GenericListener().on_event(make_event(value=11)) == 11
+
+
+class TestFilteredListener:
+    def test_filters_by_kind(self):
+        inner = CountingListener()
+        f = FilteredListener(inner, kind="map")
+        assert not f.accepts(make_event(kind="seq"))
+        assert f.accepts(make_event(kind="map"))
+
+    def test_predicate(self):
+        inner = CountingListener()
+        f = FilteredListener(inner, predicate=lambda e: e.index > 2)
+        assert not f.accepts(make_event(index=1))
+        assert f.accepts(make_event(index=3))
+
+    def test_delegates_on_event(self):
+        inner = CountingListener()
+        FilteredListener(inner).on_event(make_event())
+        assert inner.total() == 1
+
+
+class TestCountingListener:
+    def test_counts_by_label(self):
+        c = CountingListener()
+        bus = EventBus()
+        bus.add_listener(c)
+        bus.publish(make_event(kind="map", where=Where.SPLIT))
+        bus.publish(make_event(kind="map", where=Where.SPLIT))
+        bus.publish(make_event(kind="seq"))
+        assert c.counts["map@bs"] == 2
+        assert c.counts["seq@b"] == 1
+        assert c.total() == 3
+
+
+class TestLatchListener:
+    def test_latch_matches(self):
+        latch = LatchListener(lambda e: e.index == 5)
+        latch.on_event(make_event(index=1))
+        assert not latch.wait(timeout=0.01)
+        latch.on_event(make_event(index=5))
+        assert latch.wait(timeout=0.01)
+        assert latch.matched.index == 5
+
+    def test_latch_from_other_thread(self):
+        latch = LatchListener(lambda e: True)
+        t = threading.Thread(target=lambda: latch.on_event(make_event()))
+        t.start()
+        assert latch.wait(timeout=2.0)
+        t.join()
+
+
+class TestValueTransformListener:
+    def test_transforms_matching(self):
+        l = ValueTransformListener(lambda v: v * 2, kind="seq")
+        assert l.on_event(make_event(value=21)) == 42
+
+    def test_skips_non_matching(self):
+        l = ValueTransformListener(lambda v: v * 2, kind="map")
+        assert not l.accepts(make_event(kind="seq"))
+
+
+class TestLoggingListener:
+    def test_logs_identification(self, caplog):
+        listener = LoggingListener(logging.getLogger("test.events"))
+        with caplog.at_level(logging.INFO, logger="test.events"):
+            out = listener.on_event(make_event(value=3, index=7))
+        assert out == 3
+        text = "\n".join(r.getMessage() for r in caplog.records)
+        assert "INDEX: 7" in text
+        assert "WHEN/WHERE" in text

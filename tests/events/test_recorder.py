@@ -1,0 +1,62 @@
+"""Unit tests for the event recorder."""
+
+from repro.events import EventBus, EventRecorder, When, Where
+from repro.events.types import Event
+
+
+def ev(when=When.BEFORE, kind="seq", where=Where.SKELETON, index=0, ts=0.0):
+    return Event(
+        skeleton=None, kind=kind, when=when, where=where,
+        index=index, parent_index=None, value=None, timestamp=ts,
+    )
+
+
+def test_records_in_order():
+    rec = EventRecorder()
+    bus = EventBus()
+    bus.add_listener(rec)
+    bus.publish(ev(kind="map"))
+    bus.publish(ev(kind="seq"))
+    assert rec.labels() == ["map@b", "seq@b"]
+    assert len(rec) == 2
+
+
+def test_select_filters():
+    rec = EventRecorder()
+    rec.on_event(ev(kind="map", where=Where.SPLIT))
+    rec.on_event(ev(kind="map", where=Where.MERGE))
+    rec.on_event(ev(kind="seq"))
+    assert len(rec.select(kind="map")) == 2
+    assert len(rec.select(where=Where.MERGE)) == 1
+    assert len(rec.select(predicate=lambda e: e.kind == "seq")) == 1
+
+
+def test_first():
+    rec = EventRecorder()
+    assert rec.first(kind="map") is None
+    rec.on_event(ev(kind="map", ts=3.0))
+    assert rec.first(kind="map").timestamp == 3.0
+
+
+def test_pairs_and_durations():
+    rec = EventRecorder()
+    rec.on_event(ev(When.BEFORE, index=1, ts=1.0))
+    rec.on_event(ev(When.AFTER, index=1, ts=4.5))
+    assert rec.is_balanced()
+    assert rec.durations() == [3.5]
+
+
+def test_clear():
+    rec = EventRecorder()
+    rec.on_event(ev())
+    rec.clear()
+    assert len(rec) == 0
+
+
+def test_timestamps_monotonic():
+    rec = EventRecorder()
+    rec.on_event(ev(ts=1.0))
+    rec.on_event(ev(ts=2.0))
+    assert rec.timestamps_monotonic()
+    rec.on_event(ev(ts=0.5))
+    assert not rec.timestamps_monotonic()

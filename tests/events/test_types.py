@@ -1,0 +1,81 @@
+"""Unit tests for the event model (labels, matching, enums)."""
+
+import pytest
+
+from repro.events.types import Event, When, Where, event_label
+
+
+def make_event(**kw):
+    defaults = dict(
+        skeleton=None,
+        kind="map",
+        when=When.BEFORE,
+        where=Where.SPLIT,
+        index=3,
+        parent_index=None,
+        value=42,
+        timestamp=1.5,
+    )
+    defaults.update(kw)
+    return Event(**defaults)
+
+
+class TestEventLabel:
+    def test_seq_before(self):
+        assert event_label("seq", When.BEFORE, Where.SKELETON) == "seq@b"
+
+    def test_seq_after(self):
+        assert event_label("seq", When.AFTER, Where.SKELETON) == "seq@a"
+
+    def test_map_after_split(self):
+        assert event_label("map", When.AFTER, Where.SPLIT) == "map@as"
+
+    def test_map_before_merge(self):
+        assert event_label("map", When.BEFORE, Where.MERGE) == "map@bm"
+
+    def test_while_condition(self):
+        assert event_label("while", When.AFTER, Where.CONDITION) == "while@ac"
+
+    def test_nested(self):
+        assert event_label("map", When.BEFORE, Where.NESTED) == "map@bn"
+
+    def test_event_label_property(self):
+        assert make_event().label == "map@bs"
+
+
+class TestEventPredicates:
+    def test_is_before(self):
+        assert make_event(when=When.BEFORE).is_before()
+        assert not make_event(when=When.BEFORE).is_after()
+
+    def test_is_after(self):
+        assert make_event(when=When.AFTER).is_after()
+
+    def test_matches_kind(self):
+        assert make_event().matches(kind="map")
+        assert not make_event().matches(kind="seq")
+
+    def test_matches_when_where(self):
+        e = make_event()
+        assert e.matches(when=When.BEFORE, where=Where.SPLIT)
+        assert not e.matches(when=When.AFTER)
+        assert not e.matches(where=Where.MERGE)
+
+    def test_matches_none_is_wildcard(self):
+        assert make_event().matches()
+
+    def test_extra_defaults_empty(self):
+        assert dict(make_event().extra) == {}
+
+
+class TestEnums:
+    def test_when_codes(self):
+        assert When.BEFORE.value == "b"
+        assert When.AFTER.value == "a"
+
+    def test_where_codes(self):
+        assert Where.SKELETON.value == ""
+        assert Where.SPLIT.value == "s"
+        assert Where.MERGE.value == "m"
+        assert Where.CONDITION.value == "c"
+        assert Where.NESTED.value == "n"

@@ -1,0 +1,144 @@
+"""Failure injection: errors in muscles and listeners must surface once,
+cleanly, on every platform, without wedging workers or barriers."""
+
+import pytest
+
+from repro import (
+    DivideAndConquer,
+    Execute,
+    Map,
+    Merge,
+    Pipe,
+    Seq,
+    SimulatedPlatform,
+    Split,
+    ThreadPoolPlatform,
+    While,
+    run,
+)
+from repro.errors import ExecutionError, MuscleExecutionError
+from repro.events import When, Where
+from repro.runtime.costmodel import ConstantCostModel
+from repro.runtime.interpreter import submit
+
+pytestmark = pytest.mark.integration
+
+
+def failing_after(n):
+    """An execute muscle that fails on the (n+1)-th invocation."""
+    state = {"count": 0}
+
+    def fe(v):
+        state["count"] += 1
+        if state["count"] > n:
+            raise RuntimeError(f"injected failure #{state['count']}")
+        return v
+
+    return fe
+
+
+class TestMuscleFailures:
+    def test_split_failure(self, sim):
+        skel = Map(lambda v: 1 / 0, Seq(lambda v: v), sum)
+        with pytest.raises(MuscleExecutionError):
+            run(skel, 0, sim)
+
+    def test_merge_failure(self, sim):
+        skel = Map(lambda v: [v, v], Seq(lambda v: v), lambda rs: 1 / 0)
+        with pytest.raises(MuscleExecutionError):
+            run(skel, 0, sim)
+
+    def test_one_branch_fails_mid_map(self, sim_timed):
+        # 4 branches; the third execute raises.
+        skel = Map(lambda v: [v] * 4, Seq(failing_after(2)), sum)
+        with pytest.raises(MuscleExecutionError) as info:
+            run(skel, 0, sim_timed)
+        assert "injected" in str(info.value.cause)
+
+    def test_condition_failure_in_while(self, sim):
+        skel = While(lambda v: 1 / 0, Seq(lambda v: v))
+        with pytest.raises(MuscleExecutionError):
+            run(skel, 0, sim)
+
+    def test_nested_dac_failure(self, sim):
+        skel = DivideAndConquer(
+            lambda v: v > 2,
+            lambda v: [v - 1, v - 2],
+            Seq(failing_after(1)),
+            sum,
+        )
+        with pytest.raises(MuscleExecutionError):
+            run(skel, 9, sim)
+
+    def test_pipe_second_stage_failure_keeps_cause(self, sim):
+        skel = Pipe(Seq(lambda v: v + 1), Seq(lambda v: v / 0))
+        with pytest.raises(MuscleExecutionError) as info:
+            run(skel, 1, sim)
+        assert isinstance(info.value.cause, ZeroDivisionError)
+
+    def test_remaining_tasks_dropped_after_failure(self):
+        # After the failure, the queued sibling tasks must be skipped: the
+        # execution's muscle-call count stays below the full fan-out.
+        calls = []
+
+        def fe(v):
+            calls.append(v)
+            if v == "boom":
+                raise RuntimeError("boom")
+            return v
+
+        plat = SimulatedPlatform(parallelism=1, cost_model=ConstantCostModel(1.0))
+        skel = Map(lambda v: ["boom"] + ["ok"] * 50, Seq(fe), lambda rs: rs)
+        with pytest.raises(MuscleExecutionError):
+            run(skel, 0, plat)
+        assert len(calls) < 51
+
+    def test_failure_does_not_poison_other_execution(self, sim):
+        good = Seq(lambda v: v * 2)
+        bad = Seq(lambda v: 1 / 0)
+        bad_future = submit(bad, 1, sim)
+        good_future = submit(good, 21, sim)
+        with pytest.raises(MuscleExecutionError):
+            bad_future.get()
+        assert good_future.get() == 42
+
+
+class TestListenerFailures:
+    def test_listener_error_fails_execution(self, sim):
+        # Listener exceptions are non-functional-code failures: they abort
+        # the execution and surface unwrapped to the caller.
+        sim.bus.add_callback(lambda e: 1 / 0, kind="seq", when=When.AFTER)
+        with pytest.raises(ZeroDivisionError):
+            run(Seq(lambda v: v), 0, sim)
+
+    def test_non_propagating_bus_swallows(self):
+        from repro.events.bus import EventBus
+
+        plat = SimulatedPlatform(bus=EventBus(propagate_errors=False))
+        plat.bus.add_callback(lambda e: 1 / 0, kind="seq")
+        assert run(Seq(lambda v: v + 1), 1, plat) == 2
+
+
+class TestThreadPoolFailures:
+    def test_parallel_failure_resolves_future(self):
+        with ThreadPoolPlatform(parallelism=4) as pool:
+            skel = Map(lambda v: [v] * 8, Seq(failing_after(3)), sum)
+            with pytest.raises(MuscleExecutionError):
+                run(skel, 0, pool)
+            # pool still serves new work afterwards
+            assert run(Seq(lambda v: v + 1), 1, pool) == 2
+
+    def test_every_future_resolves_under_failures(self):
+        with ThreadPoolPlatform(parallelism=3) as pool:
+            futures = []
+            for i in range(12):
+                if i % 3 == 0:
+                    futures.append(submit(Seq(lambda v: 1 / 0), i, pool))
+                else:
+                    futures.append(submit(Seq(lambda v: v * 2), i, pool))
+            for i, f in enumerate(futures):
+                if i % 3 == 0:
+                    with pytest.raises(MuscleExecutionError):
+                        f.get(timeout=10)
+                else:
+                    assert f.get(timeout=10) == i * 2

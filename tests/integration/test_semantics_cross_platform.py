@@ -1,0 +1,70 @@
+"""Property tests: every platform implements the same functional semantics.
+
+For random skeleton programs over integers, the simulator (at several LP
+values) and the thread pool must produce exactly the result of the
+sequential reference evaluator.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import SimulatedPlatform, ThreadPoolPlatform, run
+from repro.events import EventRecorder
+from repro.runtime.costmodel import ConstantCostModel
+from repro.skeletons import sequential_evaluate
+from tests.conftest import build_program, program_descriptions
+
+pytestmark = pytest.mark.integration
+
+
+class TestSimulatorSemantics:
+    @given(program_descriptions)
+    def test_matches_reference_lp1(self, desc):
+        expected = sequential_evaluate(build_program(desc), 7)
+        assert run(build_program(desc), 7, SimulatedPlatform(parallelism=1)) == expected
+
+    @given(program_descriptions)
+    def test_matches_reference_lp4(self, desc):
+        expected = sequential_evaluate(build_program(desc), 7)
+        platform = SimulatedPlatform(parallelism=4, cost_model=ConstantCostModel(1.0))
+        assert run(build_program(desc), 7, platform) == expected
+
+    @given(program_descriptions)
+    def test_lp_invariant(self, desc):
+        """Changing the LP never changes the functional result."""
+        results = {
+            run(
+                build_program(desc),
+                3,
+                SimulatedPlatform(parallelism=lp, cost_model=ConstantCostModel(0.5)),
+            )
+            for lp in (1, 2, 8)
+        }
+        assert len(results) == 1
+
+    @given(program_descriptions)
+    def test_events_balanced(self, desc):
+        platform = SimulatedPlatform(parallelism=2)
+        recorder = EventRecorder()
+        platform.add_listener(recorder)
+        run(build_program(desc), 5, platform)
+        assert recorder.is_balanced()
+        assert recorder.timestamps_monotonic()
+
+
+class TestThreadPoolSemantics:
+    @given(program_descriptions)
+    @settings(max_examples=10)
+    def test_matches_reference(self, desc):
+        expected = sequential_evaluate(build_program(desc), 7)
+        with ThreadPoolPlatform(parallelism=3) as pool:
+            assert run(build_program(desc), 7, pool) == expected
+
+    @given(program_descriptions)
+    @settings(max_examples=10)
+    def test_events_balanced_on_threads(self, desc):
+        with ThreadPoolPlatform(parallelism=3) as pool:
+            recorder = EventRecorder()
+            pool.add_listener(recorder)
+            run(build_program(desc), 2, pool)
+            assert recorder.is_balanced()

@@ -1,0 +1,67 @@
+"""Property tests: the simulator is bit-for-bit deterministic, including
+under autonomic control."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import SimulatedPlatform, run
+from repro.core.controller import AutonomicController
+from repro.core.qos import QoS
+from repro.events import EventRecorder
+from repro.runtime.costmodel import ConstantCostModel
+from tests.conftest import build_program, program_descriptions
+
+pytestmark = pytest.mark.integration
+
+
+def trace_run(desc, parallelism=3, controller_goal=None):
+    platform = SimulatedPlatform(
+        parallelism=parallelism,
+        cost_model=ConstantCostModel(1.0),
+        max_parallelism=8,
+    )
+    recorder = EventRecorder()
+    platform.add_listener(recorder)
+    skel = build_program(desc)
+    controller = None
+    if controller_goal is not None:
+        try:
+            controller = AutonomicController(
+                platform, skel, qos=QoS.wall_clock(controller_goal, max_lp=8)
+            )
+        except Exception:
+            # Programs containing If/Fork are rejected by the paper-mode
+            # controller; run them uncontrolled.
+            controller = None
+    result = run(skel, 4, platform)
+    events = [
+        (e.label, e.index, round(e.timestamp, 9), e.worker) for e in recorder.events
+    ]
+    lp = platform.metrics.as_steps()
+    decisions = (
+        [(d.time, d.action, d.lp_after) for d in controller.decisions]
+        if controller
+        else []
+    )
+    return result, events, lp, decisions
+
+
+class TestDeterminism:
+    @given(program_descriptions)
+    def test_event_logs_identical(self, desc):
+        assert trace_run(desc) == trace_run(desc)
+
+    @given(program_descriptions)
+    @settings(max_examples=15)
+    def test_autonomic_runs_identical(self, desc):
+        a = trace_run(desc, parallelism=1, controller_goal=5.0)
+        b = trace_run(desc, parallelism=1, controller_goal=5.0)
+        assert a == b
+
+    @given(program_descriptions)
+    @settings(max_examples=15)
+    def test_virtual_time_nonnegative_monotone(self, desc):
+        _result, events, _lp, _ = trace_run(desc)
+        times = [t for _l, _i, t, _w in events]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(t >= 0 for t in times)

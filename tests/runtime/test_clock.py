@@ -1,0 +1,50 @@
+"""Unit tests for the clock abstraction."""
+
+import time
+
+import pytest
+
+from repro.runtime.clock import RealClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance_to(self):
+        c = VirtualClock()
+        c.advance_to(3.5)
+        assert c.now() == 3.5
+
+    def test_advance_by(self):
+        c = VirtualClock(1.0)
+        c.advance_by(2.0)
+        assert c.now() == 3.0
+
+    def test_rejects_backwards_advance_to(self):
+        c = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            c.advance_to(5.0)
+
+    def test_rejects_negative_advance_by(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance_by(-1.0)
+
+    def test_tolerates_equal_time(self):
+        c = VirtualClock(2.0)
+        c.advance_to(2.0)
+        assert c.now() == 2.0
+
+
+class TestRealClock:
+    def test_rebased_near_zero(self):
+        assert RealClock().now() < 0.5
+
+    def test_monotonic(self):
+        c = RealClock()
+        a = c.now()
+        time.sleep(0.01)
+        assert c.now() > a

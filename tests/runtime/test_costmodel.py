@@ -1,0 +1,87 @@
+"""Unit tests for cost models."""
+
+import pytest
+
+from repro.runtime.costmodel import (
+    CallableCostModel,
+    ConstantCostModel,
+    PerItemCostModel,
+    TableCostModel,
+    ZeroCostModel,
+)
+from repro.skeletons.muscles import Execute, Split
+
+
+def muscle(name="m"):
+    return Execute(lambda v: v, name=name)
+
+
+class TestZeroAndConstant:
+    def test_zero(self):
+        assert ZeroCostModel().duration(muscle(), 1) == 0.0
+
+    def test_constant(self):
+        assert ConstantCostModel(2.5).duration(muscle(), None) == 2.5
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantCostModel(-1.0)
+
+
+class TestTable:
+    def test_lookup_by_object(self):
+        m = muscle()
+        assert TableCostModel({m: 3.0}).duration(m, None) == 3.0
+
+    def test_lookup_by_uid(self):
+        m = muscle()
+        assert TableCostModel({m.uid: 4.0}).duration(m, None) == 4.0
+
+    def test_lookup_by_name(self):
+        m = muscle("special")
+        assert TableCostModel({"special": 5.0}).duration(m, None) == 5.0
+
+    def test_callable_cost_entry(self):
+        m = muscle()
+        model = TableCostModel({m: lambda v: 0.1 * v})
+        assert model.duration(m, 30) == pytest.approx(3.0)
+
+    def test_default_fallback(self):
+        assert TableCostModel({}, default=1.5).duration(muscle(), None) == 1.5
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            TableCostModel({}).duration(muscle(), None)
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(TypeError):
+            TableCostModel({3.14: 1.0})
+
+    def test_negative_duration_rejected(self):
+        m = muscle()
+        with pytest.raises(ValueError):
+            TableCostModel({m: -2.0}).duration(m, None)
+
+
+class TestCallable:
+    def test_computed(self):
+        model = CallableCostModel(lambda m, v: len(v) * 0.5)
+        assert model.duration(muscle(), [1, 2]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CallableCostModel(lambda m, v: -1.0).duration(muscle(), None)
+
+
+class TestPerItem:
+    def test_len_based(self):
+        model = PerItemCostModel(per_item=0.1, overhead=1.0)
+        assert model.duration(muscle(), [1, 2, 3]) == pytest.approx(1.3)
+
+    def test_scalar_counts_as_one(self):
+        model = PerItemCostModel(per_item=0.1)
+        assert model.duration(muscle(), 42) == pytest.approx(0.1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PerItemCostModel(per_item=-0.1)

@@ -1,0 +1,133 @@
+"""Unit/integration tests for the simulated distributed platform."""
+
+import pytest
+
+from repro import (
+    Execute,
+    Map,
+    Merge,
+    Seq,
+    SimulatedDistributedPlatform,
+    SimulatedPlatform,
+    Split,
+    run,
+)
+from repro.core.controller import AutonomicController
+from repro.core.qos import QoS
+from repro.errors import PlatformError
+from repro.runtime.costmodel import ConstantCostModel
+
+
+def wide_map(width=4):
+    return Map(
+        Split(lambda v: [v + i for i in range(width)], name="w"),
+        Seq(Execute(lambda v: v * 2, name="dbl")),
+        Merge(sum, name="sum"),
+    )
+
+
+class TestConstruction:
+    def test_rejects_negative_latency(self):
+        with pytest.raises(PlatformError):
+            SimulatedDistributedPlatform(dispatch_latency=-1)
+        with pytest.raises(PlatformError):
+            SimulatedDistributedPlatform(collect_latency=-0.5)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(PlatformError):
+            SimulatedDistributedPlatform(worker_speeds=[1.0, 0.0])
+
+    def test_round_trip_overhead(self):
+        plat = SimulatedDistributedPlatform(
+            dispatch_latency=0.1, collect_latency=0.2
+        )
+        assert plat.round_trip_overhead() == pytest.approx(0.3)
+
+
+class TestCostSemantics:
+    def test_zero_latency_matches_base_simulator(self):
+        base = SimulatedPlatform(parallelism=2, cost_model=ConstantCostModel(1.0))
+        dist = SimulatedDistributedPlatform(
+            parallelism=2, cost_model=ConstantCostModel(1.0)
+        )
+        assert run(wide_map(4), 0, base) == run(wide_map(4), 0, dist)
+        assert base.now() == dist.now()
+
+    def test_latency_inflates_makespan(self):
+        # 6 tasks on one worker: each pays 0.1 + 1.0 + 0.1.
+        plat = SimulatedDistributedPlatform(
+            parallelism=1, cost_model=ConstantCostModel(1.0),
+            dispatch_latency=0.1, collect_latency=0.1,
+        )
+        run(wide_map(4), 0, plat)
+        assert plat.now() == pytest.approx(6 * 1.2)
+
+    def test_worker_speeds(self):
+        # Two workers: fast (2x) and slow (0.5x). A 1 s task takes 0.5 s on
+        # worker 0 and 2 s on worker 1.
+        plat = SimulatedDistributedPlatform(
+            parallelism=2, cost_model=ConstantCostModel(1.0),
+            worker_speeds=[2.0, 0.5],
+        )
+        assert plat.worker_speed(0) == 2.0
+        assert plat.worker_speed(1) == 0.5
+        assert plat.worker_speed(7) == 0.5  # tail speed extends
+
+    def test_heterogeneous_makespan(self):
+        plat = SimulatedDistributedPlatform(
+            parallelism=1, cost_model=ConstantCostModel(1.0),
+            worker_speeds=[2.0],
+        )
+        run(Seq(lambda v: v), 0, plat)
+        assert plat.now() == pytest.approx(0.5)
+
+    def test_functional_result_unchanged(self):
+        plat = SimulatedDistributedPlatform(
+            parallelism=3, cost_model=ConstantCostModel(1.0),
+            dispatch_latency=0.05, collect_latency=0.05,
+        )
+        assert run(wide_map(5), 10, plat) == sum((10 + i) * 2 for i in range(5))
+
+
+class TestAutonomicOnDistributed:
+    """The paper's platform-independence claim: the unchanged controller
+    drives worker enrollment exactly like thread allocation."""
+
+    def make(self, latency):
+        fs = Split(lambda xs: [xs] * 8, name="fs")
+        fe = Execute(lambda xs: 1, name="fe")
+        fm = Merge(sum, name="fm")
+        skel = Map(fs, Seq(fe), fm)
+        from repro.runtime.costmodel import TableCostModel
+
+        costs = TableCostModel({fs: 0.5, fe: 2.0, fm: 0.1})
+        plat = SimulatedDistributedPlatform(
+            parallelism=1, cost_model=costs, max_parallelism=8,
+            dispatch_latency=latency, collect_latency=latency,
+        )
+        ctrl = AutonomicController(plat, skel, qos=QoS.wall_clock(7.0, max_lp=8))
+        # fm runs last in a single-level map: warm-start it.
+        ctrl.estimators.time_estimator(fm).initialize(0.1 + 2 * latency)
+        return skel, plat, ctrl
+
+    def test_controller_enrolls_workers(self):
+        skel, plat, ctrl = self.make(latency=0.0)
+        # sequential: 0.5 + 8*2 + 0.1 = 16.6 > 7 -> must grow.
+        result = skel.compute([1], platform=plat)
+        assert result == 8
+        assert plat.now() <= 7.0 + 1e-9
+        assert plat.metrics.peak_active() > 1
+
+    def test_goal_still_met_under_latency(self):
+        skel, plat, ctrl = self.make(latency=0.1)
+        result = skel.compute([1], platform=plat)
+        assert result == 8
+        assert plat.now() <= 7.0 + 1e-9
+
+    def test_estimators_absorb_communication(self):
+        """Observed t(m) includes the round trip, so planning stays honest."""
+        skel, plat, ctrl = self.make(latency=0.25)
+        skel.compute([1], platform=plat)
+        fe = skel.subskel.execute
+        # true compute 2.0 + 0.5 round trip
+        assert ctrl.estimators.t(fe) == pytest.approx(2.5)

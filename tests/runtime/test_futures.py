@@ -1,0 +1,84 @@
+"""Unit tests for skeleton futures."""
+
+import threading
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime.futures import SkeletonFuture
+
+
+class TestResolution:
+    def test_set_result(self):
+        f = SkeletonFuture()
+        f.set_result(42)
+        assert f.done()
+        assert f.get() == 42
+
+    def test_set_exception(self):
+        f = SkeletonFuture()
+        f.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError):
+            f.get()
+        assert isinstance(f.exception(), ValueError)
+
+    def test_double_resolve_rejected(self):
+        f = SkeletonFuture()
+        f.set_result(1)
+        with pytest.raises(ExecutionError):
+            f.set_result(2)
+        with pytest.raises(ExecutionError):
+            f.set_exception(ValueError())
+
+    def test_timeout(self):
+        f = SkeletonFuture()
+        with pytest.raises(TimeoutError):
+            f.get(timeout=0.01)
+
+    def test_exception_none_on_success(self):
+        f = SkeletonFuture()
+        f.set_result(1)
+        assert f.exception() is None
+
+
+class TestCallbacks:
+    def test_callback_after_resolve(self):
+        f = SkeletonFuture()
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(fut.get()))
+        f.set_result(7)
+        assert seen == [7]
+
+    def test_callback_when_already_done(self):
+        f = SkeletonFuture()
+        f.set_result(7)
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(True))
+        assert seen == [True]
+
+
+class TestDriver:
+    def test_driver_invoked_on_get(self):
+        calls = []
+
+        def driver(fut):
+            calls.append(True)
+            fut.set_result(99)
+
+        f = SkeletonFuture(driver=driver)
+        assert f.get() == 99
+        assert calls == [True]
+
+    def test_driver_skipped_when_done(self):
+        calls = []
+        f = SkeletonFuture(driver=lambda fut: calls.append(True))
+        f.set_result(1)
+        assert f.get() == 1
+        assert calls == []
+
+
+class TestThreading:
+    def test_cross_thread_resolution(self):
+        f = SkeletonFuture()
+        threading.Thread(target=lambda: f.set_result("done")).start()
+        assert f.get(timeout=2.0) == "done"

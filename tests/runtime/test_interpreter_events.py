@@ -1,0 +1,223 @@
+"""Event-vocabulary tests: the interpreter must emit, for every pattern,
+exactly the statically-defined events of the paper, properly paired,
+nested and indexed."""
+
+import pytest
+
+from repro import (
+    DivideAndConquer,
+    Execute,
+    Farm,
+    For,
+    Fork,
+    If,
+    Map,
+    Merge,
+    Pipe,
+    Seq,
+    Split,
+    While,
+    run,
+)
+from repro.events import When, Where
+
+
+def labels(recorder):
+    return recorder.labels()
+
+
+class TestSeqEvents:
+    def test_before_after(self, sim):
+        run(Seq(lambda v: v), 0, sim)
+        assert labels(sim.recorder) == ["seq@b", "seq@a"]
+
+    def test_same_index(self, sim):
+        run(Seq(lambda v: v), 0, sim)
+        before, after = sim.recorder.events
+        assert before.index == after.index
+
+    def test_value_payloads(self, sim):
+        run(Seq(lambda v: v * 2), 5, sim)
+        before, after = sim.recorder.events
+        assert before.value == 5
+        assert after.value == 10
+
+
+class TestMapEvents:
+    def test_eight_event_kinds(self, sim):
+        """The paper: 'Map skeleton has eight events defined'."""
+        skel = Map(lambda v: [v, v], Seq(lambda v: v), sum)
+        run(skel, 0, sim)
+        seen = {e.label for e in sim.recorder.events if e.kind == "map"}
+        assert seen == {
+            "map@b", "map@bs", "map@as", "map@bn", "map@an",
+            "map@bm", "map@am", "map@a",
+        }
+
+    def test_fs_card_on_after_split(self, sim):
+        skel = Map(lambda v: [v, v, v], Seq(lambda v: v), sum)
+        run(skel, 0, sim)
+        after_split = sim.recorder.first(kind="map", when=When.AFTER, where=Where.SPLIT)
+        assert after_split.extra["fs_card"] == 3
+
+    def test_nested_markers_per_child(self, sim):
+        skel = Map(lambda v: [v, v, v], Seq(lambda v: v), sum)
+        run(skel, 0, sim)
+        bn = sim.recorder.select(kind="map", when=When.BEFORE, where=Where.NESTED)
+        assert sorted(e.extra["child"] for e in bn) == [0, 1, 2]
+
+    def test_order_b_bs_as_then_bm_am_a(self, sim):
+        skel = Map(lambda v: [v], Seq(lambda v: v), sum)
+        run(skel, 0, sim)
+        ls = [e.label for e in sim.recorder.events if e.kind == "map"]
+        assert ls.index("map@b") < ls.index("map@bs") < ls.index("map@as")
+        assert ls.index("map@as") < ls.index("map@bm") < ls.index("map@am")
+        assert ls.index("map@am") < ls.index("map@a")
+
+    def test_balanced(self, sim):
+        skel = Map(lambda v: [v, v], Seq(lambda v: v), sum)
+        run(skel, 0, sim)
+        assert sim.recorder.is_balanced()
+
+
+class TestWhileEvents:
+    def test_condition_events_with_results(self, sim):
+        skel = While(lambda v: v < 2, Seq(lambda v: v + 1))
+        run(skel, 0, sim)
+        acs = sim.recorder.select(kind="while", when=When.AFTER, where=Where.CONDITION)
+        assert [e.extra["cond_result"] for e in acs] == [True, True, False]
+        assert [e.extra["iteration"] for e in acs] == [0, 1, 2]
+
+    def test_payload_is_value_not_pair(self, sim):
+        skel = While(lambda v: v < 2, Seq(lambda v: v + 1))
+        run(skel, 0, sim)
+        for e in sim.recorder.select(kind="while", where=Where.CONDITION):
+            assert isinstance(e.value, int)
+
+    def test_zero_iterations(self, sim):
+        skel = While(lambda v: False, Seq(lambda v: v + 1))
+        assert run(skel, 9, sim) == 9
+        acs = sim.recorder.select(kind="while", where=Where.CONDITION, when=When.AFTER)
+        assert len(acs) == 1
+
+
+class TestForEvents:
+    def test_iteration_markers(self, sim):
+        run(For(3, Seq(lambda v: v)), 0, sim)
+        bn = sim.recorder.select(kind="for", when=When.BEFORE, where=Where.NESTED)
+        assert [e.extra["iteration"] for e in bn] == [0, 1, 2]
+
+    def test_zero_trip(self, sim):
+        assert run(For(0, Seq(lambda v: v + 1)), 5, sim) == 5
+        assert labels(sim.recorder) == ["for@b", "for@a"]
+
+
+class TestIfEvents:
+    def test_condition_result_true(self, sim):
+        skel = If(lambda v: v > 0, Seq(lambda v: "t"), Seq(lambda v: "f"))
+        run(skel, 1, sim)
+        ac = sim.recorder.first(kind="if", when=When.AFTER, where=Where.CONDITION)
+        assert ac.extra["cond_result"] is True
+
+    def test_only_taken_branch_runs(self, sim):
+        skel = If(lambda v: v > 0, Seq(lambda v: "t"), Seq(lambda v: "f"))
+        run(skel, -1, sim)
+        seqs = sim.recorder.select(kind="seq")
+        assert len(seqs) == 2  # one seq instance only (before+after)
+
+
+class TestPipeEvents:
+    def test_stage_markers(self, sim):
+        skel = Pipe(Seq(lambda v: v), Seq(lambda v: v), Seq(lambda v: v))
+        run(skel, 0, sim)
+        bn = sim.recorder.select(kind="pipe", when=When.BEFORE, where=Where.NESTED)
+        assert [e.extra["stage"] for e in bn] == [0, 1, 2]
+
+
+class TestFarmEvents:
+    def test_wraps_nested(self, sim):
+        run(Farm(Seq(lambda v: v)), 0, sim)
+        assert labels(sim.recorder) == ["farm@b", "seq@b", "seq@a", "farm@a"]
+
+
+class TestForkEvents:
+    def test_mirrors_map(self, sim):
+        skel = Fork(lambda v: [v, v], [Seq(lambda v: v), Seq(lambda v: v + 1)], sum)
+        run(skel, 0, sim)
+        seen = {e.label for e in sim.recorder.events if e.kind == "fork"}
+        assert seen == {
+            "fork@b", "fork@bs", "fork@as", "fork@bn", "fork@an",
+            "fork@bm", "fork@am", "fork@a",
+        }
+
+    def test_mismatch_fails(self, sim):
+        from repro.errors import ExecutionError
+
+        skel = Fork(lambda v: [v], [Seq(lambda v: v), Seq(lambda v: v)], sum)
+        with pytest.raises(ExecutionError):
+            run(skel, 0, sim)
+
+
+class TestDacEvents:
+    def make(self):
+        return DivideAndConquer(
+            lambda v: v >= 2,
+            lambda v: [v // 2, v - v // 2 - 1],
+            Seq(lambda v: v),
+            sum,
+        )
+
+    def test_depth_extras(self, sim):
+        run(self.make(), 4, sim)
+        depths = {
+            e.extra["depth"]
+            for e in sim.recorder.select(kind="dac", where=Where.CONDITION)
+        }
+        assert 0 in depths and max(depths) >= 1
+
+    def test_cond_results(self, sim):
+        run(self.make(), 1, sim)  # leaf at root
+        ac = sim.recorder.first(kind="dac", when=When.AFTER, where=Where.CONDITION)
+        assert ac.extra["cond_result"] is False
+
+    def test_each_node_has_own_index(self, sim):
+        run(self.make(), 4, sim)
+        indices = {
+            e.index for e in sim.recorder.select(kind="dac", where=Where.CONDITION)
+        }
+        assert len(indices) >= 3  # root + at least two children
+
+
+class TestTraces:
+    def test_trace_and_index_trace_align(self, sim):
+        skel = Map(lambda v: [v], Seq(lambda v: v), sum)
+        run(skel, 0, sim)
+        for e in sim.recorder.events:
+            assert len(e.trace) == len(e.index_trace)
+            assert e.trace[-1] is e.skeleton
+            assert e.index_trace[-1] == e.index
+
+    def test_nested_trace_depth(self, sim):
+        skel = Map(lambda v: [v], Seq(lambda v: v), sum)
+        run(skel, 0, sim)
+        seq_event = sim.recorder.first(kind="seq")
+        assert [s.kind for s in seq_event.trace] == ["map", "seq"]
+
+    def test_parent_index_links(self, sim):
+        skel = Map(lambda v: [v], Seq(lambda v: v), sum)
+        run(skel, 0, sim)
+        map_event = sim.recorder.first(kind="map")
+        seq_event = sim.recorder.first(kind="seq")
+        assert seq_event.parent_index == map_event.index
+
+
+class TestValueTransformation:
+    def test_listener_rewrites_partial_solution(self, sim):
+        # The paper's "modify partial solutions" use case: double every
+        # sub-result as it leaves the nested skeleton.
+        skel = Map(lambda v: [1, 2, 3], Seq(lambda v: v), sum)
+        sim.bus.add_callback(
+            lambda e: e.value * 10,
+            kind="map", when=When.AFTER, where=Where.NESTED,
+        )
+        assert run(skel, 0, sim) == 60

@@ -1,0 +1,63 @@
+"""Unit tests for the LP-trajectory metrics."""
+
+import pytest
+
+from repro.runtime.metrics import LPSeries
+
+
+def series(points):
+    s = LPSeries()
+    for t, active, alloc in points:
+        s.record(t, active, alloc)
+    return s
+
+
+class TestBasics:
+    def test_empty(self):
+        s = LPSeries()
+        assert s.peak_active() == 0
+        assert s.end_time() == 0.0
+        assert len(s) == 0
+
+    def test_peaks(self):
+        s = series([(0, 0, 1), (1, 2, 4), (2, 3, 4), (3, 1, 2)])
+        assert s.peak_active() == 3
+        assert s.peak_allocated() == 4
+
+    def test_active_at(self):
+        s = series([(0, 0, 1), (1, 2, 2), (3, 1, 2)])
+        assert s.active_at(0.5) == 0
+        assert s.active_at(1.0) == 2
+        assert s.active_at(2.9) == 2
+        assert s.active_at(10) == 1
+
+    def test_first_time_above(self):
+        s = series([(0, 1, 1), (2.5, 3, 4), (4, 5, 8)])
+        assert s.first_time_active_above(1) == 2.5
+        assert s.first_time_active_above(4) == 4
+        assert s.first_time_active_above(10) is None
+
+    def test_as_steps(self):
+        s = series([(0, 1, 1), (1, 2, 2)])
+        assert s.as_steps() == [(0, 1), (1, 2)]
+
+
+class TestIntegral:
+    def test_rectangle(self):
+        s = series([(0, 2, 2), (5, 0, 2)])
+        assert s.active_integral() == pytest.approx(10.0)
+
+    def test_steps(self):
+        s = series([(0, 1, 1), (1, 3, 3), (2, 0, 3)])
+        assert s.active_integral() == pytest.approx(1 * 1 + 3 * 1)
+
+
+class TestPlateau:
+    def test_downsample(self):
+        s = series([(0.0, 1, 1), (0.1, 5, 5), (1.2, 2, 5)])
+        buckets = s.merge_plateau(1.0)
+        assert buckets == [(0.0, 5), (1.0, 2)]
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            LPSeries().merge_plateau(0)

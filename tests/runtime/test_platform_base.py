@@ -1,0 +1,77 @@
+"""Unit tests for the Platform base class contract."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.runtime.clock import VirtualClock
+from repro.runtime.platform import Platform
+
+
+def make(parallelism=2, max_parallelism=8, clock=True):
+    return Platform(
+        parallelism=parallelism,
+        max_parallelism=max_parallelism,
+        clock=VirtualClock() if clock else None,
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_parallelism(self):
+        with pytest.raises(PlatformError):
+            Platform(parallelism=0)
+
+    def test_rejects_max_below_initial(self):
+        with pytest.raises(PlatformError):
+            Platform(parallelism=4, max_parallelism=2)
+
+    def test_clockless_now_raises(self):
+        platform = make(clock=False)
+        with pytest.raises(PlatformError):
+            platform.now()
+
+
+class TestParallelismClamping:
+    def test_clamps_low(self):
+        assert make().set_parallelism(-5) == 1
+
+    def test_clamps_high(self):
+        assert make(max_parallelism=8).set_parallelism(100) == 8
+
+    def test_unbounded_when_no_max(self):
+        platform = Platform(parallelism=1, clock=VirtualClock())
+        assert platform.set_parallelism(1000) == 1000
+
+    def test_get_reflects_set(self):
+        platform = make()
+        platform.set_parallelism(5)
+        assert platform.get_parallelism() == 5
+
+
+class TestBaseBehaviour:
+    def test_submit_abstract(self):
+        with pytest.raises(NotImplementedError):
+            make().submit(None)
+
+    def test_current_worker_default_none(self):
+        assert make().current_worker() is None
+
+    def test_context_manager_calls_shutdown(self):
+        calls = []
+
+        class P(Platform):
+            def shutdown(self):
+                calls.append(True)
+
+        with P(parallelism=1, clock=VirtualClock()):
+            pass
+        assert calls == [True]
+
+    def test_indices_platform_scoped(self):
+        platform = make()
+        a = platform.indices.next()
+        b = platform.indices.next()
+        assert b == a + 1
+
+    def test_add_listener_rejects_non_listener(self):
+        with pytest.raises(TypeError):
+            make().add_listener(lambda e: e)

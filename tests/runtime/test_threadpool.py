@@ -1,0 +1,123 @@
+"""Unit tests for the resizable thread-pool platform (real threads)."""
+
+import threading
+import time
+
+import pytest
+
+from repro import Map, Merge, Seq, Split, ThreadPoolPlatform, run
+from repro.errors import MuscleExecutionError, PlatformError
+from repro.events import LatchListener, When, Where
+from repro.skeletons import sequential_evaluate
+
+
+def wide_map(width=4, work=None):
+    work = work or (lambda v: v * 2)
+    return Map(
+        Split(lambda v: [v + i for i in range(width)], name="w"),
+        Seq(work),
+        Merge(sum, name="sum"),
+    )
+
+
+class TestBasics:
+    def test_result_matches_reference(self, pool):
+        skel = wide_map(5)
+        assert run(skel, 10, pool) == sequential_evaluate(wide_map(5), 10)
+
+    def test_many_executions(self, pool):
+        skel = wide_map(3)
+        results = [run(skel, i, pool) for i in range(10)]
+        assert results == [sequential_evaluate(wide_map(3), i) for i in range(10)]
+
+    def test_concurrent_submissions(self, pool):
+        skel = wide_map(3)
+        futures = [pool_submit(pool, skel, i) for i in range(8)]
+        for i, f in enumerate(futures):
+            assert f.get(timeout=10) == sequential_evaluate(wide_map(3), i)
+
+    def test_muscle_error_propagates(self, pool):
+        with pytest.raises(MuscleExecutionError):
+            run(Seq(lambda v: 1 / 0), 0, pool)
+
+    def test_pool_usable_after_error(self, pool):
+        with pytest.raises(MuscleExecutionError):
+            run(Seq(lambda v: 1 / 0), 0, pool)
+        assert run(Seq(lambda v: v + 1), 1, pool) == 2
+
+
+def pool_submit(pool, skel, value):
+    from repro.runtime.interpreter import submit
+
+    return submit(skel, value, pool)
+
+
+class TestParallelExecution:
+    def test_work_actually_overlaps(self):
+        # Two sleeping muscles on two threads should take ~1x sleep, not 2x.
+        barrier = threading.Barrier(2, timeout=5)
+
+        def wait_both(v):
+            barrier.wait()  # deadlocks unless both run concurrently
+            return v
+
+        skel = wide_map(2, work=wait_both)
+        with ThreadPoolPlatform(parallelism=2) as pool:
+            assert run(skel, 0, pool) == 0 + 1
+
+    def test_events_on_worker_threads(self, pool):
+        latch = LatchListener(
+            lambda e: e.matches(when=When.AFTER, where=Where.MERGE)
+            and e.worker is not None
+        )
+        pool.add_listener(latch)
+        run(wide_map(3), 0, pool)
+        assert latch.wait(timeout=5)
+
+
+class TestResize:
+    def test_grow_spawns_workers(self):
+        with ThreadPoolPlatform(parallelism=1, max_parallelism=8) as pool:
+            pool.set_parallelism(4)
+            deadline = time.time() + 5
+            while pool.live_workers < 4 and time.time() < deadline:
+                time.sleep(0.01)
+            assert pool.live_workers == 4
+
+    def test_shrink_retires_idle_workers(self):
+        with ThreadPoolPlatform(parallelism=4, max_parallelism=8) as pool:
+            pool.set_parallelism(1)
+            deadline = time.time() + 5
+            while pool.live_workers > 1 and time.time() < deadline:
+                time.sleep(0.01)
+            assert pool.live_workers == 1
+
+    def test_clamped_to_max(self):
+        with ThreadPoolPlatform(parallelism=1, max_parallelism=3) as pool:
+            assert pool.set_parallelism(99) == 3
+
+    def test_invalid_initial_parallelism(self):
+        with pytest.raises(PlatformError):
+            ThreadPoolPlatform(parallelism=0)
+
+    def test_max_below_initial_rejected(self):
+        with pytest.raises(PlatformError):
+            ThreadPoolPlatform(parallelism=4, max_parallelism=2)
+
+
+class TestShutdown:
+    def test_shutdown_joins_workers(self):
+        pool = ThreadPoolPlatform(parallelism=3)
+        run(wide_map(3), 0, pool)
+        pool.shutdown()
+        assert pool.live_workers == 0
+
+    def test_submit_after_shutdown_raises(self):
+        pool = ThreadPoolPlatform(parallelism=1)
+        pool.shutdown()
+        with pytest.raises(PlatformError):
+            run(Seq(lambda v: v), 0, pool)
+
+    def test_context_manager(self):
+        with ThreadPoolPlatform(parallelism=2) as pool:
+            assert run(Seq(lambda v: v * 3), 2, pool) == 6

@@ -1,0 +1,107 @@
+"""Unit tests for skeleton construction, structure and validation."""
+
+import pytest
+
+from repro import (
+    DivideAndConquer,
+    Farm,
+    For,
+    Fork,
+    If,
+    Map,
+    Pipe,
+    Seq,
+    While,
+)
+from repro.errors import SkeletonDefinitionError
+from repro.skeletons.muscles import Condition, Execute, Merge, Split
+
+
+def leaf():
+    return Seq(lambda v: v)
+
+
+class TestConstruction:
+    def test_seq(self):
+        s = Seq(lambda v: v + 1)
+        assert s.kind == "seq"
+        assert len(s.own_muscles) == 1
+
+    def test_farm_requires_skeleton(self):
+        with pytest.raises(SkeletonDefinitionError):
+            Farm(lambda v: v)
+
+    def test_pipe_needs_two_stages(self):
+        with pytest.raises(SkeletonDefinitionError):
+            Pipe(leaf())
+
+    def test_pipe_accepts_list(self):
+        p = Pipe([leaf(), leaf(), leaf()])
+        assert len(p.stages) == 3
+
+    def test_for_rejects_negative(self):
+        with pytest.raises(SkeletonDefinitionError):
+            For(-1, leaf())
+
+    def test_for_zero_allowed(self):
+        assert For(0, leaf()).times == 0
+
+    def test_while_structure(self):
+        w = While(lambda v: False, leaf())
+        assert w.kind == "while"
+        assert isinstance(w.condition, Condition)
+
+    def test_if_children(self):
+        i = If(lambda v: True, leaf(), leaf())
+        assert len(i.children) == 2
+
+    def test_map_muscles(self):
+        m = Map(lambda v: [v], leaf(), lambda rs: rs)
+        assert isinstance(m.split, Split)
+        assert isinstance(m.merge, Merge)
+
+    def test_fork_requires_sequence(self):
+        with pytest.raises(SkeletonDefinitionError):
+            Fork(lambda v: [v], leaf(), lambda rs: rs)
+
+    def test_fork_children(self):
+        f = Fork(lambda v: [v, v], [leaf(), leaf()], lambda rs: rs)
+        assert len(f.children) == 2
+
+    def test_dac_muscles(self):
+        d = DivideAndConquer(
+            lambda v: False, lambda v: [v], leaf(), lambda rs: rs
+        )
+        assert len(d.own_muscles) == 3
+
+
+class TestStructureQueries:
+    def test_walk_preorder(self):
+        inner = leaf()
+        outer = Farm(Pipe(inner, leaf()))
+        kinds = [n.kind for n in outer.walk()]
+        assert kinds == ["farm", "pipe", "seq", "seq"]
+
+    def test_node_count_and_depth(self):
+        m = Map(lambda v: [v], Map(lambda v: [v], leaf(), lambda r: r), lambda r: r)
+        assert m.node_count() == 3
+        assert m.depth() == 3
+
+    def test_muscles_deduplicated(self):
+        fm = Merge(lambda rs: rs)
+        m = Map(lambda v: [v], Map(lambda v: [v], leaf(), fm), fm)
+        names = [x.name for x in m.muscles()]
+        assert len(names) == len(set(names))
+        # shared merge counted once
+        assert sum(1 for x in m.muscles() if x is fm) == 1
+
+    def test_input_without_platform_raises(self):
+        with pytest.raises(SkeletonDefinitionError):
+            leaf().input(1)
+
+    def test_bind_then_compute(self):
+        from repro import SimulatedPlatform
+
+        s = Seq(lambda v: v * 3)
+        s.bind(SimulatedPlatform())
+        assert s.compute(5) == 15

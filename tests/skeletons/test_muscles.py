@@ -1,0 +1,105 @@
+"""Unit tests for muscle wrappers and coercion."""
+
+import pytest
+
+from repro.errors import MuscleTypeError
+from repro.skeletons.muscles import (
+    Condition,
+    Execute,
+    Merge,
+    MuscleKind,
+    Split,
+    as_condition,
+    as_execute,
+    as_merge,
+    as_split,
+)
+
+
+class TestIdentity:
+    def test_uids_unique(self):
+        a = Execute(lambda v: v)
+        b = Execute(lambda v: v)
+        assert a.uid != b.uid
+
+    def test_named(self):
+        m = Execute(lambda v: v, name="work")
+        assert m.name == "work"
+
+    def test_default_name_includes_fn_name(self):
+        def crunch(v):
+            return v
+
+        m = Execute(crunch)
+        assert m.name.startswith("crunch#")
+
+    def test_lambda_name_sanitized(self):
+        m = Execute(lambda v: v)
+        assert "<" not in m.name
+
+    def test_kind(self):
+        assert Execute(lambda v: v).kind is MuscleKind.EXECUTE
+        assert Split(lambda v: [v]).kind is MuscleKind.SPLIT
+        assert Merge(lambda v: v).kind is MuscleKind.MERGE
+        assert Condition(lambda v: True).kind is MuscleKind.CONDITION
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(MuscleTypeError):
+            Execute(42)
+
+
+class TestExecution:
+    def test_execute_passthrough(self):
+        assert Execute(lambda v: v * 2)(21) == 42
+
+    def test_split_normalizes_to_list(self):
+        assert Split(lambda v: (1, 2))(None) == [1, 2]
+
+    def test_split_rejects_empty(self):
+        with pytest.raises(MuscleTypeError):
+            Split(lambda v: [])(0)
+
+    def test_split_rejects_none(self):
+        with pytest.raises(MuscleTypeError):
+            Split(lambda v: None)(0)
+
+    def test_split_rejects_string(self):
+        with pytest.raises(MuscleTypeError):
+            Split(lambda v: "ab")(0)
+
+    def test_split_rejects_non_iterable(self):
+        with pytest.raises(MuscleTypeError):
+            Split(lambda v: 5)(0)
+
+    def test_merge_receives_list(self):
+        seen = {}
+        Merge(lambda parts: seen.update(got=parts))([1, 2, 3])
+        assert seen["got"] == [1, 2, 3]
+
+    def test_condition_coerces_bool(self):
+        assert Condition(lambda v: 1)(0) is True
+        assert Condition(lambda v: "")(0) is False
+
+
+class TestCoercion:
+    def test_wraps_plain_callable(self):
+        m = as_execute(lambda v: v)
+        assert isinstance(m, Execute)
+
+    def test_passes_through_correct_muscle(self):
+        m = Split(lambda v: [v])
+        assert as_split(m) is m
+
+    def test_rejects_wrong_flavour(self):
+        with pytest.raises(MuscleTypeError):
+            as_merge(Split(lambda v: [v]))
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(MuscleTypeError):
+            as_condition(3)
+
+    def test_all_coercers(self):
+        assert isinstance(as_execute(lambda v: v), Execute)
+        assert isinstance(as_split(lambda v: [v]), Split)
+        assert isinstance(as_merge(lambda v: v), Merge)
+        assert isinstance(as_condition(lambda v: True), Condition)

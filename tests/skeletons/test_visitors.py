@@ -1,0 +1,118 @@
+"""Unit + property tests for pretty printing, stats and the reference
+evaluator."""
+
+import pytest
+from hypothesis import given
+
+from repro import (
+    DivideAndConquer,
+    Farm,
+    For,
+    Fork,
+    If,
+    Map,
+    Pipe,
+    Seq,
+    While,
+    sequential_evaluate,
+)
+from repro.skeletons.visitors import pretty_print, structure_stats
+from tests.conftest import build_program, program_descriptions
+
+
+def leaf():
+    return Seq(lambda v: v + 1)
+
+
+class TestPrettyPrint:
+    def test_paper_example(self):
+        skel = Map(lambda v: [v], Map(lambda v: [v], leaf(), sum), sum)
+        assert pretty_print(skel) == "map(fs, map(fs, seq(fe), fm), fm)"
+
+    def test_all_patterns(self):
+        assert pretty_print(leaf()) == "seq(fe)"
+        assert pretty_print(Farm(leaf())) == "farm(seq(fe))"
+        assert pretty_print(Pipe(leaf(), leaf())) == "pipe(seq(fe), seq(fe))"
+        assert pretty_print(While(lambda v: False, leaf())) == "while(fc, seq(fe))"
+        assert pretty_print(For(3, leaf())) == "for(3, seq(fe))"
+        assert (
+            pretty_print(If(lambda v: True, leaf(), leaf()))
+            == "if(fc, seq(fe), seq(fe))"
+        )
+        assert (
+            pretty_print(Fork(lambda v: [v, v], [leaf(), leaf()], sum))
+            == "fork(fs, {seq(fe), seq(fe)}, fm)"
+        )
+        assert (
+            pretty_print(
+                DivideAndConquer(lambda v: False, lambda v: [v], leaf(), sum)
+            )
+            == "d&c(fc, fs, seq(fe), fm)"
+        )
+
+
+class TestStats:
+    def test_counts(self):
+        skel = Map(lambda v: [v], Pipe(leaf(), leaf()), sum)
+        stats = structure_stats(skel)
+        assert stats["map"] == 1
+        assert stats["pipe"] == 1
+        assert stats["seq"] == 2
+        assert stats["nodes"] == 4
+        assert stats["muscles"] == 4  # split, merge, two executes
+        assert stats["depth"] == 3
+
+
+class TestReferenceEvaluator:
+    def test_seq(self):
+        assert sequential_evaluate(Seq(lambda v: v * 2), 21) == 42
+
+    def test_pipe_order(self):
+        skel = Pipe(Seq(lambda v: v + 1), Seq(lambda v: v * 10))
+        assert sequential_evaluate(skel, 1) == 20
+
+    def test_for(self):
+        assert sequential_evaluate(For(3, Seq(lambda v: v * 2)), 1) == 8
+
+    def test_while(self):
+        skel = While(lambda v: v < 10, Seq(lambda v: v + 4))
+        assert sequential_evaluate(skel, 0) == 12
+
+    def test_if(self):
+        skel = If(lambda v: v > 0, Seq(lambda v: "pos"), Seq(lambda v: "neg"))
+        assert sequential_evaluate(skel, 1) == "pos"
+        assert sequential_evaluate(skel, -1) == "neg"
+
+    def test_map(self):
+        skel = Map(lambda v: [v, v + 1, v + 2], Seq(lambda v: v * 10), sum)
+        assert sequential_evaluate(skel, 1) == 10 + 20 + 30
+
+    def test_fork_mismatch_raises(self):
+        from repro.errors import ExecutionError
+
+        skel = Fork(lambda v: [v], [leaf(), leaf()], sum)
+        with pytest.raises(ExecutionError):
+            sequential_evaluate(skel, 0)
+
+    def test_dac_mergesort(self):
+        skel = DivideAndConquer(
+            lambda xs: len(xs) > 2,
+            lambda xs: [xs[: len(xs) // 2], xs[len(xs) // 2 :]],
+            Seq(sorted),
+            lambda parts: sorted(x for p in parts for x in p),
+        )
+        data = [5, 3, 8, 1, 9, 2, 7]
+        assert sequential_evaluate(skel, data) == sorted(data)
+
+    def test_on_muscle_hook_counts(self):
+        calls = []
+        skel = Map(lambda v: [v, v], Seq(lambda v: v), lambda rs: rs)
+        sequential_evaluate(skel, 0, on_muscle=lambda m, v: calls.append(m.kind))
+        assert len(calls) == 4  # split + 2 executes + merge
+
+    @given(program_descriptions)
+    def test_property_deterministic(self, desc):
+        """Two fresh constructions of the same program agree."""
+        a = sequential_evaluate(build_program(desc), 7)
+        b = sequential_evaluate(build_program(desc), 7)
+        assert a == b

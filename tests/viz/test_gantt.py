@@ -1,0 +1,47 @@
+"""Unit tests for the Gantt renderer + integration with the simulator."""
+
+from repro import Map, Merge, Seq, SimulatedPlatform, Split, run
+from repro.runtime.costmodel import ConstantCostModel
+from repro.viz import render_gantt
+
+
+class TestRendering:
+    def test_empty(self):
+        assert "empty" in render_gantt([])
+
+    def test_lanes_per_core(self):
+        log = [(0.0, 1.0, 0, "a"), (0.0, 1.0, 1, "b"), (1.0, 2.0, 0, "c")]
+        out = render_gantt(log)
+        assert "core  0" in out and "core  1" in out
+        assert out.count("│") == 2
+
+    def test_labels_written_into_spans(self):
+        log = [(0.0, 10.0, 0, "mytask")]
+        out = render_gantt(log, width=40)
+        assert "mytask" in out
+
+    def test_zero_duration_tick(self):
+        log = [(1.0, 1.0, 0, "z"), (0.0, 2.0, 1, "w")]
+        out = render_gantt(log, label_tasks=False)
+        assert "|" in out
+
+    def test_header_counts(self):
+        log = [(0.0, 1.0, 0, "a"), (0.5, 1.5, 2, "b")]
+        out = render_gantt(log)
+        assert "2 tasks on 2 cores" in out
+
+
+class TestSimulatorIntegration:
+    def test_render_from_task_log(self):
+        skel = Map(
+            Split(lambda v: [v] * 4, name="fs"),
+            Seq(lambda v: v),
+            Merge(sum, name="fm"),
+        )
+        platform = SimulatedPlatform(
+            parallelism=2, cost_model=ConstantCostModel(1.0), trace_tasks=True
+        )
+        run(skel, 1, platform)
+        out = render_gantt(platform.task_log)
+        assert "core  0" in out and "core  1" in out
+        assert "6 tasks" in out  # split + 4 executes + merge

@@ -1,0 +1,75 @@
+"""Unit tests for the text/CSV visualization helpers."""
+
+from repro.core.adg import ADG
+from repro.core.schedule import best_effort_schedule
+from repro.viz import (
+    read_series_csv,
+    render_adg,
+    render_adg_with_schedule,
+    render_timeline,
+    render_two_timelines,
+    write_series_csv,
+)
+
+
+def small_adg():
+    adg = ADG()
+    a = adg.add("fs", 2.0, [], start=0.0, end=2.0, role="split")
+    b = adg.add("fe", 3.0, [a], start=2.0, role="execute")
+    adg.add("fm", 1.0, [b], role="merge")
+    return adg
+
+
+class TestTimeline:
+    def test_contains_peak(self):
+        out = render_timeline([(0, 1), (1, 4), (2, 0)], "demo")
+        assert "peak=4" in out
+        assert "demo" in out
+
+    def test_empty(self):
+        assert "empty" in render_timeline([])
+
+    def test_dimensions(self):
+        out = render_timeline([(0, 2), (5, 1)], width=40, height=5)
+        rows = [l for l in out.splitlines() if "┤" in l]
+        assert len(rows) == 5
+
+    def test_two_timelines_legend(self):
+        out = render_two_timelines(
+            [(0, 2), (10, 0)], [(0, 3), (5, 0)], "limited", "best effort"
+        )
+        assert "limited" in out and "best effort" in out
+
+
+class TestADGRender:
+    def test_lists_all_activities(self):
+        out = render_adg(small_adg())
+        assert out.count("\n") >= 3
+        for name in ("fs", "fe", "fm"):
+            assert name in out
+
+    def test_statuses_shown(self):
+        out = render_adg(small_adg())
+        assert "finished" in out and "running" in out and "pending" in out
+
+    def test_schedule_overlay_brackets_estimates(self):
+        adg = small_adg()
+        schedule = best_effort_schedule(adg, 2.5)
+        out = render_adg_with_schedule(adg, schedule, title="t")
+        assert "[" in out  # estimated times bracketed
+        assert "wct=" in out
+
+
+class TestSeriesCSV:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        rows = write_series_csv(path, [(0.0, 1.0), (1.5, 3.0)], ("t", "lp"))
+        assert rows == 2
+        header, data = read_series_csv(path)
+        assert header == ["t", "lp"]
+        assert data == [(0.0, 1.0), (1.5, 3.0)]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "series.csv"
+        write_series_csv(path, [(1, 2)])
+        assert path.exists()

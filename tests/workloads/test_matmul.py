@@ -1,0 +1,81 @@
+"""Unit tests for the NumPy block-matmul workload."""
+
+import numpy as np
+import pytest
+
+from repro import SimulatedPlatform, ThreadPoolPlatform, run
+from repro.errors import MuscleExecutionError, WorkloadError
+from repro.workloads.matmul import BlockMatmulApp
+
+
+def matrices(m=24, k=16, n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, k)), rng.standard_normal((k, n))
+
+
+class TestCorrectness:
+    def test_matches_numpy_on_simulator(self):
+        app = BlockMatmulApp(blocks=4)
+        ab = matrices()
+        result = run(app.skeleton, ab, SimulatedPlatform(parallelism=3))
+        np.testing.assert_allclose(result, app.reference(ab))
+
+    def test_matches_numpy_on_threads(self):
+        app = BlockMatmulApp(blocks=4)
+        ab = matrices(seed=1)
+        with ThreadPoolPlatform(parallelism=4) as pool:
+            result = run(app.skeleton, ab, pool)
+        np.testing.assert_allclose(result, app.reference(ab))
+
+    def test_more_blocks_than_rows(self):
+        app = BlockMatmulApp(blocks=64)
+        ab = matrices(m=5)
+        result = run(app.skeleton, ab, SimulatedPlatform())
+        np.testing.assert_allclose(result, app.reference(ab))
+
+    def test_single_block(self):
+        app = BlockMatmulApp(blocks=1)
+        ab = matrices(m=3, k=3, n=3)
+        result = run(app.skeleton, ab, SimulatedPlatform())
+        np.testing.assert_allclose(result, app.reference(ab))
+
+
+class TestValidation:
+    def test_bad_blocks(self):
+        with pytest.raises(WorkloadError):
+            BlockMatmulApp(blocks=0)
+
+    def test_shape_mismatch_surfaces(self):
+        app = BlockMatmulApp()
+        bad = (np.ones((3, 4)), np.ones((5, 2)))
+        with pytest.raises(MuscleExecutionError) as info:
+            run(app.skeleton, bad, SimulatedPlatform())
+        assert isinstance(info.value.cause, WorkloadError)
+
+    def test_non_2d_rejected(self):
+        app = BlockMatmulApp()
+        with pytest.raises(MuscleExecutionError):
+            run(app.skeleton, (np.ones(3), np.ones((3, 2))), SimulatedPlatform())
+
+
+class TestCostModel:
+    def test_flop_proportional(self):
+        app = BlockMatmulApp(blocks=2)
+        model = app.cost_model(per_flop=1e-9)
+        slab = np.ones((10, 20))
+        b = np.ones((20, 30))
+        assert model.duration(app.fe_matmul, (slab, b)) == pytest.approx(
+            1e-9 * 2 * 10 * 20 * 30
+        )
+
+    def test_virtual_time_scales_with_size(self):
+        app = BlockMatmulApp(blocks=2)
+        small = matrices(m=8, k=8, n=8)
+        large = matrices(m=32, k=32, n=32)
+        p1 = SimulatedPlatform(parallelism=1, cost_model=app.cost_model())
+        run(app.skeleton, small, p1)
+        t_small = p1.now()
+        app2 = BlockMatmulApp(blocks=2)
+        p2 = SimulatedPlatform(parallelism=1, cost_model=app2.cost_model())
+        run(app2.skeleton, large, p2)
+        assert p2.now() > t_small * 10

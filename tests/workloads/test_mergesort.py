@@ -1,0 +1,57 @@
+"""Unit tests for the merge-sort D&C workload."""
+
+import random
+
+import pytest
+
+from repro import SimulatedPlatform, run
+from repro.errors import WorkloadError
+from repro.skeletons import sequential_evaluate
+from repro.workloads.mergesort import MergesortApp, merge_sorted
+
+
+class TestMergeSorted:
+    def test_two_way(self):
+        assert merge_sorted([[1, 3], [2, 4]]) == [1, 2, 3, 4]
+
+    def test_k_way(self):
+        assert merge_sorted([[1], [0, 5], [2, 3]]) == [0, 1, 2, 3, 5]
+
+    def test_empty_parts(self):
+        assert merge_sorted([[], [1]]) == [1]
+
+
+class TestApp:
+    def test_sorts_correctly(self):
+        app = MergesortApp(threshold=8)
+        data = random.Random(1).sample(range(10_000), 200)
+        platform = SimulatedPlatform(parallelism=4)
+        assert run(app.skeleton, data, platform) == sorted(data)
+
+    def test_matches_reference_semantics(self):
+        app = MergesortApp(threshold=4)
+        data = random.Random(2).sample(range(1000), 37)
+        assert sequential_evaluate(app.skeleton, data) == sorted(data)
+
+    def test_small_input_is_leaf(self):
+        app = MergesortApp(threshold=100)
+        data = [3, 1, 2]
+        platform = SimulatedPlatform()
+        assert run(app.skeleton, data, platform) == [1, 2, 3]
+
+    def test_duplicates_preserved(self):
+        app = MergesortApp(threshold=2)
+        data = [5, 1, 5, 1, 5]
+        platform = SimulatedPlatform()
+        assert run(app.skeleton, data, platform) == [1, 1, 5, 5, 5]
+
+    def test_threshold_validated(self):
+        with pytest.raises(WorkloadError):
+            MergesortApp(threshold=0)
+
+    def test_cost_model_positive(self):
+        app = MergesortApp(threshold=8)
+        model = app.cost_model()
+        assert model.duration(app.fe_sort, list(range(50))) > 0
+        assert model.duration(app.fm_merge, [[1, 2], [3]]) > 0
+        assert model.duration(app.fc_divide, [1]) > 0

@@ -1,0 +1,62 @@
+"""Unit tests for the Monte-Carlo pi workload."""
+
+import math
+
+import pytest
+
+from repro import SimulatedPlatform, ThreadPoolPlatform, run
+from repro.errors import WorkloadError
+from repro.workloads.montecarlo import MonteCarloPiApp
+
+
+class TestSplit:
+    def test_batches_cover_all_samples(self):
+        app = MonteCarloPiApp(batches=7)
+        parts = app.fs_batch(( 99, 1000 ))
+        assert sum(n for _s, n in parts) == 1000
+
+    def test_remainder_distributed(self):
+        app = MonteCarloPiApp(batches=4)
+        parts = app.fs_batch((1, 10))
+        assert sorted(n for _s, n in parts) == [2, 2, 3, 3]
+
+    def test_batch_seeds_unique(self):
+        app = MonteCarloPiApp(batches=8)
+        seeds = [s for s, _n in app.fs_batch((7, 800))]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_rejects_bad_batches(self):
+        with pytest.raises(WorkloadError):
+            MonteCarloPiApp(batches=0)
+
+
+class TestEstimation:
+    def test_pi_estimate_reasonable(self):
+        app = MonteCarloPiApp(batches=8)
+        platform = SimulatedPlatform(parallelism=4)
+        pi = run(app.skeleton, (2014, 40_000), platform)
+        assert abs(pi - math.pi) < 0.05
+
+    def test_deterministic_given_seed(self):
+        app = MonteCarloPiApp(batches=4)
+        p1 = run(app.skeleton, (5, 10_000), SimulatedPlatform(parallelism=2))
+        p2 = run(app.skeleton, (5, 10_000), SimulatedPlatform(parallelism=4))
+        assert p1 == p2  # parallelism must not change the result
+
+    def test_threads_match_simulator(self):
+        app = MonteCarloPiApp(batches=4)
+        sim = run(app.skeleton, (5, 5_000), SimulatedPlatform())
+        with ThreadPoolPlatform(parallelism=4) as pool:
+            thr = run(app.skeleton, (5, 5_000), pool)
+        assert sim == thr
+
+    def test_zero_samples(self):
+        app = MonteCarloPiApp(batches=4)
+        assert run(app.skeleton, (1, 0), SimulatedPlatform()) == 0.0
+
+    def test_cost_model_scales_with_samples(self):
+        app = MonteCarloPiApp()
+        model = app.cost_model(per_sample=1e-5)
+        small = model.duration(app.fe_sample, (1, 100))
+        large = model.duration(app.fe_sample, (1, 10_000))
+        assert large == pytest.approx(small * 100)

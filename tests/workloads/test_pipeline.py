@@ -1,0 +1,43 @@
+"""Unit tests for the staged text pipeline workload."""
+
+from collections import Counter
+
+from repro import SimulatedPlatform, run
+from repro.skeletons import sequential_evaluate
+from repro.workloads.pipeline import TextPipelineApp
+from repro.workloads.synthetic_text import TweetCorpusGenerator
+
+
+class TestStages:
+    def test_normalize(self):
+        assert TextPipelineApp._normalize(["  HoLa  ", "#A"]) == ["hola", "#a"]
+
+    def test_extract(self):
+        counts = TextPipelineApp._extract(["#a @b c", "#a d"])
+        assert counts == Counter({"#a": 2, "@b": 1})
+
+    def test_score_top10(self):
+        counts = Counter({f"#t{i}": i for i in range(20)})
+        top = TextPipelineApp._score(counts)
+        assert len(top) == 10
+        assert top[0][1] == 19
+
+
+class TestPipeline:
+    def test_end_to_end(self):
+        app = TextPipelineApp()
+        corpus = TweetCorpusGenerator(seed=21).corpus(200)
+        result = run(app.skeleton, corpus, SimulatedPlatform(parallelism=2))
+        assert result == sequential_evaluate(app.skeleton, corpus)
+        assert all(term.startswith(("#", "@")) for term, _n in result)
+
+    def test_farmed_streaming(self):
+        app = TextPipelineApp()
+        farm = app.farmed()
+        platform = SimulatedPlatform(parallelism=3, cost_model=app.cost_model())
+        chunks = [
+            TweetCorpusGenerator(seed=s).corpus(50) for s in (1, 2, 3)
+        ]
+        futures = [farm.input(chunk, platform=platform) for chunk in chunks]
+        results = [f.get() for f in futures]
+        assert results == [sequential_evaluate(app.skeleton, c) for c in chunks]

@@ -1,0 +1,74 @@
+"""Unit tests for the synthetic tweet corpus generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.synthetic_text import (
+    TweetCorpusGenerator,
+    load_corpus,
+    write_corpus,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        a = TweetCorpusGenerator(seed=1).corpus(200)
+        b = TweetCorpusGenerator(seed=1).corpus(200)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = TweetCorpusGenerator(seed=1).corpus(200)
+        b = TweetCorpusGenerator(seed=2).corpus(200)
+        assert a != b
+
+    def test_streaming_matches_materialized(self):
+        gen = TweetCorpusGenerator(seed=3)
+        assert list(gen.tweets(50)) == gen.corpus(50)
+
+
+class TestContent:
+    def test_count(self):
+        assert len(TweetCorpusGenerator().corpus(123)) == 123
+
+    def test_hashtags_and_mentions_present(self):
+        corpus = TweetCorpusGenerator(seed=5).corpus(500)
+        assert any("#" in t for t in corpus)
+        assert any("@" in t for t in corpus)
+
+    def test_zipf_head_dominates(self):
+        """The most popular hashtag should appear far more often than the
+        median one (heavy-tailed usage)."""
+        from collections import Counter
+
+        corpus = TweetCorpusGenerator(seed=7).corpus(3000)
+        tags = Counter(
+            tok for t in corpus for tok in t.split() if tok.startswith("#")
+        )
+        counts = sorted(tags.values(), reverse=True)
+        assert counts[0] >= 5 * counts[len(counts) // 2]
+
+    def test_no_empty_tweets(self):
+        assert all(TweetCorpusGenerator(seed=9).corpus(300))
+
+
+class TestValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            list(TweetCorpusGenerator().tweets(-1))
+
+    def test_bad_vocab_rejected(self):
+        with pytest.raises(WorkloadError):
+            TweetCorpusGenerator(n_hashtags=0)
+
+    def test_bad_words_per_tweet(self):
+        with pytest.raises(WorkloadError):
+            TweetCorpusGenerator(words_per_tweet=0)
+
+
+class TestFiles:
+    def test_write_and_load(self, tmp_path):
+        path = tmp_path / "corpus.txt"
+        written = write_corpus(path, 100, TweetCorpusGenerator(seed=4))
+        assert written > 0
+        lines = load_corpus(path)
+        assert lines == TweetCorpusGenerator(seed=4).corpus(100)

@@ -1,0 +1,81 @@
+"""Unit tests for the paper's Twitter-count application."""
+
+from collections import Counter
+
+import pytest
+
+from repro import SimulatedPlatform, ThreadPoolPlatform, run
+from repro.errors import WorkloadError
+from repro.workloads.synthetic_text import TweetCorpusGenerator
+from repro.workloads.wordcount import (
+    PAPER_COSTS,
+    TwitterCountApp,
+    count_terms,
+    merge_counts,
+    split_into,
+)
+
+
+class TestMuscles:
+    def test_count_terms(self):
+        counts = count_terms(["hola #a @u", "#a otra vez", "nada"])
+        assert counts == Counter({"#a": 2, "@u": 1})
+
+    def test_split_into_covers_everything(self):
+        chunks = split_into(3)(list(range(10)))
+        assert sorted(x for c in chunks for x in c) == list(range(10))
+
+    def test_split_into_small_input(self):
+        chunks = split_into(5)([1, 2])
+        assert all(chunks)
+        assert sorted(x for c in chunks for x in c) == [1, 2]
+
+    def test_split_rejects_bad_n(self):
+        with pytest.raises(WorkloadError):
+            split_into(0)
+
+    def test_merge_counts(self):
+        total = merge_counts([Counter({"#a": 1}), Counter({"#a": 2, "@b": 1})])
+        assert total == Counter({"#a": 3, "@b": 1})
+
+
+class TestApp:
+    def test_functional_correctness_sim(self):
+        corpus = TweetCorpusGenerator(seed=11).corpus(500)
+        app = TwitterCountApp()
+        platform = SimulatedPlatform(parallelism=4, cost_model=app.cost_model())
+        result = run(app.skeleton, corpus, platform)
+        assert result == app.reference_count(corpus)
+
+    def test_functional_correctness_threads(self):
+        corpus = TweetCorpusGenerator(seed=12).corpus(300)
+        app = TwitterCountApp()
+        with ThreadPoolPlatform(parallelism=4) as platform:
+            result = run(app.skeleton, corpus, platform)
+        assert result == app.reference_count(corpus)
+
+    def test_sequential_wct_matches_simulation(self):
+        corpus = TweetCorpusGenerator(seed=13).corpus(200)
+        app = TwitterCountApp()
+        platform = SimulatedPlatform(parallelism=1, cost_model=app.cost_model())
+        run(app.skeleton, corpus, platform)
+        assert platform.now() == pytest.approx(app.sequential_wct())
+
+    def test_sequential_wct_near_paper(self):
+        """The calibrated cost structure lands near the paper's 12.5 s."""
+        assert TwitterCountApp().sequential_wct() == pytest.approx(12.61, abs=0.2)
+
+    def test_first_branch_prefix_near_7_6(self):
+        """First split + one inner split + its executes + one merge ≈ 7.6 s
+        — the paper's first-analysis instant."""
+        prefix = (
+            PAPER_COSTS["first_split"]
+            + PAPER_COSTS["second_split"]
+            + PAPER_COSTS["inner_chunks"] * PAPER_COSTS["execute"]
+            + PAPER_COSTS["merge"]
+        )
+        assert prefix == pytest.approx(7.63, abs=0.1)
+
+    def test_skeleton_shape(self):
+        app = TwitterCountApp()
+        assert app.skeleton.pretty() == "map(fs, map(fs, seq(fe), fm), fm)"
