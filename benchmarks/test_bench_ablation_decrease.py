@@ -7,12 +7,9 @@ throughput, and deliberately makes decrease *slower* than increase
 (∫ active dt) and finish times.
 """
 
-import pytest
-
 from repro.bench import comparison_table, format_row
 from repro.core.controller import AutonomicController
 from repro.core.qos import QoS
-from repro.runtime.metrics import LPSeries
 from repro.runtime.simulator import SimulatedPlatform
 from repro.workloads.synthetic_text import TweetCorpusGenerator
 from repro.workloads.wordcount import TwitterCountApp

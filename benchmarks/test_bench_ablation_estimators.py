@@ -10,10 +10,8 @@ effect on the FIG5 scenario.
 import random
 import time
 
-import pytest
-
 from repro.bench import comparison_table, format_row
-from repro.core.estimator import EstimatorRegistry, HistoryEstimator
+from repro.core.estimator import HistoryEstimator
 from repro.core.estimators_ext import (
     KalmanEstimator,
     MedianEstimator,

@@ -10,8 +10,6 @@ what cost does exactness come?
 import random
 import time
 
-import pytest
-
 from repro.bench import comparison_table, format_row
 from repro.core.adg import ADG
 from repro.core.schedule import (

@@ -8,8 +8,6 @@ ablation quantifies the trade-off: `optimal` finishes earlier but burns
 more thread-seconds; `minimal` allocates just enough to meet the goal.
 """
 
-import pytest
-
 from repro.bench import comparison_table, format_row, run_twitter_scenario
 
 

@@ -6,8 +6,6 @@ The paper: ρ close to 0 ⇒ slow, stable adaptation (first value dominates);
 the FIG5 scenario outcome.
 """
 
-import pytest
-
 from repro.bench import comparison_table, format_row, run_twitter_scenario
 from repro.core.estimator import HistoryEstimator
 

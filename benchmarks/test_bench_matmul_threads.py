@@ -11,8 +11,6 @@ the controller raises the LP to meet a flop-budget WCT goal.
 import time
 
 import numpy as np
-import pytest
-
 from repro.bench import comparison_table, format_row
 from repro.core.controller import AutonomicController
 from repro.core.qos import QoS

@@ -6,8 +6,6 @@ second on the zero-cost simulator) with 0, 1 and 8 listeners, plus the
 full autonomic stack attached.
 """
 
-import pytest
-
 from repro.bench import comparison_table, format_row
 from repro.core.controller import AutonomicController
 from repro.core.qos import QoS

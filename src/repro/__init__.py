@@ -52,6 +52,8 @@ from .runtime import (
     CostModel,
     PerItemCostModel,
     Platform,
+    PlatformRegistry,
+    ProcessPoolPlatform,
     RealClock,
     SimulatedDistributedPlatform,
     SimulatedPlatform,
@@ -60,6 +62,8 @@ from .runtime import (
     ThreadPoolPlatform,
     VirtualClock,
     ZeroCostModel,
+    available_backends,
+    make_platform,
     run,
     submit,
 )
@@ -145,6 +149,10 @@ __all__ = [
     "SimulatedPlatform",
     "SimulatedDistributedPlatform",
     "ThreadPoolPlatform",
+    "ProcessPoolPlatform",
+    "PlatformRegistry",
+    "make_platform",
+    "available_backends",
     "SkeletonFuture",
     "run",
     "submit",

@@ -54,6 +54,13 @@ class MuscleExecutionError(ExecutionError):
         self.cause = cause
         self.trace = tuple(trace)
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into ``__init__``, which does not match this signature;
+        # rebuild from the structured fields instead so the error survives
+        # the worker-process → parent hop intact.
+        return (type(self), (self.muscle_name, self.cause, self.trace))
+
 
 class PlatformError(ReproError):
     """An execution platform was misused or failed internally."""

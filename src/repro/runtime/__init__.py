@@ -1,10 +1,13 @@
 """Execution runtime: interpreter, platforms, clocks, cost models, metrics.
 
-The runtime executes skeleton programs on two interchangeable platforms —
-:class:`ThreadPoolPlatform` (real OS threads, resizable live) and
-:class:`SimulatedPlatform` (deterministic discrete-event multicore
-simulation with virtual time) — through a single continuation-passing
-interpreter that emits the paper's events at every muscle boundary.
+The runtime executes skeleton programs on three interchangeable platforms
+— :class:`ThreadPoolPlatform` (real OS threads, resizable live),
+:class:`ProcessPoolPlatform` (real OS processes, true parallelism for
+CPU-bound picklable muscles) and :class:`SimulatedPlatform`
+(deterministic discrete-event multicore simulation with virtual time) —
+through a single continuation-passing interpreter that emits the paper's
+events at every muscle boundary.  :func:`make_platform` constructs any of
+them by name.
 """
 
 from .clock import Clock, RealClock, VirtualClock
@@ -21,8 +24,15 @@ from .futures import SkeletonFuture
 from .interpreter import run, submit
 from .metrics import LPSample, LPSeries
 from .platform import Platform
+from .processpool import ProcessPoolPlatform
+from .registry import (
+    DEFAULT_REGISTRY,
+    PlatformRegistry,
+    available_backends,
+    make_platform,
+)
 from .simulator import SimulatedPlatform
-from .task import Barrier, Execution, MuscleTask
+from .task import Barrier, ConditionBody, Execution, MuscleTask, TaskEnvelope
 from .threadpool import ThreadPoolPlatform
 
 __all__ = [
@@ -44,7 +54,14 @@ __all__ = [
     "SimulatedPlatform",
     "SimulatedDistributedPlatform",
     "ThreadPoolPlatform",
+    "ProcessPoolPlatform",
+    "PlatformRegistry",
+    "DEFAULT_REGISTRY",
+    "make_platform",
+    "available_backends",
     "MuscleTask",
     "Barrier",
     "Execution",
+    "ConditionBody",
+    "TaskEnvelope",
 ]

@@ -38,7 +38,7 @@ from ..skeletons.seq import Seq
 from ..skeletons.smap import Map
 from .futures import SkeletonFuture
 from .platform import Platform
-from .task import Barrier, Execution, MuscleTask
+from .task import Barrier, ConditionBody, Execution, MuscleTask
 
 __all__ = ["submit", "run"]
 
@@ -282,9 +282,6 @@ def _start_while(skel: While, value: Any, state: _ExecState, inst: _Instance, co
     value = inst.emit(When.BEFORE, Where.SKELETON, value)
 
     def evaluate_condition(current: Any, iteration: int) -> None:
-        def cond_body(v: Any):
-            return (v, skel.condition(v))
-
         def cond_done(pair) -> None:
             v, flag = pair
             if flag:
@@ -312,7 +309,7 @@ def _start_while(skel: While, value: Any, state: _ExecState, inst: _Instance, co
                 )
             ],
             continuation=cond_done,
-            body=cond_body,
+            body=ConditionBody(skel.condition),
             event_payload=lambda pair: pair[0],
             rebuild=lambda pair, v: (v, pair[1]),
         )
@@ -349,9 +346,6 @@ def _start_for(skel: For, value: Any, state: _ExecState, inst: _Instance, cont: 
 
 
 def _start_if(skel: If, value: Any, state: _ExecState, inst: _Instance, cont: Continuation) -> None:
-    def cond_body(v: Any):
-        return (v, skel.condition(v))
-
     def cond_done(pair) -> None:
         v, flag = pair
         branch = skel.true_skel if flag else skel.false_skel
@@ -375,7 +369,7 @@ def _start_if(skel: If, value: Any, state: _ExecState, inst: _Instance, cont: Co
             (When.AFTER, Where.CONDITION, lambda pair: {"cond_result": pair[1]})
         ],
         continuation=cond_done,
-        body=cond_body,
+        body=ConditionBody(skel.condition),
         event_payload=lambda pair: pair[0],
         rebuild=lambda pair, v: (v, pair[1]),
     )
@@ -503,9 +497,6 @@ def _start_dac_node(
     cont: Continuation,
     depth: int,
 ) -> None:
-    def cond_body(v: Any):
-        return (v, skel.condition(v))
-
     def cond_done(pair) -> None:
         v, divide = pair
         if divide:
@@ -534,7 +525,7 @@ def _start_dac_node(
             )
         ],
         continuation=cond_done,
-        body=cond_body,
+        body=ConditionBody(skel.condition),
         event_payload=lambda pair: pair[0],
         rebuild=lambda pair, v: (v, pair[1]),
     )

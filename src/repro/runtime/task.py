@@ -20,14 +20,15 @@ them back to back.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from typing import Any, Callable, List, Optional
 
-from ..errors import ExecutionError, MuscleExecutionError
+from ..errors import ExecutionError, MuscleExecutionError, PlatformError
 from ..skeletons.muscles import Muscle
 from .futures import SkeletonFuture
 
-__all__ = ["Execution", "MuscleTask", "Barrier"]
+__all__ = ["Execution", "MuscleTask", "Barrier", "ConditionBody", "TaskEnvelope"]
 
 
 class Execution:
@@ -115,8 +116,104 @@ class MuscleTask:
     # MuscleTask deliberately has no run() — the platform owns phase
     # sequencing because only it knows how time passes between phases.
 
+    def envelope(self, value: Any) -> "TaskEnvelope":
+        """Serialization-safe snapshot of this task's body phase on *value*.
+
+        *value* is the (possibly listener-transformed) input produced by
+        :meth:`emit_before` — the envelope captures the state as of the
+        moment the task is handed to a worker.
+        """
+        fn = self._body if self._body is not None else self.muscle
+        return TaskEnvelope(fn, value, self.muscle.name)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MuscleTask({self.label}, muscle={self.muscle.name!r}, seq={self.seq})"
+
+
+class ConditionBody:
+    """Picklable body for condition tasks: ``v -> (v, condition(v))``.
+
+    While/If/D&C condition tasks compute a ``(value, bool)`` pair so the
+    interpreter can route control flow without re-running the condition.
+    Using a small callable class instead of a closure keeps condition
+    tasks serializable, which is what lets them run on process-based
+    platforms (closures defined inside the interpreter cannot be pickled).
+
+    Note the process-backend corollary: a condition muscle that relies on
+    *mutable captured state* (e.g. a counter closure) executes on a copy
+    in the worker process, so its mutations never reach the parent.
+    Conditions intended for :class:`~repro.runtime.processpool.
+    ProcessPoolPlatform` must be pure functions of their input value.
+    """
+
+    __slots__ = ("condition",)
+
+    def __init__(self, condition: Callable[[Any], bool]):
+        self.condition = condition
+
+    def __call__(self, value: Any):
+        return (value, self.condition(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConditionBody({self.condition!r})"
+
+
+class TaskEnvelope:
+    """What actually crosses a process boundary for one muscle execution.
+
+    A :class:`MuscleTask` is full of parent-process machinery — event
+    emitters, continuations, barriers — none of which can (or should) be
+    shipped to a worker process.  The envelope strips a task down to the
+    serializable core: the callable body and its input value.  Event
+    emission and continuation wiring stay in the parent, driven by the
+    platform's result pump.
+    """
+
+    __slots__ = ("fn", "value", "muscle_name")
+
+    def __init__(self, fn: Callable[[Any], Any], value: Any, muscle_name: str):
+        self.fn = fn
+        self.value = value
+        self.muscle_name = muscle_name
+
+    def __getstate__(self):
+        return (self.fn, self.value, self.muscle_name)
+
+    def __setstate__(self, state):
+        self.fn, self.value, self.muscle_name = state
+
+    def encode(self) -> bytes:
+        """Pickle the envelope, raising a *clear* error when impossible.
+
+        Lambdas, closures and locally defined functions are the usual
+        culprits; the error says so instead of surfacing a bare
+        ``PicklingError`` from deep inside a worker handoff.
+        """
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise PlatformError(
+                f"muscle {self.muscle_name!r} cannot run on a process-based "
+                f"platform: its body or input value is not picklable "
+                f"({exc!r}).  Use module-level functions or "
+                f"functools.partial instead of lambdas, closures or "
+                f"locally defined functions."
+            ) from exc
+
+    @staticmethod
+    def decode(blob: bytes) -> "TaskEnvelope":
+        """Inverse of :meth:`encode` (runs in the worker process)."""
+        return pickle.loads(blob)
+
+    def run(self) -> Any:
+        """Execute the body, wrapping user errors like :meth:`MuscleTask.body`."""
+        try:
+            return self.fn(self.value)
+        except Exception as exc:
+            raise MuscleExecutionError(self.muscle_name, exc) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskEnvelope({self.muscle_name!r})"
 
 
 class Barrier:

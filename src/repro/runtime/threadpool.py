@@ -10,11 +10,13 @@ finishing their current task (never aborting a muscle mid-flight), exactly
 like the simulator's cores.
 
 CPython note (DESIGN.md §1): for *CPU-bound pure-Python* muscles the GIL
-serializes execution, so raising the LP does not shrink wall-clock time.
-The pool is fully functional and useful for I/O-bound muscles, muscles
-that release the GIL (NumPy, file I/O, ``time.sleep``-style waits) and for
-exercising the event/autonomic machinery against real concurrency; the
-paper's quantitative figures are reproduced on the simulator.
+serializes execution in this pool, so raising the LP does not shrink
+wall-clock time here.  Use this pool for I/O-bound muscles and muscles
+that release the GIL (NumPy, file I/O, ``time.sleep``-style waits); for
+CPU-bound pure-Python muscles, real scaling is available on
+:class:`repro.runtime.processpool.ProcessPoolPlatform`, whose OS-process
+workers each own their own GIL.  The paper's quantitative figures are
+reproduced deterministically on the simulator.
 """
 
 from __future__ import annotations
@@ -142,8 +144,12 @@ class ThreadPoolPlatform(Platform):
                 if worker_id in self._workers and self._worker_rank(
                     worker_id
                 ) >= self.get_parallelism():
-                    # Surplus worker: retire gracefully.
+                    # Surplus worker: retire gracefully.  Pass the baton —
+                    # a submit() may have woken *this* worker to run a
+                    # task; without a re-notify that task would strand now
+                    # that idle workers block instead of polling.
                     self._workers.pop(worker_id, None)
+                    self._cv.notify_all()
                     return None
                 task = None
                 while self._queue:
@@ -155,7 +161,11 @@ class ThreadPoolPlatform(Platform):
                     self._active += 1
                     self.metrics.record(self.now(), self._active, self.get_parallelism())
                     return task
-                self._cv.wait(timeout=0.1)
+                # Every state change that could satisfy this wait —
+                # enqueue, batch prepend, resize, shutdown — notifies the
+                # condition variable, so idle workers block outright
+                # instead of polling; wakeups are event-driven.
+                self._cv.wait()
 
     def _run_task(self, task: MuscleTask, worker_id: int) -> None:
         self._local.worker_id = worker_id

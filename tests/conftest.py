@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from functools import partial
+
 import pytest
 from hypothesis import HealthCheck, settings, strategies as st
 
 from repro import (
+    Condition,
     DivideAndConquer,
     EventRecorder,
     Execute,
@@ -162,6 +165,130 @@ program_descriptions = _program_nodes(max_depth=2)
 def build_program(desc):
     """Construct a fresh skeleton from a description tuple."""
     return _build(desc)
+
+
+# ---------------------------------------------------------------------------
+# picklable integer programs (for process-backend semantics comparisons)
+#
+# The lambda-based builder above cannot run on ProcessPoolPlatform: lambdas
+# and closures do not pickle.  This parallel builder uses module-level
+# functions + functools.partial (both picklable), so the same program runs
+# on *every* backend — including OS processes.  Muscles here are pure
+# functions of their input, the other process-backend requirement (state
+# mutated inside a worker never flows back to the parent); that is why the
+# While node uses a value-driven bound instead of a stateful counter.
+
+
+def px_leaf(v, k):
+    return v * 2 + k
+
+
+def px_inc(v):
+    return v + 1
+
+
+def px_iota(v, width):
+    return [v + i for i in range(width)]
+
+
+def px_sum_mod(rs):
+    return sum(rs) % 10_000_019
+
+
+def px_below(v, bound):
+    return v < bound
+
+
+def px_parity_is(v, t):
+    return v % 2 == t
+
+
+def px_gt(v, threshold):
+    return v > threshold
+
+
+def px_halve(v):
+    return [v // 2, v - v // 2 - 1]
+
+
+def _build_picklable(node) -> object:
+    kind = node[0]
+    if kind == "seq":
+        return Seq(Execute(partial(px_leaf, k=node[1]), name=f"pleaf{node[1]}"))
+    if kind == "farm":
+        return Farm(_build_picklable(node[1]))
+    if kind == "pipe":
+        return Pipe(*[_build_picklable(c) for c in node[1]])
+    if kind == "for":
+        return For(node[1], _build_picklable(node[2]))
+    if kind == "while":
+        # Value-driven termination: every picklable muscle maps v >= 0 to
+        # a value >= v (px_leaf doubles, splits fan out non-negatively,
+        # merges sum at least one such term), so piping the generated
+        # sub-program into px_inc makes each iteration strictly increase
+        # the value and ``v < bound`` flips after at most ``bound`` steps.
+        # A *stateful* countdown condition (as in the lambda builder
+        # above) would silently never terminate on the process backend —
+        # worker-side state mutations don't reach the parent.
+        return While(
+            Condition(partial(px_below, bound=node[1]), name=f"pbelow{node[1]}"),
+            Pipe(_build_picklable(node[2]), Seq(Execute(px_inc, name="pinc"))),
+        )
+    if kind == "if":
+        return If(
+            Condition(partial(px_parity_is, t=node[1]), name=f"pparity{node[1]}"),
+            _build_picklable(node[2]),
+            _build_picklable(node[3]),
+        )
+    if kind == "map":
+        width = node[1]
+        return Map(
+            Split(partial(px_iota, width=width), name=f"psplit{width}"),
+            _build_picklable(node[2]),
+            Merge(px_sum_mod, name="psum"),
+        )
+    if kind == "fork":
+        branches = [_build_picklable(c) for c in node[1]]
+        return Fork(
+            Split(partial(px_iota, width=len(branches)), name="pforksplit"),
+            branches,
+            Merge(px_sum_mod, name="psum"),
+        )
+    if kind == "dac":
+        return DivideAndConquer(
+            Condition(partial(px_gt, threshold=node[1]), name=f"pgt{node[1]}"),
+            Split(px_halve, name="phalve"),
+            _build_picklable(node[2]),
+            Merge(px_sum_mod, name="psum"),
+        )
+    raise AssertionError(f"unknown node {node!r}")
+
+
+def _picklable_program_nodes(max_depth: int):
+    """Strategy for picklable program descriptions (plain tuples)."""
+    if max_depth <= 0:
+        return st.tuples(st.just("seq"), st.integers(0, 3))
+    sub = _picklable_program_nodes(max_depth - 1)
+    return st.one_of(
+        st.tuples(st.just("seq"), st.integers(0, 3)),
+        st.tuples(st.just("farm"), sub),
+        st.tuples(st.just("pipe"), st.lists(sub, min_size=2, max_size=3).map(tuple)),
+        st.tuples(st.just("for"), st.integers(0, 3), sub),
+        st.tuples(st.just("while"), st.integers(0, 16), sub),
+        st.tuples(st.just("if"), st.integers(0, 1), sub, sub),
+        st.tuples(st.just("map"), st.integers(1, 4), sub),
+        st.tuples(st.just("fork"), st.lists(sub, min_size=1, max_size=3).map(tuple)),
+        st.tuples(st.just("dac"), st.integers(5, 30), sub),
+    )
+
+
+#: Strategy for programs whose muscles pickle — runnable on every backend.
+picklable_program_descriptions = _picklable_program_nodes(max_depth=2)
+
+
+def build_picklable_program(desc):
+    """Construct a fresh, fully picklable skeleton from a description."""
+    return _build_picklable(desc)
 
 
 @pytest.fixture

@@ -12,7 +12,7 @@ from repro import (
 )
 from repro.core.controller import AutonomicController
 from repro.core.persistence import snapshot_estimates
-from repro.core.qos import MaxLPGoal, QoS
+from repro.core.qos import QoS
 from repro.errors import QoSError, StateMachineError
 from repro.runtime.costmodel import TableCostModel
 

@@ -155,7 +155,6 @@ class TestControllerWithAlternativeEstimators:
     def test_fig5_scenario_still_meets_goal(self, factory):
         """The autonomic loop is estimator-agnostic: every alternative
         algorithm still drives the FIG5 scenario inside its goal."""
-        from repro.bench.scenario import run_twitter_scenario
         from repro.core.controller import AutonomicController
         from repro.core.qos import QoS
         from repro.runtime.simulator import SimulatedPlatform

@@ -11,7 +11,6 @@ from repro.core.estimator import EstimatorRegistry
 from repro.core.adg import ADG
 from repro.core.statemachines import (
     DacMachine,
-    MachineRegistry,
     MapMachine,
     SeqMachine,
     WhileMachine,

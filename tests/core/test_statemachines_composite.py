@@ -8,7 +8,6 @@ from repro import (
     Farm,
     Fork,
     If,
-    Map,
     Merge,
     Pipe,
     Seq,

@@ -1,7 +1,5 @@
 """Unit tests for the event model (labels, matching, enums)."""
 
-import pytest
-
 from repro.events.types import Event, When, Where, event_label
 
 

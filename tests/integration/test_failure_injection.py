@@ -5,19 +5,16 @@ import pytest
 
 from repro import (
     DivideAndConquer,
-    Execute,
     Map,
-    Merge,
     Pipe,
     Seq,
     SimulatedPlatform,
-    Split,
     ThreadPoolPlatform,
     While,
     run,
 )
 from repro.errors import ExecutionError, MuscleExecutionError
-from repro.events import When, Where
+from repro.events import When
 from repro.runtime.costmodel import ConstantCostModel
 from repro.runtime.interpreter import submit
 

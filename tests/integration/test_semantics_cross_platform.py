@@ -1,20 +1,29 @@
 """Property tests: every platform implements the same functional semantics.
 
 For random skeleton programs over integers, the simulator (at several LP
-values) and the thread pool must produce exactly the result of the
-sequential reference evaluator.
+values) and every *real* backend enumerated from the platform registry
+(threads, processes) must produce exactly the result of the sequential
+reference evaluator.
 """
 
 import pytest
 from hypothesis import given, settings
 
-from repro import SimulatedPlatform, ThreadPoolPlatform, run
+from repro import SimulatedPlatform, ThreadPoolPlatform, make_platform, run
 from repro.events import EventRecorder
 from repro.runtime.costmodel import ConstantCostModel
 from repro.skeletons import sequential_evaluate
-from tests.conftest import build_program, program_descriptions
+from tests.conftest import (
+    build_picklable_program,
+    build_program,
+    picklable_program_descriptions,
+    program_descriptions,
+)
 
 pytestmark = pytest.mark.integration
+
+#: Real (OS-level) backends, as registered in the platform registry.
+REAL_BACKENDS = ["threads", "processes"]
 
 
 class TestSimulatorSemantics:
@@ -68,3 +77,38 @@ class TestThreadPoolSemantics:
             pool.add_listener(recorder)
             run(build_program(desc), 2, pool)
             assert recorder.is_balanced()
+
+
+@pytest.mark.parametrize("backend", REAL_BACKENDS)
+class TestRealBackendSemantics:
+    """The shared semantics suite, run over every real backend by name.
+
+    Programs come from the *picklable* builder so the identical skeleton
+    runs unchanged on threads and on OS processes.
+    """
+
+    @given(picklable_program_descriptions)
+    @settings(max_examples=8)
+    def test_matches_reference(self, backend, desc):
+        expected = sequential_evaluate(build_picklable_program(desc), 7)
+        with make_platform(backend, parallelism=3) as pool:
+            assert run(build_picklable_program(desc), 7, pool) == expected
+
+    @given(picklable_program_descriptions)
+    @settings(max_examples=6)
+    def test_events_balanced(self, backend, desc):
+        with make_platform(backend, parallelism=2) as pool:
+            recorder = EventRecorder()
+            pool.add_listener(recorder)
+            run(build_picklable_program(desc), 2, pool)
+            assert recorder.is_balanced()
+
+    @given(picklable_program_descriptions)
+    @settings(max_examples=4)
+    def test_lp_invariant(self, backend, desc):
+        """Changing the LP never changes the functional result."""
+        results = set()
+        for lp in (1, 4):
+            with make_platform(backend, parallelism=lp) as pool:
+                results.add(run(build_picklable_program(desc), 3, pool))
+        assert len(results) == 1

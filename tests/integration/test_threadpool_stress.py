@@ -1,29 +1,49 @@
-"""Stress tests: concurrent submissions + live resizes on the real pool."""
+"""Stress tests: concurrent submissions + live resizes on the real pools.
+
+Parametrized over both real backends ("threads", "processes") through the
+platform registry — the same FIFO/resize semantics contract applies to
+each, so the same stress program must survive on either.  Muscles are
+module-level picklable callables so they cross the process boundary.
+"""
 
 import random
 import threading
 import time
+from functools import partial
 
 import pytest
 
-from repro import Execute, Map, Merge, Seq, Split, ThreadPoolPlatform
+from repro import Execute, Map, Merge, Seq, Split, make_platform
+from repro.events.types import When, Where
 from repro.runtime.interpreter import submit
 from repro.skeletons import sequential_evaluate
+from tests.conftest import px_iota
 
 pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+BACKENDS = ["threads", "processes"]
+
+
+def _fe(v):
+    return v * 3 + 1
 
 
 def make_program(width):
     return Map(
-        Split(lambda v, w=width: [v + i for i in range(w)], name="w"),
-        Seq(Execute(lambda v: v * 3 + 1, name="fe")),
+        Split(partial(px_iota, width=width), name="w"),
+        Seq(Execute(_fe, name="fe")),
         Merge(sum, name="fm"),
     )
 
 
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
 class TestStress:
-    def test_many_concurrent_executions(self):
-        with ThreadPoolPlatform(parallelism=4, max_parallelism=8) as pool:
+    def test_many_concurrent_executions(self, backend):
+        with make_platform(backend, parallelism=4, max_parallelism=8) as pool:
             programs = [make_program(w) for w in (1, 2, 5, 9)]
             futures = [
                 (p, v, submit(p, v, pool))
@@ -31,45 +51,75 @@ class TestStress:
                 for p in programs
             ]
             for program, value, future in futures:
-                assert future.get(timeout=30) == sequential_evaluate(
+                assert future.get(timeout=60) == sequential_evaluate(
                     make_program(len(program.split(0))), value
                 )
 
-    def test_resize_storm_under_load(self):
+    def test_resize_storm_under_load(self, backend):
         """Random grow/shrink while work streams through: no deadlock, no
         lost results, pool converges to the final target."""
         stop = threading.Event()
+        # Worker churn is ~100x pricier for processes (fork/exit vs thread
+        # start/join); keep the storm meaningful but bounded there.
+        top = 12 if backend == "threads" else 6
+        executions = 60 if backend == "threads" else 30
+        pause = 0.002 if backend == "threads" else 0.01
 
-        with ThreadPoolPlatform(parallelism=2, max_parallelism=12) as pool:
+        with make_platform(backend, parallelism=2, max_parallelism=top) as pool:
             def resizer():
                 rng = random.Random(99)
                 while not stop.is_set():
-                    pool.set_parallelism(rng.randint(1, 12))
-                    time.sleep(0.002)
+                    pool.set_parallelism(rng.randint(1, top))
+                    time.sleep(pause)
 
             thread = threading.Thread(target=resizer, daemon=True)
             thread.start()
             try:
                 program = make_program(6)
                 expected = sequential_evaluate(make_program(6), 5)
-                futures = [submit(program, 5, pool) for _ in range(60)]
-                results = [f.get(timeout=30) for f in futures]
-                assert results == [expected] * 60
+                futures = [submit(program, 5, pool) for _ in range(executions)]
+                results = [f.get(timeout=60) for f in futures]
+                assert results == [expected] * executions
             finally:
                 stop.set()
                 thread.join(timeout=5)
             pool.set_parallelism(3)
-            deadline = time.time() + 5
+            deadline = time.time() + 10
             while pool.live_workers != 3 and time.time() < deadline:
                 time.sleep(0.01)
             assert pool.live_workers == 3
 
-    def test_metrics_consistent_after_stress(self):
-        with ThreadPoolPlatform(parallelism=3, max_parallelism=6) as pool:
+    def test_grow_then_shrink_never_loses_or_duplicates_tasks(self, backend):
+        """Every muscle task of every execution runs exactly once across a
+        grow-then-shrink cycle: counted via the AFTER events the platform
+        emits exactly once per dispatched task."""
+        width, executions = 8, 12
+        program = make_program(width)
+        expected = [sequential_evaluate(make_program(width), v) for v in range(executions)]
+        with make_platform(backend, parallelism=1, max_parallelism=8) as pool:
+            counts = {"seq_after": 0}
+            lock = threading.Lock()
+
+            def count(event):
+                with lock:
+                    counts["seq_after"] += 1
+                return event.value
+
+            pool.bus.add_callback(count, kind="seq", when=When.AFTER, where=Where.SKELETON)
+            futures = [submit(program, v, pool) for v in range(executions)]
+            pool.set_parallelism(8)  # grow under load
+            time.sleep(0.05)
+            pool.set_parallelism(2)  # shrink under load
+            results = [f.get(timeout=60) for f in futures]
+        assert results == expected  # nothing lost
+        assert counts["seq_after"] == width * executions  # nothing double-run
+
+    def test_metrics_consistent_after_stress(self, backend):
+        with make_platform(backend, parallelism=3, max_parallelism=6) as pool:
             program = make_program(4)
             futures = [submit(program, i, pool) for i in range(20)]
             for f in futures:
-                f.get(timeout=30)
+                f.get(timeout=60)
             # Active counts recorded never exceed the allocated maximum.
             for sample in pool.metrics.samples:
                 assert 0 <= sample.active <= 6

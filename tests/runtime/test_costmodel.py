@@ -9,7 +9,7 @@ from repro.runtime.costmodel import (
     TableCostModel,
     ZeroCostModel,
 )
-from repro.skeletons.muscles import Execute, Split
+from repro.skeletons.muscles import Execute
 
 
 def muscle(name="m"):

@@ -6,16 +6,13 @@ import pytest
 
 from repro import (
     DivideAndConquer,
-    Execute,
     Farm,
     For,
     Fork,
     If,
     Map,
-    Merge,
     Pipe,
     Seq,
-    Split,
     While,
     run,
 )

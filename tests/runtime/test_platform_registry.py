@@ -1,0 +1,79 @@
+"""Tests for the platform registry and make_platform."""
+
+import pytest
+
+from repro import (
+    PlatformError,
+    PlatformRegistry,
+    ProcessPoolPlatform,
+    SimulatedPlatform,
+    ThreadPoolPlatform,
+    available_backends,
+    make_platform,
+)
+
+
+class TestDefaultRegistry:
+    def test_all_builtin_backends_registered(self):
+        assert {"simulated", "threads", "processes"} <= set(available_backends())
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("simulated", SimulatedPlatform),
+            ("threads", ThreadPoolPlatform),
+            ("processes", ProcessPoolPlatform),
+        ],
+    )
+    def test_make_platform_constructs_the_right_class(self, name, cls):
+        platform = make_platform(name, parallelism=1)
+        try:
+            assert isinstance(platform, cls)
+            assert platform.get_parallelism() == 1
+        finally:
+            platform.shutdown()
+
+    @pytest.mark.parametrize(
+        "alias, canonical_cls",
+        [
+            ("sim", SimulatedPlatform),
+            ("threadpool", ThreadPoolPlatform),
+            ("Thread", ThreadPoolPlatform),
+            ("PROCESSPOOL", ProcessPoolPlatform),
+            ("procs", ProcessPoolPlatform),
+        ],
+    )
+    def test_aliases_and_case_insensitivity(self, alias, canonical_cls):
+        platform = make_platform(alias, parallelism=1)
+        try:
+            assert isinstance(platform, canonical_cls)
+        finally:
+            platform.shutdown()
+
+    def test_kwargs_forwarded_to_constructor(self):
+        with make_platform("threads", parallelism=2, max_parallelism=5) as platform:
+            assert platform.get_parallelism() == 2
+            assert platform.max_parallelism == 5
+
+    def test_unknown_backend_lists_available_names(self):
+        with pytest.raises(PlatformError, match="processes.*simulated.*threads"):
+            make_platform("gpu")
+
+
+class TestCustomRegistry:
+    def test_register_and_create(self):
+        registry = PlatformRegistry()
+        registry.register("sim", SimulatedPlatform, description="virtual")
+        platform = registry.create("sim", parallelism=3)
+        assert isinstance(platform, SimulatedPlatform)
+        assert platform.get_parallelism() == 3
+        assert registry.describe() == {"sim": "virtual"}
+        assert "sim" in registry and "nope" not in registry
+
+    def test_duplicate_names_rejected(self):
+        registry = PlatformRegistry()
+        registry.register("a", SimulatedPlatform, aliases=("b",))
+        with pytest.raises(PlatformError):
+            registry.register("a", ThreadPoolPlatform)
+        with pytest.raises(PlatformError):
+            registry.register("c", ThreadPoolPlatform, aliases=("b",))

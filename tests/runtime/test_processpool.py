@@ -1,0 +1,183 @@
+"""Unit tests for ProcessPoolPlatform and the serialization envelope."""
+
+import pickle
+import time
+from functools import partial
+
+import pytest
+
+from repro import (
+    Execute,
+    Map,
+    Merge,
+    MuscleExecutionError,
+    PlatformError,
+    ProcessPoolPlatform,
+    Seq,
+    Split,
+    run,
+)
+from repro.events import EventRecorder
+from repro.runtime.interpreter import submit
+from repro.runtime.task import ConditionBody, TaskEnvelope
+from repro.skeletons import sequential_evaluate
+from tests.conftest import px_below, px_inc, px_iota, px_leaf
+
+
+def _boom(v):
+    raise ValueError(f"kaboom({v})")
+
+
+def _make_map(width):
+    return Map(
+        Split(partial(px_iota, width=width), name="fs"),
+        Seq(Execute(px_inc, name="fe")),
+        Merge(sum, name="fm"),
+    )
+
+
+@pytest.fixture
+def procs():
+    platform = ProcessPoolPlatform(parallelism=2, max_parallelism=8)
+    recorder = EventRecorder()
+    platform.add_listener(recorder)
+    platform.recorder = recorder
+    yield platform
+    platform.shutdown()
+
+
+class TestEnvelope:
+    def test_condition_body_pairs_value_with_flag(self):
+        body = ConditionBody(partial(px_below, bound=5))
+        assert body(3) == (3, True)
+        assert body(9) == (9, False)
+
+    def test_condition_body_round_trips_pickle(self):
+        body = pickle.loads(pickle.dumps(ConditionBody(partial(px_below, bound=5))))
+        assert body(4) == (4, True)
+
+    def test_envelope_round_trip(self):
+        env = TaskEnvelope(partial(px_leaf, k=3), 10, "leaf")
+        clone = TaskEnvelope.decode(env.encode())
+        assert clone.run() == 23
+        assert clone.muscle_name == "leaf"
+
+    def test_envelope_encode_rejects_closures(self):
+        env = TaskEnvelope(lambda v: v, 1, "lam")
+        with pytest.raises(PlatformError, match="not picklable"):
+            env.encode()
+
+    def test_envelope_run_wraps_user_errors(self):
+        env = TaskEnvelope(_boom, 1, "boom")
+        with pytest.raises(MuscleExecutionError) as excinfo:
+            env.run()
+        assert excinfo.value.muscle_name == "boom"
+        assert isinstance(excinfo.value.cause, ValueError)
+
+    def test_muscle_execution_error_round_trips_pickle(self):
+        original = MuscleExecutionError("boom", ValueError("kaboom"), trace=())
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.muscle_name == "boom"
+        assert isinstance(clone.cause, ValueError)
+        assert str(clone.cause) == "kaboom"
+
+
+class TestProcessPool:
+    def test_simple_map(self, procs):
+        program = _make_map(10)
+        assert run(program, 5, procs) == sequential_evaluate(_make_map(10), 5)
+
+    def test_events_balanced_and_carry_worker_ids(self, procs):
+        run(_make_map(6), 3, procs)
+        assert procs.recorder.is_balanced()
+        workers = {e.worker for e in procs.recorder.events if e.label == "seq@a"}
+        assert workers, "muscle AFTER events must carry a worker id"
+        assert all(isinstance(w, int) for w in workers)
+
+    def test_unpicklable_muscle_fails_with_clear_error(self, procs):
+        program = Seq(Execute(lambda v: v + 1, name="lam"))
+        with pytest.raises(PlatformError, match="not picklable"):
+            run(program, 1, procs)
+
+    def test_muscle_exception_propagates_with_cause(self, procs):
+        with pytest.raises(MuscleExecutionError) as excinfo:
+            run(Seq(Execute(_boom, name="boom")), 7, procs)
+        assert excinfo.value.muscle_name == "boom"
+        assert isinstance(excinfo.value.cause, ValueError)
+        assert "kaboom(7)" in str(excinfo.value.cause)
+
+    def test_failure_skips_remaining_tasks(self, procs):
+        program = Map(
+            Split(partial(px_iota, width=6), name="fs"),
+            Seq(Execute(_boom, name="boom")),
+            Merge(sum, name="fm"),
+        )
+        future = submit(program, 0, procs)
+        with pytest.raises(MuscleExecutionError):
+            future.get(timeout=30)
+
+    def test_chunking_many_fine_grained_tasks(self):
+        with ProcessPoolPlatform(parallelism=2, chunk_size=4) as pool:
+            program = _make_map(40)
+            assert run(program, 1, pool) == sequential_evaluate(_make_map(40), 1)
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(PlatformError):
+            ProcessPoolPlatform(parallelism=1, chunk_size=0)
+
+    def test_live_grow_and_graceful_shrink(self, procs):
+        futures = [submit(_make_map(8), v, procs) for v in range(10)]
+        procs.set_parallelism(6)
+        expected = [sequential_evaluate(_make_map(8), v) for v in range(10)]
+        assert [f.get(timeout=60) for f in futures] == expected
+        procs.set_parallelism(1)
+        deadline = time.time() + 10
+        while procs.live_workers != 1 and time.time() < deadline:
+            time.sleep(0.02)
+        assert procs.live_workers == 1
+
+    def test_metrics_track_active_within_allocation(self, procs):
+        for v in range(4):
+            run(_make_map(5), v, procs)
+        for sample in procs.metrics.samples:
+            assert 0 <= sample.active <= 8
+
+    def test_current_worker_is_none_outside_tasks(self, procs):
+        assert procs.current_worker() is None
+
+    def test_submit_after_shutdown_raises(self):
+        pool = ProcessPoolPlatform(parallelism=1)
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+        with pytest.raises(PlatformError):
+            run(Seq(Execute(px_inc, name="fe")), 1, pool)
+
+    def test_worker_killed_mid_flight_never_strands_futures(self, procs):
+        """SIGKILLing a worker resolves every future (result or clean
+        PlatformError) and the pool self-heals to its target size."""
+        import os
+        import signal
+
+        futures = [submit(_make_map(6), v, procs) for v in range(6)]
+        with procs._cv:
+            victims = [h.process.pid for h in procs._workers.values()]
+        os.kill(victims[0], signal.SIGKILL)
+        outcomes = 0
+        for future in futures:
+            try:
+                future.get(timeout=30)
+            except PlatformError:
+                pass
+            outcomes += 1
+        assert outcomes == len(futures)
+        deadline = time.time() + 10
+        while procs.live_workers != 2 and time.time() < deadline:
+            time.sleep(0.02)
+        assert procs.live_workers == 2
+
+    def test_concurrent_executions(self, procs):
+        futures = [submit(_make_map(w), v, procs) for v in range(5) for w in (1, 3, 7)]
+        expected = [
+            sequential_evaluate(_make_map(w), v) for v in range(5) for w in (1, 3, 7)
+        ]
+        assert [f.get(timeout=60) for f in futures] == expected

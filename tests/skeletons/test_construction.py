@@ -14,7 +14,7 @@ from repro import (
     While,
 )
 from repro.errors import SkeletonDefinitionError
-from repro.skeletons.muscles import Condition, Execute, Merge, Split
+from repro.skeletons.muscles import Condition, Merge, Split
 
 
 def leaf():
