@@ -1,0 +1,124 @@
+"""Serving many executions: the multi-tenant SkeletonService.
+
+Five tenants share ONE platform.  Each submits a map over sleepy leaves
+with its own wall-clock-time goal; a sixth submission carries a goal that
+is impossible even with every worker dedicated to it, and admission
+control rejects it up front.  The LP arbiter splits the shared workers by
+deadline urgency and rebalances as executions complete.
+
+Run:  PYTHONPATH=src python examples/service_multitenant.py
+"""
+
+import time
+from functools import partial
+
+from repro import AdmissionError, QoS, SkeletonService
+from repro.core.persistence import snapshot_from_names
+from repro.skeletons import Execute, Map, Merge, Pipe, Seq, Split
+
+CAPACITY = 8
+WIDTH = 6
+LEAF_SECONDS = 0.03
+
+
+# Module-level muscles: the same program shapes run unchanged on the
+# "processes" backend (picklable), though this example uses threads.
+def replicate(v, width):
+    return [v] * width
+
+
+def sleepy_echo(v, duration):
+    time.sleep(duration)
+    return v
+
+
+def total(parts):
+    return sum(parts)
+
+
+def fan_out_program():
+    return Map(
+        Split(partial(replicate, width=WIDTH), name="split"),
+        Seq(Execute(partial(sleepy_echo, duration=LEAF_SECONDS), name="leaf")),
+        Merge(total, name="merge"),
+    )
+
+
+def serial_chain_program(stages, duration):
+    return Pipe(
+        *[
+            Seq(Execute(partial(sleepy_echo, duration=duration), name=f"stage{i}"))
+            for i in range(stages)
+        ]
+    )
+
+
+def warm_snapshot(program, times, cards=None):
+    """Estimate snapshot so admission can judge feasibility up front."""
+    return snapshot_from_names(program, times, cards)
+
+
+def main() -> None:
+    with SkeletonService(backend="threads", capacity=CAPACITY) as service:
+        print(f"shared platform: threads, capacity {CAPACITY}")
+
+        handles = []
+        for i in range(5):
+            program = fan_out_program()
+            goal = 3.0 + 0.5 * i
+            handles.append(
+                service.submit(
+                    program,
+                    i,
+                    qos=QoS.wall_clock(goal),
+                    tenant=f"tenant-{i}",
+                    warm_start=warm_snapshot(
+                        program,
+                        times={"split": 1e-4, "leaf": LEAF_SECONDS, "merge": 1e-4},
+                        cards={"split": WIDTH},
+                    ),
+                )
+            )
+            print(f"  tenant-{i}: submitted (WCT goal {goal:.1f}s)")
+
+        # A 12-stage serial chain cannot beat 0.1s however many workers
+        # it gets: admission rejects it instead of letting it fail slowly.
+        chain = serial_chain_program(12, 0.05)
+        doomed = service.submit(
+            chain,
+            0,
+            qos=QoS.wall_clock(0.1),
+            tenant="greedy",
+            warm_start=warm_snapshot(
+                chain, times={f"stage{i}": 0.05 for i in range(12)}
+            ),
+        )
+        try:
+            doomed.result(timeout=1.0)
+        except AdmissionError as exc:
+            print(f"  greedy: REJECTED up front ({exc.reason.split(':')[0]})")
+        assert doomed.status().value == "rejected"
+
+        results = [h.result(timeout=30.0) for h in handles]
+        assert results == [i * WIDTH for i in range(5)], results
+        assert all(h.goal_met() for h in handles)
+
+        print("\nper-tenant outcome:")
+        for handle in handles:
+            print(
+                f"  {handle.tenant}: result={handle.result()}  "
+                f"wct={handle.wall_clock():.3f}s  goal_met={handle.goal_met()}"
+            )
+
+        rebalances = service.arbiter.rebalances
+        assert rebalances, "the arbiter never ran"
+        print(f"\narbiter rebalanced {len(rebalances)} times; last shares:")
+        last = rebalances[-1]
+        for execution_id, share in sorted(last.shares.items()):
+            print(f"  execution {execution_id}: {share} worker(s)")
+        print(f"aggregate throughput: {service.stats.throughput():.2f} executions/s")
+        print(f"goal-miss rate: {service.stats.goal_miss_rate():.0%}")
+
+
+if __name__ == "__main__":
+    main()

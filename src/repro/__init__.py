@@ -22,7 +22,9 @@ See ``examples/quickstart.py`` for a complete runnable program.
 
 from .errors import (
     ADGError,
+    AdmissionError,
     EstimateNotReadyError,
+    ExecutionCancelledError,
     ExecutionError,
     MuscleExecutionError,
     MuscleTypeError,
@@ -30,6 +32,7 @@ from .errors import (
     QoSError,
     ReproError,
     SchedulingError,
+    ServiceError,
     SkeletonDefinitionError,
     StateMachineError,
     WorkloadError,
@@ -39,12 +42,14 @@ from .events import (
     Event,
     EventBus,
     EventRecorder,
+    ExecutionScopedListener,
     GenericListener,
     LatchListener,
     Listener,
     LoggingListener,
     When,
     Where,
+    split_by_execution,
 )
 from .runtime import (
     CallableCostModel,
@@ -90,8 +95,10 @@ from .version import __version__
 from .core import (
     ADG,
     Activity,
+    AnalysisReport,
     AutonomicController,
     EstimatorRegistry,
+    ExecutionAnalyzer,
     HistoryEstimator,
     QoS,
     WCTGoal,
@@ -99,6 +106,15 @@ from .core import (
     limited_lp_schedule,
     minimal_lp_greedy,
     optimal_lp,
+)
+from .service import (
+    AdmissionController,
+    ExecutionHandle,
+    ExecutionStatus,
+    LPArbiter,
+    ServiceStats,
+    SkeletonService,
+    TenantQuota,
 )
 
 __all__ = [
@@ -116,6 +132,9 @@ __all__ = [
     "QoSError",
     "StateMachineError",
     "WorkloadError",
+    "ServiceError",
+    "AdmissionError",
+    "ExecutionCancelledError",
     # events
     "Event",
     "EventBus",
@@ -127,6 +146,8 @@ __all__ = [
     "LatchListener",
     "When",
     "Where",
+    "ExecutionScopedListener",
+    "split_by_execution",
     # skeletons
     "Skeleton",
     "Seq",
@@ -167,8 +188,10 @@ __all__ = [
     # autonomic core
     "ADG",
     "Activity",
+    "AnalysisReport",
     "AutonomicController",
     "EstimatorRegistry",
+    "ExecutionAnalyzer",
     "HistoryEstimator",
     "QoS",
     "WCTGoal",
@@ -176,4 +199,12 @@ __all__ = [
     "limited_lp_schedule",
     "minimal_lp_greedy",
     "optimal_lp",
+    # multi-tenant service
+    "SkeletonService",
+    "ExecutionHandle",
+    "ExecutionStatus",
+    "AdmissionController",
+    "LPArbiter",
+    "ServiceStats",
+    "TenantQuota",
 ]

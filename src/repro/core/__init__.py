@@ -7,6 +7,7 @@ skeleton executes.
 """
 
 from .adg import ADG, Activity
+from .analysis import AnalysisReport, ExecutionAnalyzer, is_analysis_point
 from .controller import AutonomicController, Decision
 from .estimator import EstimatorRegistry, HistoryEstimator
 from .estimators_ext import (
@@ -21,6 +22,7 @@ from .persistence import (
     restore_estimates,
     save_estimates,
     snapshot_estimates,
+    snapshot_from_names,
 )
 from .projection import estimated_total_work, project_skeleton
 from .qos import MaxLPGoal, QoS, WCTGoal
@@ -54,6 +56,9 @@ from .statemachines import (
 __all__ = [
     "ADG",
     "Activity",
+    "AnalysisReport",
+    "ExecutionAnalyzer",
+    "is_analysis_point",
     "AutonomicController",
     "Decision",
     "EstimatorRegistry",
@@ -90,6 +95,7 @@ __all__ = [
     "IfMachine",
     "ForkMachine",
     "snapshot_estimates",
+    "snapshot_from_names",
     "restore_estimates",
     "save_estimates",
     "load_estimates",

@@ -1,0 +1,250 @@
+"""Per-execution Monitor + Analyze — the front half of the MAPE loop.
+
+The paper's :class:`~repro.core.controller.AutonomicController` fuses all
+four MAPE stages for a single execution: it monitors the event stream,
+analyzes the projected ADG, plans an LP change and executes it with
+``platform.set_parallelism``.  On a shared multi-tenant platform that
+fusion breaks down — N controllers would fight over one global knob.
+
+This module factors the *per-execution* half into a reusable component:
+
+* :class:`ExecutionAnalyzer` — a listener that **monitors** one (or all)
+  execution's events through a private
+  :class:`~repro.core.statemachines.MachineRegistry` + estimator registry,
+  and on demand **analyzes**: projects the live ADG and derives the
+  paper's quantities (best-effort WCT, optimal LP, WCT under a given LP);
+* :class:`AnalysisReport` — one analysis outcome, carrying the projected
+  ADG so *planners* (the controller's local policies, or the service's
+  global LP arbiter) can evaluate hypothetical allocations without
+  re-projecting.
+
+Actuation — who calls ``set_parallelism`` and with what — stays with the
+caller: the single-tenant controller applies its increase/halving policies
+directly, while :class:`~repro.service.arbiter.LPArbiter` pools the
+reports of all live executions and splits the platform's workers by
+deadline urgency.
+
+Scoping: pass ``execution_id`` to bind the analyzer to one execution on a
+shared bus (its machines and estimators then never see another tenant's
+events); leave it ``None`` for the classic whole-platform behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import StateMachineError
+from ..events.bus import Listener
+from ..events.types import Event, When, Where
+from ..skeletons.base import Skeleton
+from .adg import ADG
+from .estimator import EstimatorRegistry
+from .qos import QoS
+from .schedule import (
+    best_effort_schedule,
+    limited_lp_schedule,
+    minimal_lp_greedy,
+)
+from .statemachines import UNSUPPORTED_KINDS, MachineRegistry
+
+__all__ = ["AnalysisReport", "ExecutionAnalyzer", "ANALYSIS_WHERE", "is_analysis_point"]
+
+#: AFTER events that trigger an analysis (muscle completions change the
+#: ADG materially; BEFORE events and control markers do not).
+ANALYSIS_WHERE = (Where.SKELETON, Where.SPLIT, Where.MERGE, Where.CONDITION)
+
+
+def is_analysis_point(event: Event) -> bool:
+    """True when *event* is one of the paper's analysis points."""
+    return event.when is When.AFTER and event.where in ANALYSIS_WHERE
+
+
+@dataclass
+class AnalysisReport:
+    """One Monitor/Analyze outcome for one (set of) execution(s).
+
+    Carries the projected ADG so planners can evaluate hypothetical LP
+    allocations (:meth:`wct_at`, :meth:`minimal_lp`) without paying the
+    projection again.
+    """
+
+    time: float
+    execution_id: Optional[int]
+    deadline: Optional[float]
+    current_lp: Optional[int]
+    wct_best_effort: float
+    wct_current_lp: Optional[float]
+    optimal_lp: int
+    adg: ADG
+
+    @property
+    def remaining_best_effort(self) -> float:
+        """Seconds of wall-clock left under infinite parallelism."""
+        return max(0.0, self.wct_best_effort - self.time)
+
+    @property
+    def slack(self) -> Optional[float]:
+        """Deadline minus best-effort WCT (negative = goal at risk)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.wct_best_effort
+
+    @property
+    def goal_at_risk(self) -> bool:
+        """True when not even infinite parallelism meets the deadline."""
+        return self.deadline is not None and self.wct_best_effort > self.deadline
+
+    def wct_at(self, lp: int) -> float:
+        """Projected WCT under a hypothetical level of parallelism."""
+        return limited_lp_schedule(self.adg, self.time, lp).wct
+
+    def minimal_lp(
+        self, cap: Optional[int] = None, start_lp: int = 1
+    ) -> Optional[int]:
+        """Smallest LP (``>= start_lp``, ``<= cap``) meeting the deadline.
+
+        ``None`` when the report has no deadline or no LP up to *cap*
+        meets it (the greedy bracket of the paper's NP-complete problem).
+        """
+        if self.deadline is None:
+            return None
+        found = minimal_lp_greedy(
+            self.adg, self.time, self.deadline, max_lp=cap, start_lp=start_lp
+        )
+        return found[0] if found is not None else None
+
+
+class ExecutionAnalyzer(Listener):
+    """Monitor + Analyze for one execution (or a whole platform).
+
+    Parameters
+    ----------
+    qos:
+        The execution's goal(s); the deadline in reports derives from its
+        WCT goal and the observed execution start.  May be ``None`` for a
+        best-effort tenant (reports then carry ``deadline=None``).
+    execution_id:
+        When given, :meth:`accepts` filters the shared bus down to this
+        execution's events — the scoping that keeps tenants' estimators
+        and live state from cross-contaminating.
+    skeleton:
+        Optional: validate up front that the program contains only
+        patterns the autonomic layer supports.
+    rho / estimators / extensions:
+        As in :class:`~repro.core.controller.AutonomicController`.
+    """
+
+    def __init__(
+        self,
+        qos: Optional[QoS] = None,
+        execution_id: Optional[int] = None,
+        skeleton: Optional[Skeleton] = None,
+        rho: float = 0.5,
+        estimators: Optional[EstimatorRegistry] = None,
+        extensions: bool = False,
+    ):
+        self.qos = qos
+        self.execution_id = execution_id
+        self.estimators = estimators or EstimatorRegistry(rho=rho)
+        self.machines = MachineRegistry(self.estimators, extensions=extensions)
+        self.exec_start: Dict[int, float] = {}  # root index -> start time
+        if skeleton is not None:
+            self.validate(skeleton)
+
+    # -- setup -----------------------------------------------------------------
+
+    def validate(self, skeleton: Skeleton) -> None:
+        """Reject programs containing paper-unsupported patterns."""
+        if self.machines.extensions:
+            return
+        for node in skeleton.walk():
+            if node.kind in UNSUPPORTED_KINDS:
+                raise StateMachineError(
+                    f"skeleton contains {node.kind!r}, unsupported by the "
+                    f"autonomic layer (paper §4); pass extensions=True to opt in"
+                )
+
+    def initialize_estimates(self, skeleton: Skeleton, snapshot: Dict[str, Any]) -> None:
+        """Warm-start ``t(m)`` / ``|m|`` from a previous run's snapshot."""
+        from .persistence import restore_estimates
+
+        restore_estimates(skeleton, self.estimators, snapshot)
+
+    # -- Monitor (Listener API) -------------------------------------------------
+
+    def accepts(self, event: Event) -> bool:
+        return self.execution_id is None or event.execution_id == self.execution_id
+
+    def on_event(self, event: Event) -> Any:
+        self.observe(event)
+        return event.value
+
+    def observe(self, event: Event) -> None:
+        """Feed one event into the tracking machines."""
+        self.machines.on_event(event)
+        if event.parent_index is None and event.index not in self.exec_start:
+            self.exec_start[event.index] = event.timestamp
+
+    # -- Analyze ---------------------------------------------------------------
+
+    def unfinished_roots(self) -> List:
+        return self.machines.unfinished_roots()
+
+    @property
+    def finished(self) -> bool:
+        """True once every observed root execution completed."""
+        return bool(self.machines.roots) and not self.machines.unfinished_roots()
+
+    def ready(self, roots: Optional[List] = None) -> bool:
+        """True when an analysis is possible: live roots whose needed
+        estimates are all available (the paper's cold-start gate)."""
+        roots = roots if roots is not None else self.unfinished_roots()
+        if not roots:
+            return False
+        return all(self.estimators.ready_for(m.skel) for m in roots)
+
+    def deadline(self, roots: Optional[List] = None) -> Optional[float]:
+        """Earliest absolute planning deadline across live roots."""
+        if self.qos is None or self.qos.wct is None:
+            return None
+        roots = roots if roots is not None else self.unfinished_roots()
+        if not roots:
+            return None
+        return min(
+            self.qos.wct.deadline(self.exec_start.get(m.index, 0.0)) for m in roots
+        )
+
+    def analyze(
+        self,
+        now: float,
+        current_lp: Optional[int] = None,
+        roots: Optional[List] = None,
+    ) -> Optional[AnalysisReport]:
+        """Project the live execution(s) and derive the paper's quantities.
+
+        Returns ``None`` when nothing is running or a needed estimate is
+        still missing (first-run cold start waits for the first merge, as
+        in the paper's scenario 1).
+        """
+        roots = roots if roots is not None else self.unfinished_roots()
+        if not self.ready(roots):
+            return None
+        adg, _terminals = self.machines.project_roots(now, roots)
+        if len(adg) == 0:
+            return None
+        best = best_effort_schedule(adg, now)
+        return AnalysisReport(
+            time=now,
+            execution_id=self.execution_id,
+            deadline=self.deadline(roots),
+            current_lp=current_lp,
+            wct_best_effort=best.wct,
+            wct_current_lp=(
+                limited_lp_schedule(adg, now, current_lp).wct
+                if current_lp is not None
+                else None
+            ),
+            optimal_lp=best.peak(from_time=now),
+            adg=adg,
+        )

@@ -17,6 +17,11 @@ A MAPE loop over the event stream of a running skeleton:
   increases it");
 * **Execute** — apply the new LP to the platform, live.
 
+Monitor and Analyze live in :class:`~repro.core.analysis.ExecutionAnalyzer`
+(one per execution, reusable on a shared multi-tenant platform where the
+service's :class:`~repro.service.arbiter.LPArbiter` owns actuation); this
+class adds the single-tenant Plan + Execute policies on top.
+
 Increase policies:
 
 * ``"minimal"`` (default) — the smallest LP whose greedy limited-LP
@@ -35,28 +40,18 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from ..errors import QoSError, StateMachineError
+from ..errors import QoSError
 from ..events.bus import Listener
-from ..events.types import Event, When, Where
+from ..events.types import Event
 from ..runtime.platform import Platform
 from ..skeletons.base import Skeleton
+from .analysis import AnalysisReport, ExecutionAnalyzer, is_analysis_point
 from .estimator import EstimatorRegistry
 from .qos import QoS
-from .schedule import (
-    best_effort_schedule,
-    limited_lp_schedule,
-    minimal_lp_greedy,
-    optimal_lp,
-)
-from .statemachines import UNSUPPORTED_KINDS, MachineRegistry
 
 __all__ = ["Decision", "AutonomicController"]
 
 _EPS = 1e-9
-
-#: AFTER events that trigger an analysis (muscle completions change the
-#: ADG materially; BEFORE events and control markers do not).
-_ANALYSIS_WHERE = (Where.SKELETON, Where.SPLIT, Where.MERGE, Where.CONDITION)
 
 
 @dataclass
@@ -104,6 +99,10 @@ class AutonomicController(Listener):
     min_analysis_interval:
         Throttle: skip analyses closer than this many (platform clock)
         seconds to the previous one.  0 analyzes on every analysis point.
+    execution_id:
+        When given, the controller only monitors that execution's events
+        (scoped operation on a shared bus); default observes everything
+        on the platform, as the paper's single-tenant Skandium did.
     """
 
     def __init__(
@@ -117,6 +116,7 @@ class AutonomicController(Listener):
         extensions: bool = False,
         min_analysis_interval: float = 0.0,
         estimators: Optional[EstimatorRegistry] = None,
+        execution_id: Optional[int] = None,
     ):
         if qos is None:
             raise QoSError("AutonomicController needs a QoS specification")
@@ -126,34 +126,51 @@ class AutonomicController(Listener):
             raise QoSError(f"unknown decrease policy {decrease_policy!r}")
         self.platform = platform
         self.qos = qos
-        self.estimators = estimators or EstimatorRegistry(rho=rho)
-        self.machines = MachineRegistry(self.estimators, extensions=extensions)
+        self.analyzer = ExecutionAnalyzer(
+            qos=qos,
+            execution_id=execution_id,
+            skeleton=skeleton,
+            rho=rho,
+            estimators=estimators,
+            extensions=extensions,
+        )
         self.increase_policy = increase_policy
         self.decrease_policy = decrease_policy
         self.min_analysis_interval = min_analysis_interval
         self.decisions: List[Decision] = []
-        self._exec_start: Dict[int, float] = {}  # root index -> start time
         self._last_analysis: Optional[float] = None
         self._lock = threading.RLock()
         self._attached = False
-        if skeleton is not None:
-            self.validate(skeleton)
         # Effective LP ceiling: intersect the QoS max with the platform max.
         self._max_lp = self._effective_max_lp()
         self.attach()
 
-    # -- setup -----------------------------------------------------------------
+    # -- delegation to the per-execution analyzer --------------------------------
+
+    @property
+    def estimators(self) -> EstimatorRegistry:
+        return self.analyzer.estimators
+
+    @property
+    def machines(self):
+        return self.analyzer.machines
 
     def validate(self, skeleton: Skeleton) -> None:
         """Reject programs containing paper-unsupported patterns."""
-        if self.machines.extensions:
-            return
-        for node in skeleton.walk():
-            if node.kind in UNSUPPORTED_KINDS:
-                raise StateMachineError(
-                    f"skeleton contains {node.kind!r}, unsupported by the "
-                    f"autonomic layer (paper §4); pass extensions=True to opt in"
-                )
+        self.analyzer.validate(skeleton)
+
+    def initialize_estimates(self, skeleton: Skeleton, snapshot: Dict[str, Any]) -> None:
+        """Warm-start ``t(m)`` / ``|m|`` from a previous run's snapshot.
+
+        See :mod:`repro.core.persistence` for producing snapshots.  With
+        warm estimates the first analysis can react before every muscle
+        has run once — the paper's scenario 2, where the LP rises right
+        after the first (I/O-bound) split instead of after the first
+        merge.
+        """
+        self.analyzer.initialize_estimates(skeleton, snapshot)
+
+    # -- setup -----------------------------------------------------------------
 
     def _effective_max_lp(self) -> Optional[int]:
         caps = [
@@ -174,30 +191,16 @@ class AutonomicController(Listener):
             self.platform.bus.remove_listener(self)
             self._attached = False
 
-    # -- warm start --------------------------------------------------------------
-
-    def initialize_estimates(self, skeleton: Skeleton, snapshot: Dict[str, Any]) -> None:
-        """Warm-start ``t(m)`` / ``|m|`` from a previous run's snapshot.
-
-        See :mod:`repro.core.persistence` for producing snapshots.  With
-        warm estimates the first analysis can react before every muscle
-        has run once — the paper's scenario 2, where the LP rises right
-        after the first (I/O-bound) split instead of after the first
-        merge.
-        """
-        from .persistence import restore_estimates
-
-        restore_estimates(skeleton, self.estimators, snapshot)
-
     # -- Listener API ----------------------------------------------------------------
 
+    def accepts(self, event: Event) -> bool:
+        return self.analyzer.accepts(event)
+
     def on_event(self, event: Event) -> Any:
-        # Monitor: the machine registry sees every event first.
-        self.machines.on_event(event)
-        if event.parent_index is None and event.index not in self._exec_start:
-            self._exec_start[event.index] = event.timestamp
+        # Monitor: the analyzer's machine registry sees every event first.
+        self.analyzer.observe(event)
         # Analyze on muscle-completion analysis points.
-        if event.when is When.AFTER and event.where in _ANALYSIS_WHERE:
+        if is_analysis_point(event):
             self._maybe_analyze(trigger=event.label)
         return event.value
 
@@ -214,87 +217,72 @@ class AutonomicController(Listener):
                 and now - self._last_analysis < self.min_analysis_interval
             ):
                 return
-            roots = self.machines.unfinished_roots()
-            if not roots:
+            report = self.analyzer.analyze(
+                now, current_lp=self.platform.get_parallelism()
+            )
+            if report is None:
                 return
-            # Gate: every needed estimate available (first-run cold start
-            # waits for the first merge, as in the paper's scenario 1).
-            for machine in roots:
-                if not self.estimators.ready_for(machine.skel):
-                    return
             self._last_analysis = now
-            self._analyze(now, roots, trigger)
+            self._plan_and_execute(report, trigger)
 
-    def _analyze(self, now: float, roots, trigger: str) -> None:
-        adg, _terminals = self.machines.project_roots(now, roots)
-        if len(adg) == 0:
-            return
-        deadline = min(
-            self.qos.wct.deadline(self._exec_start.get(m.index, 0.0))
-            for m in roots
-        )
-        current_lp = self.platform.get_parallelism()
-        best = best_effort_schedule(adg, now)
-        opt_lp = best.peak(from_time=now)
-        current = limited_lp_schedule(adg, now, current_lp)
-
+    def _plan_and_execute(self, report: AnalysisReport, trigger: str) -> None:
+        """Plan against the deadline and apply the LP change (if any)."""
+        deadline = report.deadline
+        current_lp = report.current_lp
         lp_after = current_lp
         action = "hold"
         reason = ""
-        if current.wct > deadline + _EPS:
+        if report.wct_current_lp > deadline + _EPS:
             # The current LP misses the goal: self-optimize upward.
-            target = self._pick_increase(adg, now, deadline, current_lp, opt_lp)
+            target = self._pick_increase(report)
             if target > current_lp:
                 lp_after = self.platform.set_parallelism(target)
                 action = "increase"
                 reason = (
-                    f"limited-LP({current_lp}) WCT {current.wct:.3f} misses "
-                    f"deadline {deadline:.3f}"
+                    f"limited-LP({current_lp}) WCT {report.wct_current_lp:.3f} "
+                    f"misses deadline {deadline:.3f}"
                 )
             else:
                 action = "unreachable"
                 reason = (
                     f"no LP <= {self._max_lp or 'inf'} meets deadline "
-                    f"{deadline:.3f}; best effort {best.wct:.3f}"
+                    f"{deadline:.3f}; best effort {report.wct_best_effort:.3f}"
                 )
         elif self.decrease_policy == "halving" and current_lp > 1:
             # Goal is safe: can we do it with half the threads?
             half = current_lp // 2
-            half_schedule = limited_lp_schedule(adg, now, half)
-            if half_schedule.wct <= deadline + _EPS:
+            half_wct = report.wct_at(half)
+            if half_wct <= deadline + _EPS:
                 lp_after = self.platform.set_parallelism(half)
                 action = "decrease"
                 reason = (
-                    f"limited-LP({half}) WCT {half_schedule.wct:.3f} still "
+                    f"limited-LP({half}) WCT {half_wct:.3f} still "
                     f"meets deadline {deadline:.3f}"
                 )
         self.decisions.append(
             Decision(
-                time=now,
+                time=report.time,
                 trigger=trigger,
                 lp_before=current_lp,
                 lp_after=lp_after,
-                wct_best_effort=best.wct,
-                wct_current_lp=current.wct,
-                optimal_lp=opt_lp,
+                wct_best_effort=report.wct_best_effort,
+                wct_current_lp=report.wct_current_lp,
+                optimal_lp=report.optimal_lp,
                 deadline=deadline,
                 action=action,
                 reason=reason,
             )
         )
 
-    def _pick_increase(
-        self, adg, now: float, deadline: float, current_lp: int, opt_lp: int
-    ) -> int:
+    def _pick_increase(self, report: AnalysisReport) -> int:
         cap = self._max_lp
-        ceiling = opt_lp if cap is None else min(opt_lp, cap)
+        ceiling = report.optimal_lp if cap is None else min(report.optimal_lp, cap)
+        current_lp = report.current_lp
         if self.increase_policy == "optimal":
             return max(current_lp, ceiling)
-        found = minimal_lp_greedy(
-            adg, now, deadline, max_lp=cap, start_lp=current_lp + 1
-        )
+        found = report.minimal_lp(cap=cap, start_lp=current_lp + 1)
         if found is not None:
-            return found[0]
+            return found
         # Nothing meets the deadline: allocate the best-effort peak (the
         # closest we can get), clamped by the cap.
         return max(current_lp, ceiling)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterator, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 from ..errors import ReproError
 from ..skeletons.base import Skeleton
@@ -26,6 +26,7 @@ from .estimator import EstimatorRegistry
 __all__ = [
     "muscle_keys",
     "snapshot_estimates",
+    "snapshot_from_names",
     "restore_estimates",
     "save_estimates",
     "load_estimates",
@@ -58,6 +59,32 @@ def snapshot_estimates(skel: Skeleton, registry: EstimatorRegistry) -> Dict[str,
         if entry:
             data["estimates"][key] = entry
     return data
+
+
+def snapshot_from_names(
+    skel: Skeleton,
+    times: Dict[str, float],
+    cards: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Build a snapshot from muscle *names* instead of a previous run.
+
+    ``times`` maps muscle names to ``t(m)`` seconds; ``cards`` maps
+    split/condition muscle names to ``|m|``.  This is how callers
+    declare known costs up front — e.g. to warm-start the service's
+    admission feasibility gate (``SkeletonService.submit(...,
+    warm_start=...)``) without having executed the program before.
+    Muscles not named are left cold.
+    """
+    estimates: Dict[str, Dict[str, float]] = {}
+    for key, muscle in muscle_keys(skel):
+        entry: Dict[str, float] = {}
+        if muscle.name in times:
+            entry["t"] = float(times[muscle.name])
+        if cards and muscle.name in cards:
+            entry["card"] = float(cards[muscle.name])
+        if entry:
+            estimates[key] = entry
+    return {"version": 1, "estimates": estimates}
 
 
 def restore_estimates(

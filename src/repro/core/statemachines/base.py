@@ -53,6 +53,20 @@ class MuscleSpan:
     def started(self) -> bool:
         return self.start is not None
 
+    def close(self, event) -> None:
+        """Finish the span at *event*'s timestamp.
+
+        When the AFTER event carries a ``started_at`` extra — a platform
+        shipped the worker-observed body start back after the fact (the
+        process pool stamps BEFORE events at chunk handoff) — the span's
+        start is corrected to it, clamped inside ``[start, end]``, so the
+        estimators measure the muscle itself rather than queue residence.
+        """
+        self.end = event.timestamp
+        started_at = event.extra.get("started_at")
+        if started_at is not None and self.start is not None:
+            self.start = min(self.end, max(self.start, float(started_at)))
+
     def add_to(
         self,
         adg: ADG,

@@ -30,7 +30,7 @@ class IfMachine(TrackingMachine):
         self.cond_span.start = event.timestamp
 
     def handle_after_condition(self, event: Event) -> None:
-        self.cond_span.end = event.timestamp
+        self.cond_span.close(event)
         self.cond_span.result = bool(event.extra.get("cond_result"))
         self._observe_span(self.skel.condition, self.cond_span)
 

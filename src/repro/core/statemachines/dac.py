@@ -53,7 +53,7 @@ class DacMachine(TrackingMachine):
         self.cond_span.start = event.timestamp
 
     def handle_after_condition(self, event: Event) -> None:
-        self.cond_span.end = event.timestamp
+        self.cond_span.close(event)
         self.cond_span.result = bool(event.extra.get("cond_result"))
         self.divided = self.cond_span.result
         self._observe_span(self.skel.condition, self.cond_span)
@@ -72,7 +72,7 @@ class DacMachine(TrackingMachine):
         self.split_span.start = event.timestamp
 
     def handle_after_split(self, event: Event) -> None:
-        self.split_span.end = event.timestamp
+        self.split_span.close(event)
         self.split_span.card = event.extra.get("fs_card")
         self._observe_span(self.skel.split, self.split_span)
         if self.split_span.card is not None:
@@ -82,7 +82,7 @@ class DacMachine(TrackingMachine):
         self.merge_span.start = event.timestamp
 
     def handle_after_merge(self, event: Event) -> None:
-        self.merge_span.end = event.timestamp
+        self.merge_span.close(event)
         self._observe_span(self.skel.merge, self.merge_span)
 
     def handle_after_skeleton(self, event: Event) -> None:

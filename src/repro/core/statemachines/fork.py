@@ -33,7 +33,7 @@ class ForkMachine(TrackingMachine):
         self.split_span.start = event.timestamp
 
     def handle_after_split(self, event: Event) -> None:
-        self.split_span.end = event.timestamp
+        self.split_span.close(event)
         self.split_span.card = event.extra.get("fs_card")
         self._observe_span(self.skel.split, self.split_span)
         if self.split_span.card is not None:
@@ -43,7 +43,7 @@ class ForkMachine(TrackingMachine):
         self.merge_span.start = event.timestamp
 
     def handle_after_merge(self, event: Event) -> None:
-        self.merge_span.end = event.timestamp
+        self.merge_span.close(event)
         self._observe_span(self.skel.merge, self.merge_span)
 
     def project(self, adg: ADG, preds: List[int], now: float) -> List[int]:

@@ -38,7 +38,7 @@ class WhileMachine(TrackingMachine):
 
     def handle_after_condition(self, event: Event) -> None:
         span = self.cond_spans[-1]
-        span.end = event.timestamp
+        span.close(event)
         span.result = bool(event.extra.get("cond_result"))
         self._observe_span(self.skel.condition, span)
         if span.result:

@@ -28,7 +28,7 @@ class SeqMachine(TrackingMachine):
 
     # …and the t(fe) update on the AFTER event.
     def handle_after_skeleton(self, event: Event) -> None:
-        self.span.end = event.timestamp
+        self.span.close(event)
         self._observe_span(self.skel.execute, self.span)
 
     def project(self, adg: ADG, preds: List[int], now: float) -> List[int]:

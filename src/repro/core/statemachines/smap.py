@@ -33,7 +33,7 @@ class MapMachine(TrackingMachine):
 
     def handle_after_split(self, event: Event) -> None:
         # t(fs) and |fs| updates
-        self.split_span.end = event.timestamp
+        self.split_span.close(event)
         self.split_span.card = event.extra.get("fs_card")
         self._observe_span(self.skel.split, self.split_span)
         if self.split_span.card is not None:
@@ -45,7 +45,7 @@ class MapMachine(TrackingMachine):
 
     def handle_after_merge(self, event: Event) -> None:
         # t(fm) update
-        self.merge_span.end = event.timestamp
+        self.merge_span.close(event)
         self._observe_span(self.skel.merge, self.merge_span)
 
     # -- projection -----------------------------------------------------------

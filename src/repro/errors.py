@@ -21,6 +21,9 @@ __all__ = [
     "QoSError",
     "StateMachineError",
     "WorkloadError",
+    "ServiceError",
+    "AdmissionError",
+    "ExecutionCancelledError",
 ]
 
 
@@ -92,3 +95,24 @@ class StateMachineError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator or application muscle was misconfigured."""
+
+
+class ServiceError(ReproError):
+    """The multi-tenant skeleton service was misused or failed internally."""
+
+
+class AdmissionError(ServiceError):
+    """A submission was rejected by the service's admission controller.
+
+    :attr:`reason` carries the admission decision's explanation (per-tenant
+    quota exhausted, WCT goal predicted infeasible, service shutting
+    down, ...).
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ExecutionCancelledError(ExecutionError):
+    """An execution was cancelled through its service handle."""

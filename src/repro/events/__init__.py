@@ -19,6 +19,7 @@ from .listeners import (
     ValueTransformListener,
 )
 from .recorder import EventRecorder
+from .scoping import ExecutionScopedListener, scoped, split_by_execution
 from .types import Event, When, Where, event_label
 
 __all__ = [
@@ -38,4 +39,7 @@ __all__ = [
     "CountingListener",
     "LatchListener",
     "ValueTransformListener",
+    "ExecutionScopedListener",
+    "scoped",
+    "split_by_execution",
 ]

@@ -122,6 +122,21 @@ class EventBus:
             except ValueError:
                 return False
 
+    def move_to_end(self, listener: Listener) -> None:
+        """Atomically move *listener* to the end of the dispatch order.
+
+        Unlike a remove + re-add pair, a concurrent :meth:`publish` never
+        snapshots the listener list in a window where *listener* is
+        absent — the multi-tenant service relies on this to keep its
+        arbitration ticker last without ever dropping a tick.
+        """
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+            self._listeners.append(listener)
+
     def listeners(self) -> List[Listener]:
         """Snapshot of the registered listeners (in registration order)."""
         with self._lock:

@@ -64,16 +64,21 @@ class EventRecorder(Listener):
         when: Optional[When] = None,
         where: Optional[Where] = None,
         predicate: Optional[Callable[[Event], bool]] = None,
+        execution_id: Optional[int] = None,
     ) -> List[Event]:
         """Events matching the given filters, in arrival order."""
         out = []
         for event in self.events:
-            if not event.matches(kind, when, where):
+            if not event.matches(kind, when, where, execution_id):
                 continue
             if predicate is not None and not predicate(event):
                 continue
             out.append(event)
         return out
+
+    def for_execution(self, execution_id: int) -> List[Event]:
+        """All recorded events of one execution, in arrival order."""
+        return self.select(execution_id=execution_id)
 
     def first(self, **kwargs) -> Optional[Event]:
         """First event matching :meth:`select` filters, or ``None``."""

@@ -1,0 +1,74 @@
+"""Execution-scoped event filtering for shared multi-tenant platforms.
+
+One platform, one event bus: when many top-level executions run
+concurrently on a shared worker pool (see :mod:`repro.service`), every
+listener registered on the bus sees the interleaved event streams of *all*
+tenants.  The autonomic layer's per-execution components — estimator
+registries, tracking machines, recorders — must only consume the events of
+their own execution, or estimates and live state cross-contaminate between
+tenants.
+
+This module provides that seam:
+
+* :class:`ExecutionScopedListener` wraps any listener so it only accepts
+  events whose ``execution_id`` matches;
+* :func:`scoped` is the one-line convenience wrapper;
+* :func:`split_by_execution` partitions a recorded event list per
+  execution for post-hoc analysis (tests, benchmarks, audits).
+
+Events raised outside an execution (hand-built in tests) carry
+``execution_id=None`` and never match a scope.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from .bus import Listener
+from .types import Event
+
+__all__ = ["ExecutionScopedListener", "scoped", "split_by_execution"]
+
+
+class ExecutionScopedListener(Listener):
+    """Deliver only one execution's events to the wrapped listener.
+
+    The wrapped listener's own :meth:`~Listener.accepts` filter still
+    applies on top of the scope, and its return value still replaces the
+    partial solution (pipeline semantics are preserved — scoping is
+    transparent to the value flow).
+    """
+
+    def __init__(self, execution_id: int, inner: Listener):
+        if not isinstance(inner, Listener):
+            raise TypeError(f"expected a Listener to scope, got {inner!r}")
+        self.execution_id = execution_id
+        self.inner = inner
+
+    def accepts(self, event: Event) -> bool:
+        return event.execution_id == self.execution_id and self.inner.accepts(event)
+
+    def on_event(self, event: Event) -> Any:
+        return self.inner.on_event(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionScopedListener(execution_id={self.execution_id}, inner={self.inner!r})"
+
+
+def scoped(execution_id: int, listener: Listener) -> ExecutionScopedListener:
+    """Wrap *listener* so it only sees events of *execution_id*."""
+    return ExecutionScopedListener(execution_id, listener)
+
+
+def split_by_execution(
+    events: Iterable[Event],
+) -> Dict[Optional[int], List[Event]]:
+    """Partition *events* by ``execution_id``, preserving arrival order.
+
+    Events without an execution (``execution_id=None``) land under the
+    ``None`` key so nothing is silently dropped.
+    """
+    out: Dict[Optional[int], List[Event]] = {}
+    for event in events:
+        out.setdefault(event.execution_id, []).append(event)
+    return out

@@ -103,6 +103,13 @@ class Event:
     worker:
         Identifier of the worker (thread or virtual core) that executed
         the related muscle.
+    execution_id:
+        Identifier of the top-level :class:`~repro.runtime.task.Execution`
+        this event belongs to (``None`` for events raised outside an
+        execution, e.g. hand-built in tests).  On a shared multi-tenant
+        platform this is what keeps listeners, recorders and estimators of
+        concurrent executions from cross-contaminating — see
+        :mod:`repro.events.scoping`.
     extra:
         Event-specific payload; well-known keys include ``fs_card``
         (cardinality returned by a split), ``cond_result`` (boolean of a
@@ -123,6 +130,7 @@ class Event:
     index_trace: Tuple[int, ...] = ()
     worker: Optional[int] = None
     extra: Mapping[str, Any] = field(default_factory=dict)
+    execution_id: Optional[int] = None
 
     @property
     def label(self) -> str:
@@ -140,6 +148,7 @@ class Event:
         kind: Optional[str] = None,
         when: Optional[When] = None,
         where: Optional[Where] = None,
+        execution_id: Optional[int] = None,
     ) -> bool:
         """Return ``True`` when the event matches every given criterion."""
         if kind is not None and self.kind != kind:
@@ -147,6 +156,8 @@ class Event:
         if when is not None and self.when is not when:
             return False
         if where is not None and self.where is not where:
+            return False
+        if execution_id is not None and self.execution_id != execution_id:
             return False
         return True
 

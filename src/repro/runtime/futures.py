@@ -25,6 +25,7 @@ class SkeletonFuture:
         self._result: Any = _UNSET
         self._exception: Optional[BaseException] = None
         self._done = threading.Event()
+        self._resolved = False  # guarded by _lock; decided before _done is set
         self._callbacks: List[Callable[["SkeletonFuture"], None]] = []
         self._lock = threading.Lock()
         # The simulator installs a driver that runs its event loop until
@@ -33,28 +34,45 @@ class SkeletonFuture:
         self._driver = driver
 
     # -- production ----------------------------------------------------------
+    #
+    # Resolution races are real on the service layer: a cancel() may run
+    # concurrently with a worker delivering the result.  The _resolved
+    # flag (checked and set under the lock) makes exactly one resolver
+    # win; the _done event is only set afterwards, so done()/get() keep
+    # their blocking semantics.
+
+    def _resolve(self, value: Any, exc: Optional[BaseException]) -> bool:
+        with self._lock:
+            if self._resolved:
+                return False
+            self._resolved = True
+            if exc is None:
+                self._result = value
+            else:
+                self._exception = exc
+            callbacks = list(self._callbacks)
+        self._done.set()
+        for cb in callbacks:
+            cb(self)
+        return True
 
     def set_result(self, value: Any) -> None:
         """Resolve the future successfully.  May be called only once."""
-        with self._lock:
-            if self.done():
-                raise ExecutionError("future already resolved")
-            self._result = value
-            callbacks = list(self._callbacks)
-        self._done.set()
-        for cb in callbacks:
-            cb(self)
+        if not self._resolve(value, None):
+            raise ExecutionError("future already resolved")
 
     def set_exception(self, exc: BaseException) -> None:
         """Resolve the future with a failure.  May be called only once."""
-        with self._lock:
-            if self.done():
-                raise ExecutionError("future already resolved")
-            self._exception = exc
-            callbacks = list(self._callbacks)
-        self._done.set()
-        for cb in callbacks:
-            cb(self)
+        if not self._resolve(None, exc):
+            raise ExecutionError("future already resolved")
+
+    def try_set_result(self, value: Any) -> bool:
+        """Like :meth:`set_result`, but loses resolution races quietly."""
+        return self._resolve(value, None)
+
+    def try_set_exception(self, exc: BaseException) -> bool:
+        """Like :meth:`set_exception`, but loses resolution races quietly."""
+        return self._resolve(None, exc)
 
     # -- consumption ----------------------------------------------------------
 
@@ -83,7 +101,10 @@ class SkeletonFuture:
     def add_done_callback(self, fn: Callable[["SkeletonFuture"], None]) -> None:
         """Run ``fn(self)`` when resolved (immediately if already done)."""
         with self._lock:
-            if not self.done():
+            # Check the resolution flag, not the _done event: a winning
+            # resolver snapshots the callback list before setting _done,
+            # and a callback appended in that window would never fire.
+            if not self._resolved:
                 self._callbacks.append(fn)
                 return
         fn(self)

@@ -86,6 +86,7 @@ class _Instance:
             index_trace=self.index_trace,
             worker=worker if worker is not None else platform.current_worker(),
             extra=extra,
+            execution_id=self.state.execution.id,
         )
         return platform.bus.publish(event)
 
@@ -101,15 +102,26 @@ class _ExecState:
         self.execution = execution
 
 
-def submit(skel: Skeleton, value: Any, platform: Platform) -> SkeletonFuture:
+def submit(
+    skel: Skeleton,
+    value: Any,
+    platform: Platform,
+    execution: Optional[Execution] = None,
+) -> SkeletonFuture:
     """Start executing *skel* on *value*; return the result future.
 
     This is what :meth:`Skeleton.input` delegates to.  On the simulator
     the returned future drives the event loop when ``get()`` is called; on
     the thread pool the execution proceeds asynchronously right away.
+
+    *execution* lets a caller pre-create the :class:`Execution` (with a
+    future from :meth:`Platform.new_future`): the multi-tenant service
+    needs the execution id *before* the first event is published, to
+    register execution-scoped listeners and worker shares up front.
     """
-    future = platform.new_future()
-    execution = Execution(future)
+    if execution is None:
+        execution = Execution(platform.new_future())
+    future = execution.future
     state = _ExecState(platform, execution)
 
     def root_continuation(result: Any) -> None:
@@ -198,9 +210,15 @@ def _submit_task(
 
     def emit_after(result: Any, worker: Optional[int]) -> Any:
         payload = event_payload(result)
+        # Platforms that learn the body's true start after the fact (the
+        # process pool ships worker-side timestamps back with results) set
+        # task.started_at before calling us; attaching it to the AFTER
+        # events lets tracking machines correct BEFORE-stamped spans.
+        started = {"started_at": task.started_at} if task.started_at is not None else {}
         for when, where, extra_fn in after_events:
             payload = inst.emit(
-                when, where, payload, worker=worker, **(extra_fn(result) or {})
+                when, where, payload, worker=worker,
+                **{**(extra_fn(result) or {}), **started},
             )
         return rebuild(result, payload)
 

@@ -20,7 +20,7 @@ discrete-event multicore simulation — the substitution for the paper's
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 from ..errors import PlatformError
 from ..events.bus import EventBus, Listener
@@ -55,6 +55,15 @@ class Platform:
         self._clock = clock
         self.metrics = LPSeries()
         self._lp_lock = threading.Lock()
+        # Per-execution worker shares (execution id -> max concurrently
+        # running tasks).  Executions absent from the mapping are
+        # unlimited, so single-tenant use is unaffected.
+        self._shares: Dict[int, int] = {}
+        # In-flight task count per execution, backing the share checks.
+        # The helpers below are NOT synchronized — each backend calls
+        # them under its own scheduling lock (the pools' condition
+        # variable; the simulator is single-threaded).
+        self._exec_running: Dict[int, int] = {}
         # Instance indices are platform-scoped: unique across every
         # execution submitted to this platform (so tracking machines never
         # collide), deterministic for a fresh platform.
@@ -97,6 +106,71 @@ class Platform:
         with self._lp_lock:
             self._parallelism = n
         return n
+
+    # -- per-execution shares ---------------------------------------------------
+
+    def set_shares(self, shares: Mapping[int, int]) -> None:
+        """Replace the per-execution worker-share mapping.
+
+        ``shares`` maps execution ids (:attr:`repro.runtime.task.
+        Execution.id`) to the maximum number of this platform's workers
+        that may run that execution's tasks concurrently.  Executions not
+        present are unlimited (bounded only by the global LP); shares are
+        replaced wholesale on every call, so stale entries of finished
+        executions vanish on the next rebalance.  The LP arbiter of the
+        multi-tenant service drives this on every analysis tick.
+        """
+        cleaned: Dict[int, int] = {}
+        for execution_id, share in shares.items():
+            share = int(share)
+            if share < 1:
+                raise PlatformError(
+                    f"share for execution {execution_id} must be >= 1, got {share}"
+                )
+            cleaned[int(execution_id)] = share
+        with self._lp_lock:
+            self._shares = cleaned
+        self._on_shares_changed()
+
+    def share_of(self, execution_id: int) -> Optional[int]:
+        """Current worker share of *execution_id* (``None`` = unlimited)."""
+        with self._lp_lock:
+            return self._shares.get(execution_id)
+
+    def get_shares(self) -> Dict[int, int]:
+        """Snapshot of the current share mapping."""
+        with self._lp_lock:
+            return dict(self._shares)
+
+    def _on_shares_changed(self) -> None:
+        """Hook for subclasses: wake schedulers after a share change."""
+
+    # -- share accounting (caller-synchronized, see __init__) -------------------
+
+    def _share_allows(self, task: "MuscleTask") -> bool:
+        """True when *task*'s execution is below its worker share."""
+        share = self.share_of(task.execution.id)
+        if share is None:
+            return True
+        return self._exec_running.get(task.execution.id, 0) < share
+
+    def _exec_started(self, task: "MuscleTask") -> None:
+        """Count one in-flight task of the task's execution."""
+        eid = task.execution.id
+        self._exec_running[eid] = self._exec_running.get(eid, 0) + 1
+
+    def _exec_released(self, task: "MuscleTask") -> None:
+        """Release one in-flight slot of the task's execution."""
+        eid = task.execution.id
+        remaining = self._exec_running.get(eid, 0) - 1
+        if remaining > 0:
+            self._exec_running[eid] = remaining
+        else:
+            self._exec_running.pop(eid, None)
+
+    def running_of(self, execution_id: int) -> int:
+        """Tasks of *execution_id* currently in flight (introspection)."""
+        return self._exec_running.get(execution_id, 0)
 
     # -- work -------------------------------------------------------------------
 

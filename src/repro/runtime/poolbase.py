@@ -1,0 +1,175 @@
+"""Shared parent-side plumbing of the real worker-pool platforms.
+
+:class:`~repro.runtime.threadpool.ThreadPoolPlatform` and
+:class:`~repro.runtime.processpool.ProcessPoolPlatform` differ in *where*
+muscle bodies run (OS threads vs. OS processes) but share all of the
+parent-side mechanics.  This mixin hosts that common seam exactly once so
+the two backends cannot drift apart:
+
+* **submit + thread-local continuation batching** — tasks spawned while a
+  continuation runs are collected on the submitting thread and prepended
+  to the queue *in front* when the continuation ends (depth-first
+  scheduling, like the simulator and Skandium's work-first pool);
+* **seniority-rank graceful retirement** — when the LP shrinks, the
+  workers whose seniority rank (position among live worker ids) is at or
+  above the new target retire after their current work, never aborting a
+  muscle mid-flight;
+* **per-execution share accounting** — on a shared multi-tenant platform
+  each execution may be capped to a worker share
+  (:meth:`~repro.runtime.platform.Platform.set_shares`); the queue pop
+  skips (but keeps) tasks whose execution is at its cap, and completions
+  notify the scheduler so capped work resumes the instant a slot frees.
+
+Subclasses call :meth:`_init_pool` from ``__init__`` and use the popping /
+accounting helpers from their scheduling loops; everything here is guarded
+by the single condition variable ``self._cv``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from ..errors import PlatformError
+from .platform import Platform
+from .task import MuscleTask
+
+__all__ = ["_PoolPlatformBase"]
+
+
+class _PoolPlatformBase(Platform):
+    """Common parent-side machinery of the thread- and process-pool backends."""
+
+    # -- initialization ---------------------------------------------------------
+
+    def _init_pool(self) -> None:
+        """Set up the queue, lock and worker table."""
+        self._queue: Deque[MuscleTask] = deque()
+        self._cv = threading.Condition()
+        self._workers: Dict[int, object] = {}
+        self._next_worker_id = 0
+        self._active = 0
+        self._shutdown = False
+        self._local = threading.local()
+
+    # -- Platform API -----------------------------------------------------------
+
+    def submit(self, task: MuscleTask) -> None:
+        batch = getattr(self._local, "batch", None)
+        if batch is not None:
+            # Collected during a continuation and prepended when it ends:
+            # depth-first scheduling, like the simulator (and Skandium).
+            batch.append(task)
+            return
+        with self._cv:
+            if self._shutdown:
+                raise PlatformError("platform has been shut down")
+            self._queue.append(task)
+            self._cv.notify_all()
+
+    def current_worker(self) -> Optional[int]:
+        return getattr(self._local, "worker_id", None)
+
+    def _on_shares_changed(self) -> None:
+        # A rebalance can raise an execution's cap: wake the scheduler so
+        # previously capped queued tasks are reconsidered immediately.
+        with self._cv:
+            self._cv.notify_all()
+
+    # -- seniority --------------------------------------------------------------
+
+    def _rank_locked(self, worker_id: int) -> int:
+        """Position of *worker_id* among live workers (0 = most senior)."""
+        return sorted(self._workers).index(worker_id)
+
+    # -- share accounting --------------------------------------------------------
+    #
+    # The counters themselves live on the Platform base (shared with the
+    # simulator); these wrappers add the pool-specific synchronization.
+
+    def _share_allows_locked(self, task: MuscleTask) -> bool:
+        """True when *task*'s execution is below its worker share."""
+        return self._share_allows(task)
+
+    def _exec_started_locked(self, task: MuscleTask) -> None:
+        """Count one in-flight task of the task's execution."""
+        self._exec_started(task)
+
+    def _exec_finished_locked(self, task: MuscleTask) -> None:
+        """Release one in-flight slot; wake capped work waiting for it."""
+        self._exec_released(task)
+        # The wakeup only matters when a share cap could have parked
+        # queued work; without shares, skipping it avoids a thundering
+        # herd of idle workers on every completion.  (set_shares itself
+        # notifies through _on_shares_changed, so the transition from
+        # empty to non-empty shares never loses a wakeup.)
+        if self._shares:
+            self._cv.notify_all()
+
+    def running_of(self, execution_id: int) -> int:
+        """Tasks of *execution_id* currently in flight (introspection)."""
+        with self._cv:
+            return super().running_of(execution_id)
+
+    # -- queue ------------------------------------------------------------------
+
+    def _take_next_locked(self) -> Optional[MuscleTask]:
+        """Pop the first runnable task, or ``None``.
+
+        Tasks of failed executions are dropped; tasks whose execution is
+        at its worker share are skipped *but kept* in their original
+        queue position, so they run as soon as a slot frees.
+        """
+        skipped = []
+        found: Optional[MuscleTask] = None
+        while self._queue:
+            candidate = self._queue.popleft()
+            if candidate.execution.failed:
+                continue
+            if not self._share_allows_locked(candidate):
+                skipped.append(candidate)
+                continue
+            found = candidate
+            break
+        while skipped:
+            self._queue.appendleft(skipped.pop())
+        return found
+
+    def _run_continuation(self, task: MuscleTask, result, worker_id: int) -> None:
+        """Run the continuation, batch-prepending depth-first spawns.
+
+        Continuations run outside the busy-accounting window: they are
+        bookkeeping, not muscle work (mirrors the simulator's zero-cost
+        continuations).
+        """
+        self._local.worker_id = worker_id
+        self._local.batch = []
+        try:
+            if not task.execution.failed:
+                task.continuation(result)
+        finally:
+            self._local.worker_id = None
+            batch, self._local.batch = self._local.batch, None
+            if batch:
+                with self._cv:
+                    for spawned in reversed(batch):
+                        self._queue.appendleft(spawned)
+                    self._cv.notify_all()
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def queued_tasks(self) -> int:
+        with self._cv:
+            return len(self._queue)
+
+    @property
+    def active_tasks(self) -> int:
+        with self._cv:
+            return self._active
+
+    @property
+    def live_workers(self) -> int:
+        with self._cv:
+            return len(self._workers)

@@ -10,23 +10,29 @@ Architecture (everything stateful stays in the parent process):
 
 * a FIFO queue of :class:`~repro.runtime.task.MuscleTask` objects, exactly
   like the thread pool's — continuations spawned during a task's epilogue
-  are prepended depth-first, mirroring the simulator and Skandium;
+  are prepended depth-first; the queue/batching/retirement/share plumbing
+  shared with the thread pool lives in
+  :class:`~repro.runtime.poolbase._PoolPlatformBase`;
 * a **dispatcher thread** that pairs queued tasks with idle workers.  It
   emits the BEFORE events (in-process, on behalf of the worker), snapshots
   each task into a picklable :class:`~repro.runtime.task.TaskEnvelope`
   and ships a *chunk* of envelopes per handoff — batching amortizes the
   IPC cost for fine-grained Map/Farm tasks;
 * one **worker process** per LP unit, running a tiny loop: receive
-  envelopes, run the muscle bodies, send back results (or exceptions);
+  envelopes, run the muscle bodies, send back results (or exceptions),
+  each tagged with the **worker-side start timestamp** of the body;
 * a **collector (pump) thread** that receives worker results — streamed
   one message per task, so AFTER events carry true completion times even
   for batched chunks — and re-emits the AFTER events onto the in-process
   :class:`~repro.events.bus.EventBus` and runs the continuations; so
   listeners, barriers and the autonomic machinery behave identically to
-  the thread pool.  (BEFORE events of batched tasks are stamped at chunk
-  handoff, so duration observations of very fine-grained muscles can be
-  over-estimated by the chunk residence time; set ``chunk_size=1`` when
-  estimator-grade spans matter more than IPC amortization);
+  the thread pool.  BEFORE events of batched tasks are *published* at
+  chunk handoff (listeners may transform the input value, which must
+  happen before the value ships), but each AFTER event carries a
+  ``started_at`` extra derived from the worker-side start timestamp, and
+  the tracking machines use it to measure estimator spans — so duration
+  observations of fine-grained chunk-batched muscles no longer include
+  the chunk residence time;
 * graceful shrink: surplus workers retire only *between* chunks, never
   mid-muscle; graceful grow: new processes join and start pulling work
   immediately.  Both are driven live by :meth:`set_parallelism`.
@@ -43,14 +49,14 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import threading
-from collections import deque
+import time
 from multiprocessing import connection as mpconnection
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import PlatformError
 from ..events.bus import EventBus
 from .clock import Clock, RealClock
-from .platform import Platform
+from .poolbase import _PoolPlatformBase
 from .task import MuscleTask, TaskEnvelope
 
 __all__ = ["ProcessPoolPlatform"]
@@ -59,15 +65,19 @@ __all__ = ["ProcessPoolPlatform"]
 _EXIT = pickle.dumps(None, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def _send_result(res_conn, worker_id: int, index: int, ok: bool, value) -> None:
-    """Send one ``(worker_id, index, ok, value)`` message, degrading safely.
+def _send_result(
+    res_conn, worker_id: int, index: int, ok: bool, value, start_mono: float
+) -> None:
+    """Send one ``(worker_id, index, ok, value, start_mono)`` message.
 
     A muscle may return (or raise) something unpicklable; replace it with
     a :class:`PlatformError` that names the problem instead of letting the
-    send fail.
+    send fail.  ``start_mono`` is the worker-side ``time.monotonic()``
+    taken when the body started (CLOCK_MONOTONIC is system-wide, so the
+    parent can translate it onto its platform clock).
     """
     try:
-        res_conn.send((worker_id, index, ok, value))
+        res_conn.send((worker_id, index, ok, value, start_mono))
     except Exception as exc:
         kind = "result" if ok else "exception"
         res_conn.send(
@@ -79,6 +89,7 @@ def _send_result(res_conn, worker_id: int, index: int, ok: bool, value) -> None:
                     f"worker {worker_id} could not pickle a muscle "
                     f"{kind} of type {type(value).__name__}: {exc!r}"
                 ),
+                start_mono,
             )
         )
 
@@ -90,6 +101,9 @@ def _worker_main(worker_id: int, req_conn, res_conn) -> None:
     back one message per task, as soon as each muscle finishes — so the
     parent's AFTER events carry true completion times and continuations
     of early chunk items can schedule while the chunk is still running.
+    Each result carries the worker-side start timestamp of its body, so
+    the parent can correct BEFORE-event spans that were stamped at chunk
+    handoff.
     """
     while True:
         try:
@@ -100,6 +114,7 @@ def _worker_main(worker_id: int, req_conn, res_conn) -> None:
         if chunk is None:  # _EXIT sentinel
             break
         for index, env_blob in enumerate(chunk):
+            start_mono = time.monotonic()
             try:
                 envelope = TaskEnvelope.decode(env_blob)
             except BaseException as exc:
@@ -120,19 +135,32 @@ def _worker_main(worker_id: int, req_conn, res_conn) -> None:
                         f"afterwards (workers snapshot the parent process "
                         f"at spawn time)."
                     ),
+                    start_mono,
                 )
                 continue
+            start_mono = time.monotonic()
             try:
-                _send_result(res_conn, worker_id, index, True, envelope.run())
+                _send_result(
+                    res_conn, worker_id, index, True, envelope.run(), start_mono
+                )
             except BaseException as exc:
-                _send_result(res_conn, worker_id, index, False, exc)
+                _send_result(res_conn, worker_id, index, False, exc, start_mono)
     res_conn.close()
 
 
 class _WorkerHandle:
     """Parent-side bookkeeping for one worker process."""
 
-    __slots__ = ("worker_id", "process", "req_conn", "res_conn", "busy", "remaining")
+    __slots__ = (
+        "worker_id",
+        "process",
+        "req_conn",
+        "res_conn",
+        "busy",
+        "remaining",
+        "sent_at",
+        "sent_mono",
+    )
 
     def __init__(self, worker_id: int, process, req_conn, res_conn):
         self.worker_id = worker_id
@@ -141,9 +169,11 @@ class _WorkerHandle:
         self.res_conn = res_conn  # worker -> parent (streamed results)
         self.busy: Optional[List[MuscleTask]] = None  # chunk in flight
         self.remaining = 0  # chunk tasks whose result has not arrived yet
+        self.sent_at = 0.0  # platform-clock time of the chunk handoff
+        self.sent_mono = 0.0  # time.monotonic() at the chunk handoff
 
 
-class ProcessPoolPlatform(Platform):
+class ProcessPoolPlatform(_PoolPlatformBase):
     """Real-process execution platform with a live-resizable worker pool.
 
     Parameters
@@ -183,14 +213,8 @@ class ProcessPoolPlatform(Platform):
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
         self._chunk_size = int(chunk_size)
-        self._cv = threading.Condition()
-        self._pending: Deque[MuscleTask] = deque()
-        self._workers: Dict[int, _WorkerHandle] = {}
+        self._init_pool()  # includes self._workers: id -> _WorkerHandle
         self._retiring: Dict[int, _WorkerHandle] = {}
-        self._next_worker_id = 0
-        self._active = 0  # workers with a chunk in flight
-        self._shutdown = False
-        self._local = threading.local()
         # Self-pipe waking the collector when the worker set changes.
         self._wake_r, self._wake_w = multiprocessing.Pipe(duplex=False)
         self._wake_lock = threading.Lock()
@@ -213,22 +237,6 @@ class ProcessPoolPlatform(Platform):
         self._collector.start()
 
     # -- Platform API ---------------------------------------------------------
-
-    def submit(self, task: MuscleTask) -> None:
-        batch = getattr(self._local, "batch", None)
-        if batch is not None:
-            # Collected during a continuation and prepended when it ends:
-            # depth-first scheduling, like the thread pool and simulator.
-            batch.append(task)
-            return
-        with self._cv:
-            if self._shutdown:
-                raise PlatformError("platform has been shut down")
-            self._pending.append(task)
-            self._cv.notify_all()
-
-    def current_worker(self) -> Optional[int]:
-        return getattr(self._local, "worker_id", None)
 
     def set_parallelism(self, n: int) -> int:
         applied = super().set_parallelism(n)
@@ -262,20 +270,10 @@ class ProcessPoolPlatform(Platform):
     # -- introspection ---------------------------------------------------------
 
     @property
-    def queued_tasks(self) -> int:
-        with self._cv:
-            return len(self._pending)
-
-    @property
     def active_tasks(self) -> int:
         """Number of workers with a chunk in flight."""
         with self._cv:
             return self._active
-
-    @property
-    def live_workers(self) -> int:
-        with self._cv:
-            return len(self._workers)
 
     # -- worker management -------------------------------------------------------
 
@@ -285,10 +283,6 @@ class ProcessPoolPlatform(Platform):
                 self._wake_w.send_bytes(b".")
             except (OSError, ValueError):  # pragma: no cover - closed at exit
                 pass
-
-    def _rank_locked(self, worker_id: int) -> int:
-        """Position of *worker_id* among live workers (0 = most senior)."""
-        return sorted(self._workers).index(worker_id)
 
     def _spawn_missing_locked(self) -> None:
         target = self.get_parallelism()
@@ -349,7 +343,7 @@ class ProcessPoolPlatform(Platform):
 
     def _take_assignments_locked(self) -> List[Tuple[_WorkerHandle, List[MuscleTask]]]:
         assignments: List[Tuple[_WorkerHandle, List[MuscleTask]]] = []
-        if not self._pending:
+        if not self._queue:
             return assignments
         lp = self.get_parallelism()
         order = sorted(self._workers)
@@ -358,19 +352,29 @@ class ProcessPoolPlatform(Platform):
             for rank, wid in enumerate(order)
             if rank < lp and self._workers[wid].busy is None
         ]
+        # With per-execution shares active, ship one task per handoff:
+        # chunking computes its batch depth from the raw queue, which can
+        # pack several capped executions' tasks onto one worker (serializing
+        # them) while other workers idle.  Multi-tenant workloads trade the
+        # IPC amortization for a correct parallel spread.
+        shared_mode = bool(self.get_shares())
         for position, worker_id in enumerate(idle):
-            if not self._pending:
+            if not self._queue:
                 break
             # Batch only when the queue is deeper than the remaining idle
             # workers: fine-grained floods amortize IPC, coarse work still
             # spreads one task per worker.
-            share = max(1, len(self._pending) // (len(idle) - position))
-            take = min(self._chunk_size, share)
+            depth = max(1, len(self._queue) // (len(idle) - position))
+            take = 1 if shared_mode else min(self._chunk_size, depth)
             tasks: List[MuscleTask] = []
-            while self._pending and len(tasks) < take:
-                candidate = self._pending.popleft()
-                if not candidate.execution.failed:
-                    tasks.append(candidate)
+            while len(tasks) < take:
+                candidate = self._take_next_locked()
+                if candidate is None:
+                    break
+                # Counts toward the execution's worker share from pop to
+                # result (or failure), so chunking respects shares too.
+                self._exec_started_locked(candidate)
+                tasks.append(candidate)
             if not tasks:
                 continue
             handle = self._workers[worker_id]
@@ -384,16 +388,19 @@ class ProcessPoolPlatform(Platform):
         """Emit BEFORE events, envelope the chunk and ship it."""
         blobs: List[bytes] = []
         live: List[MuscleTask] = []
+        dropped: List[MuscleTask] = []
         self._local.worker_id = handle.worker_id
         try:
             for task in tasks:
                 if task.execution.failed:
+                    dropped.append(task)
                     continue
                 try:
                     value = task.emit_before(handle.worker_id)
                     blobs.append(task.envelope(value).encode())
                 except Exception as exc:
                     task.execution.fail(exc)
+                    dropped.append(task)
                     continue
                 live.append(task)
         finally:
@@ -401,8 +408,11 @@ class ProcessPoolPlatform(Platform):
         with self._cv:
             if handle.busy is None:
                 # The worker died between assignment and handoff; the
-                # collector already failed the chunk and fixed the counters.
+                # collector already failed the chunk and fixed the counters
+                # (including the per-execution share accounting).
                 return
+            for task in dropped:
+                self._exec_finished_locked(task)
             if not live:
                 handle.busy = None
                 self._active -= 1
@@ -411,6 +421,11 @@ class ProcessPoolPlatform(Platform):
                 return
             handle.busy = live
             handle.remaining = len(live)
+            # Reference pair for translating worker-side monotonic start
+            # timestamps onto the platform clock (same host, shared
+            # CLOCK_MONOTONIC; the pairing keeps it correct for any clock).
+            handle.sent_at = self.now()
+            handle.sent_mono = time.monotonic()
             try:
                 handle.req_conn.send_bytes(
                     pickle.dumps(blobs, protocol=pickle.HIGHEST_PROTOCOL)
@@ -441,11 +456,11 @@ class ProcessPoolPlatform(Platform):
                     continue
                 handle = watch[conn]
                 try:
-                    _worker_id, index, ok, value = conn.recv()
+                    _worker_id, index, ok, value, start_mono = conn.recv()
                 except (EOFError, OSError):
                     self._on_worker_gone(handle)
                     continue
-                self._on_result(handle, index, ok, value)
+                self._on_result(handle, index, ok, value, start_mono)
 
     def _on_worker_gone(self, handle: _WorkerHandle) -> None:
         """EOF on a result pipe: planned retirement or a worker crash."""
@@ -471,6 +486,8 @@ class ProcessPoolPlatform(Platform):
                 unfinished = tasks[-handle.remaining :]
             handle.busy = None
             handle.remaining = 0
+            for task in unfinished:
+                self._exec_finished_locked(task)
             if tasks is not None:
                 self._active -= 1
                 self.metrics.record(self.now(), self._active, self.get_parallelism())
@@ -484,14 +501,21 @@ class ProcessPoolPlatform(Platform):
                 )
             )
 
-    def _on_result(self, handle: _WorkerHandle, index: int, ok: bool, value) -> None:
+    def _on_result(
+        self, handle: _WorkerHandle, index: int, ok: bool, value, start_mono: float
+    ) -> None:
         """One streamed task result; the chunk completes when all arrived."""
         with self._cv:
             tasks = handle.busy
             if tasks is None or not 0 <= index < len(tasks):
                 return  # stale message from an already-failed chunk
             task = tasks[index]
+            # Translate the worker-side monotonic start onto the platform
+            # clock via the handoff reference pair; never earlier than the
+            # handoff itself.
+            started_at = handle.sent_at + max(0.0, start_mono - handle.sent_mono)
             handle.remaining -= 1
+            self._exec_finished_locked(task)
             if handle.remaining == 0:
                 handle.busy = None
                 self._active -= 1
@@ -505,10 +529,13 @@ class ProcessPoolPlatform(Platform):
         if not ok:
             task.execution.fail(value)
             return
-        self._finish_task(task, value, handle.worker_id)
+        self._finish_task(task, value, handle.worker_id, started_at)
 
-    def _finish_task(self, task: MuscleTask, result, worker_id: int) -> None:
+    def _finish_task(
+        self, task: MuscleTask, result, worker_id: int, started_at: float
+    ) -> None:
         """AFTER events + continuation, in-process on behalf of the worker."""
+        task.started_at = started_at
         self._local.worker_id = worker_id
         try:
             result = task.emit_after(result, worker_id)
@@ -517,18 +544,4 @@ class ProcessPoolPlatform(Platform):
             return
         finally:
             self._local.worker_id = None
-        # Continuations run outside the busy-accounting window: they are
-        # bookkeeping, not muscle work (mirrors the thread pool).
-        self._local.worker_id = worker_id
-        self._local.batch = []
-        try:
-            if not task.execution.failed:
-                task.continuation(result)
-        finally:
-            self._local.worker_id = None
-            batch, self._local.batch = self._local.batch, None
-            if batch:
-                with self._cv:
-                    for spawned in reversed(batch):
-                        self._pending.appendleft(spawned)
-                    self._cv.notify_all()
+        self._run_continuation(task, result, worker_id)

@@ -173,21 +173,32 @@ class SimulatedPlatform(Platform):
             self._running_loop = False
 
     def _dispatch(self) -> None:
-        """Assign ready tasks to free cores at the current virtual time."""
+        """Assign ready tasks to free cores at the current virtual time.
+
+        Tasks of executions at their worker share (multi-tenant service)
+        are skipped but keep their queue position; they dispatch as soon
+        as one of their execution's tasks completes.
+        """
+        skipped = []
         while self._ready:
-            task = self._ready[0]
+            task = self._ready.popleft()
             if task.execution.failed:
-                self._ready.popleft()
+                continue
+            if not self._share_allows(task):
+                skipped.append(task)
                 continue
             core = self._acquire_core()
             if core is None:
-                return
-            self._ready.popleft()
+                skipped.append(task)
+                break
             self._start_task(task, core)
+        while skipped:
+            self._ready.appendleft(skipped.pop())
 
     def _start_task(self, task: MuscleTask, core: int) -> None:
         start = self.clock.now()
         self._busy_cores.add(core)
+        self._exec_started(task)
         self._record_metrics()
         self._current_worker = core
         try:
@@ -197,6 +208,7 @@ class SimulatedPlatform(Platform):
         except Exception as exc:
             task.execution.fail(exc)
             self._busy_cores.discard(core)
+            self._exec_released(task)
             self._record_metrics()
             return
         finally:
@@ -211,6 +223,7 @@ class SimulatedPlatform(Platform):
     def _complete_next(self) -> None:
         end, _tie, core, task, result = heapq.heappop(self._completions)
         self.clock.advance_to(end)
+        self._exec_released(task)
         self._current_worker = core
         try:
             if not task.execution.failed:

@@ -38,28 +38,44 @@ class Execution:
     muscle (or listener) raises, the execution is marked failed, the
     future resolves with the exception, and platforms silently drop the
     execution's remaining tasks.
+
+    Every execution carries a process-wide unique :attr:`id`.  Platforms
+    use it to account per-execution worker shares on a shared pool, and
+    every event of the execution is stamped with it (the
+    ``execution_id`` field of :class:`~repro.events.types.Event`) so
+    listeners can be scoped to a single tenant's execution.
     """
 
-    def __init__(self, future: SkeletonFuture):
+    _id_lock = threading.Lock()
+    _id_counter = 0
+
+    def __init__(self, future: SkeletonFuture, name: Optional[str] = None):
         self.future = future
+        self.name = name
         self._failed = threading.Event()
+        with Execution._id_lock:
+            Execution._id_counter += 1
+            self.id = Execution._id_counter
 
     @property
     def failed(self) -> bool:
         return self._failed.is_set()
 
     def fail(self, exc: BaseException) -> None:
-        """Record the first failure; later failures are ignored."""
+        """Record the first failure; later failures are ignored.
+
+        Racing a concurrent completion (e.g. a cancel() arriving as the
+        result lands) is safe: the future's atomic resolution decides the
+        winner and the loser is dropped quietly.
+        """
         if self._failed.is_set():
             return
         self._failed.set()
-        if not self.future.done():
-            self.future.set_exception(exc)
+        self.future.try_set_exception(exc)
 
     def finish(self, result: Any) -> None:
         """Resolve the user future with the final result."""
-        if not self.future.done():
-            self.future.set_result(result)
+        self.future.try_set_result(result)
 
 
 class MuscleTask:
@@ -74,6 +90,7 @@ class MuscleTask:
         "execution",
         "label",
         "seq",
+        "started_at",
         "_body",
     )
 
@@ -98,6 +115,11 @@ class MuscleTask:
         self.continuation = continuation
         self.execution = execution
         self.label = label
+        # Worker-observed start time of the body phase, set by platforms
+        # that learn it after the fact (the process pool ships it back
+        # with each result); ``emit_after`` attaches it to AFTER events so
+        # estimator spans reflect the true start instead of handoff time.
+        self.started_at: Optional[float] = None
         # Submission sequence number: platforms use it for FIFO tie-breaks,
         # which keeps the simulator fully deterministic.
         with MuscleTask._seq_lock:

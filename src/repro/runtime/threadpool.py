@@ -7,7 +7,10 @@ threads pulling muscle tasks from a FIFO queue, whose size can be changed
 Growing spawns new daemon worker threads immediately; shrinking is
 graceful: workers whose id is at or above the new target retire after
 finishing their current task (never aborting a muscle mid-flight), exactly
-like the simulator's cores.
+like the simulator's cores.  The parent-side plumbing shared with the
+process pool (submit batching, seniority retirement, depth-first prepend,
+per-execution worker shares) lives in
+:class:`~repro.runtime.poolbase._PoolPlatformBase`.
 
 CPython note (DESIGN.md §1): for *CPU-bound pure-Python* muscles the GIL
 serializes execution in this pool, so raising the LP does not shrink
@@ -22,13 +25,11 @@ reproduced deterministically on the simulator.
 from __future__ import annotations
 
 import threading
-from collections import deque
-from typing import Deque, Optional
+from typing import Optional
 
-from ..errors import PlatformError
 from ..events.bus import EventBus
 from .clock import Clock, RealClock
-from .platform import Platform
+from .poolbase import _PoolPlatformBase
 from .task import MuscleTask
 
 __all__ = ["ThreadPoolPlatform"]
@@ -51,7 +52,7 @@ class _Worker(threading.Thread):
             pool._run_task(task, self.worker_id)
 
 
-class ThreadPoolPlatform(Platform):
+class ThreadPoolPlatform(_PoolPlatformBase):
     """Real-thread execution platform with a live-resizable worker pool."""
 
     def __init__(
@@ -67,33 +68,11 @@ class ThreadPoolPlatform(Platform):
             bus=bus,
             clock=clock or RealClock(),
         )
-        self._queue: Deque[MuscleTask] = deque()
-        self._cv = threading.Condition()
-        self._workers: dict[int, _Worker] = {}
-        self._next_worker_id = 0
-        self._active = 0
-        self._shutdown = False
-        self._local = threading.local()
+        self._init_pool()
         self.metrics.record(self.now(), 0, parallelism)
         self._ensure_workers()
 
     # -- Platform API ---------------------------------------------------------
-
-    def submit(self, task: MuscleTask) -> None:
-        batch = getattr(self._local, "batch", None)
-        if batch is not None:
-            # Collected during a continuation and prepended when it ends:
-            # depth-first scheduling, like the simulator (and Skandium).
-            batch.append(task)
-            return
-        with self._cv:
-            if self._shutdown:
-                raise PlatformError("platform has been shut down")
-            self._queue.append(task)
-            self._cv.notify()
-
-    def current_worker(self) -> Optional[int]:
-        return getattr(self._local, "worker_id", None)
 
     def set_parallelism(self, n: int) -> int:
         applied = super().set_parallelism(n)
@@ -130,10 +109,6 @@ class ThreadPoolPlatform(Platform):
             worker.start()
             live += 1
 
-    def _worker_rank(self, worker_id: int) -> int:
-        """Position of *worker_id* among live workers (0 = most senior)."""
-        return sorted(self._workers).index(worker_id)
-
     def _next_task(self, worker_id: int) -> Optional[MuscleTask]:
         """Blocking fetch; returns None when the worker must exit."""
         with self._cv:
@@ -141,7 +116,7 @@ class ThreadPoolPlatform(Platform):
                 if self._shutdown:
                     self._workers.pop(worker_id, None)
                     return None
-                if worker_id in self._workers and self._worker_rank(
+                if worker_id in self._workers and self._rank_locked(
                     worker_id
                 ) >= self.get_parallelism():
                     # Surplus worker: retire gracefully.  Pass the baton —
@@ -151,20 +126,17 @@ class ThreadPoolPlatform(Platform):
                     self._workers.pop(worker_id, None)
                     self._cv.notify_all()
                     return None
-                task = None
-                while self._queue:
-                    candidate = self._queue.popleft()
-                    if not candidate.execution.failed:
-                        task = candidate
-                        break
+                task = self._take_next_locked()
                 if task is not None:
+                    self._exec_started_locked(task)
                     self._active += 1
                     self.metrics.record(self.now(), self._active, self.get_parallelism())
                     return task
                 # Every state change that could satisfy this wait —
-                # enqueue, batch prepend, resize, shutdown — notifies the
-                # condition variable, so idle workers block outright
-                # instead of polling; wakeups are event-driven.
+                # enqueue, batch prepend, resize, share change, task
+                # completion, shutdown — notifies the condition variable,
+                # so idle workers block outright instead of polling;
+                # wakeups are event-driven.
                 self._cv.wait()
 
     def _run_task(self, task: MuscleTask, worker_id: int) -> None:
@@ -180,37 +152,6 @@ class ThreadPoolPlatform(Platform):
             self._local.worker_id = None
             with self._cv:
                 self._active -= 1
+                self._exec_finished_locked(task)
                 self.metrics.record(self.now(), self._active, self.get_parallelism())
-        # Continuations run outside the busy-accounting window: they are
-        # bookkeeping, not muscle work (mirrors the simulator's zero-cost
-        # continuations).
-        self._local.worker_id = worker_id
-        self._local.batch = []
-        try:
-            if not task.execution.failed:
-                task.continuation(result)
-        finally:
-            self._local.worker_id = None
-            batch, self._local.batch = self._local.batch, None
-            if batch:
-                with self._cv:
-                    for spawned in reversed(batch):
-                        self._queue.appendleft(spawned)
-                    self._cv.notify_all()
-
-    # -- introspection ---------------------------------------------------------
-
-    @property
-    def queued_tasks(self) -> int:
-        with self._cv:
-            return len(self._queue)
-
-    @property
-    def active_tasks(self) -> int:
-        with self._cv:
-            return self._active
-
-    @property
-    def live_workers(self) -> int:
-        with self._cv:
-            return len(self._workers)
+        self._run_continuation(task, result, worker_id)

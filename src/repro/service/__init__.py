@@ -1,0 +1,95 @@
+"""Multi-tenant skeleton service — concurrent executions, one platform.
+
+The paper (conf_ppopp_PabonH14) tunes the level of parallelism of **one**
+skeleton execution against **one** WCT goal.  Skandium, the system it
+extends, already ran a shared thread pool across submissions; this
+subsystem reproduces that operating point and goes beyond it: many
+tenants submit concurrently onto a *single shared platform*, and the
+paper's QoS machinery is arbitrated **across** executions instead of per
+execution.
+
+Architecture — the paper's MAPE loop, split per-execution and global
+=====================================================================
+
+The controller of the paper fuses Monitor→Analyze→Plan→Execute for a
+single execution.  The service splits the loop at the Analyze/Plan seam::
+
+                       SkeletonService.submit(program, input, qos)
+                                        │
+                            AdmissionController          (queue, quotas,
+                              admit / hold / reject       feasibility gate)
+                                        │ admit
+       ┌────────────────────────────────┼───────────────────────────────┐
+       │ per execution (× N tenants)    │          global (× 1)         │
+       │                                │                               │
+       │  ExecutionAnalyzer             │   LPArbiter                   │
+       │   Monitor: scoped event stream │    Plan: EEDF split of the    │
+       │    (execution_id filtering —   │     worker budget from the    │
+       │     estimators never cross-    │     analyzers' remaining-work │
+       │     contaminate tenants)       │     projections               │
+       │   Analyze: project live ADG,   │    Execute: set_parallelism + │
+       │    best-effort WCT, optimal LP,│     per-execution shares      │
+       │    minimal LP for the deadline │     (set_shares), re-run on   │
+       │                                │     every analysis tick       │
+       └────────────────────────────────┴───────────────────────────────┘
+
+Mapping to the paper's components:
+
+* **Monitor** — one :class:`~repro.core.analysis.ExecutionAnalyzer` per
+  admitted execution wraps the paper's tracking state machines and
+  history estimators, scoped to its execution's events
+  (:mod:`repro.events.scoping`);
+* **Analyze** — the same ADG projection and schedule estimators as the
+  single-tenant controller (Section 4 of the paper), producing one
+  :class:`~repro.core.analysis.AnalysisReport` per execution per tick;
+* **Plan** — :class:`~repro.service.arbiter.LPArbiter` replaces N
+  independent Plan stages with earliest-effective-deadline-first
+  arbitration: the most urgent deadline is granted the paper's *minimal*
+  LP that meets it, leftovers top executions up to their optimal LP, and
+  goals unreachable even at full capacity are flagged on their handles;
+* **Execute** — the arbiter owns the platform's global LP *and* the
+  per-execution worker shares
+  (:meth:`~repro.runtime.platform.Platform.set_shares`) that the pool
+  schedulers enforce when matching queued tasks to workers;
+* **admission** (beyond the paper) — before any task reaches the
+  platform, :class:`~repro.service.admission.AdmissionController`
+  applies per-tenant quotas and, for warm-started submissions, the
+  paper's own projection machinery as a feasibility gate: a WCT goal
+  that would miss even with every worker dedicated to it is rejected
+  up front.
+
+Quickstart::
+
+    from repro import QoS, SkeletonService
+
+    with SkeletonService(backend="threads", capacity=8) as service:
+        handles = [
+            service.submit(program, data, qos=QoS.wall_clock(goal), tenant=user)
+            for user, (program, data, goal) in workload.items()
+        ]
+        results = [h.result() for h in handles]
+
+See ``examples/service_multitenant.py`` for a complete runnable program
+and the README section "Serving many executions".
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .arbiter import LPArbiter, Rebalance
+from .handle import ExecutionHandle, ExecutionStatus
+from .service import SkeletonService
+from .stats import ServiceStats, TenantStats
+from .tenancy import TenantBook, TenantQuota
+
+__all__ = [
+    "SkeletonService",
+    "ExecutionHandle",
+    "ExecutionStatus",
+    "AdmissionController",
+    "AdmissionDecision",
+    "LPArbiter",
+    "Rebalance",
+    "ServiceStats",
+    "TenantStats",
+    "TenantBook",
+    "TenantQuota",
+]

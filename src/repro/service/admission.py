@@ -1,0 +1,187 @@
+"""Admission control — the service's front gate.
+
+Every submission is evaluated before any of its tasks reach the shared
+platform.  Three outcomes:
+
+* **admit** — start running now;
+* **hold** — park in the service's FIFO queue until capacity or a tenant
+  slot frees (the submission stays ``QUEUED`` on its handle);
+* **reject** — refuse outright; the handle resolves with
+  :class:`~repro.errors.AdmissionError`.
+
+The *feasibility gate* is where admission meets the paper's machinery:
+when a submission arrives with a WCT goal **and** warm estimates (the
+paper's scenario-2 initialization — see ``warm_start`` on
+:meth:`SkeletonService.submit`), the controller projects the program's
+structural ADG (:func:`~repro.core.projection.project_skeleton`) and
+schedules it under the service's full capacity.  If even that dedicated
+best case misses the goal, no arbitration can save it — waiting does not
+help either, so the submission is rejected immediately rather than
+admitted to fail slowly.  Cold submissions (no estimates yet) are admitted
+optimistically, exactly like the paper's scenario-1 cold start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.adg import ADG
+from ..core.estimator import EstimatorRegistry
+from ..core.projection import project_skeleton
+from ..core.qos import QoS
+from ..core.schedule import limited_lp_schedule
+from ..skeletons.base import Skeleton
+from .tenancy import TenantBook
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+_EPS = 1e-9
+
+ADMIT = "admit"
+HOLD = "hold"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission evaluation."""
+
+    action: str  # "admit" | "hold" | "reject"
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.action == ADMIT
+
+    @property
+    def held(self) -> bool:
+        return self.action == HOLD
+
+    @property
+    def rejected(self) -> bool:
+        return self.action == REJECT
+
+
+class AdmissionController:
+    """Queueing policy + per-tenant caps + WCT feasibility gate.
+
+    Parameters
+    ----------
+    capacity:
+        Total workers of the shared platform; the LP the feasibility
+        projection assumes the execution could get at best.
+    tenants:
+        The :class:`TenantBook` tracking per-tenant quotas and counters
+        (shared with the owning service, mutated under the service lock).
+    policy:
+        What to do with a submission that cannot start *right now* but
+        could later (tenant active cap reached, global ``max_live``
+        reached): ``"hold"`` queues it, ``"reject"`` refuses it.
+        Predicted-infeasible goals are always rejected — waiting cannot
+        make an impossible deadline possible.
+    max_live:
+        Optional global bound on concurrently running executions
+        (``None``: bounded only by worker shares and tenant quotas).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        tenants: Optional[TenantBook] = None,
+        policy: str = HOLD,
+        max_live: Optional[int] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in (HOLD, REJECT):
+            raise ValueError(f"unknown admission policy {policy!r}")
+        if max_live is not None and max_live < 1:
+            raise ValueError(f"max_live must be >= 1 or None, got {max_live}")
+        self.capacity = capacity
+        self.tenants = tenants or TenantBook()
+        self.policy = policy
+        self.max_live = max_live
+
+    # -- feasibility ------------------------------------------------------------
+
+    def predict_wct(
+        self,
+        program: Skeleton,
+        estimators: EstimatorRegistry,
+        lp: Optional[int] = None,
+    ) -> Optional[float]:
+        """Projected WCT (seconds from start) of *program* under *lp* workers.
+
+        ``None`` when the estimators are cold — prediction is impossible
+        until every muscle has an estimate (warm start or a prior run of
+        the same registry).
+        """
+        if not estimators.ready_for(program):
+            return None
+        adg = ADG()
+        project_skeleton(program, adg, [], estimators)
+        return limited_lp_schedule(adg, 0.0, lp or self.capacity).wct
+
+    def _goal_infeasible(
+        self, program: Skeleton, qos: Optional[QoS], estimators: EstimatorRegistry
+    ) -> Optional[str]:
+        """Reason string when the WCT goal is predicted unreachable."""
+        if qos is None or qos.wct is None:
+            return None
+        lp_cap = self.capacity
+        if qos.max_threads is not None:
+            lp_cap = min(lp_cap, qos.max_threads)
+        predicted = self.predict_wct(program, estimators, lp=lp_cap)
+        if predicted is None:
+            return None  # cold start: admit optimistically, as in the paper
+        goal = qos.wct.effective_seconds
+        if predicted > goal + _EPS:
+            return (
+                f"WCT goal {qos.wct.seconds:.3f}s is infeasible: projected "
+                f"WCT is {predicted:.3f}s even with all {lp_cap} workers "
+                f"dedicated to it"
+            )
+        return None
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(
+        self,
+        program: Skeleton,
+        qos: Optional[QoS],
+        estimators: EstimatorRegistry,
+        tenant: str,
+        live_count: int,
+    ) -> AdmissionDecision:
+        """Decide admit/hold/reject for one submission (service-locked)."""
+        infeasible = self._goal_infeasible(program, qos, estimators)
+        if infeasible is not None:
+            return AdmissionDecision(REJECT, infeasible)
+        blocked = self._start_blocker(tenant, live_count)
+        if blocked is None:
+            return AdmissionDecision(ADMIT)
+        if self.policy == REJECT:
+            return AdmissionDecision(REJECT, blocked)
+        if not self.tenants.can_queue(tenant):
+            return AdmissionDecision(
+                REJECT,
+                f"tenant {tenant!r} exceeded its pending quota "
+                f"({self.tenants.quota_for(tenant).max_pending})",
+            )
+        return AdmissionDecision(HOLD, blocked)
+
+    def _start_blocker(self, tenant: str, live_count: int) -> Optional[str]:
+        """Reason the submission cannot start now (``None`` = it can)."""
+        if self.max_live is not None and live_count >= self.max_live:
+            return f"service at its live-execution cap ({self.max_live})"
+        if not self.tenants.can_start(tenant):
+            return (
+                f"tenant {tenant!r} at its active quota "
+                f"({self.tenants.quota_for(tenant).max_active})"
+            )
+        return None
+
+    def can_start_now(self, tenant: str, live_count: int) -> bool:
+        """Used by the service when promoting held submissions."""
+        return self._start_blocker(tenant, live_count) is None

@@ -1,0 +1,257 @@
+"""The LP arbiter — one global allocator instead of N fighting controllers.
+
+The paper's :class:`~repro.core.controller.AutonomicController` owns
+``platform.set_parallelism`` for a single execution.  Run N of them on a
+shared platform and each one retunes the *global* knob for its own goal,
+clobbering the others on every analysis tick.  The arbiter replaces their
+Plan + Execute halves with a single global decision:
+
+* every live execution keeps its own
+  :class:`~repro.core.analysis.ExecutionAnalyzer` (Monitor + Analyze,
+  scoped to its events — estimates never cross-contaminate);
+* on every analysis tick the arbiter pulls one
+  :class:`~repro.core.analysis.AnalysisReport` per execution and splits
+  the platform's worker budget by **earliest-effective-deadline-first**:
+  the most urgent execution is granted the *minimal* LP that meets its
+  deadline (the paper's minimal-increase policy, applied per tenant),
+  then the next, and so on — always reserving one worker per remaining
+  execution so nobody starves;
+* executions whose deadline is unreachable even with every worker the
+  budget can still give are **flagged** (their handles'
+  ``goal_at_risk``) and granted their best-effort peak, mirroring the
+  controller's "unreachable" action;
+* leftover budget tops urgent executions up to their optimal LP (the
+  best-effort concurrency peak — extra workers beyond it would idle);
+* cold executions (estimators not ready yet) are guaranteed one worker
+  each — the paper's LP-1 cold start as a floor — and soak up any budget
+  the deadline-bound executions left idle, so a cold submission on a
+  quiet pool still runs wide.
+
+Execution happens through two platform knobs: the global level of
+parallelism (``set_parallelism``, total pool size) and the per-execution
+worker shares (``set_shares``) that the pool schedulers enforce when
+picking tasks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.analysis import AnalysisReport, ExecutionAnalyzer
+from ..runtime.platform import Platform
+
+__all__ = ["Rebalance", "LPArbiter"]
+
+
+@dataclass
+class Rebalance:
+    """One arbitration outcome, for observability and tests."""
+
+    time: float
+    trigger: str
+    shares: Dict[int, int]  # execution id -> granted worker share
+    total_lp: int  # global LP applied to the platform
+    cold: Tuple[int, ...] = ()  # executions still waiting for estimates
+    infeasible: Tuple[int, ...] = ()  # executions whose goal is at risk
+    deadlines: Dict[int, Optional[float]] = field(default_factory=dict)
+
+
+class LPArbiter:
+    """Global Plan + Execute across all live executions (see module docs).
+
+    Parameters
+    ----------
+    platform:
+        The shared platform whose workers are being split.
+    capacity:
+        Total worker budget (defaults to the platform's
+        ``max_parallelism``; one of the two must be set).
+    min_interval:
+        Throttle: skip rebalances closer than this many platform-clock
+        seconds to the previous one (completions always rebalance).
+    history:
+        How many recent :class:`Rebalance` records to retain for
+        observability (:attr:`rebalances`, :meth:`shares_history`).  A
+        long-lived service rebalances millions of times; the bounded
+        window keeps memory flat.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        capacity: Optional[int] = None,
+        min_interval: float = 0.0,
+        history: int = 1024,
+    ):
+        capacity = capacity if capacity is not None else platform.max_parallelism
+        if capacity is None or capacity < 1:
+            raise ValueError(
+                "LPArbiter needs a worker budget: pass capacity or give the "
+                "platform a max_parallelism"
+            )
+        self.platform = platform
+        self.capacity = int(capacity)
+        self.min_interval = min_interval
+        self.rebalances: Deque[Rebalance] = deque(maxlen=history)
+        self._last: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # -- arbitration ------------------------------------------------------------
+
+    def due(self, now: float) -> bool:
+        """Cheap lock-free throttle pre-check for hot event paths.
+
+        May spuriously return ``True`` under a concurrent rebalance (the
+        locked check in :meth:`rebalance` is authoritative); it never
+        spuriously returns ``False`` for a tick that should run.
+        """
+        last = self._last
+        return (
+            self.min_interval <= 0
+            or last is None
+            or now - last >= self.min_interval
+        )
+
+    def rebalance(
+        self,
+        now: float,
+        analyzers: Dict[int, ExecutionAnalyzer],
+        trigger: str = "",
+        force: bool = False,
+    ) -> Optional[Rebalance]:
+        """Re-split the worker budget across *analyzers* (id -> analyzer).
+
+        Returns the applied :class:`Rebalance`, or ``None`` when throttled
+        or nothing is live.  Thread-safe; concurrent callers serialize.
+        """
+        with self._lock:
+            if not force and (
+                self._last is not None
+                and self.min_interval > 0
+                and now - self._last < self.min_interval
+            ):
+                return None
+            if not analyzers:
+                self.platform.set_shares({})
+                return None
+            self._last = now
+            outcome = self._allocate(now, analyzers, trigger)
+            self.platform.set_parallelism(outcome.total_lp)
+            self.platform.set_shares(outcome.shares)
+            self.rebalances.append(outcome)
+            return outcome
+
+    @staticmethod
+    def _qos_cap(analyzer: ExecutionAnalyzer) -> Optional[int]:
+        """The tenant's own LP ceiling (``MaxLPGoal``), if any."""
+        qos = getattr(analyzer, "qos", None)
+        return qos.max_threads if qos is not None else None
+
+    def _allocate(
+        self, now: float, analyzers: Dict[int, ExecutionAnalyzer], trigger: str
+    ) -> Rebalance:
+        cold: List[int] = []
+        warm: List[Tuple[int, AnalysisReport]] = []
+        caps: Dict[int, Optional[int]] = {}
+        for eid, analyzer in analyzers.items():
+            caps[eid] = self._qos_cap(analyzer)
+            report = analyzer.analyze(now)
+            if report is None:
+                cold.append(eid)
+            else:
+                warm.append((eid, report))
+
+        # Earliest effective deadline first; best-effort (deadline-less)
+        # tenants arbitrate after every deadline-bound one.
+        warm.sort(key=lambda pair: (pair[1].deadline is None, pair[1].deadline or 0.0))
+
+        shares: Dict[int, int] = {eid: 1 for eid in cold}
+        deadlines: Dict[int, Optional[float]] = {eid: None for eid in cold}
+        infeasible: List[int] = []
+        budget = self.capacity - len(cold)
+
+        remaining = len(warm)
+        for eid, report in warm:
+            remaining -= 1
+            # Reserve one worker for every less-urgent execution still to
+            # be served, so urgency never turns into starvation; honour
+            # the tenant's own MaxLPGoal ("never allocate more than N").
+            available = max(1, budget - remaining)
+            if caps[eid] is not None:
+                available = min(available, caps[eid])
+            deadlines[eid] = report.deadline
+            if report.deadline is None:
+                grant = 1  # best-effort floor; leftovers may top it up
+            else:
+                need = report.minimal_lp(cap=available)
+                if need is None:
+                    # Unreachable even with everything we can offer: flag
+                    # it and give its best-effort peak (closest we get).
+                    infeasible.append(eid)
+                    grant = min(report.optimal_lp, available)
+                else:
+                    grant = need
+            grant = max(1, min(grant, available))
+            shares[eid] = grant
+            budget -= grant
+
+        # Spread leftover budget in urgency order, up to each execution's
+        # optimal LP (beyond the best-effort peak extra workers idle) and
+        # its MaxLPGoal.
+        for eid, report in warm:
+            if budget <= 0:
+                break
+            ceiling = report.optimal_lp
+            if caps[eid] is not None:
+                ceiling = min(ceiling, caps[eid])
+            boost = min(budget, max(0, ceiling - shares[eid]))
+            shares[eid] += boost
+            budget -= boost
+
+        # Budget still left is idle capacity: stay work-conserving by
+        # spreading it round-robin across cold executions.  Their LP-1
+        # cold start is a *floor* (deadline-bound tenants were served
+        # first), not a ceiling — an idle pool must not serialize a
+        # submission just because its estimators are not warm yet.
+        position = 0
+        while budget > 0:
+            grantable = [
+                eid
+                for eid in cold
+                if caps[eid] is None or shares[eid] < caps[eid]
+            ]
+            if not grantable:
+                break
+            shares[grantable[position % len(grantable)]] += 1
+            budget -= 1
+            position += 1
+
+        total = min(self.capacity, sum(shares.values()))
+        return Rebalance(
+            time=now,
+            trigger=trigger,
+            shares=shares,
+            total_lp=max(1, total),
+            cold=tuple(cold),
+            infeasible=tuple(infeasible),
+            deadlines=deadlines,
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def last_rebalance(self) -> Optional[Rebalance]:
+        with self._lock:
+            return self.rebalances[-1] if self.rebalances else None
+
+    def shares_history(self, execution_id: int) -> List[int]:
+        """Granted share of one execution across all rebalances it was in."""
+        with self._lock:
+            return [
+                r.shares[execution_id]
+                for r in self.rebalances
+                if execution_id in r.shares
+            ]

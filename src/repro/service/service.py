@@ -1,0 +1,422 @@
+"""The SkeletonService front door — non-blocking multi-tenant submission.
+
+One service owns one shared platform.  Tenants call
+:meth:`SkeletonService.submit` and get an
+:class:`~repro.service.handle.ExecutionHandle` back immediately; the
+service threads each submission through admission control, registers its
+execution-scoped analyzer on the shared bus, launches it with a
+per-execution worker share, and lets the LP arbiter re-split the pool on
+every analysis tick and completion.
+
+Locking: one re-entrant service lock guards the live table, the held
+queue, tenant accounting and promotion; it is acquired from submitter
+threads, from bus listeners (worker threads) and from future callbacks.
+Platform internals (its condition variable) are never held while taking
+the service lock, so the two layers cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..core.analysis import ExecutionAnalyzer, is_analysis_point
+from ..core.qos import QoS
+from ..errors import ExecutionCancelledError, ServiceError
+from ..events.bus import Listener
+from ..events.types import Event
+from ..runtime.interpreter import submit as _submit_program
+from ..runtime.platform import Platform
+from ..runtime.registry import make_platform
+from ..runtime.task import Execution
+from ..skeletons.base import Skeleton
+from .admission import AdmissionController
+from .arbiter import LPArbiter
+from .handle import ExecutionHandle
+from .stats import ServiceStats
+from .tenancy import TenantBook, TenantQuota
+
+__all__ = ["SkeletonService"]
+
+DEFAULT_TENANT = "default"
+
+
+class _AnalysisTicker(Listener):
+    """Triggers a global rebalance on the paper's analysis points.
+
+    Kept *last* in the bus order (the service moves it to the end
+    whenever an analyzer registers) so every per-execution analyzer has
+    consumed the event before the arbiter reads their state.
+    """
+
+    def __init__(self, service: "SkeletonService"):
+        self._service = service
+
+    def accepts(self, event: Event) -> bool:
+        return is_analysis_point(event)
+
+    def on_event(self, event: Event) -> Any:
+        self._service._on_tick(event)
+        return event.value
+
+
+class _ExecutionRecord:
+    """Service-internal record of one submission (live or held)."""
+
+    __slots__ = ("handle", "analyzer")
+
+    def __init__(self, handle: ExecutionHandle, analyzer: ExecutionAnalyzer):
+        self.handle = handle
+        self.analyzer = analyzer
+
+
+class SkeletonService:
+    """Multi-tenant skeleton execution service on one shared platform.
+
+    Parameters
+    ----------
+    platform:
+        The shared execution platform.  When omitted, one is created via
+        :func:`~repro.runtime.registry.make_platform` from *backend* and
+        *capacity* (and owned — shut down with the service).
+    backend:
+        Backend name for the self-created platform (default ``threads``).
+    capacity:
+        Total worker budget arbitrated across executions.  Defaults to
+        the platform's ``max_parallelism``; required if neither is set.
+    quotas / default_quota:
+        Per-tenant caps (see :class:`~repro.service.tenancy.TenantQuota`).
+    admission_policy:
+        ``"hold"`` (default) parks submissions that cannot start yet;
+        ``"reject"`` refuses them.  Infeasible WCT goals are always
+        rejected.
+    max_live:
+        Optional global cap on concurrently running executions.
+    rho / extensions:
+        Passed to each execution's analyzer (paper defaults).
+    min_rebalance_interval:
+        Throttle between arbiter rebalances on analysis ticks, in
+        platform-clock seconds (admissions and completions always
+        rebalance).  The default 0.05 bounds arbitration overhead for
+        fine-grained workloads — every rebalance projects *all* live
+        executions on the worker thread that published the event; pass
+        0.0 to re-arbitrate on every analysis point (e.g. on the
+        simulator, where ticks are virtual-time).
+    platform_kwargs:
+        Extra keyword arguments for the self-created platform
+        (``chunk_size``, ``start_method``, ...).
+    """
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        backend: str = "threads",
+        capacity: Optional[int] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+        admission_policy: str = "hold",
+        max_live: Optional[int] = None,
+        rho: float = 0.5,
+        extensions: bool = False,
+        min_rebalance_interval: float = 0.05,
+        **platform_kwargs: Any,
+    ):
+        self._owns_platform = platform is None
+        if platform is None:
+            if capacity is None:
+                raise ServiceError(
+                    "SkeletonService needs a worker budget: pass capacity "
+                    "(or an existing platform with max_parallelism)"
+                )
+            platform = make_platform(
+                backend,
+                parallelism=1,
+                max_parallelism=capacity,
+                **platform_kwargs,
+            )
+        if capacity is None:
+            capacity = platform.max_parallelism
+        if capacity is None or capacity < 1:
+            raise ServiceError(
+                "SkeletonService needs a worker budget: pass capacity or "
+                "give the platform a max_parallelism"
+            )
+        self.platform = platform
+        self.capacity = int(capacity)
+        self.rho = rho
+        self.extensions = extensions
+        self.tenants = TenantBook(default_quota=default_quota, quotas=quotas)
+        self.admission = AdmissionController(
+            capacity=self.capacity,
+            tenants=self.tenants,
+            policy=admission_policy,
+            max_live=max_live,
+        )
+        self.arbiter = LPArbiter(
+            platform, capacity=self.capacity, min_interval=min_rebalance_interval
+        )
+        self.stats = ServiceStats()
+        self._lock = threading.RLock()
+        self._idle = threading.Condition(self._lock)
+        self._live: Dict[int, _ExecutionRecord] = {}
+        self._held: List[_ExecutionRecord] = []
+        self._closed = False
+        self._ticker = _AnalysisTicker(self)
+        self.platform.add_listener(self._ticker)
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(
+        self,
+        program: Skeleton,
+        value: Any,
+        qos: Optional[QoS] = None,
+        tenant: str = DEFAULT_TENANT,
+        name: Optional[str] = None,
+        warm_start: Optional[Dict[str, Any]] = None,
+    ) -> ExecutionHandle:
+        """Submit one skeleton execution; returns its handle immediately.
+
+        *qos* carries the tenant's WCT goal and/or LP cap; *warm_start*
+        is an estimate snapshot (:func:`~repro.core.persistence.
+        snapshot_estimates`) enabling the admission feasibility gate and
+        immediate arbitration (the paper's scenario-2 initialization).
+        Rejected submissions are **not** raised here: the handle reports
+        ``REJECTED`` and :meth:`~ExecutionHandle.result` raises
+        :class:`~repro.errors.AdmissionError`.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service has been shut down")
+            execution = Execution(self.platform.new_future(), name=name)
+            analyzer = ExecutionAnalyzer(
+                qos=qos,
+                execution_id=execution.id,
+                skeleton=program,
+                rho=self.rho,
+                extensions=self.extensions,
+            )
+            if warm_start is not None:
+                analyzer.initialize_estimates(program, warm_start)
+            handle = ExecutionHandle(
+                execution=execution,
+                program=program,
+                value=value,
+                qos=qos,
+                tenant=tenant,
+                submitted_at=self.platform.now(),
+            )
+            handle._service = self
+            handle.analyzer = analyzer
+            self.stats.record_submitted(tenant)
+            decision = self.admission.evaluate(
+                program, qos, analyzer.estimators, tenant, live_count=len(self._live)
+            )
+            if decision.rejected:
+                self.stats.record_rejected(tenant)
+                handle._mark_rejected(decision.reason)
+                return handle
+            if decision.held:
+                self.stats.record_held(tenant)
+                self.tenants.queued(tenant)
+                self._held.append(_ExecutionRecord(handle, analyzer))
+                return handle
+            self._launch_locked(handle, analyzer)
+            return handle
+
+    def _launch_locked(
+        self, handle: ExecutionHandle, analyzer: ExecutionAnalyzer
+    ) -> None:
+        eid = handle.execution_id
+        self.tenants.started(handle.tenant)
+        self._live[eid] = _ExecutionRecord(handle, analyzer)
+        # Scoped Monitor first, then the arbitration ticker last again
+        # (atomically — a concurrent publish must never miss a tick), so
+        # ticks always see fully updated per-execution state.
+        self.platform.add_listener(analyzer)
+        self.platform.bus.move_to_end(self._ticker)
+        handle.started_at = self.platform.now()
+        self.stats.record_admitted(handle.tenant, handle.started_at)
+        # Newcomers enter the arbitration cold: one worker guaranteed
+        # (the paper's LP-1 cold start as a floor) plus whatever budget
+        # the deadline-bound executions leave idle; their first
+        # analyzable tick re-grants them precisely.
+        self._rebalance_locked(trigger=f"admit:{eid}", force=True)
+        handle.future.add_done_callback(lambda _f: self._on_done(handle))
+        _submit_program(
+            handle.program, handle.value, self.platform, execution=handle.execution
+        )
+
+    # -- lifecycle callbacks ----------------------------------------------------
+
+    def _on_done(self, handle: ExecutionHandle) -> None:
+        with self._lock:
+            record = self._live.pop(handle.execution_id, None)
+            if record is None:
+                return  # already finalized (e.g. during shutdown)
+            self.platform.bus.remove_listener(record.analyzer)
+            self.tenants.finished(handle.tenant)
+            handle.finished_at = self.platform.now()
+            exc = handle.future.exception(timeout=0)
+            if exc is None:
+                outcome = "completed"
+            elif isinstance(exc, ExecutionCancelledError):
+                outcome = "cancelled"
+            else:
+                outcome = "failed"
+            self.stats.record_finished(
+                handle.tenant, outcome, handle.finished_at, handle.goal_met()
+            )
+            self._promote_held_locked()
+            self._rebalance_locked(trigger=f"done:{handle.execution_id}", force=True)
+            self._idle.notify_all()
+
+    def _promote_held_locked(self) -> None:
+        """Launch every held submission whose caps now allow it (FIFO)."""
+        still_held: List[_ExecutionRecord] = []
+        for record in self._held:
+            tenant = record.handle.tenant
+            if not self._closed and self.admission.can_start_now(
+                tenant, live_count=len(self._live)
+            ):
+                self.tenants.dequeued(tenant)
+                self._launch_locked(record.handle, record.analyzer)
+            else:
+                still_held.append(record)
+        self._held = still_held
+
+    def _on_tick(self, event: Event) -> None:
+        # Throttle pre-check before the global lock: fine-grained muscles
+        # publish analysis points far more often than rebalances are due,
+        # and a discarded tick must not serialize the worker threads.
+        if not self.arbiter.due(self.platform.now()):
+            return
+        with self._lock:
+            self._rebalance_locked(trigger=event.label, force=False)
+
+    def _rebalance_locked(self, trigger: str, force: bool) -> None:
+        analyzers = {eid: rec.analyzer for eid, rec in self._live.items()}
+        outcome = self.arbiter.rebalance(
+            self.platform.now(), analyzers, trigger=trigger, force=force
+        )
+        if outcome is not None:
+            infeasible = set(outcome.infeasible)
+            cold = set(outcome.cold)
+            for eid, record in self._live.items():
+                if eid in infeasible:
+                    record.handle.goal_at_risk = True
+                elif eid in outcome.shares and eid not in cold:
+                    # The goal became reachable again (e.g. a burst of
+                    # other tenants drained): clear the stale flag.
+                    record.handle.goal_at_risk = False
+
+    # -- cancellation -----------------------------------------------------------
+
+    def _cancel_handle(self, handle: ExecutionHandle) -> bool:
+        with self._lock:
+            if handle.future.done():
+                return False
+            for i, record in enumerate(self._held):
+                if record.handle is handle:
+                    del self._held[i]
+                    self.tenants.dequeued(handle.tenant)
+                    handle._mark_cancelled()
+                    handle.execution.fail(
+                        ExecutionCancelledError(
+                            f"execution {handle.execution_id} cancelled while held"
+                        )
+                    )
+                    # Never admitted: the platform never ran it, so the
+                    # throughput busy-window must not stretch to now.
+                    self.stats.record_finished(
+                        handle.tenant, "cancelled", self.platform.now(), ran=False
+                    )
+                    self._idle.notify_all()
+                    return True
+            # Failing the execution resolves the future, which triggers
+            # _on_done (re-entrant under this RLock) for the cleanup.
+            handle.execution.fail(
+                ExecutionCancelledError(f"execution {handle.execution_id} cancelled")
+            )
+            if not isinstance(
+                handle.future.exception(timeout=0), ExecutionCancelledError
+            ):
+                # Lost the race: the execution resolved (success or its own
+                # failure) between the done() check and our fail() — report
+                # the truth instead of claiming the cancel took effect.
+                return False
+            handle._mark_cancelled()
+            return True
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        with self._lock:
+            return len(self._live)
+
+    @property
+    def held_count(self) -> int:
+        with self._lock:
+            return len(self._held)
+
+    def live_handles(self) -> List[ExecutionHandle]:
+        with self._lock:
+            return [rec.handle for rec in self._live.values()]
+
+    # -- draining / shutdown ----------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no execution is live or held; True when drained.
+
+        Only meaningful on self-driving platforms (threads, processes);
+        on the simulator, drive each handle with ``result()`` instead.
+        """
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: not self._live and not self._held, timeout=timeout
+            )
+
+    def shutdown(self, wait: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting work; optionally wait for live executions.
+
+        Held submissions are rejected (their handles resolve with
+        :class:`~repro.errors.AdmissionError`).  The platform is shut
+        down only when the service created it.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            held, self._held = self._held, []
+            for record in held:
+                self.tenants.dequeued(record.handle.tenant)
+                self.stats.record_rejected(record.handle.tenant)
+                record.handle._mark_rejected("service shutting down")
+            self._idle.notify_all()
+        if wait:
+            with self._idle:
+                self._idle.wait_for(lambda: not self._live, timeout=timeout)
+        self.platform.bus.remove_listener(self._ticker)
+        if self._owns_platform:
+            # The platform dies with the service: executions still live
+            # (wait=False, or the wait timed out) would never resolve
+            # their futures once the workers exit — fail them now so no
+            # caller blocks on a stranded handle.
+            with self._lock:
+                stranded = [record.handle for record in self._live.values()]
+            for handle in stranded:
+                handle._mark_cancelled()
+                handle.execution.fail(
+                    ExecutionCancelledError(
+                        f"service shut down with execution "
+                        f"{handle.execution_id} still live"
+                    )
+                )
+            self.platform.shutdown()
+
+    def __enter__(self) -> "SkeletonService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,176 @@
+"""Service statistics — per-tenant counters and QoS outcomes.
+
+The service records every lifecycle transition here; benchmarks and
+operators read aggregate throughput inputs (completions, busy window) and
+the per-tenant **goal-miss rate** — the service-level quality metric the
+multi-tenant arbitration is judged by.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["TenantStats", "ServiceStats"]
+
+
+@dataclass
+class TenantStats:
+    """Counters of one tenant (a plain mutable record)."""
+
+    tenant: str
+    submitted: int = 0
+    admitted: int = 0
+    held: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    goals_met: int = 0
+    goals_missed: int = 0
+
+    @property
+    def goal_miss_rate(self) -> Optional[float]:
+        """Fraction of goal-carrying completions that missed; None if none."""
+        judged = self.goals_met + self.goals_missed
+        if judged == 0:
+            return None
+        return self.goals_missed / judged
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "held": self.held,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "goals_met": self.goals_met,
+            "goals_missed": self.goals_missed,
+            "goal_miss_rate": self.goal_miss_rate,
+        }
+
+
+@dataclass
+class _Window:
+    first_start: Optional[float] = None
+    last_finish: Optional[float] = None
+
+
+class ServiceStats:
+    """Thread-safe per-tenant + aggregate counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantStats] = {}
+        self._window = _Window()
+
+    def _tenant(self, tenant: str) -> TenantStats:
+        stats = self._tenants.get(tenant)
+        if stats is None:
+            stats = self._tenants[tenant] = TenantStats(tenant)
+        return stats
+
+    # -- recording --------------------------------------------------------------
+
+    def record_submitted(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).submitted += 1
+
+    def record_admitted(self, tenant: str, started_at: float) -> None:
+        with self._lock:
+            stats = self._tenant(tenant)
+            stats.admitted += 1
+            w = self._window
+            if w.first_start is None or started_at < w.first_start:
+                w.first_start = started_at
+
+    def record_held(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).held += 1
+
+    def record_rejected(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).rejected += 1
+
+    def record_finished(
+        self,
+        tenant: str,
+        outcome: str,  # "completed" | "failed" | "cancelled"
+        finished_at: float,
+        goal_met: Optional[bool] = None,
+        ran: bool = True,
+    ) -> None:
+        """Record one finished submission.
+
+        ``ran=False`` (a submission cancelled while still held) keeps the
+        busy window untouched — it never occupied the platform, so it
+        must not dilute :meth:`throughput`.
+        """
+        with self._lock:
+            stats = self._tenant(tenant)
+            if outcome not in ("completed", "failed", "cancelled"):
+                raise ValueError(f"unknown outcome {outcome!r}")
+            setattr(stats, outcome, getattr(stats, outcome) + 1)
+            if goal_met is True:
+                stats.goals_met += 1
+            elif goal_met is False:
+                stats.goals_missed += 1
+            if ran:
+                w = self._window
+                if w.last_finish is None or finished_at > w.last_finish:
+                    w.last_finish = finished_at
+
+    # -- reading ----------------------------------------------------------------
+
+    def tenant(self, tenant: str) -> TenantStats:
+        """Snapshot of one tenant's counters (zeros if never seen)."""
+        with self._lock:
+            found = self._tenants.get(tenant)
+            return TenantStats(**vars(found)) if found else TenantStats(tenant)
+
+    def tenants(self) -> Dict[str, TenantStats]:
+        with self._lock:
+            return {t: TenantStats(**vars(s)) for t, s in self._tenants.items()}
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return sum(s.completed for s in self._tenants.values())
+
+    @property
+    def busy_window(self) -> Optional[float]:
+        """Platform-clock span from first admitted start to last finish."""
+        with self._lock:
+            w = self._window
+            if w.first_start is None or w.last_finish is None:
+                return None
+            return max(0.0, w.last_finish - w.first_start)
+
+    def throughput(self) -> Optional[float]:
+        """Aggregate completions per second over the busy window."""
+        window = self.busy_window
+        completed = self.completed
+        if not window or not completed:
+            return None
+        return completed / window
+
+    def goal_miss_rate(self) -> Optional[float]:
+        """Aggregate miss rate across all tenants (None when unjudged)."""
+        with self._lock:
+            met = sum(s.goals_met for s in self._tenants.values())
+            missed = sum(s.goals_missed for s in self._tenants.values())
+        judged = met + missed
+        return None if judged == 0 else missed / judged
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tenants": {t: s.as_dict() for t, s in self.tenants().items()},
+            "completed": self.completed,
+            "busy_window": self.busy_window,
+            "throughput": self.throughput(),
+            "goal_miss_rate": self.goal_miss_rate(),
+        }

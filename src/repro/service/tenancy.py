@@ -1,0 +1,105 @@
+"""Per-tenant quotas and live accounting for the skeleton service.
+
+A tenant is any string key a caller submits under (a user id, a product
+surface, a billing account).  Quotas bound how much of the shared
+platform one tenant can occupy or queue, so a single chatty tenant cannot
+starve the rest — the admission controller consults this book on every
+submission and completion.
+
+Thread safety: the book has no lock of its own; the owning
+:class:`~repro.service.service.SkeletonService` mutates it only under the
+service lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["TenantQuota", "TenantBook"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Caps for one tenant (``None`` = unlimited).
+
+    ``max_active`` bounds concurrently *running* executions;
+    ``max_pending`` bounds submissions *held* in the admission queue
+    (beyond it, submissions are rejected outright — backpressure).
+    """
+
+    max_active: Optional[int] = None
+    max_pending: Optional[int] = None
+
+    def __post_init__(self):
+        for field_name in ("max_active", "max_pending"):
+            v = getattr(self, field_name)
+            if v is not None and v < 1:
+                raise ValueError(f"{field_name} must be >= 1 or None, got {v}")
+
+
+class TenantBook:
+    """Quota lookup + live per-tenant counters."""
+
+    def __init__(
+        self,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+    ):
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas: Dict[str, TenantQuota] = dict(quotas or {})
+        self._active: Dict[str, int] = {}
+        self._pending: Dict[str, int] = {}
+
+    # -- quotas -----------------------------------------------------------------
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def can_start(self, tenant: str) -> bool:
+        """Room for one more *running* execution of *tenant*?"""
+        cap = self.quota_for(tenant).max_active
+        return cap is None or self._active.get(tenant, 0) < cap
+
+    def can_queue(self, tenant: str) -> bool:
+        """Room for one more *held* submission of *tenant*?"""
+        cap = self.quota_for(tenant).max_pending
+        return cap is None or self._pending.get(tenant, 0) < cap
+
+    # -- accounting -------------------------------------------------------------
+
+    @staticmethod
+    def _bump(counts: Dict[str, int], tenant: str, delta: int) -> None:
+        value = counts.get(tenant, 0) + delta
+        if value < 0:
+            raise ValueError(f"tenant {tenant!r} counter went negative")
+        if value:
+            counts[tenant] = value
+        else:
+            counts.pop(tenant, None)
+
+    def started(self, tenant: str) -> None:
+        self._bump(self._active, tenant, +1)
+
+    def finished(self, tenant: str) -> None:
+        self._bump(self._active, tenant, -1)
+
+    def queued(self, tenant: str) -> None:
+        self._bump(self._pending, tenant, +1)
+
+    def dequeued(self, tenant: str) -> None:
+        self._bump(self._pending, tenant, -1)
+
+    # -- introspection ----------------------------------------------------------
+
+    def active(self, tenant: str) -> int:
+        return self._active.get(tenant, 0)
+
+    def pending(self, tenant: str) -> int:
+        return self._pending.get(tenant, 0)
+
+    def total_active(self) -> int:
+        return sum(self._active.values())
+
+    def total_pending(self) -> int:
+        return sum(self._pending.values())

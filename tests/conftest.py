@@ -291,6 +291,71 @@ def build_picklable_program(desc):
     return _build_picklable(desc)
 
 
+# ---------------------------------------------------------------------------
+# picklable sleepy muscles + warm-start snapshots (multi-tenant service tests)
+#
+# Sleep-bound leaves release the GIL, so shared-platform concurrency is
+# observable on the thread pool; module-level functions + partials keep the
+# same programs runnable on the process pool.
+
+
+def px_sleep_echo(v, duration):
+    import time
+
+    time.sleep(duration)
+    return v
+
+
+def px_replicate(v, width):
+    return [v] * width
+
+
+def px_sum(rs):
+    return sum(rs)
+
+
+def make_warm_snapshot(program, times, cards=None):
+    """Estimate snapshot by muscle name (service warm-start helper)."""
+    from repro.core.persistence import snapshot_from_names
+
+    return snapshot_from_names(program, times, cards)
+
+
+def sleepy_map_program(width, duration):
+    """Picklable ``map(replicate, seq(sleep), sum)`` — runs on any backend."""
+    return Map(
+        Split(partial(px_replicate, width=width), name="svc_split"),
+        Seq(Execute(partial(px_sleep_echo, duration=duration), name="svc_leaf")),
+        Merge(px_sum, name="svc_merge"),
+    )
+
+
+def sleepy_chain_program(stages, duration):
+    """Picklable serial pipe of sleeps — no parallelism can shrink it."""
+    return Pipe(
+        *[
+            Seq(Execute(partial(px_sleep_echo, duration=duration), name=f"svc_stage{i}"))
+            for i in range(stages)
+        ]
+    )
+
+
+def sleepy_map_snapshot(program, width, duration):
+    """Warm snapshot matching :func:`sleepy_map_program`'s muscles."""
+    return make_warm_snapshot(
+        program,
+        times={"svc_split": 1e-4, "svc_leaf": duration, "svc_merge": 1e-4},
+        cards={"svc_split": width},
+    )
+
+
+def sleepy_chain_snapshot(program, stages, duration):
+    """Warm snapshot matching :func:`sleepy_chain_program`'s muscles."""
+    return make_warm_snapshot(
+        program, times={f"svc_stage{i}": duration for i in range(stages)}
+    )
+
+
 @pytest.fixture
 def paper_map_program():
     """The paper's ``map(fs, map(fs, seq(fe), fm), fm)`` on integer lists."""

@@ -1,0 +1,154 @@
+"""ExecutionAnalyzer — the factored-out Monitor/Analyze half of the loop."""
+
+import pytest
+
+from repro import (
+    Execute,
+    Fork,
+    Map,
+    Merge,
+    QoS,
+    Seq,
+    SimulatedPlatform,
+    Split,
+)
+from repro.core.analysis import ExecutionAnalyzer, is_analysis_point
+from repro.errors import StateMachineError
+from repro.events.types import When, Where
+from repro.runtime.costmodel import ConstantCostModel
+from repro.runtime.interpreter import submit
+from repro.runtime.task import Execution
+
+
+def timed_map(width=4):
+    return Map(
+        Split(lambda v, w=width: [v] * w, name="fs"),
+        Seq(Execute(lambda v: v + 1, name="fe")),
+        Merge(sum, name="fm"),
+    )
+
+
+def timed_platform(parallelism=2):
+    return SimulatedPlatform(
+        parallelism=parallelism,
+        cost_model=ConstantCostModel(1.0),
+        max_parallelism=8,
+    )
+
+
+class TestValidation:
+    def test_rejects_unsupported_patterns(self):
+        fork = Fork(
+            Split(lambda v: [v], name="s"),
+            [Seq(Execute(lambda v: v, name="e"))],
+            Merge(sum, name="m"),
+        )
+        with pytest.raises(StateMachineError, match="fork"):
+            ExecutionAnalyzer(skeleton=fork)
+
+    def test_extensions_allow_them(self):
+        fork = Fork(
+            Split(lambda v: [v], name="s"),
+            [Seq(Execute(lambda v: v, name="e"))],
+            Merge(sum, name="m"),
+        )
+        ExecutionAnalyzer(skeleton=fork, extensions=True)  # no raise
+
+
+class TestMonitoring:
+    def test_not_ready_before_any_event(self):
+        analyzer = ExecutionAnalyzer()
+        assert not analyzer.ready()
+        assert analyzer.analyze(0.0) is None
+        assert not analyzer.finished
+
+    def test_full_run_warms_estimators_and_finishes(self):
+        platform = timed_platform()
+        analyzer = ExecutionAnalyzer()
+        platform.add_listener(analyzer)
+        program = timed_map()
+        assert submit(program, 1, platform).get() == 8
+        assert analyzer.finished
+        for muscle in program.muscles():
+            assert analyzer.estimators.has_time(muscle)
+        # The simulator charged 1 virtual second per muscle.
+        assert analyzer.estimators.t(program.split) == pytest.approx(1.0)
+
+    def test_scoped_analyzer_ignores_foreign_executions(self):
+        platform = timed_platform()
+        exec_a = Execution(platform.new_future())
+        exec_b = Execution(platform.new_future())
+        analyzer_a = ExecutionAnalyzer(execution_id=exec_a.id)
+        platform.add_listener(analyzer_a)
+        submit(timed_map(), 1, platform, execution=exec_a).get()
+        submit(timed_map(), 1, platform, execution=exec_b).get()
+        assert len(analyzer_a.machines.roots) == 1
+        # Each of a's muscles observed exactly as often as it ran.
+        root = analyzer_a.machines.roots[0]
+        assert analyzer_a.estimators.time_estimator(root.skel.split).observations == 1
+
+
+class TestAnalysisReports:
+    def warmed_analyzer_and_platform(self, qos=None):
+        """Run once to warm estimates, then start a second execution."""
+        platform = timed_platform()
+        program = timed_map()
+        analyzer = ExecutionAnalyzer(qos=qos)
+        platform.add_listener(analyzer)
+        submit(program, 1, platform).get()
+        return platform, program, analyzer
+
+    def test_report_fields_mid_run(self):
+        qos = QoS.wall_clock(100.0)
+        platform, program, analyzer = self.warmed_analyzer_and_platform(qos)
+        reports = []
+
+        def on_split_done(event):
+            if is_analysis_point(event) and event.where is Where.SPLIT:
+                reports.append(analyzer.analyze(platform.now(), current_lp=2))
+            return event.value
+
+        platform.bus.add_callback(on_split_done, when=When.AFTER)
+        submit(program, 1, platform).get()
+        assert reports and reports[-1] is not None
+        report = reports[-1]
+        # Right after the second run's split: 4 leaves + merge pending.
+        assert report.optimal_lp == 4
+        assert report.wct_best_effort == pytest.approx(report.time + 2.0)
+        # LP 2 runs the 4 leaves in two waves, then the merge.
+        assert report.wct_current_lp == pytest.approx(report.time + 3.0)
+        assert report.deadline == pytest.approx(analyzer.exec_start[
+            analyzer.machines.roots[-1].index
+        ] + 100.0)
+        assert report.slack > 0 and not report.goal_at_risk
+        assert report.minimal_lp(cap=8) == 1  # loose goal: LP 1 suffices
+        assert report.wct_at(1) == pytest.approx(report.time + 5.0)
+
+    def test_goal_at_risk_when_deadline_impossible(self):
+        qos = QoS.wall_clock(0.5)  # each muscle costs 1 virtual second
+        platform, program, analyzer = self.warmed_analyzer_and_platform(qos)
+        reports = []
+
+        def probe(event):
+            if is_analysis_point(event):
+                report = analyzer.analyze(platform.now())
+                if report is not None:
+                    reports.append(report)
+            return event.value
+
+        platform.bus.add_callback(probe, when=When.AFTER)
+        submit(program, 1, platform).get()
+        assert reports
+        assert all(r.goal_at_risk for r in reports)
+        assert all(r.minimal_lp(cap=8) is None for r in reports)
+
+    def test_is_analysis_point(self):
+        from tests.conftest import build_program
+
+        platform = SimulatedPlatform(parallelism=1)
+        seen = []
+        platform.bus.add_callback(
+            lambda e: (seen.append(is_analysis_point(e)), e.value)[1]
+        )
+        submit(build_program(("seq", 1)), 1, platform).get()
+        assert any(seen)  # the seq AFTER is an analysis point

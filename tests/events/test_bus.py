@@ -93,6 +93,31 @@ class TestDispatch:
         assert picky.seen == []
 
 
+class TestMoveToEnd:
+    def test_moves_existing_listener_last(self):
+        bus = EventBus()
+        a, b = Recorder(), Recorder()
+        bus.add_listener(a)
+        bus.add_listener(b)
+        bus.move_to_end(a)
+        assert bus.listeners() == [b, a]
+
+    def test_registers_when_absent(self):
+        bus = EventBus()
+        a = Recorder()
+        bus.move_to_end(a)
+        assert bus.listeners() == [a]
+
+    def test_dispatch_order_follows_move(self):
+        bus = EventBus()
+        order = []
+        first = bus.add_callback(lambda e: (order.append("first"), e.value)[1])
+        bus.add_callback(lambda e: (order.append("second"), e.value)[1])
+        bus.move_to_end(first)
+        bus.publish(make_event())
+        assert order == ["second", "first"]
+
+
 class TestErrors:
     def test_propagate_by_default(self):
         bus = EventBus()

@@ -1,0 +1,135 @@
+"""Execution-scoped event filtering (repro.events.scoping)."""
+
+import pytest
+
+from repro import Execute, Map, Merge, Seq, SimulatedPlatform, Split
+from repro.events import (
+    Event,
+    EventRecorder,
+    ExecutionScopedListener,
+    Listener,
+    When,
+    Where,
+    check_balanced,
+    scoped,
+    split_by_execution,
+)
+from repro.runtime.interpreter import submit
+from repro.runtime.task import Execution
+
+
+def make_event(execution_id=None, when=When.BEFORE, index=0):
+    return Event(
+        skeleton=None,
+        kind="seq",
+        when=when,
+        where=Where.SKELETON,
+        index=index,
+        parent_index=None,
+        value=1,
+        timestamp=0.0,
+        execution_id=execution_id,
+    )
+
+
+class TestScopedListener:
+    def test_filters_by_execution_id(self):
+        inner = EventRecorder()
+        listener = ExecutionScopedListener(7, inner)
+        assert listener.accepts(make_event(execution_id=7))
+        assert not listener.accepts(make_event(execution_id=8))
+        assert not listener.accepts(make_event(execution_id=None))
+
+    def test_inner_accepts_still_applies(self):
+        class OnlyAfter(Listener):
+            def accepts(self, event):
+                return event.when is When.AFTER
+
+        listener = ExecutionScopedListener(7, OnlyAfter())
+        assert not listener.accepts(make_event(execution_id=7, when=When.BEFORE))
+        assert listener.accepts(make_event(execution_id=7, when=When.AFTER))
+
+    def test_value_pipeline_preserved(self):
+        class Doubler(Listener):
+            def on_event(self, event):
+                return event.value * 2
+
+        listener = scoped(7, Doubler())
+        assert listener.on_event(make_event(execution_id=7)) == 2
+
+    def test_rejects_non_listener(self):
+        with pytest.raises(TypeError):
+            ExecutionScopedListener(1, lambda e: e)
+
+
+class TestSplitByExecution:
+    def test_partitions_preserving_order(self):
+        events = [
+            make_event(execution_id=1, index=0),
+            make_event(execution_id=2, index=1),
+            make_event(execution_id=1, index=2),
+            make_event(execution_id=None, index=3),
+        ]
+        parts = split_by_execution(events)
+        assert [e.index for e in parts[1]] == [0, 2]
+        assert [e.index for e in parts[2]] == [1]
+        assert [e.index for e in parts[None]] == [3]
+
+
+class TestEventMatches:
+    def test_matches_execution_id(self):
+        event = make_event(execution_id=4)
+        assert event.matches(execution_id=4)
+        assert not event.matches(execution_id=5)
+        assert event.matches()  # unspecified: matches anything
+
+
+def small_map():
+    return Map(
+        Split(lambda v: [v, v + 1], name="fs"),
+        Seq(Execute(lambda v: v * 10, name="fe")),
+        Merge(sum, name="fm"),
+    )
+
+
+class TestInterpreterStamping:
+    def test_every_event_carries_its_execution_id(self):
+        platform = SimulatedPlatform(parallelism=2)
+        recorder = EventRecorder()
+        platform.add_listener(recorder)
+        execution = Execution(platform.new_future())
+        future = submit(small_map(), 3, platform, execution=execution)
+        assert future.get() == 70
+        events = recorder.events
+        assert events
+        assert all(e.execution_id == execution.id for e in events)
+
+    def test_concurrent_executions_partition_cleanly(self):
+        platform = SimulatedPlatform(parallelism=2)
+        recorder = EventRecorder()
+        platform.add_listener(recorder)
+        exec_a = Execution(platform.new_future())
+        exec_b = Execution(platform.new_future())
+        future_a = submit(small_map(), 1, platform, execution=exec_a)
+        future_b = submit(small_map(), 5, platform, execution=exec_b)
+        assert future_a.get() == 30
+        assert future_b.get() == 110
+        for execution in (exec_a, exec_b):
+            events = recorder.for_execution(execution.id)
+            assert events
+            assert check_balanced(events)
+        # The two scoped streams cover the full record exactly.
+        assert len(recorder.for_execution(exec_a.id)) + len(
+            recorder.for_execution(exec_b.id)
+        ) == len(recorder)
+
+    def test_scoped_recorders_see_only_their_execution(self):
+        platform = SimulatedPlatform(parallelism=2)
+        exec_a = Execution(platform.new_future())
+        exec_b = Execution(platform.new_future())
+        rec_a = EventRecorder()
+        platform.add_listener(scoped(exec_a.id, rec_a))
+        submit(small_map(), 1, platform, execution=exec_a).get()
+        submit(small_map(), 5, platform, execution=exec_b).get()
+        assert len(rec_a) > 0
+        assert all(e.execution_id == exec_a.id for e in rec_a.events)

@@ -60,6 +60,58 @@ class TestDefaultRegistry:
             make_platform("gpu")
 
 
+class TestErrorPaths:
+    def test_unknown_backend_raises_platform_error(self):
+        with pytest.raises(PlatformError, match="unknown execution backend"):
+            make_platform("quantum")
+
+    def test_unknown_backend_on_custom_registry(self):
+        registry = PlatformRegistry()
+        registry.register("only", SimulatedPlatform)
+        with pytest.raises(PlatformError, match="only"):
+            registry.create("other")
+
+    def test_bad_kwargs_surface_from_the_constructor(self):
+        # The registry forwards kwargs verbatim; a typo'd knob must not
+        # be swallowed.
+        with pytest.raises(TypeError):
+            make_platform("simulated", bogus_knob=3)
+
+    def test_invalid_platform_arguments_still_validate(self):
+        with pytest.raises(PlatformError):
+            make_platform("simulated", parallelism=0)
+        with pytest.raises(PlatformError):
+            make_platform("threads", parallelism=4, max_parallelism=1)
+
+    def test_name_colliding_with_existing_alias_rejected(self):
+        registry = PlatformRegistry()
+        registry.register("a", SimulatedPlatform, aliases=("b",))
+        with pytest.raises(PlatformError, match="already registered"):
+            registry.register("b", ThreadPoolPlatform)
+
+    def test_alias_colliding_with_existing_name_rejected(self):
+        registry = PlatformRegistry()
+        registry.register("a", SimulatedPlatform)
+        with pytest.raises(PlatformError, match="already registered"):
+            registry.register("c", ThreadPoolPlatform, aliases=("a",))
+
+
+class TestAvailableBackendsOrdering:
+    def test_sorted_canonical_names_only(self):
+        names = available_backends()
+        assert names == sorted(names)
+        # Canonical names only — aliases are resolvable but not listed.
+        assert "sim" not in names and "procs" not in names
+        assert "simulated" in names and "processes" in names
+
+    def test_custom_registry_names_sorted(self):
+        registry = PlatformRegistry()
+        registry.register("zeta", SimulatedPlatform)
+        registry.register("alpha", SimulatedPlatform)
+        registry.register("mid", SimulatedPlatform)
+        assert registry.names() == ["alpha", "mid", "zeta"]
+
+
 class TestCustomRegistry:
     def test_register_and_create(self):
         registry = PlatformRegistry()

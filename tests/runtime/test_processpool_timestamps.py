@@ -1,0 +1,97 @@
+"""Worker-side start timestamps on the process backend (ROADMAP item).
+
+BEFORE events of chunk-batched tasks are *published* at handoff (listener
+value transforms must run before the value ships), but each result now
+carries the worker-observed start of the body; the platform threads it
+into the AFTER events' ``started_at`` extra and the tracking machines use
+it for estimator spans.  Without the correction, the k-th task of a chunk
+of n sleeps would observe a span of ~k x sleep; with it, every span is
+~1 x sleep.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro import Map, Merge, ProcessPoolPlatform, Seq, Split
+from repro.core.analysis import ExecutionAnalyzer
+from repro.events import EventRecorder, When
+from repro.runtime.interpreter import submit
+from repro.skeletons import Condition, Execute, While
+
+from tests.conftest import px_replicate, px_sleep_echo, px_sum
+
+pytestmark = pytest.mark.integration
+
+SLEEP = 0.05
+WIDTH = 8
+
+
+def chunked_sleep_map():
+    return Map(
+        Split(partial(px_replicate, width=WIDTH), name="ts_split"),
+        Seq(Execute(partial(px_sleep_echo, duration=SLEEP), name="ts_leaf")),
+        Merge(px_sum, name="ts_merge"),
+    )
+
+
+@pytest.fixture
+def single_worker_platform():
+    # One worker + a chunk as wide as the map: maximal residence skew.
+    platform = ProcessPoolPlatform(
+        parallelism=1, max_parallelism=2, chunk_size=WIDTH
+    )
+    yield platform
+    platform.shutdown()
+
+
+class TestWorkerSideSpans:
+    def test_estimator_span_tracks_muscle_not_chunk_residence(
+        self, single_worker_platform
+    ):
+        platform = single_worker_platform
+        analyzer = ExecutionAnalyzer()
+        platform.add_listener(analyzer)
+        program = chunked_sleep_map()
+        assert submit(program, 1, platform).get(timeout=30.0) == WIDTH
+        leaf_estimate = analyzer.estimators.t(program.subskel.execute)
+        # Without worker-side stamps the blended estimate lands in the
+        # multiple-of-SLEEP range (chunk residence); with them it tracks
+        # the actual sleep.
+        assert leaf_estimate == pytest.approx(SLEEP, abs=SLEEP)
+        assert leaf_estimate < 2.5 * SLEEP
+
+    def test_after_events_carry_started_at(self, single_worker_platform):
+        platform = single_worker_platform
+        recorder = EventRecorder()
+        platform.add_listener(recorder)
+        assert submit(chunked_sleep_map(), 1, platform).get(timeout=30.0) == WIDTH
+        leaf_afters = recorder.select(kind="seq", when=When.AFTER)
+        assert leaf_afters
+        for event in leaf_afters:
+            started = event.extra.get("started_at")
+            assert started is not None
+            # Start is on the platform clock, before the event itself.
+            assert 0.0 <= started <= event.timestamp
+
+    def test_condition_spans_corrected_too(self, single_worker_platform):
+        platform = single_worker_platform
+        analyzer = ExecutionAnalyzer()
+        platform.add_listener(analyzer)
+        program = While(
+            Condition(partial(_below_three), name="ts_cond"),
+            Seq(Execute(partial(px_sleep_echo, duration=0.01), name="ts_body")),
+        )
+        # Value-driven: increments via the pipe below; keep it tiny.
+        future = submit(
+            program,
+            0,
+            platform,
+        )
+        future.get(timeout=30.0)
+        estimate = analyzer.estimators.t(program.condition)
+        assert estimate < 0.05  # conditions are near-instant
+
+
+def _below_three(v):
+    return False  # single evaluation; the span itself is what matters

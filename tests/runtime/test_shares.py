@@ -1,0 +1,168 @@
+"""Per-execution worker shares on the shared platforms.
+
+The base :class:`Platform` stores the share mapping; the pool platforms
+and the simulator enforce it when matching queued tasks to workers: an
+execution never occupies more workers than its share, and skipped tasks
+keep their queue position until a slot frees.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    Execute,
+    Map,
+    Merge,
+    PlatformError,
+    Seq,
+    SimulatedPlatform,
+    Split,
+    ThreadPoolPlatform,
+)
+from repro.events import Listener, When
+from repro.runtime.clock import VirtualClock
+from repro.runtime.costmodel import ConstantCostModel
+from repro.runtime.interpreter import submit
+from repro.runtime.platform import Platform
+from repro.runtime.task import Execution
+
+
+class TestShareStore:
+    def make(self):
+        return Platform(parallelism=2, max_parallelism=8, clock=VirtualClock())
+
+    def test_default_unlimited(self):
+        platform = self.make()
+        assert platform.share_of(123) is None
+        assert platform.get_shares() == {}
+
+    def test_set_and_replace_wholesale(self):
+        platform = self.make()
+        platform.set_shares({1: 2, 2: 3})
+        assert platform.share_of(1) == 2
+        platform.set_shares({2: 4})
+        assert platform.share_of(1) is None  # stale entry vanished
+        assert platform.share_of(2) == 4
+
+    def test_rejects_non_positive_share(self):
+        platform = self.make()
+        with pytest.raises(PlatformError):
+            platform.set_shares({1: 0})
+
+
+class PeakConcurrency(Listener):
+    """Max simultaneous muscle bodies per execution (leaf Seq events)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._running = {}
+        self.peak = {}
+
+    def accepts(self, event):
+        return event.kind == "seq"
+
+    def on_event(self, event):
+        with self._lock:
+            eid = event.execution_id
+            if event.when is When.BEFORE:
+                self._running[eid] = self._running.get(eid, 0) + 1
+                self.peak[eid] = max(self.peak.get(eid, 0), self._running[eid])
+            else:
+                self._running[eid] = self._running.get(eid, 0) - 1
+        return event.value
+
+
+def wide_map(width, body):
+    return Map(
+        Split(lambda v, w=width: [v] * w, name="fs"),
+        Seq(Execute(body, name="fe")),
+        Merge(sum, name="fm"),
+    )
+
+
+class TestThreadPoolShares:
+    def test_execution_never_exceeds_its_share(self):
+        with ThreadPoolPlatform(parallelism=6, max_parallelism=6) as platform:
+            peaks = PeakConcurrency()
+            platform.add_listener(peaks)
+            exec_a = Execution(platform.new_future())
+            exec_b = Execution(platform.new_future())
+            platform.set_shares({exec_a.id: 1, exec_b.id: 3})
+            program = wide_map(8, lambda v: (time.sleep(0.02), v)[1])
+            fa = submit(program, 1, platform, execution=exec_a)
+            fb = submit(wide_map(8, lambda v: (time.sleep(0.02), v)[1]), 2, platform,
+                        execution=exec_b)
+            assert fa.get(timeout=10.0) == 8
+            assert fb.get(timeout=10.0) == 16
+            assert peaks.peak[exec_a.id] <= 1
+            assert peaks.peak[exec_b.id] <= 3
+            # The capped execution still finished: skipped tasks were kept.
+            assert platform.queued_tasks == 0
+
+    def test_share_raise_unblocks_capped_work(self):
+        with ThreadPoolPlatform(parallelism=4, max_parallelism=4) as platform:
+            peaks = PeakConcurrency()
+            platform.add_listener(peaks)
+            execution = Execution(platform.new_future())
+            platform.set_shares({execution.id: 1})
+            future = submit(
+                wide_map(12, lambda v: (time.sleep(0.02), v)[1]),
+                1,
+                platform,
+                execution=execution,
+            )
+            time.sleep(0.05)
+            platform.set_shares({execution.id: 4})
+            assert future.get(timeout=10.0) == 12
+            assert peaks.peak[execution.id] > 1  # the raise took effect
+
+    def test_unshared_executions_unaffected(self):
+        with ThreadPoolPlatform(parallelism=4, max_parallelism=4) as platform:
+            peaks = PeakConcurrency()
+            platform.add_listener(peaks)
+            other = Execution(platform.new_future())
+            platform.set_shares({other.id + 1000: 1})  # share for someone else
+            future = submit(
+                wide_map(8, lambda v: (time.sleep(0.02), v)[1]),
+                1,
+                platform,
+                execution=other,
+            )
+            assert future.get(timeout=10.0) == 8
+            assert peaks.peak[other.id] > 1
+
+
+class TestSimulatorShares:
+    def run_two(self, share_a, share_b, width=4, parallelism=4):
+        platform = SimulatedPlatform(
+            parallelism=parallelism,
+            cost_model=ConstantCostModel(1.0),
+            max_parallelism=8,
+        )
+        peaks = PeakConcurrency()
+        platform.add_listener(peaks)
+        exec_a = Execution(platform.new_future())
+        exec_b = Execution(platform.new_future())
+        platform.set_shares({exec_a.id: share_a, exec_b.id: share_b})
+        fa = submit(wide_map(width, lambda v: v), 1, platform, execution=exec_a)
+        fb = submit(wide_map(width, lambda v: v), 2, platform, execution=exec_b)
+        assert fa.get() == width
+        assert fb.get() == 2 * width
+        return peaks, exec_a, exec_b, platform
+
+    def test_shares_cap_virtual_concurrency(self):
+        peaks, exec_a, exec_b, _ = self.run_two(share_a=1, share_b=3)
+        assert peaks.peak[exec_a.id] <= 1
+        assert peaks.peak[exec_b.id] <= 3
+
+    def test_sharing_is_deterministic(self):
+        first = self.run_two(share_a=2, share_b=2)[3].now()
+        second = self.run_two(share_a=2, share_b=2)[3].now()
+        assert first == second
+
+    def test_equal_shares_split_the_cores(self):
+        peaks, exec_a, exec_b, _ = self.run_two(share_a=2, share_b=2, width=6)
+        assert peaks.peak[exec_a.id] <= 2
+        assert peaks.peak[exec_b.id] <= 2

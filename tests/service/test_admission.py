@@ -1,0 +1,189 @@
+"""Units: tenant quotas, the tenant book and the admission controller."""
+
+import pytest
+
+from repro import QoS
+from repro.core.estimator import EstimatorRegistry
+from repro.core.persistence import restore_estimates
+from repro.service import AdmissionController, TenantQuota
+from repro.service.tenancy import TenantBook
+from tests.conftest import sleepy_chain_program, sleepy_chain_snapshot
+
+# ---------------------------------------------------------------------------
+# tenancy
+
+
+class TestTenantQuota:
+    def test_rejects_non_positive_caps(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_active=0)
+        with pytest.raises(ValueError):
+            TenantQuota(max_pending=-1)
+
+    def test_unlimited_by_default(self):
+        quota = TenantQuota()
+        assert quota.max_active is None and quota.max_pending is None
+
+
+class TestTenantBook:
+    def test_quota_lookup_falls_back_to_default(self):
+        book = TenantBook(
+            default_quota=TenantQuota(max_active=2),
+            quotas={"vip": TenantQuota(max_active=10)},
+        )
+        assert book.quota_for("vip").max_active == 10
+        assert book.quota_for("anyone").max_active == 2
+
+    def test_active_counting_and_caps(self):
+        book = TenantBook(default_quota=TenantQuota(max_active=2))
+        assert book.can_start("t")
+        book.started("t")
+        book.started("t")
+        assert not book.can_start("t")
+        book.finished("t")
+        assert book.can_start("t")
+        assert book.active("t") == 1 and book.total_active() == 1
+
+    def test_pending_counting_and_caps(self):
+        book = TenantBook(default_quota=TenantQuota(max_pending=1))
+        assert book.can_queue("t")
+        book.queued("t")
+        assert not book.can_queue("t")
+        book.dequeued("t")
+        assert book.can_queue("t") and book.total_pending() == 0
+
+    def test_negative_counter_raises(self):
+        book = TenantBook()
+        with pytest.raises(ValueError):
+            book.finished("never-started")
+
+
+# ---------------------------------------------------------------------------
+# admission
+
+
+def warm_estimators(program, stages, duration):
+    estimators = EstimatorRegistry()
+    restore_estimates(
+        program, estimators, sleepy_chain_snapshot(program, stages, duration)
+    )
+    return estimators
+
+
+class TestAdmissionValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=1, policy="meh")
+
+    def test_rejects_bad_max_live(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=1, max_live=0)
+
+
+class TestFeasibilityGate:
+    def test_cold_submission_admitted_optimistically(self):
+        program = sleepy_chain_program(4, 1.0)
+        controller = AdmissionController(capacity=8)
+        decision = controller.evaluate(
+            program, QoS.wall_clock(0.001), EstimatorRegistry(), "t", live_count=0
+        )
+        assert decision.admitted  # no estimates -> paper's cold start
+
+    def test_warm_infeasible_goal_rejected(self):
+        program = sleepy_chain_program(4, 1.0)  # serial chain: 4s minimum
+        estimators = warm_estimators(program, 4, 1.0)
+        controller = AdmissionController(capacity=8)
+        decision = controller.evaluate(
+            program, QoS.wall_clock(1.0), estimators, "t", live_count=0
+        )
+        assert decision.rejected
+        assert "infeasible" in decision.reason
+
+    def test_warm_feasible_goal_admitted(self):
+        program = sleepy_chain_program(4, 1.0)
+        estimators = warm_estimators(program, 4, 1.0)
+        controller = AdmissionController(capacity=8)
+        decision = controller.evaluate(
+            program, QoS.wall_clock(10.0), estimators, "t", live_count=0
+        )
+        assert decision.admitted
+
+    def test_qos_max_lp_tightens_the_projection(self):
+        # 4 independent 1s stages would fit a 2s goal at LP 4 but the
+        # tenant itself capped its LP at 1 -> projection must miss.
+        from tests.conftest import sleepy_map_program, sleepy_map_snapshot
+
+        program = sleepy_map_program(4, 1.0)
+        estimators = EstimatorRegistry()
+        restore_estimates(program, estimators, sleepy_map_snapshot(program, 4, 1.0))
+        controller = AdmissionController(capacity=8)
+        ok = controller.evaluate(
+            program, QoS.wall_clock(2.0), estimators, "t", live_count=0
+        )
+        assert ok.admitted
+        capped = controller.evaluate(
+            program, QoS.wall_clock(2.0, max_lp=1), estimators, "t", live_count=0
+        )
+        assert capped.rejected
+
+    def test_no_goal_never_gated(self):
+        program = sleepy_chain_program(4, 1.0)
+        estimators = warm_estimators(program, 4, 1.0)
+        controller = AdmissionController(capacity=1)
+        assert controller.evaluate(program, None, estimators, "t", 0).admitted
+
+
+class TestCapsAndPolicies:
+    def test_max_live_holds_by_default(self):
+        controller = AdmissionController(capacity=8, max_live=1)
+        program = sleepy_chain_program(2, 0.1)
+        decision = controller.evaluate(
+            program, None, EstimatorRegistry(), "t", live_count=1
+        )
+        assert decision.held
+        assert "live-execution cap" in decision.reason
+
+    def test_max_live_rejects_under_reject_policy(self):
+        controller = AdmissionController(capacity=8, policy="reject", max_live=1)
+        program = sleepy_chain_program(2, 0.1)
+        decision = controller.evaluate(
+            program, None, EstimatorRegistry(), "t", live_count=1
+        )
+        assert decision.rejected
+
+    def test_tenant_active_cap_holds(self):
+        book = TenantBook(default_quota=TenantQuota(max_active=1))
+        controller = AdmissionController(capacity=8, tenants=book)
+        book.started("t")
+        program = sleepy_chain_program(2, 0.1)
+        decision = controller.evaluate(
+            program, None, EstimatorRegistry(), "t", live_count=1
+        )
+        assert decision.held
+        assert "active quota" in decision.reason
+
+    def test_pending_cap_rejects_held_overflow(self):
+        book = TenantBook(
+            default_quota=TenantQuota(max_active=1, max_pending=1)
+        )
+        controller = AdmissionController(capacity=8, tenants=book)
+        book.started("t")
+        book.queued("t")  # pending slot already taken
+        program = sleepy_chain_program(2, 0.1)
+        decision = controller.evaluate(
+            program, None, EstimatorRegistry(), "t", live_count=1
+        )
+        assert decision.rejected
+        assert "pending quota" in decision.reason
+
+    def test_can_start_now_mirrors_blockers(self):
+        book = TenantBook(default_quota=TenantQuota(max_active=1))
+        controller = AdmissionController(capacity=8, tenants=book, max_live=2)
+        assert controller.can_start_now("t", live_count=0)
+        assert not controller.can_start_now("t", live_count=2)
+        book.started("t")
+        assert not controller.can_start_now("t", live_count=1)

@@ -1,0 +1,182 @@
+"""Service lifecycle on the deterministic simulator and small real pools.
+
+The simulator drives the full service stack — admission, scoped
+analyzers, arbitration, promotion of held work — in virtual time, so
+these tests are timing-noise-free; a few thread-pool cases cover the
+asynchronous paths (drain, cancel-in-flight).
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    Execute,
+    Map,
+    Merge,
+    QoS,
+    Seq,
+    SimulatedPlatform,
+    Split,
+    SkeletonService,
+)
+from repro.errors import AdmissionError, ExecutionCancelledError, ServiceError
+from repro.runtime.costmodel import ConstantCostModel
+from repro.service import ExecutionStatus, TenantQuota
+
+
+def timed_map_program(width):
+    return Map(
+        Split(lambda v, w=width: [v] * w, name="split"),
+        Seq(Execute(lambda v: v, name="leaf")),
+        Merge(sum, name="merge"),
+    )
+
+
+def sim_service(**kwargs):
+    platform = SimulatedPlatform(
+        parallelism=1, cost_model=ConstantCostModel(1.0), max_parallelism=4
+    )
+    return SkeletonService(platform=platform, **kwargs)
+
+
+class TestSimulatedService:
+    def test_submit_runs_and_completes(self):
+        service = sim_service()
+        handle = service.submit(timed_map_program(4), 2, qos=QoS.wall_clock(100.0))
+        assert handle.result() == 8
+        assert handle.status() is ExecutionStatus.COMPLETED
+        assert handle.wall_clock() > 0
+        assert service.live_count == 0
+
+    def test_concurrent_submissions_share_the_simulator(self):
+        service = sim_service()
+        handles = [
+            service.submit(timed_map_program(3), i, qos=QoS.wall_clock(100.0))
+            for i in range(3)
+        ]
+        assert [h.result() for h in handles] == [0, 3, 6]
+        assert all(h.goal_met() for h in handles)
+        # One rebalance per admission at minimum.
+        assert len(service.arbiter.rebalances) >= 3
+
+    def test_held_submission_promoted_after_completion(self):
+        service = sim_service(max_live=1)
+        first = service.submit(timed_map_program(3), 1)
+        second = service.submit(timed_map_program(3), 2)
+        assert second.status() is ExecutionStatus.QUEUED
+        assert service.held_count == 1
+        # Driving the held handle's future drives the simulator loop:
+        # the first completes, promotion launches the second.
+        assert second.result() == 6
+        assert first.result() == 3
+        assert service.held_count == 0
+        stats = service.stats.tenant("default")
+        assert stats.held == 1 and stats.completed == 2
+
+    def test_cancel_held_submission(self):
+        service = sim_service(max_live=1)
+        service.submit(timed_map_program(3), 1)
+        held = service.submit(timed_map_program(3), 2)
+        assert held.cancel() is True
+        assert held.status() is ExecutionStatus.CANCELLED
+        with pytest.raises(ExecutionCancelledError):
+            held.result()
+        assert service.held_count == 0
+        assert held.cancel() is False  # idempotent: already finished
+
+    def test_failed_muscle_reports_failed(self):
+        from repro.errors import MuscleExecutionError
+
+        service = sim_service()
+        bad = Seq(Execute(lambda v: 1 / 0, name="boom"))
+        handle = service.submit(bad, 1)
+        with pytest.raises(MuscleExecutionError, match="boom"):
+            handle.result()
+        assert handle.status() is ExecutionStatus.FAILED
+        assert service.stats.tenant("default").failed == 1
+
+    def test_tenant_quota_enforced_via_service(self):
+        service = sim_service(
+            default_quota=TenantQuota(max_active=1, max_pending=1)
+        )
+        service.submit(timed_map_program(3), 1, tenant="t")
+        second = service.submit(timed_map_program(3), 2, tenant="t")
+        third = service.submit(timed_map_program(3), 3, tenant="t")
+        assert second.status() is ExecutionStatus.QUEUED
+        assert third.status() is ExecutionStatus.REJECTED
+        with pytest.raises(AdmissionError, match="pending quota"):
+            third.result()
+
+    def test_shutdown_rejects_new_and_held(self):
+        service = sim_service(max_live=1)
+        first = service.submit(timed_map_program(3), 1)
+        held = service.submit(timed_map_program(3), 2)
+        assert first.result() == 3
+        # Promotion happened on the first completion; drive the promoted
+        # execution to its end before closing (the simulator only runs
+        # while a future drives it).
+        assert held.result() == 6
+        service.shutdown()
+        with pytest.raises(ServiceError):
+            service.submit(timed_map_program(3), 3)
+
+    def test_shutdown_rejects_still_held_submissions(self):
+        service = sim_service(max_live=1)
+        service.submit(timed_map_program(3), 1)
+        held = service.submit(timed_map_program(3), 2)
+        # Close while the first never ran (simulator not driven).
+        service.shutdown(wait=False)
+        assert held.status() is ExecutionStatus.REJECTED
+        with pytest.raises(AdmissionError, match="shutting down"):
+            held.result()
+
+    def test_capacity_required(self):
+        with pytest.raises(ServiceError, match="budget"):
+            SkeletonService(platform=SimulatedPlatform(parallelism=2))
+        with pytest.raises(ServiceError, match="capacity"):
+            SkeletonService(backend="threads")
+
+
+class TestThreadService:
+    def test_drain_waits_for_everything(self):
+        with SkeletonService(backend="threads", capacity=4) as service:
+            fe = Execute(lambda v: (time.sleep(0.02), v)[1], name="fe")
+            handles = [
+                service.submit(
+                    Map(
+                        Split(lambda v: [v] * 4, name="fs"),
+                        Seq(fe),
+                        Merge(sum, name="fm"),
+                    ),
+                    i,
+                )
+                for i in range(3)
+            ]
+            assert service.drain(timeout=10.0)
+            assert all(h.done() for h in handles)
+            assert service.stats.completed == 3
+
+    def test_cancel_running_execution(self):
+        with SkeletonService(backend="threads", capacity=2) as service:
+            # A wide map of slow leaves: cancellation lands mid-flight and
+            # the platform drops the remaining tasks.
+            program = Map(
+                Split(lambda v: [v] * 50, name="fs"),
+                Seq(Execute(lambda v: (time.sleep(0.05), v)[1], name="fe")),
+                Merge(sum, name="fm"),
+            )
+            handle = service.submit(program, 1)
+            time.sleep(0.1)  # let a few leaves start
+            assert handle.cancel() is True
+            assert handle.status() is ExecutionStatus.CANCELLED
+            with pytest.raises(ExecutionCancelledError):
+                handle.result(timeout=5.0)
+            assert service.drain(timeout=10.0)
+            assert service.stats.tenant("default").cancelled == 1
+
+    def test_handle_repr_mentions_status(self):
+        with SkeletonService(backend="threads", capacity=2) as service:
+            handle = service.submit(Seq(Execute(lambda v: v, name="id")), 5)
+            handle.result(timeout=5.0)
+            assert "completed" in repr(handle)

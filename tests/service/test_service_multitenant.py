@@ -1,0 +1,177 @@
+"""Acceptance: many concurrent tenant executions on ONE shared platform.
+
+The ISSUE-2 acceptance scenario, run against both real backends: >= 8
+concurrent executions with distinct WCT goals submitted to a single
+shared ``threads`` platform and a single shared ``processes`` platform,
+showing
+
+(a) no cross-execution event/estimator contamination,
+(b) the arbiter reallocating LP between executions mid-flight, and
+(c) feasible goals met while an infeasible submission is rejected by
+    admission control.
+"""
+
+import pytest
+
+from repro import QoS, SkeletonService
+from repro.errors import AdmissionError
+from repro.events import EventRecorder
+from repro.service import ExecutionStatus
+from tests.conftest import (
+    sleepy_chain_program,
+    sleepy_chain_snapshot,
+    sleepy_map_program,
+    sleepy_map_snapshot,
+)
+
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
+
+N_TENANTS = 8
+WIDTH = 6
+LEAF = 0.03  # seconds per leaf muscle (sleep releases the GIL)
+# More workers than tenants: after every tenant's floor of one worker the
+# arbiter has leftover budget to redistribute by deadline urgency, so
+# mid-flight reallocation is structural, not timing-dependent.
+CAPACITY = 12
+
+
+def distinct_goal(i: int) -> float:
+    """Generous but distinct per-tenant WCT goals (robust on busy CI)."""
+    return 4.0 + 0.5 * i
+
+
+@pytest.fixture(params=["threads", "processes"])
+def loaded_service(request):
+    """One shared platform + 8 concurrent tenants + 1 infeasible tenant."""
+    service = SkeletonService(backend=request.param, capacity=CAPACITY)
+    recorder = EventRecorder()
+    service.platform.add_listener(recorder)
+
+    handles = []
+    for i in range(N_TENANTS):
+        program = sleepy_map_program(WIDTH, LEAF)
+        handles.append(
+            service.submit(
+                program,
+                i,
+                qos=QoS.wall_clock(distinct_goal(i)),
+                tenant=f"tenant-{i}",
+                warm_start=sleepy_map_snapshot(program, WIDTH, LEAF),
+            )
+        )
+
+    # A serial chain whose projected WCT exceeds its goal even with every
+    # worker dedicated to it: admission must reject it up front.
+    chain = sleepy_chain_program(6, 0.05)
+    infeasible = service.submit(
+        chain,
+        0,
+        qos=QoS.wall_clock(0.05),
+        tenant="greedy",
+        warm_start=sleepy_chain_snapshot(chain, 6, 0.05),
+    )
+
+    results = [h.result(timeout=30.0) for h in handles]
+    yield service, recorder, handles, infeasible, results
+    service.shutdown()
+
+
+class TestSharedPlatformAcceptance:
+    def test_results_correct_and_goals_met(self, loaded_service):
+        service, _recorder, handles, _infeasible, results = loaded_service
+        # map(replicate(i, WIDTH)) -> sum = i * WIDTH
+        assert results == [i * WIDTH for i in range(N_TENANTS)]
+        for handle in handles:
+            assert handle.status() is ExecutionStatus.COMPLETED
+            assert handle.goal_met() is True
+
+    def test_executions_overlapped_on_one_platform(self, loaded_service):
+        service, recorder, handles, _infeasible, _results = loaded_service
+        # Interval overlap over leaf BEFORE/AFTER pairs across executions:
+        # at some instant, leaves of >= 2 executions ran concurrently.
+        spans = []
+        for handle in handles:
+            events = recorder.for_execution(handle.execution_id)
+            befores = {}
+            for e in events:
+                if e.skeleton.kind != "seq":
+                    continue
+                if e.is_before():
+                    befores[e.index] = e.timestamp
+                elif e.index in befores:
+                    spans.append((befores.pop(e.index), e.timestamp, handle.execution_id))
+        assert spans, "no leaf spans recorded"
+        overlapping_pairs = 0
+        for i in range(len(spans)):
+            for j in range(i + 1, len(spans)):
+                s1, e1, x1 = spans[i]
+                s2, e2, x2 = spans[j]
+                if x1 != x2 and s1 < e2 and s2 < e1:
+                    overlapping_pairs += 1
+        assert overlapping_pairs > 0
+
+    def test_no_cross_execution_event_contamination(self, loaded_service):
+        service, recorder, handles, _infeasible, _results = loaded_service
+        from repro.events import check_balanced
+
+        for handle in handles:
+            events = recorder.for_execution(handle.execution_id)
+            assert events, f"no events for execution {handle.execution_id}"
+            assert all(e.execution_id == handle.execution_id for e in events)
+            # The scoped stream is a complete, balanced trace on its own.
+            assert check_balanced(events)
+            # Only this tenant's muscles appear in its stream.
+            own = {m.uid for m in handle.program.muscles()}
+            seen = {
+                e.skeleton.execute.uid
+                for e in events
+                if e.skeleton.kind == "seq"
+            }
+            assert seen <= own
+
+    def test_no_cross_execution_estimator_contamination(self, loaded_service):
+        service, _recorder, handles, _infeasible, _results = loaded_service
+        for handle in handles:
+            analyzer = handle.analyzer
+            # Exactly one root machine: the tenant's own Map — foreign
+            # events would have spawned foreign machines/roots.
+            assert len(analyzer.machines.roots) == 1
+            assert analyzer.machines.roots[0].skel is handle.program
+            # The leaf estimator folded exactly WIDTH observations (one
+            # per own leaf); contamination would inflate the count.
+            leaf = handle.program.subskel.execute
+            estimator = analyzer.estimators.time_estimator(leaf)
+            assert estimator.observations == WIDTH
+
+    def test_arbiter_reallocates_mid_flight(self, loaded_service):
+        service, _recorder, handles, _infeasible, _results = loaded_service
+        assert len(service.arbiter.rebalances) >= 2
+        histories = [
+            service.arbiter.shares_history(h.execution_id) for h in handles
+        ]
+        # Every execution took part in the arbitration...
+        assert all(histories)
+        # ...and at least one had its share changed mid-flight.
+        assert any(len(set(history)) > 1 for history in histories)
+        # Shares never exceeded the platform budget in any rebalance.
+        for rebalance in service.arbiter.rebalances:
+            assert rebalance.total_lp <= CAPACITY
+            assert all(share >= 1 for share in rebalance.shares.values())
+
+    def test_infeasible_submission_rejected(self, loaded_service):
+        service, _recorder, _handles, infeasible, _results = loaded_service
+        assert infeasible.status() is ExecutionStatus.REJECTED
+        assert "infeasible" in infeasible.rejected_reason
+        with pytest.raises(AdmissionError, match="infeasible"):
+            infeasible.result(timeout=1.0)
+        greedy = service.stats.tenant("greedy")
+        assert greedy.rejected == 1 and greedy.admitted == 0
+
+    def test_stats_aggregate(self, loaded_service):
+        service, _recorder, handles, _infeasible, _results = loaded_service
+        assert service.stats.completed == N_TENANTS
+        assert service.stats.goal_miss_rate() == 0.0
+        assert service.stats.throughput() is not None
+        for i in range(N_TENANTS):
+            tenant = service.stats.tenant(f"tenant-{i}")
+            assert tenant.submitted == tenant.admitted == tenant.completed == 1

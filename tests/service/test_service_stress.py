@@ -1,0 +1,129 @@
+"""Sustained multi-tenant load on the shared service (service-stress tier).
+
+Run in CI as a dedicated job: ``pytest -m service_stress``.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro import QoS, SkeletonService
+from repro.events import EventRecorder, check_balanced
+from repro.service import ExecutionStatus, TenantQuota
+from tests.conftest import sleepy_map_program, sleepy_map_snapshot
+
+pytestmark = [pytest.mark.service_stress, pytest.mark.slow]
+
+
+def submit_wave(service, tenant, count, width, leaf, goal, rng):
+    handles = []
+    for i in range(count):
+        program = sleepy_map_program(width, leaf)
+        handles.append(
+            service.submit(
+                program,
+                rng.randrange(100),
+                qos=QoS.wall_clock(goal),
+                tenant=tenant,
+                warm_start=sleepy_map_snapshot(program, width, leaf),
+            )
+        )
+    return handles
+
+
+class TestSustainedLoad:
+    def test_waves_of_tenants_on_shared_threads(self):
+        rng = random.Random(7)
+        recorder = EventRecorder()
+        with SkeletonService(
+            backend="threads",
+            capacity=8,
+            default_quota=TenantQuota(max_active=4, max_pending=16),
+        ) as service:
+            service.platform.add_listener(recorder)
+            handles = []
+            for wave in range(3):
+                for t in range(4):
+                    handles += submit_wave(
+                        service,
+                        tenant=f"tenant-{t}",
+                        count=2,
+                        width=4 + t,
+                        leaf=0.02,
+                        goal=20.0,
+                        rng=rng,
+                    )
+                time.sleep(0.05)
+            assert service.drain(timeout=60.0)
+
+        # Everything completed with the right answers.
+        assert len(handles) == 24
+        for handle in handles:
+            assert handle.status() is ExecutionStatus.COMPLETED
+            width = len(handle.program.split(handle.value))
+            assert handle.result() == handle.value * width
+            assert handle.goal_met() is True
+
+        # Per-execution event streams stayed clean under load.
+        for handle in handles:
+            events = recorder.for_execution(handle.execution_id)
+            assert events and check_balanced(events)
+
+        # Quotas were honoured: never more than 4 active per tenant.
+        stats = service.stats
+        assert stats.completed == 24
+        assert stats.goal_miss_rate() == 0.0
+        for t in range(4):
+            tenant = stats.tenant(f"tenant-{t}")
+            assert tenant.completed == 6
+
+        # Arbitration stayed inside the budget the whole time.
+        for rebalance in service.arbiter.rebalances:
+            assert rebalance.total_lp <= 8
+            assert all(s >= 1 for s in rebalance.shares.values())
+
+    def test_mixed_outcomes_under_load(self):
+        rng = random.Random(11)
+        with SkeletonService(
+            backend="threads",
+            capacity=6,
+            default_quota=TenantQuota(max_active=2, max_pending=4),
+        ) as service:
+            completed = submit_wave(
+                service, "steady", count=4, width=4, leaf=0.02, goal=20.0, rng=rng
+            )
+            cancelled = submit_wave(
+                service, "fickle", count=2, width=30, leaf=0.05, goal=30.0, rng=rng
+            )
+            time.sleep(0.05)
+            for handle in cancelled:
+                assert handle.cancel()
+            assert service.drain(timeout=60.0)
+            for handle in completed:
+                assert handle.status() is ExecutionStatus.COMPLETED
+            for handle in cancelled:
+                assert handle.status() is ExecutionStatus.CANCELLED
+            stats = service.stats
+            assert stats.tenant("steady").completed == 4
+            assert stats.tenant("fickle").cancelled == 2
+
+    def test_processes_backend_under_load(self):
+        rng = random.Random(13)
+        with SkeletonService(backend="processes", capacity=6) as service:
+            handles = []
+            for t in range(3):
+                handles += submit_wave(
+                    service,
+                    tenant=f"proc-{t}",
+                    count=3,
+                    width=5,
+                    leaf=0.02,
+                    goal=20.0,
+                    rng=rng,
+                )
+            assert service.drain(timeout=60.0)
+        for handle in handles:
+            assert handle.status() is ExecutionStatus.COMPLETED
+            assert handle.result() == handle.value * 5
+        assert service.stats.completed == 9
