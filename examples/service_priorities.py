@@ -1,0 +1,149 @@
+"""QoS scheduling classes on the SkeletonService: weights, priorities,
+load-aware admission and the async handle facade.
+
+Four short acts on a shared 4-worker platform:
+
+1. **fair-share weights** — two best-effort tenants split the surplus
+   3:1 by weight;
+2. **priority / preemption** — an URGENT submission shrinks a running
+   hog's grant at the very rebalance its admission forces;
+3. **load-aware admission** — a goal that only fits an idle machine is
+   *held* (not admitted into a sure miss) and meets its goal after the
+   load drains;
+4. **async facade** — ``await handle`` and ``async for status`` consume
+   the service from a coroutine.
+
+Run:  PYTHONPATH=src python examples/service_priorities.py
+"""
+
+import asyncio
+import time
+from functools import partial
+
+from repro import Priority, QoS, SkeletonService
+from repro.core.persistence import snapshot_from_names
+from repro.skeletons import Execute, Map, Merge, Seq, Split
+
+CAPACITY = 4
+
+
+def replicate(v, width):
+    return [v] * width
+
+
+def sleepy_echo(v, duration):
+    time.sleep(duration)
+    return v
+
+
+def total(parts):
+    return sum(parts)
+
+
+def fan_out(width, leaf_seconds):
+    return Map(
+        Split(partial(replicate, width=width), name="split"),
+        Seq(Execute(partial(sleepy_echo, duration=leaf_seconds), name="leaf")),
+        Merge(total, name="merge"),
+    )
+
+
+def warm(program, width, leaf_seconds):
+    return snapshot_from_names(
+        program,
+        times={"split": 1e-4, "leaf": leaf_seconds, "merge": 1e-4},
+        cards={"split": width},
+    )
+
+
+def submit(service, tenant, width, leaf, qos=None, value=1):
+    program = fan_out(width, leaf)
+    return service.submit(
+        program, value, qos=qos, tenant=tenant,
+        warm_start=warm(program, width, leaf),
+    )
+
+
+def act_1_weights() -> None:
+    print("1) fair-share weights (best-effort tenants, weight 3 vs 1)")
+    with SkeletonService(
+        backend="threads", capacity=CAPACITY, min_rebalance_interval=0.0
+    ) as service:
+        heavy = submit(service, "heavy", 8, 0.05,
+                       qos=QoS.best_effort(weight=3.0))
+        light = submit(service, "light", 8, 0.05,
+                       qos=QoS.best_effort(weight=1.0), value=2)
+        split = service.arbiter.last_rebalance.shares
+        print(f"   surplus split: heavy={split[heavy.execution_id]} "
+              f"light={split[light.execution_id]} workers")
+        assert split[heavy.execution_id] > split[light.execution_id]
+        assert heavy.result(timeout=30.0) == 8
+        assert light.result(timeout=30.0) == 16
+
+
+def act_2_preemption() -> None:
+    print("2) priority classes: URGENT preempts a running hog")
+    with SkeletonService(
+        backend="threads", capacity=CAPACITY, min_rebalance_interval=0.0
+    ) as service:
+        hog = submit(service, "hog", 12, 0.1, qos=QoS.wall_clock(0.38))
+        before = service.arbiter.last_rebalance.shares[hog.execution_id]
+        urgent = submit(
+            service, "urgent", 4, 0.1,
+            qos=QoS.wall_clock(0.3, priority=Priority.URGENT), value=3,
+        )
+        after = service.arbiter.last_rebalance.shares
+        print(f"   hog: {before} -> {after[hog.execution_id]} workers; "
+              f"urgent granted {after[urgent.execution_id]} on admission")
+        assert before == CAPACITY
+        assert after[urgent.execution_id] >= 2
+        assert after[hog.execution_id] < before
+        assert urgent.result(timeout=30.0) == 12
+        assert hog.result(timeout=30.0) == 12
+
+
+def act_3_load_aware_admission() -> None:
+    print("3) load-aware admission: hold instead of a guaranteed miss")
+    with SkeletonService(
+        backend="threads", capacity=CAPACITY, min_rebalance_interval=0.0
+    ) as service:
+        hog = submit(service, "hog", 8, 0.12, qos=QoS.wall_clock(0.35))
+        late = submit(service, "late", 4, 0.12,
+                      qos=QoS.wall_clock(0.22), value=2)
+        print(f"   late tenant at submit: {late.status().value} "
+              f"(feasible when idle, infeasible under the hog's load)")
+        assert late.status().value == "queued"
+        assert hog.result(timeout=30.0) == 8
+        assert late.result(timeout=30.0) == 8
+        print(f"   after the hog drained: late wct={late.wall_clock():.3f}s "
+              f"goal_met={late.goal_met()}")
+        assert late.goal_met() is True
+
+
+def act_4_async_facade() -> None:
+    print("4) async facade: await handles, stream lifecycle transitions")
+
+    async def main() -> None:
+        with SkeletonService(backend="threads", capacity=CAPACITY) as service:
+            first = submit(service, "async-a", 6, 0.05)
+            second = submit(service, "async-b", 6, 0.05, value=2)
+            transitions = [s.value async for s in first.statuses()]
+            results = [await first, await second]
+            print(f"   statuses={transitions} results={results}")
+            assert transitions[-1] == "completed"
+            assert results == [6, 12]
+
+    asyncio.run(main())
+
+
+def main() -> None:
+    print(f"shared platform: threads, capacity {CAPACITY}")
+    act_1_weights()
+    act_2_preemption()
+    act_3_load_aware_admission()
+    act_4_async_facade()
+    print("all scheduling-class scenarios passed")
+
+
+if __name__ == "__main__":
+    main()

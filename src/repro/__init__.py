@@ -100,6 +100,7 @@ from .core import (
     EstimatorRegistry,
     ExecutionAnalyzer,
     HistoryEstimator,
+    Priority,
     QoS,
     WCTGoal,
     best_effort_schedule,
@@ -193,6 +194,7 @@ __all__ = [
     "EstimatorRegistry",
     "ExecutionAnalyzer",
     "HistoryEstimator",
+    "Priority",
     "QoS",
     "WCTGoal",
     "best_effort_schedule",

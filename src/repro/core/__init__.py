@@ -25,7 +25,7 @@ from .persistence import (
     snapshot_from_names,
 )
 from .projection import estimated_total_work, project_skeleton
-from .qos import MaxLPGoal, QoS, WCTGoal
+from .qos import MaxLPGoal, Priority, QoS, WCTGoal
 from .schedule import (
     ScheduledActivity,
     ScheduleResult,
@@ -70,6 +70,7 @@ __all__ = [
     "QoS",
     "WCTGoal",
     "MaxLPGoal",
+    "Priority",
     "project_skeleton",
     "estimated_total_work",
     "ScheduleResult",

@@ -40,6 +40,7 @@ from ..events.types import Event, When, Where
 from ..skeletons.base import Skeleton
 from .adg import ADG
 from .estimator import EstimatorRegistry
+from .projection import project_skeleton
 from .qos import QoS
 from .schedule import (
     best_effort_schedule,
@@ -130,7 +131,12 @@ class ExecutionAnalyzer(Listener):
         and live state from cross-contaminating.
     skeleton:
         Optional: validate up front that the program contains only
-        patterns the autonomic layer supports.
+        patterns the autonomic layer supports.  Also enables the
+        *structural* pre-start analysis: with warm estimates (the paper's
+        scenario-2 initialization) an execution that has not produced a
+        single event yet can still be analyzed by projecting the skeleton
+        structure itself, so a global planner can grant it its real
+        worker need at admission instead of a cold-start floor.
     rho / estimators / extensions:
         As in :class:`~repro.core.controller.AutonomicController`.
     """
@@ -146,6 +152,7 @@ class ExecutionAnalyzer(Listener):
     ):
         self.qos = qos
         self.execution_id = execution_id
+        self.skeleton = skeleton
         self.estimators = estimators or EstimatorRegistry(rho=rho)
         self.machines = MachineRegistry(self.estimators, extensions=extensions)
         self.exec_start: Dict[int, float] = {}  # root index -> start time
@@ -225,19 +232,55 @@ class ExecutionAnalyzer(Listener):
 
         Returns ``None`` when nothing is running or a needed estimate is
         still missing (first-run cold start waits for the first merge, as
-        in the paper's scenario 1).
+        in the paper's scenario 1).  A warm-started execution that has
+        not emitted any event yet (tasks queued, no worker reached them)
+        is analyzed *structurally* instead — scenario 2's initialization,
+        extended to the pre-start window.
         """
         roots = roots if roots is not None else self.unfinished_roots()
+        if not roots and not self.machines.roots:
+            return self._structural_report(now, current_lp)
         if not self.ready(roots):
             return None
         adg, _terminals = self.machines.project_roots(now, roots)
         if len(adg) == 0:
             return None
+        return self._report_from_adg(now, current_lp, adg, self.deadline(roots))
+
+    def _structural_report(
+        self, now: float, current_lp: Optional[int]
+    ) -> Optional[AnalysisReport]:
+        """Pre-start analysis from the skeleton structure alone.
+
+        Requires the skeleton and warm estimates for every muscle;
+        otherwise the pre-start window stays a cold start (``None``).
+        The deadline assumes the execution starts *now* — optimistic by
+        at most the (tiny) submit-to-first-task latency.
+        """
+        if self.skeleton is None or not self.estimators.ready_for(self.skeleton):
+            return None
+        adg = ADG()
+        project_skeleton(self.skeleton, adg, [], self.estimators)
+        if len(adg) == 0:
+            return None
+        deadline = None
+        if self.qos is not None and self.qos.wct is not None:
+            deadline = self.qos.wct.deadline(now)
+        return self._report_from_adg(now, current_lp, adg, deadline)
+
+    def _report_from_adg(
+        self,
+        now: float,
+        current_lp: Optional[int],
+        adg: ADG,
+        deadline: Optional[float],
+    ) -> AnalysisReport:
+        """Derive the paper's quantities from a projected ADG."""
         best = best_effort_schedule(adg, now)
         return AnalysisReport(
             time=now,
             execution_id=self.execution_id,
-            deadline=self.deadline(roots),
+            deadline=deadline,
             current_lp=current_lp,
             wct_best_effort=best.wct,
             wct_current_lp=(

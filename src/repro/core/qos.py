@@ -9,16 +9,41 @@ reproduces:
 * **LP** (Level of Parallelism): an upper bound on the threads the
   autonomic layer may allocate, "to avoid potential overloading of the
   system".
+
+Beyond the paper, the multi-tenant service layers two *scheduling-class*
+attributes on the same QoS object:
+
+* **weight** — the tenant's fair share of surplus workers.  Deadlines are
+  always served first (EEDF); whatever budget is left over is divided in
+  proportion to the weights of the executions that can still use it;
+* **priority** — the preemption class.  A higher class is granted its
+  deadline-meeting worker count *before* any lower class, so an urgent
+  submission shrinks lower-class grants on the very next rebalance (down
+  to their one-worker floor, never below).
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import QoSError
 
-__all__ = ["WCTGoal", "MaxLPGoal", "QoS"]
+__all__ = ["WCTGoal", "MaxLPGoal", "Priority", "QoS"]
+
+
+class Priority(enum.IntEnum):
+    """Preemption classes of the multi-tenant service.
+
+    Any int works where a priority is expected (higher preempts lower);
+    these four names cover the common operating points.
+    """
+
+    BATCH = -1  # reclaimable background work
+    NORMAL = 0  # the default class
+    HIGH = 1  # latency-sensitive tenants
+    URGENT = 2  # preempts everything else down to its floor
 
 
 @dataclass(frozen=True)
@@ -62,22 +87,66 @@ class MaxLPGoal:
 
 @dataclass(frozen=True)
 class QoS:
-    """Combined QoS specification handed to the autonomic controller."""
+    """Combined QoS specification handed to the autonomic controller.
+
+    ``weight`` and ``priority`` are the service's scheduling-class
+    attributes (see the module docstring); the single-tenant controller
+    ignores them.  ``weight=None`` inherits the tenant's quota weight
+    (:class:`~repro.service.tenancy.TenantQuota`).
+    """
 
     wct: Optional[WCTGoal] = None
     max_lp: Optional[MaxLPGoal] = None
+    weight: Optional[float] = None
+    priority: int = Priority.NORMAL
 
     def __post_init__(self):
-        if self.wct is None and self.max_lp is None:
-            raise QoSError("QoS needs at least one goal (wct and/or max_lp)")
+        if (
+            self.wct is None
+            and self.max_lp is None
+            and self.weight is None
+            and self.priority == Priority.NORMAL
+        ):
+            raise QoSError(
+                "QoS needs at least one goal or scheduling class "
+                "(wct, max_lp, weight and/or priority)"
+            )
+        if self.weight is not None and not self.weight > 0:
+            raise QoSError(f"weight must be > 0, got {self.weight}")
 
     @staticmethod
-    def wall_clock(seconds: float, max_lp: Optional[int] = None, margin: float = 0.0) -> "QoS":
+    def wall_clock(
+        seconds: float,
+        max_lp: Optional[int] = None,
+        margin: float = 0.0,
+        weight: Optional[float] = None,
+        priority: int = Priority.NORMAL,
+    ) -> "QoS":
         """Convenience constructor: ``QoS.wall_clock(9.5, max_lp=24)``."""
         return QoS(
             wct=WCTGoal(seconds, margin=margin),
             max_lp=MaxLPGoal(max_lp) if max_lp is not None else None,
+            weight=weight,
+            priority=priority,
         )
+
+    @staticmethod
+    def best_effort(
+        weight: Optional[float] = None, priority: int = Priority.NORMAL
+    ) -> "QoS":
+        """A deadline-less submission that still names its class/weight.
+
+        Requires a weight and/or a non-default priority — a fully
+        default spec carries no information; plain best-effort work is
+        expressed by submitting with ``qos=None``.
+        """
+        if weight is None and priority == Priority.NORMAL:
+            raise QoSError(
+                "QoS.best_effort() needs a weight and/or a non-NORMAL "
+                "priority; for a plain best-effort submission pass "
+                "qos=None instead"
+            )
+        return QoS(weight=weight, priority=priority)
 
     @property
     def max_threads(self) -> Optional[int]:

@@ -4,10 +4,18 @@ A :class:`SkeletonFuture` resolves with the skeleton's final result or
 with the exception that aborted the execution.  On the thread-pool
 platform resolution happens asynchronously; on the simulator the platform
 drives its event loop inside :meth:`get` until the future resolves.
+
+:meth:`wait_async` bridges the future into ``asyncio``: the done
+callback wakes a loop-bound waiter via ``call_soon_threadsafe``, so a
+coroutine can ``await`` a result produced by pool worker threads without
+blocking the event loop.  The service's
+:class:`~repro.service.handle.ExecutionHandle` builds its async facade
+(``await handle``, ``async for status``) on top of it.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from typing import Any, Callable, List, Optional
 
@@ -98,6 +106,54 @@ class SkeletonFuture:
             raise TimeoutError(f"skeleton result not available within {timeout}s")
         return self._exception
 
+    async def wait_async(self, timeout: Optional[float] = None) -> bool:
+        """Await resolution without blocking the running event loop.
+
+        Returns ``True`` once the future is resolved, ``False`` when
+        *timeout* (seconds) elapsed first.  Unlike :meth:`get`, a timeout
+        is a normal outcome, not an error — async consumers poll.
+
+        On a driver-backed future (the simulator) the driver runs
+        *synchronously* first: virtual time is not wall-clock time, so
+        there is nothing to overlap with and the await returns resolved.
+        """
+        if not self.done() and self._driver is not None:
+            self._driver(self)
+        if self.done():
+            return True
+        loop = asyncio.get_running_loop()
+        waiter: "asyncio.Future[None]" = loop.create_future()
+
+        def _wake_waiter() -> None:
+            if not waiter.done():
+                waiter.set_result(None)
+
+        def _on_done(_future: "SkeletonFuture") -> None:
+            # Worker threads resolve the future; hop onto the loop.  The
+            # loop may already be gone when an abandoned (timed-out)
+            # waiter's callback finally fires — nobody is listening then.
+            try:
+                loop.call_soon_threadsafe(_wake_waiter)
+            except RuntimeError:
+                pass
+
+        self.add_done_callback(_on_done)
+        try:
+            if timeout is None:
+                await waiter
+            else:
+                await asyncio.wait({waiter}, timeout=timeout)
+            return self.done()
+        finally:
+            # Deregister on every exit — timeout, cancellation (e.g.
+            # asyncio.wait_for cancelling us mid-await) — so a polling
+            # consumer cannot grow the callback list without bound, and
+            # neutralize the waiter in case the resolver already
+            # snapshotted the callbacks.  After resolution both calls
+            # are no-ops.
+            self.remove_done_callback(_on_done)
+            _wake_waiter()
+
     def add_done_callback(self, fn: Callable[["SkeletonFuture"], None]) -> None:
         """Run ``fn(self)`` when resolved (immediately if already done)."""
         with self._lock:
@@ -108,3 +164,14 @@ class SkeletonFuture:
                 self._callbacks.append(fn)
                 return
         fn(self)
+
+    def remove_done_callback(self, fn: Callable[["SkeletonFuture"], None]) -> bool:
+        """Deregister *fn*; ``False`` when absent (already fired or never
+        added).  A resolver that snapshotted the list may still run *fn*
+        once — removal only prevents unbounded growth, not the race."""
+        with self._lock:
+            try:
+                self._callbacks.remove(fn)
+                return True
+            except ValueError:
+                return False

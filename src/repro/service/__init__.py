@@ -43,10 +43,16 @@ Mapping to the paper's components:
   single-tenant controller (Section 4 of the paper), producing one
   :class:`~repro.core.analysis.AnalysisReport` per execution per tick;
 * **Plan** — :class:`~repro.service.arbiter.LPArbiter` replaces N
-  independent Plan stages with earliest-effective-deadline-first
-  arbitration: the most urgent deadline is granted the paper's *minimal*
-  LP that meets it, leftovers top executions up to their optimal LP, and
-  goals unreachable even at full capacity are flagged on their handles;
+  independent Plan stages with a three-layer split: **priority classes**
+  (``QoS.priority``) are served strictly first — an URGENT admission
+  preempts lower-class grants on its own rebalance, never below their
+  one-worker floor; within a class, earliest-effective-deadline-first
+  grants the paper's *minimal* LP that meets each deadline and flags
+  goals unreachable even at full capacity; the surplus is then divided
+  across everyone still below its optimal LP in proportion to the
+  **fair-share weights** (``QoS.weight`` / ``TenantQuota.weight``), with
+  a starvation-free decay that doubles a passed-over tenant's effective
+  weight each round;
 * **Execute** — the arbiter owns the platform's global LP *and* the
   per-execution worker shares
   (:meth:`~repro.runtime.platform.Platform.set_shares`) that the pool
@@ -54,23 +60,32 @@ Mapping to the paper's components:
 * **admission** (beyond the paper) — before any task reaches the
   platform, :class:`~repro.service.admission.AdmissionController`
   applies per-tenant quotas and, for warm-started submissions, the
-  paper's own projection machinery as a feasibility gate: a WCT goal
-  that would miss even with every worker dedicated to it is rejected
-  up front.
+  paper's own projection machinery as two feasibility gates: a WCT goal
+  that would miss even with every worker dedicated to it is rejected up
+  front, and one feasible only on an *idle* machine is held until the
+  budget committed to same-or-higher classes drains (load-aware
+  admission).
+
+Handles are awaitable (``await handle``, ``async for status in
+handle.statuses()``) — the async facade rides the futures the worker
+threads resolve, see :mod:`repro.service.handle`.
 
 Quickstart::
 
-    from repro import QoS, SkeletonService
+    from repro import Priority, QoS, SkeletonService
 
     with SkeletonService(backend="threads", capacity=8) as service:
         handles = [
             service.submit(program, data, qos=QoS.wall_clock(goal), tenant=user)
             for user, (program, data, goal) in workload.items()
         ]
-        results = [h.result() for h in handles]
+        rush = service.submit(hot_program, data,
+                              qos=QoS.wall_clock(1.0, priority=Priority.URGENT))
+        results = [h.result() for h in handles] + [rush.result()]
 
-See ``examples/service_multitenant.py`` for a complete runnable program
-and the README section "Serving many executions".
+See ``examples/service_multitenant.py`` and
+``examples/service_priorities.py`` for complete runnable programs and
+the README section "Serving many executions".
 """
 
 from .admission import AdmissionController, AdmissionDecision

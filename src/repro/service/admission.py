@@ -9,16 +9,25 @@ platform.  Three outcomes:
 * **reject** — refuse outright; the handle resolves with
   :class:`~repro.errors.AdmissionError`.
 
-The *feasibility gate* is where admission meets the paper's machinery:
-when a submission arrives with a WCT goal **and** warm estimates (the
-paper's scenario-2 initialization — see ``warm_start`` on
-:meth:`SkeletonService.submit`), the controller projects the program's
-structural ADG (:func:`~repro.core.projection.project_skeleton`) and
-schedules it under the service's full capacity.  If even that dedicated
-best case misses the goal, no arbitration can save it — waiting does not
-help either, so the submission is rejected immediately rather than
-admitted to fail slowly.  Cold submissions (no estimates yet) are admitted
-optimistically, exactly like the paper's scenario-1 cold start.
+Two feasibility gates connect admission to the paper's machinery.  Both
+need a WCT goal **and** warm estimates (the paper's scenario-2
+initialization — see ``warm_start`` on :meth:`SkeletonService.submit`);
+cold submissions are admitted optimistically, exactly like the paper's
+scenario-1 cold start.
+
+* The **capacity gate** projects the program's structural ADG
+  (:func:`~repro.core.projection.projected_wct`) under the service's
+  *full* capacity.  If even that dedicated best case misses the goal, no
+  arbitration can save it — waiting does not help either, so the
+  submission is rejected immediately rather than admitted to fail slowly.
+* The **load gate** (beyond an idle-machine check) projects against the
+  workers the arbiter could actually hand the submission *right now*:
+  capacity minus the budget committed to live executions of the same or
+  a higher priority class (lower classes count only their preemption-
+  proof one-worker floor).  A goal feasible on an idle machine but not
+  under the current load is *held* until completions or progress free
+  enough committed budget (or rejected, under the ``reject`` policy) —
+  admitting it would guarantee a slow miss that EEDF alone cannot avoid.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from typing import Optional
 
 from ..core.adg import ADG
 from ..core.estimator import EstimatorRegistry
-from ..core.projection import project_skeleton
+from ..core.projection import project_skeleton, projected_wct
 from ..core.qos import QoS
 from ..core.schedule import limited_lp_schedule
 from ..skeletons.base import Skeleton
@@ -64,12 +73,12 @@ class AdmissionDecision:
 
 
 class AdmissionController:
-    """Queueing policy + per-tenant caps + WCT feasibility gate.
+    """Queueing policy + per-tenant caps + WCT feasibility gates.
 
     Parameters
     ----------
     capacity:
-        Total workers of the shared platform; the LP the feasibility
+        Total workers of the shared platform; the LP the capacity-gate
         projection assumes the execution could get at best.
     tenants:
         The :class:`TenantBook` tracking per-tenant quotas and counters
@@ -77,12 +86,17 @@ class AdmissionController:
     policy:
         What to do with a submission that cannot start *right now* but
         could later (tenant active cap reached, global ``max_live``
-        reached): ``"hold"`` queues it, ``"reject"`` refuses it.
-        Predicted-infeasible goals are always rejected — waiting cannot
-        make an impossible deadline possible.
+        reached, goal infeasible under the current load): ``"hold"``
+        queues it, ``"reject"`` refuses it.  Goals infeasible even on an
+        idle machine are always rejected — waiting cannot make an
+        impossible deadline possible.
     max_live:
         Optional global bound on concurrently running executions
         (``None``: bounded only by worker shares and tenant quotas).
+    load_aware:
+        Gate warm goal-carrying submissions against the *currently
+        available* budget, not just the idle machine (see module docs).
+        On by default; pass ``False`` for the PR-2 behaviour.
     """
 
     def __init__(
@@ -91,6 +105,7 @@ class AdmissionController:
         tenants: Optional[TenantBook] = None,
         policy: str = HOLD,
         max_live: Optional[int] = None,
+        load_aware: bool = True,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -102,6 +117,7 @@ class AdmissionController:
         self.tenants = tenants or TenantBook()
         self.policy = policy
         self.max_live = max_live
+        self.load_aware = load_aware
 
     # -- feasibility ------------------------------------------------------------
 
@@ -119,28 +135,85 @@ class AdmissionController:
         """
         if not estimators.ready_for(program):
             return None
-        adg = ADG()
-        project_skeleton(program, adg, [], estimators)
-        return limited_lp_schedule(adg, 0.0, lp or self.capacity).wct
+        return projected_wct(program, estimators, lp or self.capacity)
 
-    def _goal_infeasible(
-        self, program: Skeleton, qos: Optional[QoS], estimators: EstimatorRegistry
-    ) -> Optional[str]:
-        """Reason string when the WCT goal is predicted unreachable."""
+    def _project(
+        self,
+        program: Skeleton,
+        qos: Optional[QoS],
+        estimators: EstimatorRegistry,
+    ) -> Optional[ADG]:
+        """Structural ADG both gates schedule against, built **once** per
+        evaluation.  ``None`` when no gate applies (no WCT goal) or the
+        estimates are cold (admit optimistically, as in the paper)."""
         if qos is None or qos.wct is None:
             return None
-        lp_cap = self.capacity
+        if not estimators.ready_for(program):
+            return None
+        adg = ADG()
+        project_skeleton(program, adg, [], estimators)
+        return adg
+
+    def _dedicated_lp(self, qos: QoS) -> int:
+        """The LP the capacity gate assumes: full capacity, MaxLPGoal-capped."""
         if qos.max_threads is not None:
-            lp_cap = min(lp_cap, qos.max_threads)
-        predicted = self.predict_wct(program, estimators, lp=lp_cap)
-        if predicted is None:
-            return None  # cold start: admit optimistically, as in the paper
+            return min(self.capacity, qos.max_threads)
+        return self.capacity
+
+    def _goal_infeasible(
+        self, qos: Optional[QoS], projection: Optional[ADG]
+    ) -> Optional[str]:
+        """Reason string when the WCT goal is predicted unreachable."""
+        if projection is None:
+            return None
+        lp_cap = self._dedicated_lp(qos)
+        predicted = limited_lp_schedule(projection, 0.0, lp_cap).wct
         goal = qos.wct.effective_seconds
         if predicted > goal + _EPS:
             return (
                 f"WCT goal {qos.wct.seconds:.3f}s is infeasible: projected "
                 f"WCT is {predicted:.3f}s even with all {lp_cap} workers "
                 f"dedicated to it"
+            )
+        return None
+
+    def usable_lp(self, qos: Optional[QoS], available_lp: int) -> int:
+        """Workers the load gate would project with: the available budget
+        floored at one and capped by the submission's own ``MaxLPGoal``."""
+        usable = max(1, available_lp)
+        if qos is not None and qos.max_threads is not None:
+            usable = min(usable, qos.max_threads)
+        return usable
+
+    def _load_blocker(
+        self,
+        qos: Optional[QoS],
+        projection: Optional[ADG],
+        available_lp: Optional[int],
+    ) -> Optional[str]:
+        """Reason the goal cannot be met under the *current* load.
+
+        ``None`` when the gate does not apply (disabled, no goal, cold
+        estimates, unknown load) or the goal fits the available budget.
+        """
+        if not self.load_aware or available_lp is None or projection is None:
+            return None
+        usable = self.usable_lp(qos, available_lp)
+        if usable >= self._dedicated_lp(qos):
+            # The verdict cannot differ from the capacity gate's (which
+            # already passed): projected WCT is non-increasing in LP, so
+            # scheduling at usable >= dedicated meets any goal the
+            # dedicated projection met.  This also covers the floored
+            # usable == dedicated == 1 case (MaxLPGoal(1) on a committed
+            # machine): the capacity gate evaluated exactly LP 1 there.
+            return None
+        predicted = limited_lp_schedule(projection, 0.0, usable).wct
+        goal = qos.wct.effective_seconds
+        if predicted > goal + _EPS:
+            return (
+                f"WCT goal {qos.wct.seconds:.3f}s is infeasible under the "
+                f"current load: projected WCT is {predicted:.3f}s on the "
+                f"{usable} worker(s) this submission could get now"
             )
         return None
 
@@ -153,12 +226,21 @@ class AdmissionController:
         estimators: EstimatorRegistry,
         tenant: str,
         live_count: int,
+        available_lp: Optional[int] = None,
     ) -> AdmissionDecision:
-        """Decide admit/hold/reject for one submission (service-locked)."""
-        infeasible = self._goal_infeasible(program, qos, estimators)
+        """Decide admit/hold/reject for one submission (service-locked).
+
+        *available_lp* is the worker budget the arbiter could grant this
+        submission right now (capacity minus same-or-higher-priority
+        commitments; ``None`` = unknown, skips the load gate).
+        """
+        projection = self._project(program, qos, estimators)
+        infeasible = self._goal_infeasible(qos, projection)
         if infeasible is not None:
             return AdmissionDecision(REJECT, infeasible)
-        blocked = self._start_blocker(tenant, live_count)
+        blocked = self._start_blocker(tenant, live_count) or self._load_blocker(
+            qos, projection, available_lp
+        )
         if blocked is None:
             return AdmissionDecision(ADMIT)
         if self.policy == REJECT:
@@ -183,5 +265,21 @@ class AdmissionController:
         return None
 
     def can_start_now(self, tenant: str, live_count: int) -> bool:
-        """Used by the service when promoting held submissions."""
+        """Start blockers only (quotas, ``max_live``) — the cheap half of
+        the promotion check; the load gate is :meth:`load_allows`."""
         return self._start_blocker(tenant, live_count) is None
+
+    def load_allows(
+        self,
+        program: Skeleton,
+        qos: Optional[QoS],
+        estimators: EstimatorRegistry,
+        available_lp: Optional[int],
+    ) -> bool:
+        """Re-run the load gate for a held submission.
+
+        True when the goal fits the budget the arbiter could grant now
+        (or the gate does not apply) — the expensive promotion half, paid
+        only after :meth:`can_start_now` passed."""
+        projection = self._project(program, qos, estimators)
+        return self._load_blocker(qos, projection, available_lp) is None

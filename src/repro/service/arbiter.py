@@ -4,28 +4,32 @@ The paper's :class:`~repro.core.controller.AutonomicController` owns
 ``platform.set_parallelism`` for a single execution.  Run N of them on a
 shared platform and each one retunes the *global* knob for its own goal,
 clobbering the others on every analysis tick.  The arbiter replaces their
-Plan + Execute halves with a single global decision:
+Plan + Execute halves with a single global decision, in three layers:
 
-* every live execution keeps its own
-  :class:`~repro.core.analysis.ExecutionAnalyzer` (Monitor + Analyze,
-  scoped to its events — estimates never cross-contaminate);
-* on every analysis tick the arbiter pulls one
-  :class:`~repro.core.analysis.AnalysisReport` per execution and splits
-  the platform's worker budget by **earliest-effective-deadline-first**:
-  the most urgent execution is granted the *minimal* LP that meets its
-  deadline (the paper's minimal-increase policy, applied per tenant),
-  then the next, and so on — always reserving one worker per remaining
-  execution so nobody starves;
-* executions whose deadline is unreachable even with every worker the
-  budget can still give are **flagged** (their handles'
-  ``goal_at_risk``) and granted their best-effort peak, mirroring the
-  controller's "unreachable" action;
-* leftover budget tops urgent executions up to their optimal LP (the
-  best-effort concurrency peak — extra workers beyond it would idle);
-* cold executions (estimators not ready yet) are guaranteed one worker
-  each — the paper's LP-1 cold start as a floor — and soak up any budget
-  the deadline-bound executions left idle, so a cold submission on a
-  quiet pool still runs wide.
+1. **Priority classes** (``QoS.priority``) order the guaranteed phase:
+   a higher class is served its deadline-meeting grants before any lower
+   class sees the budget.  Because the whole split is recomputed from
+   scratch on every rebalance (admissions force one), an urgent
+   submission *preempts* running lower-class executions on the next tick
+   — their grants shrink via :meth:`Platform.set_shares`, never below a
+   one-worker floor (no starvation, no aborted muscles).
+2. **EEDF within a class**: the most urgent execution is granted the
+   *minimal* LP that meets its deadline (the paper's minimal-increase
+   policy, applied per tenant), then the next.  Executions whose
+   deadline is unreachable even with every worker the budget can still
+   give are **flagged** (their handles' ``goal_at_risk``) and granted
+   their best-effort peak.  Cold executions (estimators not ready yet)
+   are guaranteed one worker each — the paper's LP-1 cold start as a
+   floor.
+3. **Weighted fair-share surplus**: whatever the guaranteed phase left
+   over is divided across every execution that can still use workers
+   (below its optimal LP / ``MaxLPGoal``) *in proportion to its weight*
+   (``QoS.weight``, defaulting to the tenant's quota weight) by
+   largest-remainder apportionment.  A starvation-free **decay** ages the
+   weights: each consecutive rebalance in which an execution wanted
+   surplus but received none doubles its effective weight (capped), so
+   even a feather-weight tenant wins workers after O(log weight-ratio)
+   rounds of pressure.
 
 Execution happens through two platform knobs: the global level of
 parallelism (``set_parallelism``, total pool size) and the per-execution
@@ -45,6 +49,10 @@ from ..runtime.platform import Platform
 
 __all__ = ["Rebalance", "LPArbiter"]
 
+#: Cap on the starvation-aging exponent (2**32 dwarfs any real weight
+#: ratio; the cap only guards float overflow under endless pressure).
+_MAX_STARVED_ROUNDS = 32
+
 
 @dataclass
 class Rebalance:
@@ -57,6 +65,11 @@ class Rebalance:
     cold: Tuple[int, ...] = ()  # executions still waiting for estimates
     infeasible: Tuple[int, ...] = ()  # executions whose goal is at risk
     deadlines: Dict[int, Optional[float]] = field(default_factory=dict)
+    #: Guaranteed phase of each grant (minimal deadline-meeting LP, or the
+    #: one-worker floor) — what admission treats as committed budget.
+    committed: Dict[int, int] = field(default_factory=dict)
+    weights: Dict[int, float] = field(default_factory=dict)
+    priorities: Dict[int, int] = field(default_factory=dict)
 
 
 class LPArbiter:
@@ -72,6 +85,16 @@ class LPArbiter:
     min_interval:
         Throttle: skip rebalances closer than this many platform-clock
         seconds to the previous one (completions always rebalance).
+    min_events:
+        Event-count throttle, layered on the time-based one: a non-forced
+        rebalance also requires at least this many analysis ticks
+        (:meth:`note_tick`) since the last applied rebalance.  Bounds
+        arbitration overhead under storms of very fine-grained muscles,
+        where wall-clock alone would still admit a rebalance per event.
+    starvation_base:
+        Aging base of the fair-share decay: an execution that wanted
+        surplus but received none for *k* consecutive rebalances competes
+        with weight ``weight * starvation_base**k``.  1.0 disables aging.
     history:
         How many recent :class:`Rebalance` records to retain for
         observability (:attr:`rebalances`, :meth:`shares_history`).  A
@@ -84,6 +107,8 @@ class LPArbiter:
         platform: Platform,
         capacity: Optional[int] = None,
         min_interval: float = 0.0,
+        min_events: int = 1,
+        starvation_base: float = 2.0,
         history: int = 1024,
     ):
         capacity = capacity if capacity is not None else platform.max_parallelism
@@ -92,14 +117,33 @@ class LPArbiter:
                 "LPArbiter needs a worker budget: pass capacity or give the "
                 "platform a max_parallelism"
             )
+        if min_events < 1:
+            raise ValueError(f"min_events must be >= 1, got {min_events}")
+        if starvation_base < 1.0:
+            raise ValueError(
+                f"starvation_base must be >= 1.0, got {starvation_base}"
+            )
         self.platform = platform
         self.capacity = int(capacity)
         self.min_interval = min_interval
+        self.min_events = int(min_events)
+        self.starvation_base = float(starvation_base)
         self.rebalances: Deque[Rebalance] = deque(maxlen=history)
         self._last: Optional[float] = None
+        self._ticks = 0
+        self._starved: Dict[int, int] = {}
         self._lock = threading.Lock()
 
     # -- arbitration ------------------------------------------------------------
+
+    def note_tick(self) -> None:
+        """Count one analysis point toward the event throttle.
+
+        Deliberately lock-free: a lost increment under a worker-thread
+        race only delays a throttled rebalance by one event, while taking
+        the lock here would serialize every analysis point.
+        """
+        self._ticks += 1
 
     def due(self, now: float) -> bool:
         """Cheap lock-free throttle pre-check for hot event paths.
@@ -108,6 +152,8 @@ class LPArbiter:
         locked check in :meth:`rebalance` is authoritative); it never
         spuriously returns ``False`` for a tick that should run.
         """
+        if self.min_events > 1 and self._ticks < self.min_events:
+            return False
         last = self._last
         return (
             self.min_interval <= 0
@@ -128,21 +174,28 @@ class LPArbiter:
         or nothing is live.  Thread-safe; concurrent callers serialize.
         """
         with self._lock:
-            if not force and (
-                self._last is not None
-                and self.min_interval > 0
-                and now - self._last < self.min_interval
-            ):
-                return None
+            if not force:
+                if self.min_events > 1 and self._ticks < self.min_events:
+                    return None
+                if (
+                    self._last is not None
+                    and self.min_interval > 0
+                    and now - self._last < self.min_interval
+                ):
+                    return None
             if not analyzers:
+                self._starved.clear()
                 self.platform.set_shares({})
                 return None
             self._last = now
+            self._ticks = 0
             outcome = self._allocate(now, analyzers, trigger)
             self.platform.set_parallelism(outcome.total_lp)
             self.platform.set_shares(outcome.shares)
             self.rebalances.append(outcome)
             return outcome
+
+    # -- per-execution scheduling class -----------------------------------------
 
     @staticmethod
     def _qos_cap(analyzer: ExecutionAnalyzer) -> Optional[int]:
@@ -150,23 +203,66 @@ class LPArbiter:
         qos = getattr(analyzer, "qos", None)
         return qos.max_threads if qos is not None else None
 
+    @staticmethod
+    def _weight_of(analyzer: ExecutionAnalyzer) -> float:
+        """Fair-share weight: service-resolved attribute, else QoS, else 1.
+
+        The service stamps ``share_weight`` on each analyzer at submit
+        time (QoS override or the tenant's quota weight); bare analyzers
+        fall back to their QoS so the arbiter works stand-alone.
+        """
+        weight = getattr(analyzer, "share_weight", None)
+        if weight is None:
+            qos = getattr(analyzer, "qos", None)
+            weight = getattr(qos, "weight", None) if qos is not None else None
+        return float(weight) if weight is not None and weight > 0 else 1.0
+
+    @staticmethod
+    def _priority_of(analyzer: ExecutionAnalyzer) -> int:
+        """Preemption class: service-resolved attribute, else QoS, else 0."""
+        priority = getattr(analyzer, "share_priority", None)
+        if priority is None:
+            qos = getattr(analyzer, "qos", None)
+            priority = getattr(qos, "priority", 0) if qos is not None else 0
+        return int(priority)
+
+    def _aged_weight(self, eid: int, weight: float) -> float:
+        rounds = self._starved.get(eid, 0)
+        if rounds and self.starvation_base > 1.0:
+            return weight * self.starvation_base**rounds
+        return weight
+
+    # -- allocation -------------------------------------------------------------
+
     def _allocate(
         self, now: float, analyzers: Dict[int, ExecutionAnalyzer], trigger: str
     ) -> Rebalance:
         cold: List[int] = []
         warm: List[Tuple[int, AnalysisReport]] = []
         caps: Dict[int, Optional[int]] = {}
+        weights: Dict[int, float] = {}
+        priorities: Dict[int, int] = {}
         for eid, analyzer in analyzers.items():
             caps[eid] = self._qos_cap(analyzer)
+            weights[eid] = self._weight_of(analyzer)
+            priorities[eid] = self._priority_of(analyzer)
             report = analyzer.analyze(now)
             if report is None:
                 cold.append(eid)
             else:
                 warm.append((eid, report))
 
-        # Earliest effective deadline first; best-effort (deadline-less)
-        # tenants arbitrate after every deadline-bound one.
-        warm.sort(key=lambda pair: (pair[1].deadline is None, pair[1].deadline or 0.0))
+        # Guaranteed phase order: priority class first, then earliest
+        # effective deadline; best-effort (deadline-less) tenants after
+        # every deadline-bound one of their class.
+        warm.sort(
+            key=lambda pair: (
+                -priorities[pair[0]],
+                pair[1].deadline is None,
+                pair[1].deadline or 0.0,
+            )
+        )
+        cold.sort(key=lambda eid: (-priorities[eid], eid))
 
         shares: Dict[int, int] = {eid: 1 for eid in cold}
         deadlines: Dict[int, Optional[float]] = {eid: None for eid in cold}
@@ -176,7 +272,7 @@ class LPArbiter:
         remaining = len(warm)
         for eid, report in warm:
             remaining -= 1
-            # Reserve one worker for every less-urgent execution still to
+            # Reserve one worker for every lower-ranked execution still to
             # be served, so urgency never turns into starvation; honour
             # the tenant's own MaxLPGoal ("never allocate more than N").
             available = max(1, budget - remaining)
@@ -184,7 +280,7 @@ class LPArbiter:
                 available = min(available, caps[eid])
             deadlines[eid] = report.deadline
             if report.deadline is None:
-                grant = 1  # best-effort floor; leftovers may top it up
+                grant = 1  # best-effort floor; the surplus may top it up
             else:
                 need = report.minimal_lp(cap=available)
                 if need is None:
@@ -197,37 +293,40 @@ class LPArbiter:
             grant = max(1, min(grant, available))
             shares[eid] = grant
             budget -= grant
+        committed = dict(shares)
 
-        # Spread leftover budget in urgency order, up to each execution's
-        # optimal LP (beyond the best-effort peak extra workers idle) and
-        # its MaxLPGoal.
+        # Surplus phase: divide the leftover budget across every
+        # execution that can still use workers, proportionally to its
+        # (starvation-aged) weight.  Ceilings: the optimal LP for warm
+        # executions (beyond the best-effort peak extra workers idle, so
+        # handing them out would break work conservation elsewhere), the
+        # whole budget for cold ones (their LP-1 start is a floor, not a
+        # ceiling — an idle pool must not serialize a submission just
+        # because its estimators are not warm yet); MaxLPGoal always caps.
+        order = [eid for eid, _report in warm] + cold
+        ceilings: Dict[int, int] = {}
         for eid, report in warm:
-            if budget <= 0:
-                break
-            ceiling = report.optimal_lp
-            if caps[eid] is not None:
-                ceiling = min(ceiling, caps[eid])
-            boost = min(budget, max(0, ceiling - shares[eid]))
-            shares[eid] += boost
-            budget -= boost
-
-        # Budget still left is idle capacity: stay work-conserving by
-        # spreading it round-robin across cold executions.  Their LP-1
-        # cold start is a *floor* (deadline-bound tenants were served
-        # first), not a ceiling — an idle pool must not serialize a
-        # submission just because its estimators are not warm yet.
-        position = 0
-        while budget > 0:
-            grantable = [
-                eid
-                for eid in cold
-                if caps[eid] is None or shares[eid] < caps[eid]
-            ]
-            if not grantable:
-                break
-            shares[grantable[position % len(grantable)]] += 1
-            budget -= 1
-            position += 1
+            ceilings[eid] = self._ceiling(report.optimal_lp, caps[eid])
+        for eid in cold:
+            ceilings[eid] = self._ceiling(self.capacity, caps[eid])
+        if budget > 0:
+            aged = {eid: self._aged_weight(eid, weights[eid]) for eid in order}
+            self._split_surplus(budget, order, shares, ceilings, aged)
+            # Age the weights of executions that wanted surplus but
+            # received none; reset as soon as one worker flows their way.
+            # Rounds with no surplus at all leave the counters untouched:
+            # nobody was passed over, so aging there would let long-lived
+            # tenants bank a 2**k head start over newcomers for free.
+            for eid in order:
+                if shares[eid] < ceilings[eid] and shares[eid] <= committed[eid]:
+                    self._starved[eid] = min(
+                        self._starved.get(eid, 0) + 1, _MAX_STARVED_ROUNDS
+                    )
+                else:
+                    self._starved.pop(eid, None)
+        for eid in list(self._starved):
+            if eid not in analyzers:
+                del self._starved[eid]
 
         total = min(self.capacity, sum(shares.values()))
         return Rebalance(
@@ -238,7 +337,58 @@ class LPArbiter:
             cold=tuple(cold),
             infeasible=tuple(infeasible),
             deadlines=deadlines,
+            committed=committed,
+            weights=weights,
+            priorities=priorities,
         )
+
+    def _ceiling(self, ceiling: int, cap: Optional[int]) -> int:
+        ceiling = min(ceiling, self.capacity)
+        if cap is not None:
+            ceiling = min(ceiling, cap)
+        return max(1, ceiling)
+
+    @staticmethod
+    def _split_surplus(
+        budget: int,
+        order: List[int],
+        shares: Dict[int, int],
+        ceilings: Dict[int, int],
+        weights: Dict[int, float],
+    ) -> int:
+        """Weight-proportional largest-remainder split of *budget*.
+
+        Mutates *shares* in place; returns the undistributable remainder
+        (non-zero only when every execution reached its ceiling).  Water-
+        fills: budget a capped execution cannot absorb flows to the rest,
+        re-divided by weight each round, so the final split matches exact
+        proportionality within one worker for uncapped executions.
+        """
+        while budget > 0:
+            eligible = [eid for eid in order if shares[eid] < ceilings[eid]]
+            if not eligible:
+                return budget
+            total_weight = sum(weights[eid] for eid in eligible)
+            round_budget = budget
+            remainders: List[Tuple[float, int, int]] = []
+            for position, eid in enumerate(eligible):
+                exact = round_budget * weights[eid] / total_weight
+                take = min(int(exact), ceilings[eid] - shares[eid])
+                shares[eid] += take
+                budget -= take
+                remainders.append((exact - int(exact), -position, eid))
+            # Largest-remainder pass: at most one extra worker each, by
+            # descending fractional quota, ties in guaranteed-phase
+            # order.  Guarantees progress even when every integer quota
+            # was zero, so the outer loop (re-dividing what ceilings
+            # could not absorb) always terminates.
+            for _frac, _negpos, eid in sorted(remainders, reverse=True):
+                if budget <= 0:
+                    break
+                if shares[eid] < ceilings[eid]:
+                    shares[eid] += 1
+                    budget -= 1
+        return 0
 
     # -- introspection ----------------------------------------------------------
 
@@ -246,6 +396,11 @@ class LPArbiter:
     def last_rebalance(self) -> Optional[Rebalance]:
         with self._lock:
             return self.rebalances[-1] if self.rebalances else None
+
+    def starved_rounds(self, execution_id: int) -> int:
+        """Consecutive rebalances *execution_id* wanted surplus in vain."""
+        with self._lock:
+            return self._starved.get(execution_id, 0)
 
     def shares_history(self, execution_id: int) -> List[int]:
         """Granted share of one execution across all rebalances it was in."""

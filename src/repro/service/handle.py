@@ -6,13 +6,21 @@ handle is the only object a tenant needs: it exposes the lifecycle
 (:meth:`status`), the result (:meth:`result`, blocking with optional
 timeout), cancellation (:meth:`cancel`) and the QoS outcome
 (:meth:`goal_met`, :attr:`goal_at_risk`).
+
+The handle is also **awaitable**: inside a coroutine, ``await handle``
+(or :meth:`result_async`) suspends without blocking the event loop until
+the worker threads resolve the execution, and ``async for status in
+handle.statuses()`` streams the lifecycle transitions.  Both ride on
+:meth:`~repro.runtime.futures.SkeletonFuture.wait_async`; on the
+simulator the await drives virtual time to completion first, so async
+consumers work on every backend.
 """
 
 from __future__ import annotations
 
 import enum
 import threading
-from typing import Any, Optional
+from typing import Any, AsyncIterator, Optional
 
 from ..core.qos import QoS
 from ..errors import AdmissionError, ExecutionCancelledError, ServiceError
@@ -37,6 +45,21 @@ class ExecutionStatus(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+    @property
+    def terminal(self) -> bool:
+        """True for states no execution ever leaves."""
+        return self in _TERMINAL_STATUSES
+
+
+_TERMINAL_STATUSES = frozenset(
+    {
+        ExecutionStatus.COMPLETED,
+        ExecutionStatus.FAILED,
+        ExecutionStatus.CANCELLED,
+        ExecutionStatus.REJECTED,
+    }
+)
 
 
 class ExecutionHandle:
@@ -148,6 +171,52 @@ class ExecutionHandle:
     def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
         """Block until finished; return the failure (or ``None``)."""
         return self.future.exception(timeout=timeout)
+
+    # -- async facade -----------------------------------------------------------
+
+    def __await__(self):
+        """``await handle`` == ``await handle.result_async()``."""
+        return self.result_async().__await__()
+
+    async def result_async(self) -> Any:
+        """Await the execution's result without blocking the event loop.
+
+        The async twin of :meth:`result`: raises the muscle failure,
+        :class:`~repro.errors.AdmissionError` or
+        :class:`~repro.errors.ExecutionCancelledError` exactly like it.
+        Wrap in :func:`asyncio.wait_for` for a timeout.
+        """
+        await self.future.wait_async()
+        return self.future.get(timeout=0)
+
+    async def exception_async(self) -> Optional[BaseException]:
+        """Await completion; return the failure (or ``None``)."""
+        await self.future.wait_async()
+        return self.future.exception(timeout=0)
+
+    async def statuses(
+        self, poll_interval: float = 0.01
+    ) -> AsyncIterator[ExecutionStatus]:
+        """Async-iterate the lifecycle: each *distinct* status once.
+
+        Yields the current status immediately, then every transition
+        until a terminal one (``COMPLETED``/``FAILED``/``CANCELLED``/
+        ``REJECTED``), which is yielded last.  Completion interrupts the
+        *poll_interval* wait, so the terminal state arrives promptly;
+        intermediate hops (``QUEUED`` → ``RUNNING``) are observed at poll
+        granularity.
+        """
+        last: Optional[ExecutionStatus] = None
+        while True:
+            current = self.status()
+            if current is not last:
+                yield current
+                last = current
+            if current.terminal:
+                return
+            await self.future.wait_async(timeout=poll_interval)
+
+    # -- cancellation -----------------------------------------------------------
 
     def cancel(self) -> bool:
         """Cancel the execution; returns ``True`` when it took effect.

@@ -21,7 +21,7 @@ import threading
 from typing import Any, Dict, List, Optional
 
 from ..core.analysis import ExecutionAnalyzer, is_analysis_point
-from ..core.qos import QoS
+from ..core.qos import Priority, QoS
 from ..errors import ExecutionCancelledError, ServiceError
 from ..events.bus import Listener
 from ..events.types import Event
@@ -63,11 +63,15 @@ class _AnalysisTicker(Listener):
 class _ExecutionRecord:
     """Service-internal record of one submission (live or held)."""
 
-    __slots__ = ("handle", "analyzer")
+    __slots__ = ("handle", "analyzer", "blocked_usable")
 
     def __init__(self, handle: ExecutionHandle, analyzer: ExecutionAnalyzer):
         self.handle = handle
         self.analyzer = analyzer
+        #: Largest usable-LP the load gate last failed this held
+        #: submission at; promotion skips the (expensive) re-projection
+        #: until the budget actually grows past it.
+        self.blocked_usable: Optional[int] = None
 
 
 class SkeletonService:
@@ -102,6 +106,18 @@ class SkeletonService:
         executions on the worker thread that published the event; pass
         0.0 to re-arbitrate on every analysis point (e.g. on the
         simulator, where ticks are virtual-time).
+    min_rebalance_events:
+        Event-count throttle layered on the time-based one: a tick-driven
+        rebalance also requires at least this many analysis points since
+        the previous applied rebalance.  Useful against storms of very
+        fine-grained muscles, where thousands of events can land inside
+        one ``min_rebalance_interval`` window and each one pays the
+        throttle pre-check; the default 1 disables it.
+    load_aware_admission:
+        Gate warm goal-carrying submissions against the budget the
+        arbiter could actually grant them now (capacity minus same-or-
+        higher-priority commitments), holding goals that are feasible
+        only on an idle machine until load drains.  Default on.
     platform_kwargs:
         Extra keyword arguments for the self-created platform
         (``chunk_size``, ``start_method``, ...).
@@ -119,6 +135,8 @@ class SkeletonService:
         rho: float = 0.5,
         extensions: bool = False,
         min_rebalance_interval: float = 0.05,
+        min_rebalance_events: int = 1,
+        load_aware_admission: bool = True,
         **platform_kwargs: Any,
     ):
         self._owns_platform = platform is None
@@ -151,9 +169,13 @@ class SkeletonService:
             tenants=self.tenants,
             policy=admission_policy,
             max_live=max_live,
+            load_aware=load_aware_admission,
         )
         self.arbiter = LPArbiter(
-            platform, capacity=self.capacity, min_interval=min_rebalance_interval
+            platform,
+            capacity=self.capacity,
+            min_interval=min_rebalance_interval,
+            min_events=min_rebalance_events,
         )
         self.stats = ServiceStats()
         self._lock = threading.RLock()
@@ -177,9 +199,10 @@ class SkeletonService:
     ) -> ExecutionHandle:
         """Submit one skeleton execution; returns its handle immediately.
 
-        *qos* carries the tenant's WCT goal and/or LP cap; *warm_start*
-        is an estimate snapshot (:func:`~repro.core.persistence.
-        snapshot_estimates`) enabling the admission feasibility gate and
+        *qos* carries the tenant's WCT goal and/or LP cap plus its
+        scheduling class (``weight``, ``priority``); *warm_start* is an
+        estimate snapshot (:func:`~repro.core.persistence.
+        snapshot_estimates`) enabling the admission feasibility gates and
         immediate arbitration (the paper's scenario-2 initialization).
         Rejected submissions are **not** raised here: the handle reports
         ``REJECTED`` and :meth:`~ExecutionHandle.result` raises
@@ -196,6 +219,17 @@ class SkeletonService:
                 rho=self.rho,
                 extensions=self.extensions,
             )
+            # Resolve the scheduling class once, at the submission
+            # boundary: QoS override first, tenant quota default second.
+            # The arbiter reads these attributes on every rebalance.
+            quota = self.tenants.quota_for(tenant)
+            analyzer.share_weight = (
+                qos.weight if qos is not None and qos.weight is not None
+                else quota.weight
+            )
+            analyzer.share_priority = int(
+                qos.priority if qos is not None else Priority.NORMAL
+            )
             if warm_start is not None:
                 analyzer.initialize_estimates(program, warm_start)
             handle = ExecutionHandle(
@@ -210,7 +244,14 @@ class SkeletonService:
             handle.analyzer = analyzer
             self.stats.record_submitted(tenant)
             decision = self.admission.evaluate(
-                program, qos, analyzer.estimators, tenant, live_count=len(self._live)
+                program,
+                qos,
+                analyzer.estimators,
+                tenant,
+                live_count=len(self._live),
+                available_lp=self._available_budget_locked(
+                    analyzer.share_priority
+                ),
             )
             if decision.rejected:
                 self.stats.record_rejected(tenant)
@@ -271,17 +312,64 @@ class SkeletonService:
             self._rebalance_locked(trigger=f"done:{handle.execution_id}", force=True)
             self._idle.notify_all()
 
+    def _available_budget_locked(self, priority: int) -> int:
+        """Workers the arbiter could grant a *priority*-class newcomer now.
+
+        Capacity minus the committed budget of live executions: the full
+        guaranteed grant (minimal deadline-meeting LP, from the last
+        rebalance) for same-or-higher classes, only the preemption-proof
+        one-worker floor for lower classes — exactly what the arbiter's
+        priority phase would leave them.
+        """
+        last = self.arbiter.last_rebalance
+        committed = 0
+        for eid, record in self._live.items():
+            if getattr(record.analyzer, "share_priority", 0) >= priority:
+                committed += last.committed.get(eid, 1) if last else 1
+            else:
+                committed += 1
+        return self.capacity - committed
+
     def _promote_held_locked(self) -> None:
-        """Launch every held submission whose caps now allow it (FIFO)."""
+        """Launch every held submission whose blockers cleared (FIFO).
+
+        Re-runs both the start blockers (quotas, ``max_live``) and the
+        load gate: a load-held goal stays queued until enough committed
+        budget drained (completions) or shrank (progress) to fit it.
+        The expensive part of the gate — a full structural projection —
+        is skipped while the usable budget has not grown past the value
+        it last failed at (projected WCT is non-increasing in LP, so a
+        smaller-or-equal budget cannot flip the verdict).
+        """
         still_held: List[_ExecutionRecord] = []
         for record in self._held:
-            tenant = record.handle.tenant
-            if not self._closed and self.admission.can_start_now(
-                tenant, live_count=len(self._live)
+            handle = record.handle
+            if self._closed or not self.admission.can_start_now(
+                handle.tenant, live_count=len(self._live)
             ):
-                self.tenants.dequeued(tenant)
-                self._launch_locked(record.handle, record.analyzer)
+                still_held.append(record)
+                continue
+            available = self._available_budget_locked(
+                record.analyzer.share_priority
+            )
+            usable = self.admission.usable_lp(handle.qos, available)
+            if (
+                record.blocked_usable is not None
+                and usable <= record.blocked_usable
+            ):
+                still_held.append(record)
+                continue
+            if self.admission.load_allows(
+                handle.program,
+                handle.qos,
+                record.analyzer.estimators,
+                available,
+            ):
+                record.blocked_usable = None
+                self.tenants.dequeued(handle.tenant)
+                self._launch_locked(handle, record.analyzer)
             else:
+                record.blocked_usable = usable
                 still_held.append(record)
         self._held = still_held
 
@@ -289,12 +377,17 @@ class SkeletonService:
         # Throttle pre-check before the global lock: fine-grained muscles
         # publish analysis points far more often than rebalances are due,
         # and a discarded tick must not serialize the worker threads.
+        self.arbiter.note_tick()
         if not self.arbiter.due(self.platform.now()):
             return
         with self._lock:
-            self._rebalance_locked(trigger=event.label, force=False)
+            outcome = self._rebalance_locked(trigger=event.label, force=False)
+            if outcome is not None and self._held:
+                # Progress shrinks committed budget: load-held submissions
+                # may fit now, before any completion frees a whole slot.
+                self._promote_held_locked()
 
-    def _rebalance_locked(self, trigger: str, force: bool) -> None:
+    def _rebalance_locked(self, trigger: str, force: bool) -> Optional[Any]:
         analyzers = {eid: rec.analyzer for eid, rec in self._live.items()}
         outcome = self.arbiter.rebalance(
             self.platform.now(), analyzers, trigger=trigger, force=force
@@ -309,6 +402,7 @@ class SkeletonService:
                     # The goal became reachable again (e.g. a burst of
                     # other tenants drained): clear the stale flag.
                     record.handle.goal_at_risk = False
+        return outcome
 
     # -- cancellation -----------------------------------------------------------
 

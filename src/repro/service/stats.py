@@ -109,16 +109,22 @@ class ServiceStats:
         ``ran=False`` (a submission cancelled while still held) keeps the
         busy window untouched — it never occupied the platform, so it
         must not dilute :meth:`throughput`.
+
+        Cancelled executions are never judged against their goal: the
+        tenant withdrew the work, so neither ``goals_met`` nor
+        ``goals_missed`` moves, whatever *goal_met* claims — the miss
+        rate measures scheduling quality, not cancellation volume.
         """
         with self._lock:
             stats = self._tenant(tenant)
             if outcome not in ("completed", "failed", "cancelled"):
                 raise ValueError(f"unknown outcome {outcome!r}")
             setattr(stats, outcome, getattr(stats, outcome) + 1)
-            if goal_met is True:
-                stats.goals_met += 1
-            elif goal_met is False:
-                stats.goals_missed += 1
+            if outcome != "cancelled":
+                if goal_met is True:
+                    stats.goals_met += 1
+                elif goal_met is False:
+                    stats.goals_missed += 1
             if ran:
                 w = self._window
                 if w.last_finish is None or finished_at > w.last_finish:

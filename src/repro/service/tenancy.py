@@ -26,16 +26,21 @@ class TenantQuota:
     ``max_active`` bounds concurrently *running* executions;
     ``max_pending`` bounds submissions *held* in the admission queue
     (beyond it, submissions are rejected outright — backpressure).
+    ``weight`` is the tenant's default fair share of surplus workers in
+    the LP arbitration; a submission's own ``QoS.weight`` overrides it.
     """
 
     max_active: Optional[int] = None
     max_pending: Optional[int] = None
+    weight: float = 1.0
 
     def __post_init__(self):
         for field_name in ("max_active", "max_pending"):
             v = getattr(self, field_name)
             if v is not None and v < 1:
                 raise ValueError(f"{field_name} must be >= 1 or None, got {v}")
+        if not self.weight > 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
 
 
 class TenantBook:

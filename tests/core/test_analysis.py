@@ -152,3 +152,54 @@ class TestAnalysisReports:
         )
         submit(build_program(("seq", 1)), 1, platform).get()
         assert any(seen)  # the seq AFTER is an analysis point
+
+
+class TestStructuralPreStartAnalysis:
+    """Warm-started executions analyze before their first event (ISSUE 3:
+    lets the service arbiter grant real needs at the admit rebalance)."""
+
+    def warm_analyzer(self, qos=None, execution_id=1):
+        program = timed_map(width=4)
+        analyzer = ExecutionAnalyzer(
+            qos=qos, execution_id=execution_id, skeleton=program
+        )
+        from repro.core.persistence import snapshot_from_names
+
+        analyzer.initialize_estimates(
+            program,
+            snapshot_from_names(
+                program, times={"fs": 0.0, "fe": 1.0, "fm": 0.0}, cards={"fs": 4}
+            ),
+        )
+        return program, analyzer
+
+    def test_warm_prestart_analyzes_structurally(self):
+        _program, analyzer = self.warm_analyzer(qos=QoS.wall_clock(10.0))
+        report = analyzer.analyze(now=3.0)
+        assert report is not None
+        assert report.optimal_lp == 4  # the map's 4 estimated leaves
+        assert report.deadline == 13.0  # assumes the execution starts now
+        assert report.minimal_lp() == 1
+
+    def test_cold_prestart_stays_cold(self):
+        program = timed_map(width=4)
+        analyzer = ExecutionAnalyzer(execution_id=1, skeleton=program)
+        assert analyzer.analyze(now=0.0) is None
+
+    def test_no_skeleton_stays_cold(self):
+        analyzer = ExecutionAnalyzer(execution_id=1)
+        assert analyzer.analyze(now=0.0) is None
+
+    def test_observed_events_take_over_from_the_structure(self):
+        platform = timed_platform()
+        execution = Execution(platform.new_future())
+        program, analyzer = self.warm_analyzer(
+            qos=QoS.wall_clock(10.0), execution_id=execution.id
+        )
+        platform.add_listener(analyzer)
+        submit(program, 1, platform, execution=execution)
+        assert execution.future.get(timeout=5) == 8
+        # Execution finished: analyze must NOT fall back to the structure
+        # and report phantom pending work.
+        assert analyzer.finished
+        assert analyzer.analyze(platform.now()) is None

@@ -53,3 +53,57 @@ class TestQoS:
         qos = QoS(max_lp=MaxLPGoal(8))
         assert qos.wct is None
         assert qos.max_threads == 8
+
+
+class TestSchedulingClasses:
+    """Weight and priority — the service's QoS class attributes."""
+
+    def test_defaults(self):
+        from repro import Priority
+
+        qos = QoS.wall_clock(5.0)
+        assert qos.weight is None  # inherit the tenant quota weight
+        assert qos.priority == Priority.NORMAL
+
+    def test_best_effort_constructor(self):
+        from repro import Priority
+
+        qos = QoS.best_effort(weight=2.5, priority=Priority.HIGH)
+        assert qos.wct is None and qos.max_lp is None
+        assert qos.weight == 2.5
+        assert qos.priority is Priority.HIGH
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(QoSError):
+            QoS(weight=0.0)
+        with pytest.raises(QoSError):
+            QoS.wall_clock(5.0, weight=-1.0)
+
+    def test_all_defaults_rejected(self):
+        with pytest.raises(QoSError):
+            QoS()
+        # best_effort() points the caller at qos=None instead of the
+        # generic empty-spec error.
+        with pytest.raises(QoSError, match="qos=None"):
+            QoS.best_effort()
+
+    def test_priority_alone_is_a_valid_spec(self):
+        from repro import Priority
+
+        qos = QoS.best_effort(priority=Priority.BATCH)
+        assert qos.priority is Priority.BATCH
+
+    def test_priority_ordering(self):
+        from repro import Priority
+
+        assert Priority.BATCH < Priority.NORMAL < Priority.HIGH < Priority.URGENT
+        assert int(Priority.URGENT) == 2
+
+    def test_wall_clock_passes_classes_through(self):
+        from repro import Priority
+
+        qos = QoS.wall_clock(9.5, max_lp=4, weight=3.0, priority=Priority.URGENT)
+        assert qos.wct.seconds == 9.5
+        assert qos.max_threads == 4
+        assert qos.weight == 3.0
+        assert qos.priority is Priority.URGENT

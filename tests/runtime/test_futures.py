@@ -82,3 +82,106 @@ class TestThreading:
         f = SkeletonFuture()
         threading.Thread(target=lambda: f.set_result("done")).start()
         assert f.get(timeout=2.0) == "done"
+
+
+class TestWaitAsync:
+    """The asyncio bridge used by the service's async handle facade."""
+
+    def test_already_resolved_returns_immediately(self):
+        import asyncio
+
+        f = SkeletonFuture()
+        f.set_result(7)
+        assert asyncio.run(f.wait_async()) is True
+        assert f.get() == 7
+
+    def test_wakes_on_cross_thread_resolution(self):
+        import asyncio
+
+        f = SkeletonFuture()
+
+        async def main():
+            threading.Timer(0.05, lambda: f.set_result("done")).start()
+            return await f.wait_async()
+
+        assert asyncio.run(main()) is True
+        assert f.get() == "done"
+
+    def test_timeout_returns_false_without_raising(self):
+        import asyncio
+
+        f = SkeletonFuture()
+
+        async def main():
+            return await f.wait_async(timeout=0.02)
+
+        assert asyncio.run(main()) is False
+        assert not f.done()
+        # a later resolution must not explode on the closed event loop
+        f.set_result(1)
+        assert f.get() == 1
+
+    def test_exception_propagates_through_get_after_await(self):
+        import asyncio
+
+        f = SkeletonFuture()
+
+        async def main():
+            threading.Timer(0.02, lambda: f.set_exception(ValueError("x"))).start()
+            await f.wait_async()
+            return f.exception(timeout=0)
+
+        assert isinstance(asyncio.run(main()), ValueError)
+
+    def test_driver_backed_future_drives_synchronously(self):
+        import asyncio
+
+        def driver(future):
+            future.set_result("driven")
+
+        f = SkeletonFuture(driver=driver)
+
+        async def main():
+            await f.wait_async()
+            return f.get(timeout=0)
+
+        assert asyncio.run(main()) == "driven"
+
+    def test_timed_out_waiters_are_deregistered(self):
+        """Polling consumers must not grow the callback list unboundedly."""
+        import asyncio
+
+        f = SkeletonFuture()
+
+        async def poll():
+            for _ in range(5):
+                assert await f.wait_async(timeout=0.001) is False
+
+        asyncio.run(poll())
+        assert f._callbacks == []  # every timed-out waiter cleaned up
+        f.set_result(1)
+
+    def test_remove_done_callback(self):
+        f = SkeletonFuture()
+        hits = []
+        f.add_done_callback(hits.append)
+        assert f.remove_done_callback(hits.append) is True
+        assert f.remove_done_callback(hits.append) is False  # already gone
+        f.set_result(1)
+        assert hits == []
+
+    def test_cancelled_await_deregisters(self):
+        """asyncio.wait_for cancels the await mid-flight; the done
+        callback must not survive it (regression: unbounded growth)."""
+        import asyncio
+
+        f = SkeletonFuture()
+
+        async def main():
+            for _ in range(5):
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(f.wait_async(), timeout=0.001)
+
+        asyncio.run(main())
+        assert f._callbacks == []
+        f.set_result(1)

@@ -187,3 +187,110 @@ class TestCapsAndPolicies:
         assert not controller.can_start_now("t", live_count=2)
         book.started("t")
         assert not controller.can_start_now("t", live_count=1)
+
+
+class TestLoadGate:
+    """Load-aware admission: project against the *currently free* budget."""
+
+    def controller(self, capacity=8, **kwargs):
+        return AdmissionController(capacity=capacity, **kwargs)
+
+    def warm_map(self, width=4, duration=1.0):
+        from tests.conftest import sleepy_map_program, sleepy_map_snapshot
+
+        program = sleepy_map_program(width, duration)
+        estimators = EstimatorRegistry()
+        restore_estimates(
+            program, estimators, sleepy_map_snapshot(program, width, duration)
+        )
+        return program, estimators
+
+    def test_feasible_idle_infeasible_under_load_is_held(self):
+        program, estimators = self.warm_map(width=4, duration=1.0)
+        controller = self.controller()
+        idle = controller.evaluate(
+            program, QoS.wall_clock(2.0), estimators, "t", 0, available_lp=8
+        )
+        assert idle.admitted
+        loaded = controller.evaluate(
+            program, QoS.wall_clock(2.0), estimators, "t", 1, available_lp=1
+        )
+        assert loaded.held
+        assert "current load" in loaded.reason
+
+    def test_load_gate_reports_the_capped_usable_budget(self):
+        # available 5 but MaxLPGoal 1: the binding constraint (and the
+        # number in the reason) must be the submission's own cap.
+        program, estimators = self.warm_map(width=4, duration=1.0)
+        controller = self.controller()
+        decision = controller.evaluate(
+            program,
+            QoS.wall_clock(2.0, max_lp=1),
+            estimators,
+            "t",
+            1,
+            available_lp=5,
+        )
+        assert decision.rejected  # infeasible even dedicated (cap 1)
+        assert "all 1 workers" in decision.reason
+
+    def test_zero_availability_with_max_lp_one_matches_capacity_gate(self):
+        # dedicated == usable == 1: the load gate must add nothing beyond
+        # the capacity gate, whichever way the goal falls.
+        program, estimators = self.warm_map(width=4, duration=1.0)
+        controller = self.controller()
+        fits_on_one = controller.evaluate(
+            program, QoS.wall_clock(9.0, max_lp=1), estimators, "t", 1,
+            available_lp=0,
+        )
+        assert fits_on_one.admitted
+        misses_on_one = controller.evaluate(
+            program, QoS.wall_clock(2.0, max_lp=1), estimators, "t", 1,
+            available_lp=0,
+        )
+        assert misses_on_one.rejected
+
+    def test_unknown_load_skips_the_gate(self):
+        program, estimators = self.warm_map(width=4, duration=1.0)
+        controller = self.controller()
+        decision = controller.evaluate(
+            program, QoS.wall_clock(2.0), estimators, "t", 1, available_lp=None
+        )
+        assert decision.admitted
+
+    def test_load_aware_false_restores_pr2_behaviour(self):
+        program, estimators = self.warm_map(width=4, duration=1.0)
+        controller = self.controller(load_aware=False)
+        decision = controller.evaluate(
+            program, QoS.wall_clock(2.0), estimators, "t", 1, available_lp=1
+        )
+        assert decision.admitted
+
+    def test_reject_policy_rejects_load_blocked(self):
+        program, estimators = self.warm_map(width=4, duration=1.0)
+        controller = self.controller(policy="reject")
+        decision = controller.evaluate(
+            program, QoS.wall_clock(2.0), estimators, "t", 1, available_lp=1
+        )
+        assert decision.rejected
+
+    def test_cold_submission_not_load_gated(self):
+        from tests.conftest import sleepy_map_program
+
+        controller = self.controller()
+        decision = controller.evaluate(
+            sleepy_map_program(4, 1.0),
+            QoS.wall_clock(0.001),
+            EstimatorRegistry(),
+            "t",
+            3,
+            available_lp=0,
+        )
+        assert decision.admitted  # cold start stays optimistic
+
+    def test_load_allows_mirrors_the_gate(self):
+        program, estimators = self.warm_map(width=4, duration=1.0)
+        controller = self.controller()
+        assert controller.load_allows(program, QoS.wall_clock(2.0), estimators, 4)
+        assert not controller.load_allows(program, QoS.wall_clock(2.0), estimators, 1)
+        assert controller.load_allows(program, None, estimators, 0)
