@@ -1,0 +1,160 @@
+"""Rebalance overhead: the incremental planning layer vs from-scratch.
+
+Every rebalance re-plans all live executions: project each live ADG,
+best-effort-schedule it, and scan limited-LP schedules for minimal
+deadline-meeting grants.  Before the :class:`~repro.core.planning.
+PlanEngine`, all of that ran from scratch on every arbitration tick —
+including a *second* best-effort pass hidden inside every minimal-LP
+scan, full re-projections of executions that had produced no events, and
+fresh structural projections for every held-queue re-evaluation.
+
+This bench drives an identical 16-tenant churn storm on the virtual-time
+simulator twice — once with the shared plan cache on (default), once with
+``PlanCache(maxsize=0)`` (every lookup misses: the from-scratch baseline)
+— and compares **full-schedule recomputations per rebalance** (scheduling
+passes + projection walks, counted by the cache) and wall time.  The
+storm is deterministic, so both runs make bit-for-bit identical
+scheduling decisions; only the work to reach them differs.
+"""
+
+import time
+
+import pytest
+
+from repro import Priority, QoS, SimulatedPlatform, SkeletonService
+from repro.core.persistence import snapshot_from_names
+from repro.core.planning import PlanCache
+from repro.runtime.costmodel import ConstantCostModel
+from tests.conftest import build_program
+
+pytestmark = pytest.mark.service_stress
+
+N_TENANTS = 16
+WAVES = 3
+CAPACITY = 8
+
+
+def storm_program(i):
+    """Tenant *i*'s map: fan-out 2..5 over one leaf."""
+    width = 2 + (i % 4)
+    return build_program(("map", width, ("seq", i % 4))), width, i % 4
+
+
+def storm_snapshot(program, width, leaf_kind):
+    """Warm estimates matching the simulator's 1-virtual-second muscles."""
+    return snapshot_from_names(
+        program,
+        times={f"split{width}": 1.0, f"leaf{leaf_kind}": 1.0, "sum": 1.0},
+        cards={f"split{width}": float(width)},
+    )
+
+
+def storm_qos(i):
+    """Mixed scheduling classes: tight/loose deadlines, weights, classes."""
+    if i % 5 == 0:
+        return None  # plain best-effort
+    goal = [6.0, 12.0, 30.0, 90.0][i % 4]
+    return QoS.wall_clock(
+        goal,
+        weight=[0.5, 1.0, 4.0][i % 3],
+        priority=[Priority.BATCH, Priority.NORMAL, Priority.HIGH][i % 3],
+    )
+
+
+def run_storm(plan_cache):
+    """One deterministic churn storm; returns (results, metrics)."""
+    platform = SimulatedPlatform(
+        parallelism=1, cost_model=ConstantCostModel(1.0), max_parallelism=CAPACITY
+    )
+    service = SkeletonService(
+        platform=platform, min_rebalance_interval=0.0, plan_cache=plan_cache
+    )
+    results = []
+    started = time.perf_counter()
+    for wave in range(WAVES):
+        handles = []
+        for i in range(N_TENANTS):
+            program, width, leaf_kind = storm_program(i)
+            handles.append(
+                service.submit(
+                    program,
+                    wave * N_TENANTS + i,
+                    qos=storm_qos(i),
+                    tenant=f"tenant-{i}",
+                    warm_start=storm_snapshot(program, width, leaf_kind),
+                )
+            )
+        results.extend(h.result(timeout=120.0) for h in handles)
+    elapsed = time.perf_counter() - started
+    rebalances = len(service.arbiter.rebalances)
+    stats = service.plan_cache.stats_dict()
+    service.shutdown(wait=False)
+    return results, {
+        "elapsed": elapsed,
+        "rebalances": rebalances,
+        **stats,
+    }
+
+
+def per_rebalance(metrics, key):
+    return metrics[key] / max(1, metrics["rebalances"])
+
+
+def test_rebalance_overhead(report):
+    baseline_results, baseline = run_storm(PlanCache(maxsize=0))
+    cached_results, cached = run_storm(PlanCache())
+
+    # Identical decisions first: the cache must change the cost of the
+    # storm, never its outcome.
+    assert cached_results == baseline_results
+    assert cached["rebalances"] == baseline["rebalances"]
+
+    base_passes = per_rebalance(baseline, "schedule_passes")
+    cached_passes = per_rebalance(cached, "schedule_passes")
+    base_proj = per_rebalance(baseline, "projection_passes")
+    cached_proj = per_rebalance(cached, "projection_passes")
+
+    report("Rebalance overhead: plan cache vs from-scratch baseline")
+    report(f"storm: {WAVES} waves x {N_TENANTS} tenants on {CAPACITY} workers "
+           f"(virtual-time simulator, identical decisions verified)")
+    report("")
+    report(f"{'':>26} {'from-scratch':>14} {'plan cache':>12}")
+    report(f"{'rebalances':>26} {baseline['rebalances']:>14} {cached['rebalances']:>12}")
+    report(
+        f"{'schedule passes':>26} {baseline['schedule_passes']:>14} "
+        f"{cached['schedule_passes']:>12}"
+    )
+    report(
+        f"{'schedule passes/rebal':>26} {base_passes:>14.2f} {cached_passes:>12.2f}"
+    )
+    report(
+        f"{'projection passes':>26} {baseline['projection_passes']:>14} "
+        f"{cached['projection_passes']:>12}"
+    )
+    report(
+        f"{'projection passes/rebal':>26} {base_proj:>14.2f} {cached_proj:>12.2f}"
+    )
+    report(
+        f"{'cache hit rate':>26} {'-':>14} {cached['hit_rate']:>11.1%}"
+    )
+    report(
+        f"{'storm wall time (s)':>26} {baseline['elapsed']:>14.3f} "
+        f"{cached['elapsed']:>12.3f}"
+    )
+    report("")
+    report(
+        f"schedule recomputations per rebalance: {base_passes:.2f} -> "
+        f"{cached_passes:.2f} "
+        f"({(1 - cached_passes / base_passes):.1%} fewer)"
+    )
+    report(
+        f"projection walks per rebalance: {base_proj:.2f} -> {cached_proj:.2f} "
+        f"({(1 - cached_proj / base_proj):.1%} fewer)"
+    )
+
+    # The acceptance claim: measurably fewer full-schedule recomputations
+    # per rebalance than the from-scratch baseline.
+    assert cached["schedule_passes"] < baseline["schedule_passes"]
+    assert cached_passes < base_passes
+    assert cached["projection_passes"] < baseline["projection_passes"]
+    assert cached["hits"] > 0

@@ -24,6 +24,7 @@ from .persistence import (
     snapshot_estimates,
     snapshot_from_names,
 )
+from .planning import PlanCache, PlanCacheStats, PlanEngine
 from .projection import estimated_total_work, project_skeleton
 from .qos import MaxLPGoal, Priority, QoS, WCTGoal
 from .schedule import (
@@ -73,6 +74,9 @@ __all__ = [
     "Priority",
     "project_skeleton",
     "estimated_total_work",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanEngine",
     "ScheduleResult",
     "ScheduledActivity",
     "best_effort_schedule",

@@ -71,6 +71,24 @@ class ADG:
         self._activities: Dict[int, Activity] = {}
         self._succs: Dict[int, List[int]] = {}
         self._next_id = 0
+        self._rev = 0
+
+    @property
+    def rev(self) -> int:
+        """Monotonic revision counter, bumped on every mutation.
+
+        The planning layer (:mod:`repro.core.planning`) keys cached
+        :class:`~repro.core.schedule.ScheduleResult` answers on
+        ``(adg.rev, estimator version, lp, now)``: any structural change
+        invalidates every plan derived from the old revision.
+        """
+        return self._rev
+
+    def touch(self) -> int:
+        """Bump the revision (for callers mutating activity times in
+        place); returns the new revision."""
+        self._rev += 1
+        return self._rev
 
     # -- construction -----------------------------------------------------------
 
@@ -109,6 +127,7 @@ class ADG:
         self._succs[aid] = []
         for p in preds:
             self._succs[p].append(aid)
+        self._rev += 1
         return aid
 
     # -- queries ------------------------------------------------------------------

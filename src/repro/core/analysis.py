@@ -31,7 +31,7 @@ events); leave it ``None`` for the classic whole-platform behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..errors import StateMachineError
@@ -40,10 +40,9 @@ from ..events.types import Event, When, Where
 from ..skeletons.base import Skeleton
 from .adg import ADG
 from .estimator import EstimatorRegistry
-from .projection import project_skeleton
+from .planning import PlanCache, PlanEngine
 from .qos import QoS
 from .schedule import (
-    best_effort_schedule,
     limited_lp_schedule,
     minimal_lp_greedy,
 )
@@ -78,6 +77,10 @@ class AnalysisReport:
     wct_current_lp: Optional[float]
     optimal_lp: int
     adg: ADG
+    #: The planning engine that built this report; when set, hypothetical
+    #: evaluations (:meth:`wct_at`, :meth:`minimal_lp`) pull cached plans
+    #: instead of re-running schedules from scratch.
+    engine: Optional[PlanEngine] = field(default=None, repr=False, compare=False)
 
     @property
     def remaining_best_effort(self) -> float:
@@ -98,6 +101,8 @@ class AnalysisReport:
 
     def wct_at(self, lp: int) -> float:
         """Projected WCT under a hypothetical level of parallelism."""
+        if self.engine is not None:
+            return self.engine.wct_at(self.adg, self.time, lp)
         return limited_lp_schedule(self.adg, self.time, lp).wct
 
     def minimal_lp(
@@ -110,6 +115,10 @@ class AnalysisReport:
         """
         if self.deadline is None:
             return None
+        if self.engine is not None:
+            return self.engine.minimal_lp(
+                self.adg, self.time, self.deadline, cap=cap, start_lp=start_lp
+            )
         found = minimal_lp_greedy(
             self.adg, self.time, self.deadline, max_lp=cap, start_lp=start_lp
         )
@@ -139,6 +148,11 @@ class ExecutionAnalyzer(Listener):
         worker need at admission instead of a cold-start floor.
     rho / estimators / extensions:
         As in :class:`~repro.core.controller.AutonomicController`.
+    plan_cache:
+        Backing store for the analyzer's :class:`~repro.core.planning.
+        PlanEngine` (``self.plan``).  The service shares one cache across
+        every live execution and the admission path; stand-alone
+        analyzers get a private one.
     """
 
     def __init__(
@@ -149,12 +163,16 @@ class ExecutionAnalyzer(Listener):
         rho: float = 0.5,
         estimators: Optional[EstimatorRegistry] = None,
         extensions: bool = False,
+        plan_cache: Optional[PlanCache] = None,
     ):
         self.qos = qos
         self.execution_id = execution_id
         self.skeleton = skeleton
         self.estimators = estimators or EstimatorRegistry(rho=rho)
         self.machines = MachineRegistry(self.estimators, extensions=extensions)
+        self.plan = PlanEngine(
+            self.machines, self.estimators, skeleton=skeleton, cache=plan_cache
+        )
         self.exec_start: Dict[int, float] = {}  # root index -> start time
         if skeleton is not None:
             self.validate(skeleton)
@@ -242,7 +260,7 @@ class ExecutionAnalyzer(Listener):
             return self._structural_report(now, current_lp)
         if not self.ready(roots):
             return None
-        adg, _terminals = self.machines.project_roots(now, roots)
+        adg = self.plan.projection(now, roots)
         if len(adg) == 0:
             return None
         return self._report_from_adg(now, current_lp, adg, self.deadline(roots))
@@ -257,11 +275,8 @@ class ExecutionAnalyzer(Listener):
         The deadline assumes the execution starts *now* — optimistic by
         at most the (tiny) submit-to-first-task latency.
         """
-        if self.skeleton is None or not self.estimators.ready_for(self.skeleton):
-            return None
-        adg = ADG()
-        project_skeleton(self.skeleton, adg, [], self.estimators)
-        if len(adg) == 0:
+        adg = self.plan.structural_projection()
+        if adg is None or len(adg) == 0:
             return None
         deadline = None
         if self.qos is not None and self.qos.wct is not None:
@@ -275,8 +290,8 @@ class ExecutionAnalyzer(Listener):
         adg: ADG,
         deadline: Optional[float],
     ) -> AnalysisReport:
-        """Derive the paper's quantities from a projected ADG."""
-        best = best_effort_schedule(adg, now)
+        """Derive the paper's quantities from (cached) plans of an ADG."""
+        best = self.plan.best_effort(adg, now)
         return AnalysisReport(
             time=now,
             execution_id=self.execution_id,
@@ -284,10 +299,11 @@ class ExecutionAnalyzer(Listener):
             current_lp=current_lp,
             wct_best_effort=best.wct,
             wct_current_lp=(
-                limited_lp_schedule(adg, now, current_lp).wct
+                self.plan.wct_at(adg, now, current_lp)
                 if current_lp is not None
                 else None
             ),
             optimal_lp=best.peak(from_time=now),
             adg=adg,
+            engine=self.plan,
         )

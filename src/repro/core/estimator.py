@@ -30,7 +30,6 @@ from typing import Dict, Iterable, Optional
 
 from ..errors import EstimateNotReadyError, QoSError
 from ..skeletons.base import Skeleton
-from ..skeletons.conditional import If
 from ..skeletons.dac import DivideAndConquer
 from ..skeletons.fork import Fork
 from ..skeletons.loops import While
@@ -123,7 +122,23 @@ class EstimatorRegistry:
         self._factory = factory
         self._time: Dict[int, HistoryEstimator] = {}
         self._card: Dict[int, HistoryEstimator] = {}
+        self._version = 0
         self._lock = threading.Lock()
+
+    @property
+    def version(self) -> int:
+        """Monotonic stamp, bumped whenever any estimate changes value.
+
+        Structural projections and schedules derive entirely from the
+        estimates (plus observed actuals), so the planning layer keys its
+        caches on this stamp: a changed ``t(m)`` or ``|m|`` invalidates
+        every plan computed from the old values.
+        """
+        return self._version
+
+    def _bump(self) -> None:
+        with self._lock:
+            self._version += 1
 
     def _new_estimator(self) -> HistoryEstimator:
         if self._factory is not None:
@@ -156,13 +171,27 @@ class EstimatorRegistry:
         """Record one measured execution time of *muscle*."""
         if duration < 0:
             raise ValueError(f"negative duration {duration} for {muscle.name!r}")
-        return self.time_estimator(muscle).update(duration)
+        value = self.time_estimator(muscle).update(duration)
+        self._bump()
+        return value
 
     def observe_card(self, muscle: Muscle, cardinality: float) -> float:
         """Record one measured cardinality of *muscle*."""
         if cardinality < 0:
             raise ValueError(f"negative cardinality {cardinality} for {muscle.name!r}")
-        return self.card_estimator(muscle).update(cardinality)
+        value = self.card_estimator(muscle).update(cardinality)
+        self._bump()
+        return value
+
+    def initialize_time(self, muscle: Muscle, value: float) -> None:
+        """Warm-start the ``t(m)`` estimate of *muscle* (version-stamped)."""
+        self.time_estimator(muscle).initialize(value)
+        self._bump()
+
+    def initialize_card(self, muscle: Muscle, value: float) -> None:
+        """Warm-start the ``|m|`` estimate of *muscle* (version-stamped)."""
+        self.card_estimator(muscle).initialize(value)
+        self._bump()
 
     # -- queries -----------------------------------------------------------------
 

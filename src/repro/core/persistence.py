@@ -104,10 +104,10 @@ def restore_estimates(
         if not entry:
             continue
         if "t" in entry:
-            registry.time_estimator(muscle).initialize(float(entry["t"]))
+            registry.initialize_time(muscle, float(entry["t"]))
             restored += 1
         if "card" in entry:
-            registry.card_estimator(muscle).initialize(float(entry["card"]))
+            registry.initialize_card(muscle, float(entry["card"]))
             restored += 1
     return restored
 

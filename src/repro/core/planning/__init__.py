@@ -1,0 +1,23 @@
+"""Incremental planning layer — cached schedule/LP/WCT computation.
+
+The paper's autonomic loop plans by repeatedly scheduling the ADG.  This
+package is the single seam all planning flows through:
+
+* :class:`~repro.core.planning.engine.PlanEngine` — per-execution facade
+  owning projection + scheduling behind explicit invalidation (ADG
+  revision counters, estimator version stamps);
+* :class:`~repro.core.planning.cache.PlanCache` — the shared bounded
+  store with recompute accounting (the rebalance-overhead benchmark's
+  instrument).
+
+Consumers: :class:`~repro.core.analysis.ExecutionAnalyzer` builds its
+reports through the engine, :class:`~repro.service.admission.
+AdmissionController` runs its feasibility gates on cached structural
+plans, and :class:`~repro.service.arbiter.LPArbiter` pulls per-execution
+minimal/optimal LPs from cached plans during rebalances.
+"""
+
+from .cache import PlanCache, PlanCacheStats
+from .engine import PlanEngine
+
+__all__ = ["PlanCache", "PlanCacheStats", "PlanEngine"]

@@ -1,0 +1,143 @@
+"""Shared, bounded plan cache with hit/recompute accounting.
+
+One :class:`PlanCache` may back many :class:`~repro.core.planning.engine.
+PlanEngine` instances (the service shares one across all live executions
+and the admission path): every key is namespaced by the owning engine, so
+entries never collide even though each execution has its own estimator
+registry and machine state.
+
+Keys embed monotonic version stamps — the ADG/machine revision and the
+estimator version — so stale entries are never *served*; they are merely
+garbage, and the LRU bound reclaims them.  ``maxsize=0`` disables storage
+entirely (every lookup misses), which the rebalance-overhead benchmark
+uses as its from-scratch baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+__all__ = ["PlanCacheStats", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Immutable snapshot of one cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    schedule_passes: int
+    projection_passes: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Thread-safe LRU mapping plan keys to schedule/LP answers.
+
+    Besides the store it carries the planning layer's cost counters:
+
+    * ``schedule_passes`` — full scheduling passes actually executed
+      (best-effort longest-path walks, limited-LP frontier passes);
+    * ``projection_passes`` — ADG projections actually walked (live
+      machine projections and structural skeleton projections).
+
+    The rebalance-overhead benchmark compares these between a caching
+    and a ``maxsize=0`` (from-scratch) run of the same workload.
+    """
+
+    def __init__(self, maxsize: int = 2048):
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._store: "OrderedDict[Tuple[Hashable, ...], Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._schedule_passes = 0
+        self._projection_passes = 0
+
+    # -- store -------------------------------------------------------------------
+
+    def get(self, key: Tuple[Hashable, ...]) -> Optional[Any]:
+        """The cached value, or ``None`` (misses are counted)."""
+        with self._lock:
+            value = self._store.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._store.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Tuple[Hashable, ...], value: Any) -> Any:
+        """Store *value* (a no-op at ``maxsize=0``); returns it."""
+        if self.maxsize == 0:
+            return value
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+                self._evictions += 1
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    # -- accounting --------------------------------------------------------------
+
+    def count_schedule_pass(self) -> None:
+        with self._lock:
+            self._schedule_passes += 1
+
+    def count_projection_pass(self) -> None:
+        with self._lock:
+            self._projection_passes += 1
+
+    @property
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                schedule_passes=self._schedule_passes,
+                projection_passes=self._projection_passes,
+                size=len(self._store),
+            )
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._schedule_passes = 0
+            self._projection_passes = 0
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """Counters as a plain dict (for reports and benches)."""
+        s = self.stats
+        return {
+            "hits": s.hits,
+            "misses": s.misses,
+            "evictions": s.evictions,
+            "schedule_passes": s.schedule_passes,
+            "projection_passes": s.projection_passes,
+            "size": s.size,
+            "hit_rate": s.hit_rate,
+        }

@@ -1,0 +1,334 @@
+"""The incremental planning engine — one seam under analyzer, admission
+and arbiter.
+
+Before this layer existed, planning was smeared across four call sites:
+the analyzer drove :mod:`repro.core.schedule` from scratch on every
+analysis point, admission re-projected skeletons on every held-queue
+pass, and the arbiter's minimal-LP scans re-ran full list schedules (and
+an extra best-effort pass inside :func:`~repro.core.schedule.
+minimal_lp_greedy`) per execution per rebalance.  :class:`PlanEngine`
+owns all of it behind explicit invalidation:
+
+* **projections** are cached on ``(machine revision, estimator
+  version)`` — an execution that produced no events since the last
+  rebalance reuses its projected ADG outright (projection walks machine
+  state and estimates only; it is independent of *now*);
+* **structural projections** (pre-start analysis, admission gates) are
+  cached on the estimator version alone;
+* **schedules** are cached on ``(adg revision, estimator version, lp,
+  now)`` and recomputed *incrementally*: the pinned actuals
+  (:func:`~repro.core.schedule.pin_actuals`) and the critical-path
+  priority table (:func:`~repro.core.schedule.remaining_critical_path`)
+  are computed once per ``(revision, now)`` / per revision, and each LP
+  of a minimal-LP scan re-schedules only the pending frontier
+  (:func:`~repro.core.schedule.schedule_pending`);
+* **admission arithmetic** schedules structural ADGs at ``start=0.0``,
+  which is *now*-independent — held-queue re-evaluations hit the cache
+  until an estimate actually changes.
+
+Every answer is bit-for-bit equal to a from-scratch
+:mod:`repro.core.schedule` recompute at the same arguments (the
+incremental pieces are the same code the from-scratch path composes),
+which the plan-cache property tests pin.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from ...skeletons.base import Skeleton
+from ..adg import ADG
+from ..estimator import EstimatorRegistry
+from ..projection import project_skeleton
+from ..schedule import (
+    ScheduleResult,
+    best_effort_schedule,
+    pin_actuals,
+    remaining_critical_path,
+    schedule_pending,
+)
+from ..statemachines import MachineRegistry
+from .cache import PlanCache
+
+__all__ = ["PlanEngine"]
+
+_EPS = 1e-9
+
+_engine_ids = itertools.count(1)
+
+
+class PlanEngine:
+    """Cached schedule/LP/WCT computation for one execution (see module
+    docs).
+
+    Parameters
+    ----------
+    machines:
+        The execution's tracking-machine registry (live projections key
+        on its :attr:`~repro.core.statemachines.MachineRegistry.rev`).
+    estimators:
+        The execution's estimator registry (every cache key embeds its
+        :attr:`~repro.core.estimator.EstimatorRegistry.version`).
+    skeleton:
+        Optional program structure, enabling the structural projection
+        used by pre-start analysis and the admission gates.
+    cache:
+        The backing :class:`~repro.core.planning.cache.PlanCache`.  May
+        be shared across engines (the service shares one service-wide);
+        every key is namespaced by this engine's id.  ``None`` creates a
+        private cache.
+    """
+
+    def __init__(
+        self,
+        machines: MachineRegistry,
+        estimators: EstimatorRegistry,
+        skeleton: Optional[Skeleton] = None,
+        cache: Optional[PlanCache] = None,
+    ):
+        self.machines = machines
+        self.estimators = estimators
+        self.skeleton = skeleton
+        self.cache = cache if cache is not None else PlanCache()
+        self._uid = next(_engine_ids)
+        # id(adg) -> (weakref, version token) for ADGs this engine built;
+        # lets plan calls key correctly on any ADG they are handed back.
+        self._known: Dict[int, Tuple[weakref.ref, Tuple]] = {}
+        self._lock = threading.RLock()
+
+    # -- token bookkeeping --------------------------------------------------------
+
+    def _remember(self, adg: ADG, token: Tuple) -> ADG:
+        with self._lock:
+            if len(self._known) > 64:
+                self._known = {
+                    key: entry
+                    for key, entry in self._known.items()
+                    if entry[0]() is not None
+                }
+            self._known[id(adg)] = (weakref.ref(adg), token)
+        return adg
+
+    def _token_of(self, adg: ADG) -> Optional[Tuple]:
+        """The version token of an ADG this engine built, else ``None``
+        (plans over foreign ADGs are computed but never cached).
+
+        The ADG's own revision counter is folded in live, so mutating a
+        projected ADG (``add``/``touch``) retires every plan derived
+        from the old revision — the stale entries become LRU garbage.
+        """
+        with self._lock:
+            entry = self._known.get(id(adg))
+        if entry is not None and entry[0]() is adg:
+            return entry[1] + (adg.rev,)
+        return None
+
+    # -- projections ---------------------------------------------------------------
+
+    def projection(self, now: float, roots: Optional[List] = None) -> ADG:
+        """The live execution's projected ADG (cached per revision).
+
+        Projection reads machine state and estimates only — *now* is
+        threaded through for interface compatibility but does not shape
+        the result — so the cache key is ``(machines.rev,
+        estimators.version, root set)`` and an execution with no new
+        events reuses its ADG across rebalances.
+        """
+        roots_key = (
+            None if roots is None else tuple(m.index for m in roots)
+        )
+        # The machine lock makes (rev, projection) consistent under
+        # concurrent worker-thread publishes.
+        with self.machines.lock:
+            token = (
+                self._uid,
+                "live",
+                self.machines.rev,
+                self.estimators.version,
+                roots_key,
+            )
+            key = ("proj", token)
+            adg = self._cached_projection(key)
+            if adg is None:
+                adg, _terminals = self.machines.project_roots(now, roots)
+                self.cache.count_projection_pass()
+                self.cache.put(key, (adg, adg.rev))
+                self._remember(adg, token)
+            return adg
+
+    def _cached_projection(self, key: Tuple) -> Optional[ADG]:
+        """A cached projection, unless it was mutated since it was built.
+
+        Entries store the ADG's revision at build time; a caller that
+        mutated a served graph in place (``add``/``touch``) gets it
+        rebuilt instead of poisoning every later analysis — matching the
+        pre-engine behaviour, where each analysis projected fresh.
+        """
+        cached = self.cache.get(key)
+        if cached is None:
+            return None
+        adg, rev_at_build = cached
+        return adg if adg.rev == rev_at_build else None
+
+    def structural_projection(self) -> Optional[ADG]:
+        """The skeleton's structural ADG (cached per estimator version).
+
+        ``None`` without a skeleton or while its estimates are cold.
+        """
+        if self.skeleton is None or not self.estimators.ready_for(self.skeleton):
+            return None
+        token = (self._uid, "struct", self.estimators.version)
+        key = ("proj", token)
+        adg = self._cached_projection(key)
+        if adg is None:
+            adg = ADG()
+            project_skeleton(self.skeleton, adg, [], self.estimators)
+            self.cache.count_projection_pass()
+            self.cache.put(key, (adg, adg.rev))
+            self._remember(adg, token)
+        return adg
+
+    # -- cached schedule primitives -------------------------------------------------
+
+    def best_effort(self, adg: ADG, now: float) -> ScheduleResult:
+        """Best-effort (infinite LP) schedule, cached per (rev, now)."""
+        token = self._token_of(adg)
+        key = ("be", token, now) if token is not None else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        result = best_effort_schedule(adg, now)
+        self.cache.count_schedule_pass()
+        if key is not None:
+            self.cache.put(key, result)
+        return result
+
+    def _critical_path(self, adg: ADG) -> Dict[int, float]:
+        token = self._token_of(adg)
+        key = ("cp", token) if token is not None else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        table = remaining_critical_path(adg)
+        if key is not None:
+            self.cache.put(key, table)
+        return table
+
+    def _pinned(self, adg: ADG, now: float):
+        token = self._token_of(adg)
+        key = ("pin", token, now) if token is not None else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        base = pin_actuals(adg, now)
+        if key is not None:
+            self.cache.put(key, base)
+        return base
+
+    def limited(self, adg: ADG, now: float, lp: int) -> ScheduleResult:
+        """Limited-LP list schedule, cached per (rev, now, lp).
+
+        On a miss only the pending frontier is re-scheduled: the pinned
+        actuals and the critical-path table come from their own caches,
+        shared across every LP of a scan.
+        """
+        token = self._token_of(adg)
+        key = ("lim", token, now, lp) if token is not None else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        result = schedule_pending(
+            adg,
+            now,
+            lp,
+            "critical-path",
+            self._pinned(adg, now),
+            self._critical_path(adg),
+        )
+        self.cache.count_schedule_pass()
+        if key is not None:
+            self.cache.put(key, result)
+        return result
+
+    # -- derived quantities -----------------------------------------------------------
+
+    def optimal_lp(self, adg: ADG, now: float) -> int:
+        """Peak future concurrency of the best-effort schedule."""
+        return self.best_effort(adg, now).peak(from_time=now)
+
+    def wct_at(self, adg: ADG, now: float, lp: int) -> float:
+        """Projected WCT under *lp* workers."""
+        return self.limited(adg, now, lp).wct
+
+    def minimal_lp(
+        self,
+        adg: ADG,
+        now: float,
+        deadline: float,
+        cap: Optional[int] = None,
+        start_lp: int = 1,
+    ) -> Optional[int]:
+        """Smallest LP whose greedy schedule meets *deadline*, or ``None``.
+
+        Same linear scan (and same answers) as :func:`~repro.core.
+        schedule.minimal_lp_greedy`, but the best-effort upper bound and
+        every limited schedule come from the cache, and each scanned LP
+        re-schedules only the pending frontier.
+        """
+        token = self._token_of(adg)
+        key = (
+            ("mlp", token, now, deadline, cap, start_lp)
+            if token is not None
+            else None
+        )
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached[0]
+        upper = max(self.optimal_lp(adg, now), 1)
+        if cap is not None:
+            upper = min(upper, cap)
+        answer: Optional[int] = None
+        for lp in range(max(1, start_lp), upper + 1):
+            if self.limited(adg, now, lp).wct <= deadline + _EPS:
+                answer = lp
+                break
+        if key is not None:
+            self.cache.put(key, (answer,))
+        return answer
+
+    # -- structural (admission) arithmetic ---------------------------------------------
+
+    def structural_wct(self, lp: int, start: float = 0.0) -> Optional[float]:
+        """Projected WCT of a fresh run under *lp* workers (cached).
+
+        Scheduled at ``start=0.0`` by default — the admission gates'
+        frame of reference — which makes the answer independent of the
+        clock: held-queue re-evaluations hit the cache until an estimate
+        changes.  ``None`` while the estimates are cold.
+        """
+        adg = self.structural_projection()
+        if adg is None:
+            return None
+        return self.limited(adg, start, lp).wct
+
+    def structural_minimal_lp(
+        self, goal_seconds: float, cap: Optional[int] = None
+    ) -> Optional[int]:
+        """Smallest LP meeting *goal_seconds* on an idle machine.
+
+        The admission-time quantity the backfill reservation pins for a
+        held queue head.  ``None`` while cold or when no LP up to *cap*
+        meets the goal.
+        """
+        adg = self.structural_projection()
+        if adg is None:
+            return None
+        return self.minimal_lp(adg, 0.0, goal_seconds, cap=cap)

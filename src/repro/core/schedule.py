@@ -36,8 +36,12 @@ from .adg import ADG, Activity
 __all__ = [
     "ScheduledActivity",
     "ScheduleResult",
+    "PinnedPlanBase",
     "best_effort_schedule",
     "limited_lp_schedule",
+    "remaining_critical_path",
+    "pin_actuals",
+    "schedule_pending",
     "optimal_lp",
     "minimal_lp_greedy",
     "exact_minimal_lp",
@@ -172,6 +176,92 @@ def _actual_or_estimate(
 # limited LP (greedy list scheduling)
 
 
+@dataclass
+class PinnedPlanBase:
+    """Pass-1 output of limited-LP list scheduling: the actuals pinned.
+
+    Finished/running activities and the derived pending-frontier state
+    depend only on the ADG and *now* — never on the worker count — so one
+    pinning pass can seed every LP of a minimal-LP scan.  The planning
+    engine caches instances per ``(adg revision, now)`` and re-schedules
+    only the pending frontier (:func:`schedule_pending`) per LP.
+    """
+
+    now: float
+    entries: Dict[int, ScheduledActivity]
+    ends: Dict[int, float]
+    busy: List[float]  # heap of worker-release times (future only)
+    pending_preds: Dict[int, int]
+    ready_time: Dict[int, float]
+    to_schedule: int
+
+
+def remaining_critical_path(adg: ADG) -> Dict[int, float]:
+    """Remaining dependency-chain length per activity (priority table).
+
+    Depends only on the graph, durations and finished flags — i.e. it is
+    constant for one projected ADG, whatever *now* or the LP — so the
+    planning engine computes it once per ADG revision and reuses it for
+    every frontier re-schedule.
+    """
+    remaining_cp: Dict[int, float] = {}
+    for aid in reversed(adg.topological_order()):
+        act = adg.activity(aid)
+        succ_cp = max(
+            (remaining_cp[s] for s in adg.successors(aid)), default=0.0
+        )
+        remaining_cp[aid] = succ_cp + (0.0 if act.finished else act.duration)
+    return remaining_cp
+
+
+def pin_actuals(adg: ADG, now: float) -> PinnedPlanBase:
+    """Pin finished and running activities (list scheduling pass 1).
+
+    Finished activities keep their actual times; running activities
+    occupy a worker until their clamped estimated end.  Pending
+    activities get their unpinned-predecessor counts and — when every
+    predecessor is already pinned — their earliest ready time.
+    """
+    entries: Dict[int, ScheduledActivity] = {}
+    ends: Dict[int, float] = {}
+    pending_preds: Dict[int, int] = {}
+    ready_time: Dict[int, float] = {}
+    busy: List[float] = []
+    to_schedule = 0
+    for aid in adg.topological_order():
+        act = adg.activity(aid)
+        if act.finished:
+            ends[aid] = act.end
+            entries[aid] = ScheduledActivity(
+                aid, act.name, act.start, act.end, "finished"
+            )
+        elif act.started:
+            end = max(act.start + act.duration, now)
+            ends[aid] = end
+            entries[aid] = ScheduledActivity(
+                aid, act.name, act.start, end, "running"
+            )
+            heapq.heappush(busy, end)  # occupies a worker until it ends
+        else:
+            to_schedule += 1
+            pending_preds[aid] = sum(
+                1 for p in act.preds if p not in ends
+            )
+            if pending_preds[aid] == 0:
+                ready_time[aid] = max(
+                    max((ends[p] for p in act.preds), default=now), now
+                )
+    return PinnedPlanBase(
+        now=now,
+        entries=entries,
+        ends=ends,
+        busy=busy,
+        pending_preds=pending_preds,
+        ready_time=ready_time,
+        to_schedule=to_schedule,
+    )
+
+
 def limited_lp_schedule(
     adg: ADG,
     now: float,
@@ -190,6 +280,28 @@ def limited_lp_schedule(
     ``"critical-path"`` (default — longest remaining dependency chain
     first, the classic greedy heuristic) or ``"fifo"`` (activity id, i.e.
     program order).
+
+    This is the from-scratch composition of :func:`pin_actuals` +
+    :func:`schedule_pending`; the planning engine caches the two halves
+    independently and re-runs only the pending frontier per LP.
+    """
+    return schedule_pending(
+        adg, now, lp, priority, pin_actuals(adg, now), remaining_critical_path(adg)
+    )
+
+
+def schedule_pending(
+    adg: ADG,
+    now: float,
+    lp: int,
+    priority: str,
+    base: PinnedPlanBase,
+    remaining_cp: Dict[int, float],
+) -> ScheduleResult:
+    """Event-driven pass 2: schedule the pending frontier under *lp*.
+
+    *base* is never mutated (its dicts and heap are copied), so one
+    pinning pass seeds arbitrarily many LP evaluations.
     """
     if lp < 1:
         raise SchedulingError(f"lp must be >= 1, got {lp}")
@@ -197,58 +309,22 @@ def limited_lp_schedule(
         raise SchedulingError(f"unknown priority {priority!r}")
 
     result = ScheduleResult(strategy="limited-lp", now=now, lp=lp)
-    # Remaining critical path per activity, for priority.
-    remaining_cp: Dict[int, float] = {}
-    for aid in reversed(adg.topological_order()):
-        act = adg.activity(aid)
-        succ_cp = max(
-            (remaining_cp[s] for s in adg.successors(aid)), default=0.0
-        )
-        remaining_cp[aid] = succ_cp + (0.0 if act.finished else act.duration)
-
-    ends: Dict[int, float] = {}
-    pending_preds: Dict[int, int] = {}
-    ready_time: Dict[int, float] = {}
-    busy: List[float] = []  # heap of worker-release times (future only)
-    to_schedule = 0
-
-    # Pass 1: pin finished and running activities.
-    for aid in adg.topological_order():
-        act = adg.activity(aid)
-        if act.finished:
-            ends[aid] = act.end
-            result.entries[aid] = ScheduledActivity(
-                aid, act.name, act.start, act.end, "finished"
-            )
-        elif act.started:
-            end = max(act.start + act.duration, now)
-            ends[aid] = end
-            result.entries[aid] = ScheduledActivity(
-                aid, act.name, act.start, end, "running"
-            )
-            heapq.heappush(busy, end)  # occupies a worker until it ends
-        else:
-            to_schedule += 1
-            pending_preds[aid] = sum(
-                1 for p in act.preds if p not in ends
-            )
-            if pending_preds[aid] == 0:
-                ready_time[aid] = max(
-                    max((ends[p] for p in act.preds), default=now), now
-                )
+    result.entries = dict(base.entries)
+    ends = dict(base.ends)
+    pending_preds = dict(base.pending_preds)
+    busy = list(base.busy)
+    to_schedule = base.to_schedule
 
     def prio(aid: int) -> Tuple:
         if priority == "critical-path":
             return (-remaining_cp[aid], aid)
         return (aid,)
 
-    # Event-driven pass 2: schedule pending activities.
-    #
     # `waiting` holds activities whose predecessors are scheduled, keyed by
     # the time they become ready; `ready` holds those ready at or before
     # the cursor, ordered by priority.
     waiting: List[Tuple[float, int]] = [
-        (r, aid) for aid, r in ready_time.items()
+        (r, aid) for aid, r in base.ready_time.items()
     ]
     heapq.heapify(waiting)
     ready: List[Tuple] = []
@@ -397,11 +473,7 @@ def _feasible_with_lp(adg: ADG, now: float, deadline: float, lp: int) -> bool:
     pending_ids = tuple(a.id for a in adg.activities if not a.started)
 
     # Remaining critical path per activity, for pruning.
-    remaining_cp: Dict[int, float] = {}
-    for aid in reversed(adg.topological_order()):
-        act = adg.activity(aid)
-        succ_cp = max((remaining_cp[s] for s in adg.successors(aid)), default=0.0)
-        remaining_cp[aid] = succ_cp + (0.0 if act.finished else act.duration)
+    remaining_cp = remaining_critical_path(adg)
 
     initial_map: Dict[int, float] = {}
     for act in adg.activities:

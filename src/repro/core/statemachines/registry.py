@@ -60,6 +60,18 @@ class MachineRegistry(Listener):
         self.lock = threading.RLock()
         self._machines: Dict[int, TrackingMachine] = {}
         self.roots: List[TrackingMachine] = []
+        self._rev = 0
+
+    @property
+    def rev(self) -> int:
+        """Monotonic revision counter, bumped on every consumed event.
+
+        Projections derive entirely from machine state + estimates, so
+        the planning layer reuses a projected ADG for as long as
+        ``(rev, estimators.version)`` is unchanged — i.e. until another
+        event of this execution lands.
+        """
+        return self._rev
 
     # -- Listener API ------------------------------------------------------
 
@@ -69,6 +81,7 @@ class MachineRegistry(Listener):
             if machine is None:
                 machine = self._create(event)
             machine.on_event(event)
+            self._rev += 1
         return event.value
 
     # -- machine management ---------------------------------------------------
@@ -132,3 +145,4 @@ class MachineRegistry(Listener):
         with self.lock:
             self._machines.clear()
             self.roots.clear()
+            self._rev += 1

@@ -28,6 +28,14 @@ scenario-1 cold start.
   under the current load is *held* until completions or progress free
   enough committed budget (or rejected, under the ``reject`` policy) —
   admitting it would guarantee a slow miss that EEDF alone cannot avoid.
+
+Both gates schedule a *structural* ADG at ``start=0.0`` — arithmetic
+that depends only on the program shape and the current estimates, never
+on the clock.  When the caller passes the submission's
+:class:`~repro.core.planning.PlanEngine` the projection and every
+limited-LP schedule come from the shared plan cache, so re-evaluating a
+held queue costs cache lookups until an estimate actually changes
+(the re-projection cost the ROADMAP flagged on the event path).
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from typing import Optional
 
 from ..core.adg import ADG
 from ..core.estimator import EstimatorRegistry
+from ..core.planning import PlanEngine
 from ..core.projection import project_skeleton, projected_wct
 from ..core.qos import QoS
 from ..core.schedule import limited_lp_schedule
@@ -58,6 +67,10 @@ class AdmissionDecision:
 
     action: str  # "admit" | "hold" | "reject"
     reason: str = ""
+    #: True when the load gate (not a quota/max_live start blocker) is
+    #: among the reasons a held submission cannot start — the case the
+    #: backfill reservation protects against.
+    load_blocked: bool = False
 
     @property
     def admitted(self) -> bool:
@@ -142,17 +155,33 @@ class AdmissionController:
         program: Skeleton,
         qos: Optional[QoS],
         estimators: EstimatorRegistry,
+        engine: Optional[PlanEngine] = None,
     ) -> Optional[ADG]:
         """Structural ADG both gates schedule against, built **once** per
-        evaluation.  ``None`` when no gate applies (no WCT goal) or the
-        estimates are cold (admit optimistically, as in the paper)."""
+        evaluation — or pulled from the submission's plan cache when its
+        *engine* is passed.  ``None`` when no gate applies (no WCT goal)
+        or the estimates are cold (admit optimistically, as in the
+        paper)."""
         if qos is None or qos.wct is None:
             return None
+        if engine is not None:
+            return engine.structural_projection()
         if not estimators.ready_for(program):
             return None
         adg = ADG()
         project_skeleton(program, adg, [], estimators)
         return adg
+
+    @staticmethod
+    def _structural_wct(
+        projection: ADG, lp: int, engine: Optional[PlanEngine]
+    ) -> float:
+        """WCT of *projection* under *lp* workers from ``start=0.0`` —
+        cached through *engine* when available (the answer only depends
+        on the estimates, so held-queue re-evaluations hit the cache)."""
+        if engine is not None:
+            return engine.limited(projection, 0.0, lp).wct
+        return limited_lp_schedule(projection, 0.0, lp).wct
 
     def _dedicated_lp(self, qos: QoS) -> int:
         """The LP the capacity gate assumes: full capacity, MaxLPGoal-capped."""
@@ -161,13 +190,16 @@ class AdmissionController:
         return self.capacity
 
     def _goal_infeasible(
-        self, qos: Optional[QoS], projection: Optional[ADG]
+        self,
+        qos: Optional[QoS],
+        projection: Optional[ADG],
+        engine: Optional[PlanEngine] = None,
     ) -> Optional[str]:
         """Reason string when the WCT goal is predicted unreachable."""
         if projection is None:
             return None
         lp_cap = self._dedicated_lp(qos)
-        predicted = limited_lp_schedule(projection, 0.0, lp_cap).wct
+        predicted = self._structural_wct(projection, lp_cap, engine)
         goal = qos.wct.effective_seconds
         if predicted > goal + _EPS:
             return (
@@ -190,14 +222,26 @@ class AdmissionController:
         qos: Optional[QoS],
         projection: Optional[ADG],
         available_lp: Optional[int],
+        engine: Optional[PlanEngine] = None,
+        reserved: int = 0,
     ) -> Optional[str]:
         """Reason the goal cannot be met under the *current* load.
 
         ``None`` when the gate does not apply (disabled, no goal, cold
         estimates, unknown load) or the goal fits the available budget.
+        *available_lp* arrives with the held-queue head's backfill
+        reservation already subtracted; *reserved* says how much, so a
+        reservation that consumed the whole budget blocks outright —
+        without it the one-worker floor below would let every tiny goal
+        keep backfilling past the held head.
         """
         if not self.load_aware or available_lp is None or projection is None:
             return None
+        if reserved > 0 and available_lp < 1:
+            return (
+                f"{reserved} worker(s) reserved for the held queue head "
+                f"leave no budget for this submission right now"
+            )
         usable = self.usable_lp(qos, available_lp)
         if usable >= self._dedicated_lp(qos):
             # The verdict cannot differ from the capacity gate's (which
@@ -207,7 +251,7 @@ class AdmissionController:
             # usable == dedicated == 1 case (MaxLPGoal(1) on a committed
             # machine): the capacity gate evaluated exactly LP 1 there.
             return None
-        predicted = limited_lp_schedule(projection, 0.0, usable).wct
+        predicted = self._structural_wct(projection, usable, engine)
         goal = qos.wct.effective_seconds
         if predicted > goal + _EPS:
             return (
@@ -227,20 +271,26 @@ class AdmissionController:
         tenant: str,
         live_count: int,
         available_lp: Optional[int] = None,
+        engine: Optional[PlanEngine] = None,
+        reserved: int = 0,
     ) -> AdmissionDecision:
         """Decide admit/hold/reject for one submission (service-locked).
 
         *available_lp* is the worker budget the arbiter could grant this
         submission right now (capacity minus same-or-higher-priority
-        commitments; ``None`` = unknown, skips the load gate).
+        commitments and minus any backfill *reserved* workers; ``None`` =
+        unknown, skips the load gate).  *engine* is the submission's plan
+        engine; when given, both gates run on cached structural plans.
         """
-        projection = self._project(program, qos, estimators)
-        infeasible = self._goal_infeasible(qos, projection)
+        projection = self._project(program, qos, estimators, engine)
+        infeasible = self._goal_infeasible(qos, projection, engine)
         if infeasible is not None:
             return AdmissionDecision(REJECT, infeasible)
-        blocked = self._start_blocker(tenant, live_count) or self._load_blocker(
-            qos, projection, available_lp
+        start_blocked = self._start_blocker(tenant, live_count)
+        load_blocked = self._load_blocker(
+            qos, projection, available_lp, engine, reserved
         )
+        blocked = start_blocked or load_blocked
         if blocked is None:
             return AdmissionDecision(ADMIT)
         if self.policy == REJECT:
@@ -251,7 +301,9 @@ class AdmissionController:
                 f"tenant {tenant!r} exceeded its pending quota "
                 f"({self.tenants.quota_for(tenant).max_pending})",
             )
-        return AdmissionDecision(HOLD, blocked)
+        return AdmissionDecision(
+            HOLD, blocked, load_blocked=load_blocked is not None
+        )
 
     def _start_blocker(self, tenant: str, live_count: int) -> Optional[str]:
         """Reason the submission cannot start now (``None`` = it can)."""
@@ -275,11 +327,36 @@ class AdmissionController:
         qos: Optional[QoS],
         estimators: EstimatorRegistry,
         available_lp: Optional[int],
+        engine: Optional[PlanEngine] = None,
+        reserved: int = 0,
     ) -> bool:
         """Re-run the load gate for a held submission.
 
         True when the goal fits the budget the arbiter could grant now
         (or the gate does not apply) — the expensive promotion half, paid
-        only after :meth:`can_start_now` passed."""
-        projection = self._project(program, qos, estimators)
-        return self._load_blocker(qos, projection, available_lp) is None
+        only after :meth:`can_start_now` passed.  With *engine* the
+        projection and schedules resolve against the shared plan cache,
+        so a held queue re-evaluates at cache-lookup cost until an
+        estimate changes."""
+        projection = self._project(program, qos, estimators, engine)
+        return (
+            self._load_blocker(qos, projection, available_lp, engine, reserved)
+            is None
+        )
+
+    def reservation_for(
+        self, qos: Optional[QoS], engine: Optional[PlanEngine]
+    ) -> Optional[int]:
+        """Admission-time minimal LP of a goal-carrying held submission.
+
+        The worker count the backfill reservation protects for the held
+        queue's head: the smallest LP meeting its WCT goal on an idle
+        machine, straight from its (cached) structural plan.  ``None``
+        when no goal, cold estimates, or no LP up to the dedicated cap
+        meets the goal.
+        """
+        if qos is None or qos.wct is None or engine is None:
+            return None
+        return engine.structural_minimal_lp(
+            qos.wct.effective_seconds, cap=self._dedicated_lp(qos)
+        )

@@ -26,10 +26,20 @@ Plan + Execute halves with a single global decision, in three layers:
    (below its optimal LP / ``MaxLPGoal``) *in proportion to its weight*
    (``QoS.weight``, defaulting to the tenant's quota weight) by
    largest-remainder apportionment.  A starvation-free **decay** ages the
-   weights: each consecutive rebalance in which an execution wanted
-   surplus but received none doubles its effective weight (capped), so
-   even a feather-weight tenant wins workers after O(log weight-ratio)
-   rounds of pressure.
+   weights of executions that wanted surplus but received none.  By
+   default the aging clock is **virtual time**: the effective weight
+   doubles per ``starvation_unit`` seconds starved on the platform
+   clock, so the fairness horizon is independent of how densely analysis
+   ticks (and therefore rebalances) arrive.  ``aging="rounds"`` restores
+   the per-rebalance-round doubling.
+
+Analysis is pulled, not recomputed: every rebalance asks each
+execution's :class:`~repro.core.analysis.ExecutionAnalyzer` for a
+report, and the reports ride the per-execution
+:class:`~repro.core.planning.PlanEngine` — projections are reused for
+executions with no new events, and the minimal/optimal-LP queries below
+resolve against cached plans instead of re-running schedules from
+scratch per tick.
 
 Execution happens through two platform knobs: the global level of
 parallelism (``set_parallelism``, total pool size) and the per-execution
@@ -92,9 +102,19 @@ class LPArbiter:
         arbitration overhead under storms of very fine-grained muscles,
         where wall-clock alone would still admit a rebalance per event.
     starvation_base:
-        Aging base of the fair-share decay: an execution that wanted
-        surplus but received none for *k* consecutive rebalances competes
-        with weight ``weight * starvation_base**k``.  1.0 disables aging.
+        Aging base of the fair-share decay: a starved execution competes
+        with weight ``weight * starvation_base**k``, where *k* is the
+        aging exponent (see *aging*).  1.0 disables aging.
+    aging:
+        What drives the exponent *k*.  ``"virtual-time"`` (default):
+        seconds starved on the platform clock divided by
+        ``starvation_unit`` — tick-density independent, so a storm of
+        fine-grained events cannot fast-forward fairness and a sparse
+        workload cannot stall it.  ``"rounds"``: consecutive rebalance
+        rounds passed over (the pre-virtual-time behaviour).
+    starvation_unit:
+        Seconds of starvation per doubling under virtual-time aging
+        (default 1.0; ignored under ``"rounds"``).
     history:
         How many recent :class:`Rebalance` records to retain for
         observability (:attr:`rebalances`, :meth:`shares_history`).  A
@@ -109,6 +129,8 @@ class LPArbiter:
         min_interval: float = 0.0,
         min_events: int = 1,
         starvation_base: float = 2.0,
+        aging: str = "virtual-time",
+        starvation_unit: float = 1.0,
         history: int = 1024,
     ):
         capacity = capacity if capacity is not None else platform.max_parallelism
@@ -123,15 +145,26 @@ class LPArbiter:
             raise ValueError(
                 f"starvation_base must be >= 1.0, got {starvation_base}"
             )
+        if aging not in ("virtual-time", "rounds"):
+            raise ValueError(f"unknown aging mode {aging!r}")
+        if starvation_unit <= 0.0:
+            raise ValueError(
+                f"starvation_unit must be > 0, got {starvation_unit}"
+            )
         self.platform = platform
         self.capacity = int(capacity)
         self.min_interval = min_interval
         self.min_events = int(min_events)
         self.starvation_base = float(starvation_base)
+        self.aging = aging
+        self.starvation_unit = float(starvation_unit)
         self.rebalances: Deque[Rebalance] = deque(maxlen=history)
         self._last: Optional[float] = None
         self._ticks = 0
-        self._starved: Dict[int, int] = {}
+        #: execution id -> (consecutive passed-over rounds, time first
+        #: passed over); the two aging clocks share one record so no
+        #: update site can desynchronize them.
+        self._starved: Dict[int, Tuple[int, float]] = {}
         self._lock = threading.Lock()
 
     # -- arbitration ------------------------------------------------------------
@@ -226,11 +259,26 @@ class LPArbiter:
             priority = getattr(qos, "priority", 0) if qos is not None else 0
         return int(priority)
 
-    def _aged_weight(self, eid: int, weight: float) -> float:
-        rounds = self._starved.get(eid, 0)
-        if rounds and self.starvation_base > 1.0:
-            return weight * self.starvation_base**rounds
-        return weight
+    def _aged_weight(self, eid: int, weight: float, now: float) -> float:
+        """Effective fair-share weight after starvation aging.
+
+        The exponent is seconds starved over ``starvation_unit``
+        (virtual-time mode, default) or consecutive passed-over rounds
+        (``aging="rounds"``), capped against float overflow either way.
+        """
+        if self.starvation_base <= 1.0:
+            return weight
+        entry = self._starved.get(eid)
+        if entry is None:
+            return weight
+        if self.aging == "rounds":
+            exponent: float = entry[0]
+        else:
+            exponent = (now - entry[1]) / self.starvation_unit
+        exponent = min(max(exponent, 0.0), _MAX_STARVED_ROUNDS)
+        if exponent <= 0.0:
+            return weight
+        return weight * self.starvation_base**exponent
 
     # -- allocation -------------------------------------------------------------
 
@@ -310,7 +358,9 @@ class LPArbiter:
         for eid in cold:
             ceilings[eid] = self._ceiling(self.capacity, caps[eid])
         if budget > 0:
-            aged = {eid: self._aged_weight(eid, weights[eid]) for eid in order}
+            aged = {
+                eid: self._aged_weight(eid, weights[eid], now) for eid in order
+            }
             self._split_surplus(budget, order, shares, ceilings, aged)
             # Age the weights of executions that wanted surplus but
             # received none; reset as soon as one worker flows their way.
@@ -319,8 +369,10 @@ class LPArbiter:
             # tenants bank a 2**k head start over newcomers for free.
             for eid in order:
                 if shares[eid] < ceilings[eid] and shares[eid] <= committed[eid]:
-                    self._starved[eid] = min(
-                        self._starved.get(eid, 0) + 1, _MAX_STARVED_ROUNDS
+                    rounds, since = self._starved.get(eid, (0, now))
+                    self._starved[eid] = (
+                        min(rounds + 1, _MAX_STARVED_ROUNDS),
+                        since,
                     )
                 else:
                     self._starved.pop(eid, None)
@@ -400,7 +452,24 @@ class LPArbiter:
     def starved_rounds(self, execution_id: int) -> int:
         """Consecutive rebalances *execution_id* wanted surplus in vain."""
         with self._lock:
-            return self._starved.get(execution_id, 0)
+            entry = self._starved.get(execution_id)
+        return entry[0] if entry is not None else 0
+
+    def starved_seconds(
+        self, execution_id: int, now: Optional[float] = None
+    ) -> float:
+        """Platform-clock seconds *execution_id* has starved for surplus.
+
+        0.0 when it is not currently starved.  *now* defaults to the
+        platform clock; pass the rebalance time for exact accounting.
+        """
+        with self._lock:
+            entry = self._starved.get(execution_id)
+        if entry is None:
+            return 0.0
+        if now is None:
+            now = self.platform.now()
+        return max(0.0, now - entry[1])
 
     def shares_history(self, execution_id: int) -> List[int]:
         """Granted share of one execution across all rebalances it was in."""

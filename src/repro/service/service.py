@@ -21,6 +21,7 @@ import threading
 from typing import Any, Dict, List, Optional
 
 from ..core.analysis import ExecutionAnalyzer, is_analysis_point
+from ..core.planning import PlanCache
 from ..core.qos import Priority, QoS
 from ..errors import ExecutionCancelledError, ServiceError
 from ..events.bus import Listener
@@ -63,7 +64,7 @@ class _AnalysisTicker(Listener):
 class _ExecutionRecord:
     """Service-internal record of one submission (live or held)."""
 
-    __slots__ = ("handle", "analyzer", "blocked_usable")
+    __slots__ = ("handle", "analyzer", "blocked_usable", "load_held", "reserved_lp")
 
     def __init__(self, handle: ExecutionHandle, analyzer: ExecutionAnalyzer):
         self.handle = handle
@@ -72,6 +73,14 @@ class _ExecutionRecord:
         #: submission at; promotion skips the (expensive) re-projection
         #: until the budget actually grows past it.
         self.blocked_usable: Optional[int] = None
+        #: True when the load gate is (part of) why this record is held —
+        #: the case the backfill reservation protects.
+        self.load_held = False
+        #: Admission-time minimal LP of a held goal (from its structural
+        #: plan): while this record heads the held queue, that many
+        #: workers are reserved against later same-or-lower-priority
+        #: submissions so a stream of small goals cannot starve it.
+        self.reserved_lp: Optional[int] = None
 
 
 class SkeletonService:
@@ -118,6 +127,22 @@ class SkeletonService:
         arbiter could actually grant them now (capacity minus same-or-
         higher-priority commitments), holding goals that are feasible
         only on an idle machine until load drains.  Default on.
+    backfill_reservation:
+        While the held queue's head is load-held with a warm WCT goal,
+        reserve its admission-time minimal LP against later same-or-
+        lower-priority submissions (their load gate sees that much less
+        budget), so a steady stream of small feasible goals cannot
+        indefinitely backfill past a held wide goal.  Default on.
+    starvation_aging:
+        The arbiter's fair-share aging clock: ``"virtual-time"``
+        (default — age by seconds starved on the platform clock) or
+        ``"rounds"`` (age by rebalance rounds; tick-density dependent).
+    plan_cache:
+        The shared :class:`~repro.core.planning.PlanCache` backing every
+        execution's :class:`~repro.core.planning.PlanEngine` and the
+        admission gates.  Defaults to a fresh cache; pass
+        ``PlanCache(maxsize=0)`` to disable plan reuse (the benchmark's
+        from-scratch baseline).
     platform_kwargs:
         Extra keyword arguments for the self-created platform
         (``chunk_size``, ``start_method``, ...).
@@ -137,6 +162,9 @@ class SkeletonService:
         min_rebalance_interval: float = 0.05,
         min_rebalance_events: int = 1,
         load_aware_admission: bool = True,
+        backfill_reservation: bool = True,
+        starvation_aging: str = "virtual-time",
+        plan_cache: Optional[PlanCache] = None,
         **platform_kwargs: Any,
     ):
         self._owns_platform = platform is None
@@ -163,6 +191,8 @@ class SkeletonService:
         self.capacity = int(capacity)
         self.rho = rho
         self.extensions = extensions
+        self.backfill_reservation = backfill_reservation
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.tenants = TenantBook(default_quota=default_quota, quotas=quotas)
         self.admission = AdmissionController(
             capacity=self.capacity,
@@ -176,6 +206,7 @@ class SkeletonService:
             capacity=self.capacity,
             min_interval=min_rebalance_interval,
             min_events=min_rebalance_events,
+            aging=starvation_aging,
         )
         self.stats = ServiceStats()
         self._lock = threading.RLock()
@@ -218,6 +249,7 @@ class SkeletonService:
                 skeleton=program,
                 rho=self.rho,
                 extensions=self.extensions,
+                plan_cache=self.plan_cache,
             )
             # Resolve the scheduling class once, at the submission
             # boundary: QoS override first, tenant quota default second.
@@ -243,6 +275,9 @@ class SkeletonService:
             handle._service = self
             handle.analyzer = analyzer
             self.stats.record_submitted(tenant)
+            reserved = self._reserved_against_locked(
+                analyzer.share_priority, requesting=None
+            )
             decision = self.admission.evaluate(
                 program,
                 qos,
@@ -251,7 +286,10 @@ class SkeletonService:
                 live_count=len(self._live),
                 available_lp=self._available_budget_locked(
                     analyzer.share_priority
-                ),
+                )
+                - reserved,
+                engine=analyzer.plan,
+                reserved=reserved,
             )
             if decision.rejected:
                 self.stats.record_rejected(tenant)
@@ -260,7 +298,13 @@ class SkeletonService:
             if decision.held:
                 self.stats.record_held(tenant)
                 self.tenants.queued(tenant)
-                self._held.append(_ExecutionRecord(handle, analyzer))
+                record = _ExecutionRecord(handle, analyzer)
+                record.load_held = decision.load_blocked
+                if self.backfill_reservation:
+                    record.reserved_lp = self.admission.reservation_for(
+                        qos, analyzer.plan
+                    )
+                self._held.append(record)
                 return handle
             self._launch_locked(handle, analyzer)
             return handle
@@ -319,7 +363,9 @@ class SkeletonService:
         guaranteed grant (minimal deadline-meeting LP, from the last
         rebalance) for same-or-higher classes, only the preemption-proof
         one-worker floor for lower classes — exactly what the arbiter's
-        priority phase would leave them.
+        priority phase would leave them.  The held-queue head's backfill
+        reservation (:meth:`_reserved_against_locked`) is layered on top
+        by the call sites, which know who is asking.
         """
         last = self.arbiter.last_rebalance
         committed = 0
@@ -329,6 +375,45 @@ class SkeletonService:
             else:
                 committed += 1
         return self.capacity - committed
+
+    def _reservation_of_locked(
+        self, head: Optional[_ExecutionRecord], priority: int
+    ) -> int:
+        """Backfill reservation: workers protected for the held *head*.
+
+        While the held queue's head is load-held with a warm goal, its
+        admission-time minimal LP is withheld from every later same-or-
+        lower-priority submission's budget, so a steady stream of small
+        feasible goals cannot indefinitely delay it (the classic
+        backfill/reservation tradeoff the ROADMAP flagged).  Higher-class
+        submissions pass through — they would preempt the head's class
+        anyway — and quota-held heads reserve nothing: workers are not
+        what they are waiting for.
+        """
+        if not self.backfill_reservation or head is None or not head.reserved_lp:
+            return 0
+        if not (head.load_held or head.blocked_usable is not None):
+            return 0
+        if not self.admission.can_start_now(
+            head.handle.tenant, live_count=len(self._live)
+        ):
+            # A quota/max_live blocker is (now) what holds the head, not
+            # the budget — reserving workers it could not use anyway
+            # would starve everyone else for nothing.
+            return 0
+        if getattr(head.analyzer, "share_priority", 0) < priority:
+            return 0
+        return head.reserved_lp
+
+    def _reserved_against_locked(
+        self, priority: int, requesting: Optional[_ExecutionRecord]
+    ) -> int:
+        """Reservation the current held-queue head imposes on a request
+        (the head itself is exempt)."""
+        head = self._held[0] if self._held else None
+        if head is requesting:
+            head = None
+        return self._reservation_of_locked(head, priority)
 
     def _promote_held_locked(self) -> None:
         """Launch every held submission whose blockers cleared (FIFO).
@@ -349,13 +434,22 @@ class SkeletonService:
             ):
                 still_held.append(record)
                 continue
-            available = self._available_budget_locked(
-                record.analyzer.share_priority
+            # The reservation a record must respect comes from the first
+            # record *still held this pass* — a head that just launched
+            # above no longer reserves anything.
+            reserved = self._reservation_of_locked(
+                still_held[0] if still_held else None,
+                record.analyzer.share_priority,
+            )
+            available = (
+                self._available_budget_locked(record.analyzer.share_priority)
+                - reserved
             )
             usable = self.admission.usable_lp(handle.qos, available)
             if (
                 record.blocked_usable is not None
                 and usable <= record.blocked_usable
+                and reserved == 0
             ):
                 still_held.append(record)
                 continue
@@ -364,12 +458,18 @@ class SkeletonService:
                 handle.qos,
                 record.analyzer.estimators,
                 available,
+                engine=record.analyzer.plan,
+                reserved=reserved,
             ):
                 record.blocked_usable = None
                 self.tenants.dequeued(handle.tenant)
                 self._launch_locked(handle, record.analyzer)
             else:
-                record.blocked_usable = usable
+                # The monotonicity memo only holds for WCT-gate failures;
+                # a reservation-caused block can clear at the *same*
+                # usable budget (the head launches), so it is not memoed.
+                record.blocked_usable = usable if reserved == 0 else None
+                record.load_held = True
                 still_held.append(record)
         self._held = still_held
 

@@ -1,0 +1,414 @@
+"""Plan-cache correctness properties for the incremental planning layer.
+
+The :class:`~repro.core.planning.PlanEngine` promises that every cached
+answer is **bit-for-bit equal** to a from-scratch
+:mod:`repro.core.schedule` recompute at the same arguments.  These tests
+pin that contract:
+
+* seeded/generated scenarios compare every engine answer — WCT, minimal
+  LP, optimal LP, full timelines — against direct ``schedule.py`` runs
+  over a freshly projected ADG, both for structural (pre-start) plans
+  and live (mid-execution) plans at real analysis points;
+* explicit invalidation tests: a new event (ADG/machine revision) or an
+  estimator update (version stamp) must produce fresh answers, while an
+  unchanged world must hit the cache (same object back).
+
+The sweeps carry the ``service_stress`` marker so the dedicated CI job
+runs them alongside the arbiter property harness.
+"""
+
+import pytest
+from hypothesis import assume, given
+
+from repro import SimulatedPlatform, run
+from repro.core.adg import ADG
+from repro.core.analysis import ExecutionAnalyzer, is_analysis_point
+from repro.core.estimator import EstimatorRegistry
+from repro.core.persistence import snapshot_from_names
+from repro.core.planning import PlanCache
+from repro.core.projection import project_skeleton, projected_wct
+from repro.core.qos import QoS
+from repro.core.schedule import (
+    best_effort_schedule,
+    limited_lp_schedule,
+    minimal_lp_greedy,
+)
+from repro.events.bus import Listener
+from repro.events.recorder import EventRecorder
+from repro.runtime.costmodel import ConstantCostModel
+from repro.skeletons import Execute, Map, Merge, Seq, Split
+from tests.conftest import build_program, program_descriptions
+
+
+def timed_sim(parallelism=3):
+    platform = SimulatedPlatform(
+        parallelism=parallelism,
+        cost_model=ConstantCostModel(1.0),
+        max_parallelism=8,
+    )
+    platform.add_listener(EventRecorder())
+    return platform
+
+
+def map_program(width=3):
+    return Map(
+        Split(lambda v, w=width: [v] * w, name="split"),
+        Seq(Execute(lambda v: v, name="work")),
+        Merge(lambda rs: rs[0], name="merge"),
+    )
+
+
+def warm_map_analyzer(width=3, qos=None, cache=None, work_t=1.0):
+    program = map_program(width)
+    analyzer = ExecutionAnalyzer(qos=qos, skeleton=program, plan_cache=cache)
+    analyzer.initialize_estimates(
+        program,
+        snapshot_from_names(
+            program,
+            times={"split": 0.25, "work": work_t, "merge": 0.25},
+            cards={"split": float(width)},
+        ),
+    )
+    return program, analyzer
+
+
+# ---------------------------------------------------------------------------
+# version stamps
+
+
+class TestVersionStamps:
+    def test_adg_revision_bumps_on_add_and_touch(self):
+        adg = ADG()
+        assert adg.rev == 0
+        adg.add("a", 1.0)
+        assert adg.rev == 1
+        adg.add("b", 1.0, preds=[0])
+        assert adg.rev == 2
+        assert adg.touch() == 3
+        assert adg.rev == 3
+
+    def test_estimator_version_bumps_on_observations(self):
+        program = map_program()
+        est = EstimatorRegistry()
+        v0 = est.version
+        work = next(m for m in program.muscles() if m.name == "work")
+        est.observe_time(work, 1.0)
+        assert est.version == v0 + 1
+        split = next(m for m in program.muscles() if m.name == "split")
+        est.observe_card(split, 3)
+        assert est.version == v0 + 2
+        est.initialize_time(work, 2.0)
+        est.initialize_card(split, 2.0)
+        assert est.version == v0 + 4
+
+    def test_restore_estimates_bumps_version(self):
+        program = map_program()
+        analyzer = ExecutionAnalyzer(skeleton=program)
+        v0 = analyzer.estimators.version
+        analyzer.initialize_estimates(
+            program,
+            snapshot_from_names(
+                program,
+                times={"split": 0.1, "work": 1.0, "merge": 0.1},
+                cards={"split": 3.0},
+            ),
+        )
+        assert analyzer.estimators.version > v0
+
+    def test_machine_revision_bumps_per_event(self):
+        platform = timed_sim()
+        analyzer = ExecutionAnalyzer(extensions=True)
+        platform.add_listener(analyzer)
+        assert analyzer.machines.rev == 0
+        run(map_program(), 7, platform)
+        after_run = analyzer.machines.rev
+        assert after_run > 0
+        analyzer.machines.reset()
+        assert analyzer.machines.rev == after_run + 1
+
+
+# ---------------------------------------------------------------------------
+# structural plans == from-scratch projection + schedule
+
+
+@pytest.mark.service_stress
+class TestStructuralPlansMatchFromScratch:
+    @given(program_descriptions)
+    def test_structural_answers_equal_projected_wct(self, desc):
+        program = build_program(desc)
+        platform = timed_sim()
+        analyzer = ExecutionAnalyzer(skeleton=program, extensions=True)
+        platform.add_listener(analyzer)
+        # One full run warms every estimator the projection needs.  A
+        # program whose structure skips some muscle entirely (e.g. a For
+        # with zero trips, an untaken If branch) stays cold — no
+        # structural plan exists for it, with or without the engine.
+        run(program, 5, platform)
+        est = analyzer.estimators
+        engine = analyzer.plan
+        assume(est.ready_for(program))
+
+        fresh = ADG()
+        project_skeleton(program, fresh, [], est)
+        structural = engine.structural_projection()
+        assert structural is not None
+        assert len(structural) == len(fresh)
+        for a, b in zip(structural.activities, fresh.activities):
+            assert (a.id, a.name, a.duration, a.preds) == (
+                b.id,
+                b.name,
+                b.duration,
+                b.preds,
+            )
+
+        for lp in (1, 2, 3, 5):
+            assert engine.structural_wct(lp) == projected_wct(
+                program, est, lp
+            ), f"cached structural WCT diverged at lp={lp}"
+
+        # Minimal LP against a goal that LP 2 provably meets.
+        goal = projected_wct(program, est, 2) + 1e-6
+        found = minimal_lp_greedy(fresh, 0.0, goal, max_lp=8)
+        expected = found[0] if found is not None else None
+        assert engine.structural_minimal_lp(goal, cap=8) == expected
+
+        # Unchanged world -> the cache returns the same projection object.
+        assert engine.structural_projection() is structural
+
+
+# ---------------------------------------------------------------------------
+# live plans == from-scratch projection + schedule, at real analysis points
+
+
+class _LivePlanChecker(Listener):
+    """At every analysis point, compare the engine-backed report against
+    direct schedule.py recomputes over a freshly projected ADG."""
+
+    def __init__(self, analyzer, platform):
+        self.analyzer = analyzer
+        self.platform = platform
+        self.checked = 0
+
+    def on_event(self, event):
+        if not is_analysis_point(event):
+            return event.value
+        now = self.platform.now()
+        report = self.analyzer.analyze(
+            now, current_lp=self.platform.get_parallelism()
+        )
+        if report is None:
+            return event.value
+        adg, _terminals = self.analyzer.machines.project_roots(now)
+        best = best_effort_schedule(adg, now)
+        assert report.wct_best_effort == best.wct
+        assert report.optimal_lp == best.peak(from_time=now)
+        for lp in (1, 2, 3):
+            reference = limited_lp_schedule(adg, now, lp)
+            assert report.wct_at(lp) == reference.wct
+            cached = report.engine.limited(report.adg, now, lp)
+            assert cached.timeline() == reference.timeline()
+        if report.deadline is not None:
+            found = minimal_lp_greedy(adg, now, report.deadline, max_lp=6)
+            expected = found[0] if found is not None else None
+            assert report.minimal_lp(cap=6) == expected
+        self.checked += 1
+        return event.value
+
+
+@pytest.mark.service_stress
+class TestLivePlansMatchFromScratch:
+    @given(program_descriptions)
+    def test_engine_reports_equal_direct_schedules(self, desc):
+        # Warm-up run on a fresh construction of the same program shape:
+        # its estimate snapshot makes the checked run analyzable from the
+        # very first analysis point (the paper's scenario 2).
+        from repro.core.persistence import snapshot_estimates
+
+        warm_program = build_program(desc)
+        warm_platform = timed_sim()
+        warm_analyzer = ExecutionAnalyzer(skeleton=warm_program, extensions=True)
+        warm_platform.add_listener(warm_analyzer)
+        run(warm_program, 5, warm_platform)
+        snapshot = snapshot_estimates(warm_program, warm_analyzer.estimators)
+
+        program = build_program(desc)
+        platform = timed_sim()
+        analyzer = ExecutionAnalyzer(
+            qos=QoS.wall_clock(30.0), skeleton=program, extensions=True
+        )
+        analyzer.initialize_estimates(program, snapshot)
+        assume(analyzer.estimators.ready_for(program))
+        checker = _LivePlanChecker(analyzer, platform)
+
+        # Pre-start: the structural report must match a from-scratch
+        # structural projection + schedule.
+        report = analyzer.analyze(platform.now())
+        assert report is not None
+        fresh = ADG()
+        project_skeleton(program, fresh, [], analyzer.estimators)
+        best = best_effort_schedule(fresh, platform.now())
+        assert report.wct_best_effort == best.wct
+        assert report.optimal_lp == best.peak(from_time=platform.now())
+
+        platform.add_listener(analyzer)
+        platform.add_listener(checker)  # after the analyzer: sees fresh state
+        run(program, 5, platform)
+        # A single-activity program finishes at its only analysis point
+        # (no live report to check); anything wider was verified live.
+        assert checker.checked >= 0
+
+    def test_live_checks_actually_run_on_a_fanout(self):
+        program, analyzer = warm_map_analyzer(width=4, qos=QoS.wall_clock(30.0))
+        platform = timed_sim()
+        checker = _LivePlanChecker(analyzer, platform)
+        platform.add_listener(analyzer)
+        platform.add_listener(checker)
+        run(program, 5, platform)
+        assert checker.checked >= 4  # split + the work muscles at least
+
+
+# ---------------------------------------------------------------------------
+# invalidation
+
+
+class TestInvalidation:
+    def test_estimator_update_invalidates_structural_plans(self):
+        program, analyzer = warm_map_analyzer(width=3, work_t=1.0)
+        engine = analyzer.plan
+        est = analyzer.estimators
+        before = engine.structural_wct(1)
+        assert before == projected_wct(program, est, 1)
+
+        work = next(m for m in program.muscles() if m.name == "work")
+        est.initialize_time(work, 5.0)
+        after = engine.structural_wct(1)
+        assert after == projected_wct(program, est, 1)
+        assert after != before  # 3 x 1s became 3 x 5s
+
+    def test_live_projection_reused_until_next_event(self):
+        platform = timed_sim()
+        program, analyzer = warm_map_analyzer(width=4)
+        platform.add_listener(analyzer)
+        engine = analyzer.plan
+        seen = []
+
+        class Probe(Listener):
+            def on_event(self, event):
+                if is_analysis_point(event):
+                    roots = analyzer.unfinished_roots()
+                    if roots and analyzer.ready(roots):
+                        now = platform.now()
+                        first = engine.projection(now, roots)
+                        assert engine.projection(now, roots) is first
+                        seen.append(first)
+                return event.value
+
+        platform.add_listener(Probe())
+        run(program, 3, platform)
+        assert len(seen) >= 2
+        # Every analysis point consumed at least one new event, so each
+        # projection is a fresh object (the old revision is stale).
+        assert len({id(adg) for adg in seen}) == len(seen)
+
+    def test_adg_mutation_invalidates_derived_plans(self):
+        """Mutating an engine-built ADG (its revision counter bumps)
+        retires every plan cached for the old revision."""
+        program, analyzer = warm_map_analyzer(width=2, work_t=1.0)
+        engine = analyzer.plan
+        adg = engine.structural_projection()
+        before = engine.wct_at(adg, 0.0, 1)
+        terminal = max(a.id for a in adg.activities)
+        adg.add("appended", 10.0, preds=[terminal])
+        after = engine.wct_at(adg, 0.0, 1)
+        assert after == before + 10.0  # fresh plan, not the stale cache
+        assert adg.touch() == adg.rev  # touch() also retires plans
+
+    def test_mutated_projection_is_rebuilt_not_served(self):
+        """A served projection mutated in place must not poison later
+        analyses: the next projection call rebuilds from the machines
+        (matching pre-engine behaviour, where every analysis projected
+        a fresh ADG)."""
+        _program, analyzer = warm_map_analyzer(width=2)
+        engine = analyzer.plan
+        adg = engine.structural_projection()
+        clean_size = len(adg)
+        adg.add("rogue", 99.0)
+        rebuilt = engine.structural_projection()
+        assert rebuilt is not adg
+        assert len(rebuilt) == clean_size
+
+    def test_disabled_cache_recomputes_everything(self):
+        cache = PlanCache(maxsize=0)
+        program, analyzer = warm_map_analyzer(cache=cache)
+        engine = analyzer.plan
+        p1 = engine.structural_projection()
+        p2 = engine.structural_projection()
+        assert p1 is not p2
+        assert cache.stats.hits == 0
+        assert cache.stats.projection_passes == 2
+
+    def test_cache_maxsize_validation(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            PlanCache(maxsize=-1)
+
+    def test_lru_eviction_bounds_the_store(self):
+        cache = PlanCache(maxsize=4)
+        for i in range(10):
+            cache.put(("k", i), i)
+        assert len(cache) == 4
+        assert cache.stats.evictions == 6
+
+
+# ---------------------------------------------------------------------------
+# shared-cache isolation and effectiveness
+
+
+class TestSharedCache:
+    def test_engines_sharing_one_cache_do_not_collide(self):
+        cache = PlanCache()
+        prog_a, analyzer_a = warm_map_analyzer(cache=cache, work_t=1.0)
+        prog_b, analyzer_b = warm_map_analyzer(cache=cache, work_t=7.0)
+        wct_a = analyzer_a.plan.structural_wct(2)
+        wct_b = analyzer_b.plan.structural_wct(2)
+        assert wct_a == projected_wct(prog_a, analyzer_a.estimators, 2)
+        assert wct_b == projected_wct(prog_b, analyzer_b.estimators, 2)
+        assert wct_a != wct_b
+        # Round two hits the cache for both engines.
+        hits0 = cache.stats.hits
+        assert analyzer_a.plan.structural_wct(2) == wct_a
+        assert analyzer_b.plan.structural_wct(2) == wct_b
+        assert cache.stats.hits > hits0
+
+    def test_caching_cuts_schedule_passes_for_identical_queries(self):
+        def drive(cache):
+            _program, analyzer = warm_map_analyzer(
+                width=4, qos=QoS.wall_clock(6.0), cache=cache
+            )
+            for _ in range(5):
+                report = analyzer.analyze(0.0, current_lp=2)
+                assert report is not None
+                report.minimal_lp(cap=6)
+            return cache.stats
+
+        cold = drive(PlanCache(maxsize=0))
+        warm = drive(PlanCache())
+        assert warm.schedule_passes < cold.schedule_passes
+        assert warm.projection_passes < cold.projection_passes
+        assert warm.hits > 0
+        assert warm.hit_rate > 0.5
+
+    def test_foreign_adg_answers_are_computed_not_cached(self):
+        # An ADG the engine did not build is planned correctly but never
+        # stored (no version token to invalidate it by).
+        cache = PlanCache()
+        _program, analyzer = warm_map_analyzer(cache=cache)
+        engine = analyzer.plan
+        foreign = ADG()
+        a = foreign.add("x", 2.0)
+        foreign.add("y", 3.0, preds=[a])
+        assert engine.wct_at(foreign, 0.0, 1) == 5.0
+        assert (
+            engine.limited(foreign, 0.0, 1).timeline()
+            == limited_lp_schedule(foreign, 0.0, 1).timeline()
+        )
+        assert len(cache) == 0
