@@ -1,20 +1,28 @@
-"""Rebalance overhead: the incremental planning layer vs from-scratch.
+"""Rebalance overhead: the delta pipeline vs caching vs from-scratch.
 
 Every rebalance re-plans all live executions: project each live ADG,
 best-effort-schedule it, and scan limited-LP schedules for minimal
-deadline-meeting grants.  Before the :class:`~repro.core.planning.
-PlanEngine`, all of that ran from scratch on every arbitration tick —
-including a *second* best-effort pass hidden inside every minimal-LP
-scan, full re-projections of executions that had produced no events, and
-fresh structural projections for every held-queue re-evaluation.
+deadline-meeting grants.  PR 4's :class:`~repro.core.planning.PlanEngine`
+made those answers *cacheable* (an execution with no new events reuses
+its plans), but every cache miss still re-walked all tracking machines
+and re-pinned from scratch.  The delta pipeline makes the misses
+incremental too: span-only event windows **patch** the previous
+projection in place and delta re-pin the schedule base, and the event
+spine batches fan-out markers through one bus transaction.
 
 This bench drives an identical 16-tenant churn storm on the virtual-time
-simulator twice — once with the shared plan cache on (default), once with
-``PlanCache(maxsize=0)`` (every lookup misses: the from-scratch baseline)
-— and compares **full-schedule recomputations per rebalance** (scheduling
-passes + projection walks, counted by the cache) and wall time.  The
-storm is deterministic, so both runs make bit-for-bit identical
-scheduling decisions; only the work to reach them differs.
+simulator three times:
+
+* **from-scratch** — ``PlanCache(maxsize=0)``, patching off: every
+  lookup misses, every miss walks (the pre-PR-4 cost model);
+* **plan cache** — caching on, patching off (the PR 4 baseline);
+* **delta path** — caching *and* projection patching / delta re-pinning
+  (the full pipeline).
+
+The storm is deterministic, so all three runs make bit-for-bit identical
+scheduling decisions; only the work to reach them differs.  The
+acceptance claim: the delta path does strictly fewer **full projection
+walks** per rebalance than the PR 4 baseline, with identical decisions.
 """
 
 import time
@@ -61,13 +69,16 @@ def storm_qos(i):
     )
 
 
-def run_storm(plan_cache):
+def run_storm(plan_cache, plan_patching):
     """One deterministic churn storm; returns (results, metrics)."""
     platform = SimulatedPlatform(
         parallelism=1, cost_model=ConstantCostModel(1.0), max_parallelism=CAPACITY
     )
     service = SkeletonService(
-        platform=platform, min_rebalance_interval=0.0, plan_cache=plan_cache
+        platform=platform,
+        min_rebalance_interval=0.0,
+        plan_cache=plan_cache,
+        plan_patching=plan_patching,
     )
     results = []
     started = time.perf_counter()
@@ -87,11 +98,17 @@ def run_storm(plan_cache):
         results.extend(h.result(timeout=120.0) for h in handles)
     elapsed = time.perf_counter() - started
     rebalances = len(service.arbiter.rebalances)
-    stats = service.plan_cache.stats_dict()
+    stats = service.plan_stats()
+    bus = platform.bus
+    batch_mean = bus.batched_events / bus.batches if bus.batches else 0.0
     service.shutdown(wait=False)
     return results, {
         "elapsed": elapsed,
         "rebalances": rebalances,
+        "events": bus.published,
+        "batches": bus.batches,
+        "batched_events": bus.batched_events,
+        "batch_mean": batch_mean,
         **stats,
     }
 
@@ -101,60 +118,101 @@ def per_rebalance(metrics, key):
 
 
 def test_rebalance_overhead(report):
-    baseline_results, baseline = run_storm(PlanCache(maxsize=0))
-    cached_results, cached = run_storm(PlanCache())
+    scratch_results, scratch = run_storm(PlanCache(maxsize=0), plan_patching=False)
+    cached_results, cached = run_storm(PlanCache(), plan_patching=False)
+    delta_results, delta = run_storm(PlanCache(), plan_patching=True)
 
-    # Identical decisions first: the cache must change the cost of the
-    # storm, never its outcome.
-    assert cached_results == baseline_results
-    assert cached["rebalances"] == baseline["rebalances"]
+    # Identical decisions first: neither the cache nor the delta path may
+    # change the outcome of the storm, only the cost of reaching it.
+    assert cached_results == scratch_results
+    assert delta_results == scratch_results
+    assert cached["rebalances"] == scratch["rebalances"]
+    assert delta["rebalances"] == scratch["rebalances"]
 
-    base_passes = per_rebalance(baseline, "schedule_passes")
-    cached_passes = per_rebalance(cached, "schedule_passes")
-    base_proj = per_rebalance(baseline, "projection_passes")
-    cached_proj = per_rebalance(cached, "projection_passes")
+    columns = [
+        ("from-scratch", scratch),
+        ("plan cache", cached),
+        ("delta path", delta),
+    ]
 
-    report("Rebalance overhead: plan cache vs from-scratch baseline")
+    report("Rebalance overhead: delta pipeline vs plan cache vs from-scratch")
     report(f"storm: {WAVES} waves x {N_TENANTS} tenants on {CAPACITY} workers "
            f"(virtual-time simulator, identical decisions verified)")
     report("")
-    report(f"{'':>26} {'from-scratch':>14} {'plan cache':>12}")
-    report(f"{'rebalances':>26} {baseline['rebalances']:>14} {cached['rebalances']:>12}")
+    header = f"{'':>26}" + "".join(f"{name:>14}" for name, _m in columns)
+    report(header)
+
+    def row(label, key, fmt="{:>14}"):
+        report(
+            f"{label:>26}"
+            + "".join(fmt.format(m[key]) for _name, m in columns)
+        )
+
+    row("rebalances", "rebalances")
+    row("schedule passes", "schedule_passes")
     report(
-        f"{'schedule passes':>26} {baseline['schedule_passes']:>14} "
-        f"{cached['schedule_passes']:>12}"
+        f"{'schedule passes/rebal':>26}"
+        + "".join(
+            f"{per_rebalance(m, 'schedule_passes'):>14.2f}" for _n, m in columns
+        )
+    )
+    row("projection walks", "projection_passes")
+    report(
+        f"{'projection walks/rebal':>26}"
+        + "".join(
+            f"{per_rebalance(m, 'projection_passes'):>14.2f}"
+            for _n, m in columns
+        )
+    )
+    row("projection patches", "projection_patches")
+    row("pin delta re-pins", "pin_patches")
+    report(
+        f"{'cache hit rate':>26}"
+        + "".join(f"{m['hit_rate']:>13.1%} " for _n, m in columns)
     )
     report(
-        f"{'schedule passes/rebal':>26} {base_passes:>14.2f} {cached_passes:>12.2f}"
+        f"{'events (bus)':>26}" + "".join(f"{m['events']:>14}" for _n, m in columns)
     )
     report(
-        f"{'projection passes':>26} {baseline['projection_passes']:>14} "
-        f"{cached['projection_passes']:>12}"
+        f"{'event batches':>26}"
+        + "".join(f"{m['batches']:>14}" for _n, m in columns)
     )
     report(
-        f"{'projection passes/rebal':>26} {base_proj:>14.2f} {cached_proj:>12.2f}"
+        f"{'mean batch size':>26}"
+        + "".join(f"{m['batch_mean']:>14.2f}" for _n, m in columns)
     )
     report(
-        f"{'cache hit rate':>26} {'-':>14} {cached['hit_rate']:>11.1%}"
-    )
-    report(
-        f"{'storm wall time (s)':>26} {baseline['elapsed']:>14.3f} "
-        f"{cached['elapsed']:>12.3f}"
+        f"{'storm wall time (s)':>26}"
+        + "".join(f"{m['elapsed']:>14.3f}" for _n, m in columns)
     )
     report("")
     report(
-        f"schedule recomputations per rebalance: {base_passes:.2f} -> "
-        f"{cached_passes:.2f} "
-        f"({(1 - cached_passes / base_passes):.1%} fewer)"
+        f"projection walks per rebalance: "
+        f"{per_rebalance(scratch, 'projection_passes'):.2f} (from-scratch) -> "
+        f"{per_rebalance(cached, 'projection_passes'):.2f} (cache) -> "
+        f"{per_rebalance(delta, 'projection_passes'):.2f} (delta path, "
+        f"{delta['projection_patches']} patches)"
     )
     report(
-        f"projection walks per rebalance: {base_proj:.2f} -> {cached_proj:.2f} "
-        f"({(1 - cached_proj / base_proj):.1%} fewer)"
+        f"schedule passes per rebalance: "
+        f"{per_rebalance(scratch, 'schedule_passes'):.2f} -> "
+        f"{per_rebalance(cached, 'schedule_passes'):.2f} -> "
+        f"{per_rebalance(delta, 'schedule_passes'):.2f}"
     )
 
-    # The acceptance claim: measurably fewer full-schedule recomputations
-    # per rebalance than the from-scratch baseline.
-    assert cached["schedule_passes"] < baseline["schedule_passes"]
-    assert cached_passes < base_passes
-    assert cached["projection_passes"] < baseline["projection_passes"]
+    # PR 4's acceptance claims (cache vs from-scratch) still hold...
+    assert cached["schedule_passes"] < scratch["schedule_passes"]
+    assert cached["projection_passes"] < scratch["projection_passes"]
     assert cached["hits"] > 0
+    # ...and the delta path's: strictly fewer *full* projection walks
+    # than the PR 4 cached baseline (misses patch instead of walking),
+    # at no extra schedule passes, with real patch/batch activity.
+    assert delta["projection_passes"] < cached["projection_passes"]
+    assert (
+        per_rebalance(delta, "projection_passes")
+        < per_rebalance(cached, "projection_passes")
+    )
+    assert delta["projection_patches"] > 0
+    assert delta["pin_patches"] > 0
+    assert delta["schedule_passes"] <= cached["schedule_passes"]
+    assert delta["batches"] > 0 and delta["batch_mean"] >= 2.0

@@ -9,6 +9,7 @@ skeleton executes.
 from .adg import ADG, Activity
 from .analysis import AnalysisReport, ExecutionAnalyzer, is_analysis_point
 from .controller import AutonomicController, Decision
+from .delta import ChangeDelta
 from .estimator import EstimatorRegistry, HistoryEstimator
 from .estimators_ext import (
     KalmanEstimator,
@@ -58,6 +59,7 @@ __all__ = [
     "ADG",
     "Activity",
     "AnalysisReport",
+    "ChangeDelta",
     "ExecutionAnalyzer",
     "is_analysis_point",
     "AutonomicController",

@@ -20,9 +20,10 @@ estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import ADGError
+from .delta import ChangeDelta
 
 __all__ = ["Activity", "ADG"]
 
@@ -72,6 +73,19 @@ class ADG:
         self._succs: Dict[int, List[int]] = {}
         self._next_id = 0
         self._rev = 0
+        # Changelog: revision of the last structural mutation (add / bare
+        # touch), and per-activity revision of the last in-place time
+        # update — inherently coalesced (one entry per activity), so the
+        # log stays O(activities) however long the execution runs.
+        self._structural_rev = 0
+        self._touched: Dict[int, int] = {}
+        self._floor_rev = 0
+        # Optional provenance: activity id -> (span-like source object,
+        # estimated duration at build time), attached by
+        # :meth:`~repro.core.statemachines.base.MuscleSpan.add_to` so the
+        # planning layer can re-read actual times without re-walking the
+        # tracking machines (see ``repro.core.planning.engine``).
+        self._sources: Dict[int, Tuple[Any, float]] = {}
 
     @property
     def rev(self) -> int:
@@ -84,10 +98,21 @@ class ADG:
         """
         return self._rev
 
-    def touch(self) -> int:
-        """Bump the revision (for callers mutating activity times in
-        place); returns the new revision."""
+    def touch(self, aid: Optional[int] = None) -> int:
+        """Bump the revision; returns the new revision.
+
+        Without *aid* the bump is recorded as **structural** (the classic
+        "something changed, re-walk everything" signal for callers
+        mutating the graph in ways the changelog cannot describe).  With
+        *aid* the bump is recorded as an in-place time update of that one
+        activity, which :meth:`delta_since` reports as *touched* — the
+        signal that lets the planning layer patch instead of re-walk.
+        """
         self._rev += 1
+        if aid is None:
+            self._structural_rev = self._rev
+        else:
+            self._touched[aid] = self._rev
         return self._rev
 
     # -- construction -----------------------------------------------------------
@@ -128,7 +153,95 @@ class ADG:
         for p in preds:
             self._succs[p].append(aid)
         self._rev += 1
+        self._structural_rev = self._rev
         return aid
+
+    def update_activity(
+        self,
+        aid: int,
+        start: Optional[float],
+        end: Optional[float],
+        duration: float,
+    ) -> bool:
+        """Update one activity's times in place; returns True on change.
+
+        The patch path of the planning engine uses this to land newly
+        observed actuals on an already-projected graph.  The change is
+        recorded in the changelog as a *touch* of *aid* (not structural),
+        so downstream consumers — the delta-pinning scheduler pass — can
+        in turn re-pin only this activity.
+        """
+        act = self.activity(aid)
+        if start is None and end is not None:
+            raise ADGError(f"activity {act.name!r} has an end but no start")
+        if start is not None and end is not None and end < start:
+            raise ADGError(f"activity {act.name!r} ends before it starts")
+        if duration < 0:
+            raise ADGError(
+                f"negative duration {duration} for activity {act.name!r}"
+            )
+        if (act.start, act.end, act.duration) == (start, end, duration):
+            return False
+        act.start = start
+        act.end = end
+        act.duration = float(duration)
+        self.touch(aid)
+        return True
+
+    # -- provenance -------------------------------------------------------------
+
+    def attach_source(self, aid: int, source: Any, est_duration: float) -> None:
+        """Record where *aid*'s times come from (a span-like object).
+
+        *source* only needs ``start`` / ``end`` attributes (duck-typed;
+        in practice a :class:`~repro.core.statemachines.base.MuscleSpan`).
+        The planning engine's patch path re-reads every attached source
+        to refresh actual times without re-walking the machines.
+        """
+        self._sources[aid] = (source, float(est_duration))
+
+    def span_sources(self) -> Dict[int, Tuple[Any, float]]:
+        """The attached provenance map (live reference, do not mutate).
+
+        Distinct from :meth:`sources` (graph sources = activities with
+        no predecessors): this maps activity ids to the span objects
+        their times were read from.
+        """
+        return self._sources
+
+    # -- changelog ----------------------------------------------------------------
+
+    def delta_since(self, rev: int) -> Optional[ChangeDelta]:
+        """What changed after revision *rev*, or ``None`` when unknown.
+
+        ``None`` means the window reaches past the compacted floor
+        (:meth:`compact_changelog`) — the caller must treat it as
+        structural and re-walk.  A delta with ``structural=False`` lists
+        exactly the activities whose times changed in place.
+        """
+        if rev < self._floor_rev or rev > self._rev:
+            return None
+        structural = self._structural_rev > rev
+        touched = () if structural else tuple(
+            sorted(a for a, r in self._touched.items() if r > rev)
+        )
+        return ChangeDelta(rev, self._rev, structural, touched)
+
+    def compact_changelog(self, before_rev: int) -> None:
+        """Drop changelog detail at or below *before_rev*.
+
+        After compaction, ``delta_since(rev)`` answers ``None`` for any
+        ``rev < before_rev`` — callers planning against such old
+        revisions fall back to a full walk.  The per-activity map is
+        already coalesced (one entry per activity); this additionally
+        sheds entries no live plan can ask about.
+        """
+        if before_rev <= self._floor_rev:
+            return
+        self._floor_rev = min(before_rev, self._rev)
+        self._touched = {
+            a: r for a, r in self._touched.items() if r > self._floor_rev
+        }
 
     # -- queries ------------------------------------------------------------------
 

@@ -35,8 +35,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..errors import StateMachineError
+from ..events.batch import ANALYSIS_POINT_WHERE
 from ..events.bus import Listener
-from ..events.types import Event, When, Where
+from ..events.types import Event, When
 from ..skeletons.base import Skeleton
 from .adg import ADG
 from .estimator import EstimatorRegistry
@@ -51,8 +52,10 @@ from .statemachines import UNSUPPORTED_KINDS, MachineRegistry
 __all__ = ["AnalysisReport", "ExecutionAnalyzer", "ANALYSIS_WHERE", "is_analysis_point"]
 
 #: AFTER events that trigger an analysis (muscle completions change the
-#: ADG materially; BEFORE events and control markers do not).
-ANALYSIS_WHERE = (Where.SKELETON, Where.SPLIT, Where.MERGE, Where.CONDITION)
+#: ADG materially; BEFORE events and control markers do not).  Aliases
+#: the single definition in :mod:`repro.events.batch`, which the event
+#: layer's batch summaries use too.
+ANALYSIS_WHERE = ANALYSIS_POINT_WHERE
 
 
 def is_analysis_point(event: Event) -> bool:
@@ -67,6 +70,13 @@ class AnalysisReport:
     Carries the projected ADG so planners can evaluate hypothetical LP
     allocations (:meth:`wct_at`, :meth:`minimal_lp`) without paying the
     projection again.
+
+    Reports are consumed within the arbitration/controller pass that
+    requested them.  Since the delta pipeline, a *held-over* report's
+    ``adg`` may advance underneath it — a later analysis can patch the
+    same object in place instead of building a fresh one — so a stale
+    report re-queried after newer events answers from the newer actuals
+    (its cached plans were already retired by the revision bump).
     """
 
     time: float
@@ -153,6 +163,11 @@ class ExecutionAnalyzer(Listener):
         PlanEngine` (``self.plan``).  The service shares one cache across
         every live execution and the admission path; stand-alone
         analyzers get a private one.
+    plan_patching:
+        Enable the engine's delta pipeline (patch the previous projection
+        and pinned base in place when the machine changelog allows it) —
+        on by default; off restores plain rev-keyed caching, which the
+        delta-path benchmark uses as its baseline.
     """
 
     def __init__(
@@ -164,6 +179,7 @@ class ExecutionAnalyzer(Listener):
         estimators: Optional[EstimatorRegistry] = None,
         extensions: bool = False,
         plan_cache: Optional[PlanCache] = None,
+        plan_patching: bool = True,
     ):
         self.qos = qos
         self.execution_id = execution_id
@@ -171,7 +187,11 @@ class ExecutionAnalyzer(Listener):
         self.estimators = estimators or EstimatorRegistry(rho=rho)
         self.machines = MachineRegistry(self.estimators, extensions=extensions)
         self.plan = PlanEngine(
-            self.machines, self.estimators, skeleton=skeleton, cache=plan_cache
+            self.machines,
+            self.estimators,
+            skeleton=skeleton,
+            cache=plan_cache,
+            patching=plan_patching,
         )
         self.exec_start: Dict[int, float] = {}  # root index -> start time
         if skeleton is not None:
@@ -204,6 +224,19 @@ class ExecutionAnalyzer(Listener):
     def on_event(self, event: Event) -> Any:
         self.observe(event)
         return event.value
+
+    def on_batch(self, events) -> None:
+        """Consume one event batch — a single machine-registry lock.
+
+        The batch-aware monitor half of the delta pipeline: the bus
+        filters the batch down to accepted events (this analyzer's
+        execution), the registry consumes them under one lock
+        acquisition, and the per-root start bookkeeping runs inline.
+        """
+        self.machines.on_batch(events)
+        for event in events:
+            if event.parent_index is None and event.index not in self.exec_start:
+                self.exec_start[event.index] = event.timestamp
 
     def observe(self, event: Event) -> None:
         """Feed one event into the tracking machines."""

@@ -133,12 +133,23 @@ class EstimatorRegistry:
         estimates (plus observed actuals), so the planning layer keys its
         caches on this stamp: a changed ``t(m)`` or ``|m|`` invalidates
         every plan computed from the old values.
+
+        *Value* change is literal: an observation that leaves the
+        smoothed estimate bit-identical (a steady workload whose ``t(m)``
+        has converged) does **not** bump the stamp.  That keeps plans —
+        and, since the delta pipeline, patched projections — valid across
+        event storms that carry no new information, while any actual
+        drift still invalidates everything derived from the old values.
         """
         return self._version
 
     def _bump(self) -> None:
         with self._lock:
             self._version += 1
+
+    def _bump_if_changed(self, before: Optional[float], after: float) -> None:
+        if before is None or before != after:
+            self._bump()
 
     def _new_estimator(self) -> HistoryEstimator:
         if self._factory is not None:
@@ -171,27 +182,35 @@ class EstimatorRegistry:
         """Record one measured execution time of *muscle*."""
         if duration < 0:
             raise ValueError(f"negative duration {duration} for {muscle.name!r}")
-        value = self.time_estimator(muscle).update(duration)
-        self._bump()
+        est = self.time_estimator(muscle)
+        before = est.peek()
+        value = est.update(duration)
+        self._bump_if_changed(before, value)
         return value
 
     def observe_card(self, muscle: Muscle, cardinality: float) -> float:
         """Record one measured cardinality of *muscle*."""
         if cardinality < 0:
             raise ValueError(f"negative cardinality {cardinality} for {muscle.name!r}")
-        value = self.card_estimator(muscle).update(cardinality)
-        self._bump()
+        est = self.card_estimator(muscle)
+        before = est.peek()
+        value = est.update(cardinality)
+        self._bump_if_changed(before, value)
         return value
 
     def initialize_time(self, muscle: Muscle, value: float) -> None:
         """Warm-start the ``t(m)`` estimate of *muscle* (version-stamped)."""
-        self.time_estimator(muscle).initialize(value)
-        self._bump()
+        est = self.time_estimator(muscle)
+        before = est.peek()
+        est.initialize(value)
+        self._bump_if_changed(before, est.peek())
 
     def initialize_card(self, muscle: Muscle, value: float) -> None:
         """Warm-start the ``|m|`` estimate of *muscle* (version-stamped)."""
-        self.card_estimator(muscle).initialize(value)
-        self._bump()
+        est = self.card_estimator(muscle)
+        before = est.peek()
+        est.initialize(value)
+        self._bump_if_changed(before, est.peek())
 
     # -- queries -----------------------------------------------------------------
 

@@ -9,12 +9,33 @@ registry and machine state.
 Keys embed monotonic version stamps — the ADG/machine revision and the
 estimator version — so stale entries are never *served*; they are merely
 garbage, and the LRU bound reclaims them.  ``maxsize=0`` disables storage
-entirely (every lookup misses), which the rebalance-overhead benchmark
-uses as its from-scratch baseline.
+entirely (every lookup misses).  Note that the projection *patch* path
+does not go through the store — the engine tracks its previous
+projection itself — so a true from-scratch baseline needs ``maxsize=0``
+**and** patching off (``PlanEngine(patching=False)`` /
+``SkeletonService(plan_patching=False)``), which is exactly how the
+rebalance-overhead benchmark builds its baseline.
+
+Besides hits and misses, the cache carries the planning layer's full
+recompute accounting — full projection walks versus in-place projection
+**patches**, pinning passes versus delta re-pins, and schedule passes —
+so benchmarks and operators can see exactly how much of the event→plan
+work the delta pipeline avoided (see ``stats_dict``).
+
+**Quantized-now mode** (``now_quantum``): live schedules are keyed (and
+computed) on the *exact* rebalance timestamp by default, which preserves
+decisions bit for bit but means a real clock never produces the same
+``now`` twice.  With ``now_quantum=q`` the engine floors every live
+``now`` to its ``q``-bucket before planning, so rebalances within one
+bucket share schedules at the price of a decision skew bounded by the
+bucket width (each plan reasons from at most ``q`` seconds in the past).
+Off (``None``) by default; measure before enabling — see the
+rebalance-overhead benchmark and the quantized-skew tests.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -32,6 +53,8 @@ class PlanCacheStats:
     evictions: int
     schedule_passes: int
     projection_passes: int
+    projection_patches: int
+    pin_patches: int
     size: int
 
     @property
@@ -47,17 +70,39 @@ class PlanCache:
 
     * ``schedule_passes`` — full scheduling passes actually executed
       (best-effort longest-path walks, limited-LP frontier passes);
-    * ``projection_passes`` — ADG projections actually walked (live
-      machine projections and structural skeleton projections).
+    * ``projection_passes`` — ADG projections actually *walked* (live
+      machine projections and structural skeleton projections);
+    * ``projection_patches`` — projections served by patching the
+      previous ADG in place from the machine changelog instead of
+      re-walking;
+    * ``pin_patches`` — pinned-actuals bases advanced by the delta
+      re-pin instead of a full pinning pass.
 
-    The rebalance-overhead benchmark compares these between a caching
-    and a ``maxsize=0`` (from-scratch) run of the same workload.
+    The rebalance-overhead benchmark compares these between the full
+    delta path, a patch-disabled run, and a ``maxsize=0`` (from-scratch)
+    run of the same workload.
+
+    Parameters
+    ----------
+    maxsize:
+        LRU bound on stored entries; ``0`` disables storage (pair with
+        ``patching=False`` on the engines for a true from-scratch run —
+        see the module docs).
+    now_quantum:
+        When set, the planning engines floor every live ``now`` to this
+        bucket width before keying and computing schedules (see module
+        docs).  ``None`` (default) preserves exact-timestamp behaviour.
     """
 
-    def __init__(self, maxsize: int = 2048):
+    def __init__(self, maxsize: int = 2048, now_quantum: Optional[float] = None):
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        if now_quantum is not None and now_quantum <= 0:
+            raise ValueError(
+                f"now_quantum must be positive or None, got {now_quantum}"
+            )
         self.maxsize = maxsize
+        self.now_quantum = now_quantum
         self._store: "OrderedDict[Tuple[Hashable, ...], Any]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -65,6 +110,17 @@ class PlanCache:
         self._evictions = 0
         self._schedule_passes = 0
         self._projection_passes = 0
+        self._projection_patches = 0
+        self._pin_patches = 0
+
+    # -- quantization ------------------------------------------------------------
+
+    def quantize(self, now: float) -> float:
+        """*now* floored to the cache's bucket (identity when disabled)."""
+        q = self.now_quantum
+        if q is None:
+            return now
+        return math.floor(now / q) * q
 
     # -- store -------------------------------------------------------------------
 
@@ -109,6 +165,14 @@ class PlanCache:
         with self._lock:
             self._projection_passes += 1
 
+    def count_projection_patch(self) -> None:
+        with self._lock:
+            self._projection_patches += 1
+
+    def count_pin_patch(self) -> None:
+        with self._lock:
+            self._pin_patches += 1
+
     @property
     def stats(self) -> PlanCacheStats:
         with self._lock:
@@ -118,6 +182,8 @@ class PlanCache:
                 evictions=self._evictions,
                 schedule_passes=self._schedule_passes,
                 projection_passes=self._projection_passes,
+                projection_patches=self._projection_patches,
+                pin_patches=self._pin_patches,
                 size=len(self._store),
             )
 
@@ -128,6 +194,8 @@ class PlanCache:
             self._evictions = 0
             self._schedule_passes = 0
             self._projection_passes = 0
+            self._projection_patches = 0
+            self._pin_patches = 0
 
     def stats_dict(self) -> Dict[str, Any]:
         """Counters as a plain dict (for reports and benches)."""
@@ -138,6 +206,8 @@ class PlanCache:
             "evictions": s.evictions,
             "schedule_passes": s.schedule_passes,
             "projection_passes": s.projection_passes,
+            "projection_patches": s.projection_patches,
+            "pin_patches": s.pin_patches,
             "size": s.size,
             "hit_rate": s.hit_rate,
         }

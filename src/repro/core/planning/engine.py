@@ -26,10 +26,30 @@ owns all of it behind explicit invalidation:
   which is *now*-independent — held-queue re-evaluations hit the cache
   until an estimate actually changes.
 
+Since the delta pipeline, cache *misses* are incremental too:
+
+* **projection patching** — when the machine changelog
+  (:meth:`~repro.core.statemachines.MachineRegistry.delta_since`)
+  certifies that only span times changed since the previous live
+  projection, the previous ADG is refreshed in place from its span
+  sources instead of re-walking every machine
+  (``count_projection_patch``);
+* **delta re-pinning** — the pinned-actuals base advances to a new
+  ``now`` by re-pinning only the delta-touched activities
+  (:func:`~repro.core.schedule.pin_actuals_delta`,
+  ``count_pin_patch``);
+* **quantized-now buckets** — with ``PlanCache(now_quantum=q)`` live
+  schedules are computed and keyed at the bucket floor, so real-clock
+  rebalances inside one bucket share plans at a decision skew bounded
+  by ``q`` (off by default; exact timestamps preserve decisions bit
+  for bit).
+
 Every answer is bit-for-bit equal to a from-scratch
 :mod:`repro.core.schedule` recompute at the same arguments (the
-incremental pieces are the same code the from-scratch path composes),
-which the plan-cache property tests pin.
+incremental pieces are the same code the from-scratch path composes,
+and a patched graph equals the graph a full walk would rebuild), which
+the plan-cache property tests pin — quantized mode excepted, whose skew
+bound is tested separately.
 """
 
 from __future__ import annotations
@@ -44,13 +64,16 @@ from ..adg import ADG
 from ..estimator import EstimatorRegistry
 from ..projection import project_skeleton
 from ..schedule import (
+    PinnedPlanBase,
     ScheduleResult,
     best_effort_schedule,
     pin_actuals,
+    pin_actuals_delta,
     remaining_critical_path,
     schedule_pending,
 )
 from ..statemachines import MachineRegistry
+from ..statemachines.base import refresh_from_sources
 from .cache import PlanCache
 
 __all__ = ["PlanEngine"]
@@ -80,6 +103,16 @@ class PlanEngine:
         be shared across engines (the service shares one service-wide);
         every key is namespaced by this engine's id.  ``None`` creates a
         private cache.
+    patching:
+        Enable the delta pipeline: when the machine changelog certifies
+        that only span times changed since the previous live projection
+        (and the estimator version is unchanged), the previous ADG is
+        patched in place (``count_projection_patch``) instead of
+        re-walked, and pinned-actuals bases advance by delta re-pin
+        (``count_pin_patch``).  Patched answers are bit-for-bit equal to
+        full re-walks — pinned by the plan-engine property harness —
+        so this flag exists for benchmarking the delta pipeline against
+        the plain cached baseline, not for safety.
     """
 
     def __init__(
@@ -88,15 +121,24 @@ class PlanEngine:
         estimators: EstimatorRegistry,
         skeleton: Optional[Skeleton] = None,
         cache: Optional[PlanCache] = None,
+        patching: bool = True,
     ):
         self.machines = machines
         self.estimators = estimators
         self.skeleton = skeleton
         self.cache = cache if cache is not None else PlanCache()
+        self.patching = patching
         self._uid = next(_engine_ids)
         # id(adg) -> (weakref, version token) for ADGs this engine built;
         # lets plan calls key correctly on any ADG they are handed back.
         self._known: Dict[int, Tuple[weakref.ref, Tuple]] = {}
+        # roots_key -> (machines rev, estimator version, adg, adg rev at
+        # build/patch): the previous live projection, i.e. the patch
+        # candidate for the next one.
+        self._live_prev: Dict[Tuple, Tuple[int, int, ADG, int]] = {}
+        # id(adg) -> (weakref, adg rev, pinned base) for delta re-pinning
+        # across rebalances (the base's `now` changes, the graph does not).
+        self._pin_prev: Dict[int, Tuple[weakref.ref, int, PinnedPlanBase]] = {}
         self._lock = threading.RLock()
 
     # -- token bookkeeping --------------------------------------------------------
@@ -136,6 +178,18 @@ class PlanEngine:
         the result — so the cache key is ``(machines.rev,
         estimators.version, root set)`` and an execution with no new
         events reuses its ADG across rebalances.
+
+        On a miss, the **patch path** runs first: when the machine
+        changelog (:meth:`~repro.core.statemachines.MachineRegistry.
+        delta_since`) certifies that everything since the previous
+        projection was span-only — actual times landing on activities
+        that were already projected — and the estimator version is
+        unchanged, the previous ADG is refreshed in place from its span
+        sources (:func:`~repro.core.statemachines.base.
+        refresh_from_sources`) instead of re-walking every machine.  Any
+        structural change (new machines, cardinalities, condition
+        outcomes, a finished root, changed estimates) falls back to the
+        classic full walk.
         """
         roots_key = (
             None if roots is None else tuple(m.index for m in roots)
@@ -143,21 +197,63 @@ class PlanEngine:
         # The machine lock makes (rev, projection) consistent under
         # concurrent worker-thread publishes.
         with self.machines.lock:
-            token = (
-                self._uid,
-                "live",
-                self.machines.rev,
-                self.estimators.version,
-                roots_key,
-            )
+            rev = self.machines.rev
+            est_version = self.estimators.version
+            token = (self._uid, "live", rev, est_version, roots_key)
             key = ("proj", token)
             adg = self._cached_projection(key)
             if adg is None:
-                adg, _terminals = self.machines.project_roots(now, roots)
-                self.cache.count_projection_pass()
+                adg = self._patch_projection(roots_key, rev, est_version)
+                if adg is None:
+                    adg, _terminals = self.machines.project_roots(now, roots)
+                    self.cache.count_projection_pass()
                 self.cache.put(key, (adg, adg.rev))
                 self._remember(adg, token)
+                with self._lock:
+                    self._live_prev[roots_key] = (rev, est_version, adg, adg.rev)
+                    while len(self._live_prev) > 4:
+                        # Evict the stalest candidate (root sets that are
+                        # gone never patch again); keeping the map tiny
+                        # also lets the changelog compact close behind
+                        # the live frontier.
+                        stalest = min(
+                            self._live_prev, key=lambda k: self._live_prev[k][0]
+                        )
+                        del self._live_prev[stalest]
+                    oldest = min(r for r, _v, _a, _ar in self._live_prev.values())
+                self.machines.compact_changelog(oldest)
             return adg
+
+    def _patch_projection(
+        self, roots_key: Tuple, rev: int, est_version: int
+    ) -> Optional[ADG]:
+        """Patch the previous projection for *roots_key*, or ``None``.
+
+        ``None`` means "no sound patch exists — do the full walk": no
+        previous projection, changed estimates, a structural delta, a
+        compacted changelog window, or a previous ADG some caller mutated
+        behind the engine's back.
+        """
+        if not self.patching:
+            return None
+        with self._lock:
+            prev = self._live_prev.get(roots_key)
+        if prev is None:
+            return None
+        prev_rev, prev_est_version, adg, adg_rev = prev
+        if prev_est_version != est_version or adg.rev != adg_rev:
+            return None
+        delta = self.machines.delta_since(prev_rev)
+        if delta is None or delta.structural:
+            return None
+        if not delta.empty:
+            # Something span-touched: re-read every span source.  A
+            # window of pure no-ops (fan-out markers bump the revision
+            # but touch nothing) skips even that — the old graph already
+            # *is* what a fresh walk would build.
+            refresh_from_sources(adg)
+        self.cache.count_projection_patch()
+        return adg
 
     def _cached_projection(self, key: Tuple) -> Optional[ADG]:
         """A cached projection, unless it was mutated since it was built.
@@ -194,7 +290,12 @@ class PlanEngine:
     # -- cached schedule primitives -------------------------------------------------
 
     def best_effort(self, adg: ADG, now: float) -> ScheduleResult:
-        """Best-effort (infinite LP) schedule, cached per (rev, now)."""
+        """Best-effort (infinite LP) schedule, cached per (rev, now).
+
+        Under the cache's quantized-now mode, *now* is floored to its
+        bucket first — rebalances within one bucket share the schedule.
+        """
+        now = self.cache.quantize(now)
         token = self._token_of(adg)
         key = ("be", token, now) if token is not None else None
         if key is not None:
@@ -219,16 +320,52 @@ class PlanEngine:
             self.cache.put(key, table)
         return table
 
-    def _pinned(self, adg: ADG, now: float):
+    def _pinned(self, adg: ADG, now: float) -> PinnedPlanBase:
+        """The pinned-actuals base for (adg, now), patched when possible.
+
+        Cache misses first try the **delta re-pin**: if this engine holds
+        a previous base for the same ADG object and the ADG changelog
+        (fed by the projection patch) lists only in-place time updates
+        since, :func:`~repro.core.schedule.pin_actuals_delta` advances
+        the old base to the new *now* touching only what changed —
+        equal, bit for bit, to a full :func:`~repro.core.schedule.
+        pin_actuals` pass.
+        """
         token = self._token_of(adg)
         key = ("pin", token, now) if token is not None else None
         if key is not None:
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
-        base = pin_actuals(adg, now)
+        base = self._patch_pinned(adg, now) if token is not None else None
+        if base is None:
+            base = pin_actuals(adg, now)
         if key is not None:
             self.cache.put(key, base)
+            with self._lock:
+                self._pin_prev[id(adg)] = (weakref.ref(adg), adg.rev, base)
+                if len(self._pin_prev) > 64:
+                    self._pin_prev = {
+                        k: entry
+                        for k, entry in self._pin_prev.items()
+                        if entry[0]() is not None
+                    }
+            adg.compact_changelog(adg.rev if self.patching else 0)
+        return base
+
+    def _patch_pinned(self, adg: ADG, now: float) -> Optional[PinnedPlanBase]:
+        if not self.patching:
+            return None
+        with self._lock:
+            entry = self._pin_prev.get(id(adg))
+        if entry is None or entry[0]() is not adg:
+            return None
+        _ref, prev_rev, prev_base = entry
+        delta = adg.delta_since(prev_rev)
+        if delta is None or delta.structural:
+            return None
+        base = pin_actuals_delta(adg, now, prev_base, delta.touched)
+        self.cache.count_pin_patch()
         return base
 
     def limited(self, adg: ADG, now: float, lp: int) -> ScheduleResult:
@@ -236,8 +373,10 @@ class PlanEngine:
 
         On a miss only the pending frontier is re-scheduled: the pinned
         actuals and the critical-path table come from their own caches,
-        shared across every LP of a scan.
+        shared across every LP of a scan.  Under the quantized-now mode,
+        *now* is floored to its bucket first.
         """
+        now = self.cache.quantize(now)
         token = self._token_of(adg)
         key = ("lim", token, now, lp) if token is not None else None
         if key is not None:
@@ -261,6 +400,7 @@ class PlanEngine:
 
     def optimal_lp(self, adg: ADG, now: float) -> int:
         """Peak future concurrency of the best-effort schedule."""
+        now = self.cache.quantize(now)
         return self.best_effort(adg, now).peak(from_time=now)
 
     def wct_at(self, adg: ADG, now: float, lp: int) -> float:
@@ -280,8 +420,12 @@ class PlanEngine:
         Same linear scan (and same answers) as :func:`~repro.core.
         schedule.minimal_lp_greedy`, but the best-effort upper bound and
         every limited schedule come from the cache, and each scanned LP
-        re-schedules only the pending frontier.
+        re-schedules only the pending frontier.  Under the quantized-now
+        mode the scan runs at the bucket floor (the deadline itself is
+        never quantized), so the answer can skew by at most the bucket
+        width's worth of elapsed progress.
         """
+        now = self.cache.quantize(now)
         token = self._token_of(adg)
         key = (
             ("mlp", token, now, deadline, cap, start_lp)

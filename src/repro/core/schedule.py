@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import SchedulingError
 from .adg import ADG, Activity
@@ -41,6 +41,7 @@ __all__ = [
     "limited_lp_schedule",
     "remaining_critical_path",
     "pin_actuals",
+    "pin_actuals_delta",
     "schedule_pending",
     "optimal_lp",
     "minimal_lp_greedy",
@@ -251,6 +252,96 @@ def pin_actuals(adg: ADG, now: float) -> PinnedPlanBase:
                 ready_time[aid] = max(
                     max((ends[p] for p in act.preds), default=now), now
                 )
+    return PinnedPlanBase(
+        now=now,
+        entries=entries,
+        ends=ends,
+        busy=busy,
+        pending_preds=pending_preds,
+        ready_time=ready_time,
+        to_schedule=to_schedule,
+    )
+
+
+def pin_actuals_delta(
+    adg: ADG,
+    now: float,
+    prev: PinnedPlanBase,
+    touched: Iterable[int],
+) -> PinnedPlanBase:
+    """Delta re-pin: advance *prev* to *now* touching only what changed.
+
+    *prev* must have been built (by :func:`pin_actuals` or a previous
+    delta pass) from the **same graph structure**, with only the
+    activities in *touched* having changed times since — exactly what the
+    changelog (:meth:`~repro.core.adg.ADG.delta_since`) certifies.  The
+    result equals ``pin_actuals(adg, now)`` bit for bit:
+
+    * untouched finished activities keep their (now-independent) entries;
+    * touched activities are re-pinned, and a pending → pinned transition
+      decrements the pending-predecessor counts of its successors;
+    * running activities are re-clamped to the new *now*, and the frontier
+      ready times (which clamp to *now*) are re-derived.
+
+    The win over a full pass is constant-factor, not asymptotic — dict
+    copies replace the per-activity graph walk — but on wide executions
+    with long finished prefixes the walk is exactly where the per-event
+    scheduling time went.
+    """
+    touched = set(touched)
+    entries = dict(prev.entries)
+    ends = dict(prev.ends)
+    pending_preds = dict(prev.pending_preds)
+    to_schedule = prev.to_schedule
+    newly_pinned: List[int] = []
+
+    for aid in sorted(touched):
+        act = adg.activity(aid)
+        if not act.started:
+            continue  # still pending: counts and (estimate) duration unchanged
+        if aid in pending_preds:
+            del pending_preds[aid]
+            to_schedule -= 1
+            newly_pinned.append(aid)
+        if act.finished:
+            ends[aid] = act.end
+            entries[aid] = ScheduledActivity(
+                aid, act.name, act.start, act.end, "finished"
+            )
+        else:
+            end = max(act.start + act.duration, now)
+            ends[aid] = end
+            entries[aid] = ScheduledActivity(
+                aid, act.name, act.start, end, "running"
+            )
+    for aid in newly_pinned:
+        for s in adg.successors(aid):
+            if s in pending_preds:
+                pending_preds[s] -= 1
+
+    # Untouched running activities re-clamp to the new now.
+    for aid, entry in prev.entries.items():
+        if entry.status == "running" and aid not in touched:
+            act = adg.activity(aid)
+            end = max(act.start + act.duration, now)
+            if end != entry.end:
+                ends[aid] = end
+                entries[aid] = ScheduledActivity(
+                    aid, act.name, act.start, end, "running"
+                )
+
+    busy: List[float] = [
+        ends[aid] for aid, entry in entries.items() if entry.status == "running"
+    ]
+    heapq.heapify(busy)
+
+    ready_time: Dict[int, float] = {}
+    for aid, count in pending_preds.items():
+        if count == 0:
+            act = adg.activity(aid)
+            ready_time[aid] = max(
+                max((ends[p] for p in act.preds), default=now), now
+            )
     return PinnedPlanBase(
         now=now,
         entries=entries,

@@ -27,7 +27,34 @@ from ...skeletons.base import Skeleton
 from ..adg import ADG
 from ..estimator import EstimatorRegistry
 
-__all__ = ["TrackingMachine", "MuscleSpan"]
+__all__ = ["TrackingMachine", "MuscleSpan", "refresh_from_sources"]
+
+
+def refresh_from_sources(adg: ADG) -> int:
+    """Re-apply every span source of *adg*; returns how many changed.
+
+    This is the projection **patch**: for each activity built from a
+    :class:`MuscleSpan` (via :meth:`MuscleSpan.add_to`), re-derive
+    ``(start, end, duration)`` from the span's *current* state under the
+    exact rules ``add_to`` used at build time.  Given an unchanged
+    structure and unchanged estimates — which the caller must have
+    verified through the machine-registry changelog and the estimator
+    version stamp — the patched graph is bit-for-bit the graph a full
+    re-walk would build.  Activities without a source (unexplored future
+    structure projected straight from estimates) are untouched by
+    construction: their times derive from estimates alone.
+    """
+    changed = 0
+    for aid, (span, est_duration) in adg.span_sources().items():
+        if span.finished:
+            start, end, duration = span.start, span.end, span.end - span.start
+        elif span.started:
+            start, end, duration = span.start, None, est_duration
+        else:
+            start, end, duration = None, None, est_duration
+        if adg.update_activity(aid, start, end, duration):
+            changed += 1
+    return changed
 
 
 class MuscleSpan:
@@ -75,17 +102,27 @@ class MuscleSpan:
         preds: List[int],
         role: str,
     ) -> int:
-        """Append this span to *adg* (actual when known, estimate else)."""
+        """Append this span to *adg* (actual when known, estimate else).
+
+        The span is attached to the activity as its *source*
+        (:meth:`~repro.core.adg.ADG.attach_source`): when a later event
+        lands more actual time on this span, the planning layer re-reads
+        it to patch the projected activity in place instead of
+        re-walking the machines (see :func:`refresh_from_sources`).
+        """
         if self.finished:
-            return adg.add(
+            aid = adg.add(
                 name, self.end - self.start, preds,
                 start=self.start, end=self.end, role=role,
             )
-        if self.started:
-            return adg.add(
+        elif self.started:
+            aid = adg.add(
                 name, est_duration, preds, start=self.start, role=role
             )
-        return adg.add(name, est_duration, preds, role=role)
+        else:
+            aid = adg.add(name, est_duration, preds, role=role)
+        adg.attach_source(aid, self, est_duration)
+        return aid
 
 
 class TrackingMachine:

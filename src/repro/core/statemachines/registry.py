@@ -15,12 +15,13 @@ snapshot while worker threads keep publishing events.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Tuple, Type
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from ...errors import StateMachineError
 from ...events.bus import Listener
-from ...events.types import Event
+from ...events.types import Event, When, Where
 from ..adg import ADG
+from ..delta import ChangeDelta
 from ..estimator import EstimatorRegistry
 from .base import TrackingMachine
 from .composite import FarmMachine, PipeMachine
@@ -61,6 +62,13 @@ class MachineRegistry(Listener):
         self._machines: Dict[int, TrackingMachine] = {}
         self.roots: List[TrackingMachine] = []
         self._rev = 0
+        # Changelog (see delta_since): revision of the last *structural*
+        # event, plus the last span-only touch revision per machine —
+        # inherently coalesced to one entry per machine, so memory stays
+        # O(machines) for arbitrarily long executions.
+        self._structural_rev = 0
+        self._span_touched: Dict[int, int] = {}
+        self._floor_rev = 0
 
     @property
     def rev(self) -> int:
@@ -69,7 +77,9 @@ class MachineRegistry(Listener):
         Projections derive entirely from machine state + estimates, so
         the planning layer reuses a projected ADG for as long as
         ``(rev, estimators.version)`` is unchanged — i.e. until another
-        event of this execution lands.
+        event of this execution lands.  :meth:`delta_since` additionally
+        says *what* a window of revisions changed, which is what lets the
+        planning layer patch a previous projection instead of re-walking.
         """
         return self._rev
 
@@ -77,12 +87,113 @@ class MachineRegistry(Listener):
 
     def on_event(self, event: Event) -> Any:
         with self.lock:
-            machine = self._machines.get(event.index)
-            if machine is None:
-                machine = self._create(event)
-            machine.on_event(event)
-            self._rev += 1
+            self._consume_locked(event)
         return event.value
+
+    def on_batch(self, events: Sequence[Event]) -> None:
+        """Consume a whole event batch under one lock acquisition.
+
+        The batched hot path of :meth:`~repro.events.bus.EventBus.
+        publish_batch`: identical per-event semantics (same handlers, one
+        revision bump per event), minus N-1 lock round-trips.
+        """
+        with self.lock:
+            for event in events:
+                self._consume_locked(event)
+
+    def _consume_locked(self, event: Event) -> None:
+        machine = self._machines.get(event.index)
+        created = machine is None
+        if created:
+            machine = self._create(event)
+        machine.on_event(event)
+        self._rev += 1
+        if created or self._is_structural(machine, event):
+            self._structural_rev = self._rev
+        elif self._touches_span(machine, event):
+            self._span_touched[event.index] = self._rev
+
+    # -- event classification (changelog) -----------------------------------
+
+    @staticmethod
+    def _is_structural(machine: TrackingMachine, event: Event) -> bool:
+        """True when *event* may reshape a projection of this execution.
+
+        Span-only events land actual times on spans that already existed
+        (and were therefore already projected with provenance); anything
+        else — machine creation (handled by the caller), split
+        cardinalities, condition outcomes, a While's growing condition
+        list, a finishing root — can change the *set* of projected
+        activities or their dependencies, so the changelog flags it and
+        the planning layer re-walks.
+        """
+        if event.where is Where.NESTED:
+            # Control markers carry the parent's index and no machine has
+            # a NESTED handler: pure no-ops for projection state.
+            return False
+        if event.when is When.BEFORE:
+            # BEFORE events at most set the start of a pre-existing span
+            # — except While, whose condition spans are *appended* per
+            # evaluation (the new span replaces an estimate-only
+            # activity, which carries no patchable source).
+            return machine.kind == "while" and event.where is Where.CONDITION
+        # AFTER events:
+        if event.where is Where.MERGE:
+            return False  # closes a fixed span; the machine finishes later
+        if event.where is Where.SKELETON and machine.parent_index is not None:
+            # A nested completion closes its span; parents project
+            # children unconditionally, so the shape is unchanged.  A
+            # finishing *root* changes the projected root set instead.
+            return machine.kind != "seq"
+        return True
+
+    @staticmethod
+    def _touches_span(machine: TrackingMachine, event: Event) -> bool:
+        """True when a non-structural *event* changed some span's times."""
+        return event.where is not Where.NESTED
+
+    # -- changelog ------------------------------------------------------------
+
+    def delta_since(self, rev: int) -> Optional[ChangeDelta]:
+        """What changed after revision *rev*, or ``None`` when unknown.
+
+        ``None`` (window older than the compaction floor, or *rev* from
+        the future) and ``structural=True`` both mean "re-walk";
+        ``structural=False`` lists the machine indices whose spans gained
+        actual times — exactly the activities a projection patch must
+        refresh.
+        """
+        with self.lock:
+            if rev < self._floor_rev or rev > self._rev:
+                return None
+            structural = self._structural_rev > rev
+            touched = () if structural else tuple(
+                sorted(i for i, r in self._span_touched.items() if r > rev)
+            )
+            return ChangeDelta(rev, self._rev, structural, touched)
+
+    def compact_changelog(self, before_rev: int) -> None:
+        """Drop changelog detail at or below *before_rev*.
+
+        Callers (the planning engine) pass the oldest revision any live
+        plan could still ask ``delta_since`` about; everything older is
+        unreachable and freed.  Keeps the log bounded by the number of
+        machines *recently* touched rather than ever touched.
+        """
+        with self.lock:
+            if before_rev <= self._floor_rev:
+                return
+            self._floor_rev = min(before_rev, self._rev)
+            self._span_touched = {
+                i: r
+                for i, r in self._span_touched.items()
+                if r > self._floor_rev
+            }
+
+    def changelog_size(self) -> int:
+        """Number of per-machine changelog entries currently retained."""
+        with self.lock:
+            return len(self._span_touched)
 
     # -- machine management ---------------------------------------------------
 
@@ -145,4 +256,6 @@ class MachineRegistry(Listener):
         with self.lock:
             self._machines.clear()
             self.roots.clear()
+            self._span_touched.clear()
             self._rev += 1
+            self._structural_rev = self._rev

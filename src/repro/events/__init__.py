@@ -8,6 +8,7 @@ muscle's worker, with listeners able to observe *and transform* partial
 solutions.
 """
 
+from .batch import EventBatch, EventDelta
 from .bus import EventBus, Listener
 from .correlation import IndexAllocator, check_balanced, pair_events
 from .listeners import (
@@ -25,6 +26,8 @@ from .types import Event, When, Where, event_label
 __all__ = [
     "EventBus",
     "Listener",
+    "EventBatch",
+    "EventDelta",
     "IndexAllocator",
     "pair_events",
     "check_balanced",

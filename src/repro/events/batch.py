@@ -1,0 +1,156 @@
+"""Event batches and deltas — the coalesced spine of the event hot path.
+
+A busy multi-tenant platform publishes one event per muscle phase; at
+service scale the *per-event* costs around the bus (listener snapshots,
+monitor lock round-trips, per-event arbitration pre-checks) become the
+throughput ceiling long before the listeners' actual work does.  This
+module is the data model of the batched alternative:
+
+* :class:`EventBatch` — an ordered group of events published as one bus
+  transaction (:meth:`~repro.events.bus.EventBus.publish_batch`).  The
+  events of a batch must be **independent**: each event's value pipeline
+  runs separately through the listeners, and no event's input value may
+  depend on another's (listener-transformed) output.  The runtime's bus
+  batch site — a Map/Fork/D&C fan-out's per-child markers, built by the
+  interpreter — satisfies this by construction.  (Worker *completions*
+  are not bus-batched: each AFTER event chains through its own
+  listener-transformed value, so the process-pool collector drains
+  completion groups per wakeup but still publishes them one by one.);
+* :class:`EventDelta` — the per-execution structured summary of a batch
+  (how many events, how many analysis points, which instance indices,
+  the covered time window): what a batch *changed*, without the events —
+  the observability record batch-aware monitors and tests reason about.
+
+Batch-aware listeners override :meth:`~repro.events.bus.Listener.
+on_batch` to consume a whole batch in one call (one machine-registry
+lock acquisition for N events, say); the default falls back to the
+per-event handler, so batching is transparent to existing listeners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .types import Event, When, Where
+
+__all__ = ["ANALYSIS_POINT_WHERE", "EventDelta", "EventBatch"]
+
+#: AFTER events at these locations are the paper's analysis points — the
+#: single source of truth; :data:`repro.core.analysis.ANALYSIS_WHERE` is
+#: an alias of this tuple (the core imports the events layer, never the
+#: reverse, so the definition lives here).
+ANALYSIS_POINT_WHERE = (Where.SKELETON, Where.SPLIT, Where.MERGE, Where.CONDITION)
+
+
+@dataclass(frozen=True)
+class EventDelta:
+    """Summary of what one batch changed for one execution.
+
+    Attributes
+    ----------
+    execution_id:
+        The execution the summarized events belong to (``None`` for
+        events raised outside an execution).
+    events:
+        Number of events in the window.
+    analysis_points:
+        How many of them are analysis points (AFTER events on skeleton /
+        split / merge / condition) — the events that can trigger a
+        rebalance and materially change the projected ADG.
+    indices:
+        Skeleton-instance indices touched, sorted and duplicate-free —
+        the tracking machines that consumed something.
+    first_timestamp / last_timestamp:
+        The covered platform-clock window.
+    """
+
+    execution_id: Optional[int]
+    events: int
+    analysis_points: int
+    indices: Tuple[int, ...]
+    first_timestamp: float
+    last_timestamp: float
+
+
+class EventBatch:
+    """An ordered, immutable-length group of independently published events.
+
+    Thin sequence wrapper: iteration and indexing reach the underlying
+    :class:`~repro.events.types.Event` objects (whose ``value`` fields
+    the bus updates in place as listeners transform them).
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self._events: List[Event] = list(events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def values(self) -> List[object]:
+        """The (listener-transformed) value of every event, in order."""
+        return [event.value for event in self._events]
+
+    def by_execution(self) -> "Dict[Optional[int], EventBatch]":
+        """Per-execution sub-batches, preserving event order.
+
+        (Named distinctly from :func:`repro.events.scoping.
+        split_by_execution`, the plain-list grouper this wraps the result
+        of in :class:`EventBatch` form.)
+        """
+        grouped: Dict[Optional[int], List[Event]] = {}
+        for event in self._events:
+            grouped.setdefault(event.execution_id, []).append(event)
+        return {eid: EventBatch(events) for eid, events in grouped.items()}
+
+    def delta(self) -> Optional[EventDelta]:
+        """Summary of this batch, when it covers a single execution.
+
+        ``None`` for an empty batch; raises :class:`ValueError` when the
+        batch spans several executions (summarize per execution via
+        :meth:`deltas` instead).
+        """
+        if not self._events:
+            return None
+        ids = {event.execution_id for event in self._events}
+        if len(ids) > 1:
+            raise ValueError(
+                f"batch spans executions {sorted(map(str, ids))}; "
+                f"use deltas() for per-execution summaries"
+            )
+        return self._summarize(self._events)
+
+    def deltas(self) -> "Dict[Optional[int], EventDelta]":
+        """Per-execution :class:`EventDelta` summaries of this batch."""
+        return {
+            eid: sub._summarize(sub._events)
+            for eid, sub in self.by_execution().items()
+        }
+
+    @staticmethod
+    def _summarize(events: List[Event]) -> EventDelta:
+        analysis = sum(
+            1
+            for e in events
+            if e.when is When.AFTER and e.where in ANALYSIS_POINT_WHERE
+        )
+        return EventDelta(
+            execution_id=events[0].execution_id,
+            events=len(events),
+            analysis_points=analysis,
+            indices=tuple(sorted({e.index for e in events})),
+            first_timestamp=events[0].timestamp,
+            last_timestamp=events[-1].timestamp,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventBatch({len(self._events)} events)"

@@ -11,13 +11,26 @@ becomes the event's ``value`` and is what the skeleton execution continues
 with (the paper motivates this with on-the-fly encryption of partial
 solutions).  A listener that wants to leave the value untouched simply
 returns it unchanged.
+
+Hot-path costs are amortized two ways:
+
+* :meth:`EventBus.publish` reads a **cached listener snapshot** — an
+  immutable tuple replaced under the lock only when the listener set
+  mutates (tracked by :attr:`EventBus.generation`) — so the common
+  no-mutation case publishes without taking the lock or copying the
+  listener list per event;
+* :meth:`EventBus.publish_batch` delivers a whole
+  :class:`~repro.events.batch.EventBatch` of *independent* events as one
+  transaction: one snapshot for the batch, and batch-aware listeners
+  (:meth:`Listener.on_batch`) consume all their events in a single call
+  — one monitor-lock acquisition for N events instead of N.
 """
 
 from __future__ import annotations
 
 import logging
 import threading
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .types import Event, When, Where
 
@@ -35,6 +48,12 @@ class Listener:
     A listener can restrict the events it receives by overriding
     :meth:`accepts` (cheaper than filtering inside the handler because the
     bus skips the call entirely).
+
+    Batch-aware listeners additionally override :meth:`on_batch` to
+    consume every accepted event of one
+    :meth:`~EventBus.publish_batch` transaction in a single call; the
+    default falls back to :meth:`on_event` per event, so plain listeners
+    work unchanged under batched publication.
     """
 
     def accepts(self, event: Event) -> bool:
@@ -44,6 +63,24 @@ class Listener:
     def on_event(self, event: Event) -> Any:
         """Handle *event*; return the (possibly replaced) partial solution."""
         return event.value
+
+    def on_batch(self, events: Sequence[Event]) -> None:
+        """Handle a batch of accepted events (see class docstring).
+
+        Value transformation flows through the events themselves: the
+        default implementation assigns each event's :meth:`on_event`
+        result back to ``event.value``, which the next listener (and
+        finally the publisher) reads.
+
+        Error granularity: the bus delivers non-overriding listeners
+        per event (each event isolated exactly as under
+        :meth:`~EventBus.publish`); a listener that *overrides* this
+        method owns its own granularity — an exception escaping the
+        override abandons that listener's remaining batch events when
+        the bus is not propagating errors.
+        """
+        for event in events:
+            event.value = self.on_event(event)
 
 
 class _CallableListener(Listener):
@@ -85,10 +122,36 @@ class EventBus:
         self._listeners: List[Listener] = []
         self._lock = threading.Lock()
         self.propagate_errors = propagate_errors
-        #: Total number of events published (cheap observability counter).
+        #: Total number of events published (cheap observability counter;
+        #: updated lock-free on the per-event path, so it may undercount
+        #: slightly under concurrent single-event publishes).
         self.published = 0
+        #: publish_batch transactions and the events they carried — the
+        #: benches derive the mean batch size from these.
+        self.batches = 0
+        self.batched_events = 0
+        # Immutable snapshot of the listener list, replaced (under the
+        # lock) on every mutation; publish paths read it lock-free.  The
+        # generation counter tracks mutations for introspection/tests.
+        self._snapshot: Tuple[Listener, ...] = ()
+        self._generation = 0
 
-    # -- registration -----------------------------------------------------
+    # -- registration -----------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter of the listener set.
+
+        Bumped by :meth:`add_listener`, :meth:`remove_listener`,
+        :meth:`move_to_end` and :meth:`clear`; unchanged by publishes.
+        The cached snapshot is rebuilt exactly when this moves, so a
+        steady listener set costs publishers no locking and no copying.
+        """
+        return self._generation
+
+    def _mutated_locked(self) -> None:
+        self._snapshot = tuple(self._listeners)
+        self._generation += 1
 
     def add_listener(self, listener: Listener) -> Listener:
         """Register *listener* for all events it :meth:`~Listener.accepts`."""
@@ -96,6 +159,7 @@ class EventBus:
             raise TypeError(f"expected a Listener, got {listener!r}")
         with self._lock:
             self._listeners.append(listener)
+            self._mutated_locked()
         return listener
 
     def add_callback(
@@ -118,9 +182,10 @@ class EventBus:
         with self._lock:
             try:
                 self._listeners.remove(listener)
-                return True
             except ValueError:
                 return False
+            self._mutated_locked()
+            return True
 
     def move_to_end(self, listener: Listener) -> None:
         """Atomically move *listener* to the end of the dispatch order.
@@ -136,18 +201,19 @@ class EventBus:
             except ValueError:
                 pass
             self._listeners.append(listener)
+            self._mutated_locked()
 
     def listeners(self) -> List[Listener]:
         """Snapshot of the registered listeners (in registration order)."""
-        with self._lock:
-            return list(self._listeners)
+        return list(self._snapshot)
 
     def clear(self) -> None:
         """Unregister every listener."""
         with self._lock:
             self._listeners.clear()
+            self._mutated_locked()
 
-    # -- dispatch ----------------------------------------------------------
+    # -- dispatch ----------------------------------------------------------------
 
     def publish(self, event: Event) -> Any:
         """Deliver *event* to every accepting listener, in order.
@@ -155,9 +221,14 @@ class EventBus:
         Each listener receives the event with the value produced by the
         previous listener (pipeline semantics).  Returns the final partial
         solution, which the caller must thread back into the execution.
+
+        The listener set is the cached snapshot read once at entry: a
+        listener added or removed *during* this publish takes effect from
+        the next publish on (same semantics as the previous
+        copy-under-lock implementation).
         """
         self.published += 1
-        for listener in self.listeners():
+        for listener in self._snapshot:
             if not listener.accepts(event):
                 continue
             try:
@@ -169,3 +240,72 @@ class EventBus:
                     "listener %r failed on %s; continuing", listener, event.label
                 )
         return event.value
+
+    def publish_batch(self, events: Sequence[Event]) -> List[Any]:
+        """Deliver a batch of **independent** events as one transaction.
+
+        One listener snapshot covers the whole batch, and each listener
+        consumes all the events it accepts in a single :meth:`Listener.
+        on_batch` call (batch-aware monitors take their lock once for N
+        events).  Per-event semantics are preserved: every event's value
+        runs through the listeners in registration order, exactly as N
+        separate :meth:`publish` calls would run it.
+
+        *Independence contract*: no event's input value may depend on
+        another event's listener-transformed output, because listener L
+        sees event *j* before listener L+1 sees event *i* (the batch is
+        delivered listener-major).  The runtime's batch site — a
+        fan-out's per-child control markers — is independent by
+        construction; dependent chains (a task's BEFORE/AFTER event
+        sequence, whose values feed forward) must use :meth:`publish`
+        per event.
+
+        Returns the final per-event values, in batch order.
+        """
+        events = list(events)
+        if not events:
+            return []
+        if len(events) == 1:
+            return [self.publish(events[0])]
+        # One locked update per batch keeps the batch counters exact
+        # under concurrent worker-thread fan-outs (publish's per-event
+        # counter stays lock-free: it is an approximate observability
+        # count and locking it would reintroduce the per-event lock this
+        # layer exists to remove).
+        with self._lock:
+            self.published += len(events)
+            self.batches += 1
+            self.batched_events += len(events)
+        for listener in self._snapshot:
+            accepted = [event for event in events if listener.accepts(event)]
+            if not accepted:
+                continue
+            if type(listener).on_batch is Listener.on_batch:
+                # Default (non-batch-aware) listener: deliver per event
+                # with per-event error isolation, bit-for-bit the
+                # publish() semantics — a failing event never swallows
+                # the listener's remaining batch under
+                # propagate_errors=False.
+                for event in accepted:
+                    try:
+                        event.value = listener.on_event(event)
+                    except Exception:
+                        if self.propagate_errors:
+                            raise
+                        _log.exception(
+                            "listener %r failed on %s; continuing",
+                            listener,
+                            event.label,
+                        )
+                continue
+            try:
+                listener.on_batch(accepted)
+            except Exception:
+                if self.propagate_errors:
+                    raise
+                _log.exception(
+                    "listener %r failed on a %d-event batch; continuing",
+                    listener,
+                    len(accepted),
+                )
+        return [event.value for event in events]

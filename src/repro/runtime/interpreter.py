@@ -14,7 +14,14 @@ Design rules:
 * **BEFORE/AFTER events are emitted by the task phases** on the worker
   that runs the muscle (the paper's same-thread guarantee);
 * **control markers** (``farm@b``, ``pipe@bn`` …) take no worker time;
-  they are emitted inline from continuations;
+  they are emitted inline from continuations.  The per-child markers of a
+  fan-out (Map/Fork/D&C ``@bn``) are **batched**: one
+  :meth:`~repro.events.bus.EventBus.publish_batch` transaction publishes
+  all of them — one listener snapshot, one monitor-lock acquisition —
+  whenever the children's sub-skeletons do not themselves emit events
+  inline at start (Seq/Map/Fork/If/D&C children qualify; Farm/Pipe/
+  While/For children emit their own ``@b`` during ``_start``, so their
+  markers stay per-event to preserve the exact event order);
 * **instance indices**: every skeleton-instance execution draws a fresh
   index; all its events carry that index (the ``i`` of the paper), plus
   the parent instance's index, which is how the autonomic layer attaches
@@ -26,6 +33,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Tuple
 
 from ..errors import ExecutionError
+from ..events.batch import EventBatch
 from ..events.types import Event, When, Where
 from ..skeletons.base import Skeleton
 from ..skeletons.conditional import If
@@ -63,17 +71,17 @@ class _Instance:
             self.trace = parent.trace + (skel,)
             self.index_trace = parent.index_trace + (self.index,)
 
-    def emit(
+    def build_event(
         self,
         when: When,
         where: Where,
         value: Any,
         worker: Optional[int] = None,
         **extra: Any,
-    ) -> Any:
-        """Publish one event for this instance; returns the final value."""
+    ) -> Event:
+        """Construct (without publishing) one event for this instance."""
         platform = self.state.platform
-        event = Event(
+        return Event(
             skeleton=self.skel,
             kind=self.skel.kind,
             when=when,
@@ -88,7 +96,19 @@ class _Instance:
             extra=extra,
             execution_id=self.state.execution.id,
         )
-        return platform.bus.publish(event)
+
+    def emit(
+        self,
+        when: When,
+        where: Where,
+        value: Any,
+        worker: Optional[int] = None,
+        **extra: Any,
+    ) -> Any:
+        """Publish one event for this instance; returns the final value."""
+        return self.state.platform.bus.publish(
+            self.build_event(when, where, value, worker=worker, **extra)
+        )
 
 
 class _ExecState:
@@ -236,6 +256,34 @@ def _submit_task(
 
 
 _NO_EXTRA = lambda _v: {}
+
+#: Skeletons whose ``_start`` publishes events inline before any task is
+#: submitted; starting them must stay interleaved with their fan-out
+#: markers, so marker batching is skipped for children of these kinds.
+_INLINE_EMITTING = (Farm, Pipe, While, For)
+
+
+def _fanout_markers(inst: _Instance, parts, make_extra) -> Optional[list]:
+    """Batch-publish a fan-out's per-child ``BEFORE NESTED`` markers.
+
+    Returns the listener-transformed child values (one bus transaction
+    covering the whole fan-out), or ``None`` when batching is not
+    worthwhile (a single child) — the caller then falls back to the
+    classic per-child ``emit``.  The markers are independent events (one
+    value pipeline per child), which is exactly the contract
+    :meth:`~repro.events.bus.EventBus.publish_batch` requires.
+    """
+    if len(parts) <= 1:
+        return None
+    platform = inst.state.platform
+    worker = platform.current_worker()
+    batch = EventBatch(
+        inst.build_event(
+            When.BEFORE, Where.NESTED, part, worker=worker, **make_extra(j)
+        )
+        for j, part in enumerate(parts)
+    )
+    return platform.bus.publish_batch(batch)
 
 
 # ---------------------------------------------------------------------------
@@ -416,8 +464,14 @@ def _start_map(skel: Map, value: Any, state: _ExecState, inst: _Instance, cont: 
             )
 
         barrier = Barrier(len(parts), _guarded(state, merge_ready))
-        for j, part in enumerate(parts):
-            part = inst.emit(When.BEFORE, Where.NESTED, part, child=j)
+        batched = (
+            _fanout_markers(inst, parts, lambda j: {"child": j})
+            if not isinstance(skel.subskel, _INLINE_EMITTING)
+            else None
+        )
+        for j, part in enumerate(parts if batched is None else batched):
+            if batched is None:
+                part = inst.emit(When.BEFORE, Where.NESTED, part, child=j)
 
             def child_done(result: Any, j: int = j) -> None:
                 result = inst.emit(When.AFTER, Where.NESTED, result, child=j)
@@ -469,8 +523,16 @@ def _start_fork(skel: Fork, value: Any, state: _ExecState, inst: _Instance, cont
             )
 
         barrier = Barrier(len(parts), _guarded(state, merge_ready))
-        for j, (sub, part) in enumerate(zip(skel.subskels, parts)):
-            part = inst.emit(When.BEFORE, Where.NESTED, part, child=j)
+        batched = (
+            _fanout_markers(inst, parts, lambda j: {"child": j})
+            if not any(isinstance(s, _INLINE_EMITTING) for s in skel.subskels)
+            else None
+        )
+        for j, (sub, part) in enumerate(
+            zip(skel.subskels, parts if batched is None else batched)
+        ):
+            if batched is None:
+                part = inst.emit(When.BEFORE, Where.NESTED, part, child=j)
 
             def child_done(result: Any, j: int = j) -> None:
                 result = inst.emit(When.AFTER, Where.NESTED, result, child=j)
@@ -577,8 +639,16 @@ def _dac_divide(
             )
 
         barrier = Barrier(len(parts), _guarded(state, merge_ready))
-        for j, part in enumerate(parts):
-            part = inst.emit(When.BEFORE, Where.NESTED, part, child=j, depth=depth)
+        # Child nodes start through a condition *task* (no inline emits),
+        # so the fan-out markers always batch.
+        batched = _fanout_markers(
+            inst, parts, lambda j: {"child": j, "depth": depth}
+        )
+        for j, part in enumerate(parts if batched is None else batched):
+            if batched is None:
+                part = inst.emit(
+                    When.BEFORE, Where.NESTED, part, child=j, depth=depth
+                )
 
             def child_done(result: Any, j: int = j) -> None:
                 result = inst.emit(

@@ -455,12 +455,24 @@ class ProcessPoolPlatform(_PoolPlatformBase):
                         pass
                     continue
                 handle = watch[conn]
-                try:
-                    _worker_id, index, ok, value, start_mono = conn.recv()
-                except (EOFError, OSError):
-                    self._on_worker_gone(handle)
-                    continue
-                self._on_result(handle, index, ok, value, start_mono)
+                # Drain every message already buffered on this pipe in
+                # one wakeup: a fine-grained chunk streams results faster
+                # than the pump loops, so batching the drain (and the
+                # AFTER events + continuations it feeds, in order) keeps
+                # the collector from paying one wait() round per task.
+                while True:
+                    try:
+                        _worker_id, index, ok, value, start_mono = conn.recv()
+                    except (EOFError, OSError):
+                        self._on_worker_gone(handle)
+                        break
+                    self._on_result(handle, index, ok, value, start_mono)
+                    try:
+                        if not conn.poll():
+                            break
+                    except (EOFError, OSError):  # pragma: no cover
+                        self._on_worker_gone(handle)
+                        break
 
     def _on_worker_gone(self, handle: _WorkerHandle) -> None:
         """EOF on a result pipe: planned retirement or a worker crash."""

@@ -25,7 +25,13 @@ Model:
   events the timestamp ``start + duration``;
 * :meth:`Platform.set_parallelism` takes effect immediately: new cores
   start pulling ready tasks at the current virtual instant; removed cores
-  finish their current task and retire (shrinking never aborts work).
+  finish their current task and retire (shrinking never aborts work);
+* event emission is shared with the real backends: continuations running
+  on virtual cores publish fan-out control markers through the batched
+  bus path (:meth:`~repro.events.bus.EventBus.publish_batch`), so
+  batch-aware monitors consume a whole fan-out under one lock on the
+  simulator exactly as they do on threads and processes — with identical
+  event order, preserving bit-for-bit determinism.
 """
 
 from __future__ import annotations

@@ -12,6 +12,13 @@ process pool (submit batching, seniority retirement, depth-first prepend,
 per-execution worker shares) lives in
 :class:`~repro.runtime.poolbase._PoolPlatformBase`.
 
+Event emission rides the batched spine where the interpreter provides it:
+fan-out control markers publish through
+:meth:`~repro.events.bus.EventBus.publish_batch` on the worker running
+the continuation (one listener snapshot and one monitor-lock round-trip
+per fan-out), and every per-event publish reads the bus's cached listener
+snapshot — no lock, no list copy — as long as the listener set is stable.
+
 CPython note (DESIGN.md §1): for *CPU-bound pure-Python* muscles the GIL
 serializes execution in this pool, so raising the LP does not shrink
 wall-clock time here.  Use this pool for I/O-bound muscles and muscles

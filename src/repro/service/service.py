@@ -142,7 +142,15 @@ class SkeletonService:
         execution's :class:`~repro.core.planning.PlanEngine` and the
         admission gates.  Defaults to a fresh cache; pass
         ``PlanCache(maxsize=0)`` to disable plan reuse (the benchmark's
-        from-scratch baseline).
+        from-scratch baseline), or ``PlanCache(now_quantum=q)`` for the
+        quantized ``now``-bucket mode (cross-rebalance schedule reuse on
+        real clocks, decision skew bounded by ``q``).
+    plan_patching:
+        Enable the delta pipeline in every execution's plan engine:
+        span-only event windows patch the previous projection in place
+        instead of re-walking the tracking machines.  On by default;
+        ``False`` restores the plain rev-keyed plan caching (the
+        delta-path benchmark's baseline).
     platform_kwargs:
         Extra keyword arguments for the self-created platform
         (``chunk_size``, ``start_method``, ...).
@@ -165,6 +173,7 @@ class SkeletonService:
         backfill_reservation: bool = True,
         starvation_aging: str = "virtual-time",
         plan_cache: Optional[PlanCache] = None,
+        plan_patching: bool = True,
         **platform_kwargs: Any,
     ):
         self._owns_platform = platform is None
@@ -193,6 +202,7 @@ class SkeletonService:
         self.extensions = extensions
         self.backfill_reservation = backfill_reservation
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.plan_patching = plan_patching
         self.tenants = TenantBook(default_quota=default_quota, quotas=quotas)
         self.admission = AdmissionController(
             capacity=self.capacity,
@@ -250,6 +260,7 @@ class SkeletonService:
                 rho=self.rho,
                 extensions=self.extensions,
                 plan_cache=self.plan_cache,
+                plan_patching=self.plan_patching,
             )
             # Resolve the scheduling class once, at the submission
             # boundary: QoS override first, tenant quota default second.
@@ -557,6 +568,19 @@ class SkeletonService:
     def live_handles(self) -> List[ExecutionHandle]:
         with self._lock:
             return [rec.handle for rec in self._live.values()]
+
+    def plan_stats(self) -> Dict[str, Any]:
+        """Recompute accounting of the shared planning layer.
+
+        The :class:`~repro.core.planning.PlanCache` counters — hits,
+        misses, full projection walks vs in-place projection patches,
+        pinning delta re-pins, schedule passes — as a plain dict, so
+        benchmarks and operators read the event→plan cost of the service
+        without reaching into planner internals.  Counters are
+        service-lifetime cumulative; ``plan_cache.reset_stats()`` zeroes
+        them.
+        """
+        return self.plan_cache.stats_dict()
 
     # -- draining / shutdown ----------------------------------------------------
 

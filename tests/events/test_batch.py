@@ -1,0 +1,324 @@
+"""Batched publication and the cached listener snapshot.
+
+Covers the delta-pipeline event spine: ``EventBus.publish_batch`` /
+``Listener.on_batch`` semantics, the ``EventBatch`` / ``EventDelta``
+carriers, the snapshot-generation counter that keeps per-event publishes
+lock-free, and the regression contract that listener-set mutation during
+a publish behaves exactly as the old copy-under-lock implementation did.
+"""
+
+import logging
+
+import pytest
+
+from repro import SimulatedPlatform, run
+from repro.events.batch import EventBatch, EventDelta
+from repro.events.bus import EventBus, Listener
+from repro.events.types import Event, When, Where
+from repro.skeletons import Execute, Farm, Map, Merge, Seq, Split
+
+
+def make_event(value=0, kind="seq", when=When.BEFORE, where=Where.SKELETON,
+               index=0, execution_id=None, timestamp=0.0):
+    return Event(
+        skeleton=None, kind=kind, when=when, where=where,
+        index=index, parent_index=None, value=value, timestamp=timestamp,
+        execution_id=execution_id,
+    )
+
+
+class Recorder(Listener):
+    def __init__(self):
+        self.seen = []
+
+    def on_event(self, event):
+        self.seen.append((event.label, event.value))
+        return event.value
+
+
+class BatchAware(Listener):
+    def __init__(self):
+        self.batches = []
+        self.single = 0
+
+    def on_event(self, event):
+        self.single += 1
+        return event.value
+
+    def on_batch(self, events):
+        self.batches.append(list(events))
+        for event in events:
+            event.value = self.on_event(event)
+
+
+# ---------------------------------------------------------------------------
+# snapshot caching + generation (satellite: no per-event lock/copy)
+
+
+class TestSnapshotGeneration:
+    def test_generation_bumps_on_every_mutation(self):
+        bus = EventBus()
+        g0 = bus.generation
+        listener = Recorder()
+        bus.add_listener(listener)
+        assert bus.generation == g0 + 1
+        bus.move_to_end(listener)
+        assert bus.generation == g0 + 2
+        assert bus.remove_listener(listener)
+        assert bus.generation == g0 + 3
+        bus.add_listener(listener)
+        bus.clear()
+        assert bus.generation == g0 + 5
+
+    def test_publishing_does_not_bump_generation(self):
+        bus = EventBus()
+        bus.add_listener(Recorder())
+        g = bus.generation
+        for _ in range(10):
+            bus.publish(make_event())
+        bus.publish_batch([make_event(), make_event()])
+        assert bus.generation == g
+
+    def test_failed_remove_does_not_bump_generation(self):
+        bus = EventBus()
+        g = bus.generation
+        assert not bus.remove_listener(Recorder())
+        assert bus.generation == g
+
+    def test_listener_removing_itself_mid_publish_still_gets_event(self):
+        """Regression: mutation mid-publish behaves as the old
+        copy-under-lock snapshot did — the in-flight publish delivers to
+        the snapshot taken at entry; the mutation shows from the next
+        publish on."""
+        bus = EventBus()
+        tail = Recorder()
+
+        class RemovesBoth(Listener):
+            def __init__(self):
+                self.calls = 0
+
+            def on_event(self, event):
+                self.calls += 1
+                bus.remove_listener(self)
+                bus.remove_listener(tail)
+                return event.value
+
+        remover = RemovesBoth()
+        bus.add_listener(remover)
+        bus.add_listener(tail)
+        bus.publish(make_event(value=1))
+        # Both were in the entry snapshot: both saw the current event.
+        assert remover.calls == 1
+        assert len(tail.seen) == 1
+        bus.publish(make_event(value=2))
+        # The mutation took effect for the next publish.
+        assert remover.calls == 1
+        assert len(tail.seen) == 1
+
+    def test_listener_added_mid_publish_sees_next_event_only(self):
+        bus = EventBus()
+        late = Recorder()
+
+        class AddsLate(Listener):
+            def on_event(self, event):
+                if not late.seen and late not in bus.listeners():
+                    bus.add_listener(late)
+                return event.value
+
+        bus.add_listener(AddsLate())
+        bus.publish(make_event(value=1))
+        assert late.seen == []
+        bus.publish(make_event(value=2))
+        assert [v for _l, v in late.seen] == [2]
+
+
+# ---------------------------------------------------------------------------
+# publish_batch semantics
+
+
+class TestPublishBatch:
+    def test_value_pipeline_runs_per_event_in_listener_order(self):
+        bus = EventBus()
+        bus.add_callback(lambda e: e.value + 1)
+        bus.add_callback(lambda e: e.value * 10)
+        values = bus.publish_batch([make_event(value=1), make_event(value=2)])
+        assert values == [(1 + 1) * 10, (2 + 1) * 10]
+
+    def test_batch_aware_listener_consumes_batch_in_one_call(self):
+        bus = EventBus()
+        aware = BatchAware()
+        bus.add_listener(aware)
+        bus.publish_batch([make_event(), make_event(), make_event()])
+        assert len(aware.batches) == 1
+        assert len(aware.batches[0]) == 3
+        assert aware.single == 3  # default fallback inside on_batch
+
+    def test_batch_filtered_by_accepts(self):
+        bus = EventBus()
+
+        class OnlyAfter(BatchAware):
+            def accepts(self, event):
+                return event.when is When.AFTER
+
+        aware = OnlyAfter()
+        bus.add_listener(aware)
+        bus.publish_batch(
+            [make_event(when=When.BEFORE), make_event(when=When.AFTER)]
+        )
+        assert len(aware.batches) == 1
+        assert [e.when for e in aware.batches[0]] == [When.AFTER]
+
+    def test_counters_and_singleton_fallback(self):
+        bus = EventBus()
+        bus.add_listener(Recorder())
+        assert bus.publish_batch([]) == []
+        bus.publish_batch([make_event(value=7)])  # delegates to publish
+        assert bus.published == 1
+        assert bus.batches == 0
+        bus.publish_batch([make_event(), make_event()])
+        assert bus.published == 3
+        assert bus.batches == 1
+        assert bus.batched_events == 2
+
+    def test_batch_error_propagates_by_default(self):
+        bus = EventBus()
+        bus.add_callback(lambda e: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            bus.publish_batch([make_event(), make_event()])
+
+    def test_batch_error_swallowed_when_not_propagating(self, caplog):
+        bus = EventBus(propagate_errors=False)
+        bus.add_callback(lambda e: 1 / 0)
+        tail = Recorder()
+        bus.add_listener(tail)
+        with caplog.at_level(logging.ERROR):
+            values = bus.publish_batch([make_event(value=3), make_event(value=4)])
+        assert values == [3, 4]  # values untouched by the failing listener
+        assert len(tail.seen) == 2  # later listeners still ran
+
+    def test_default_listener_failure_is_isolated_per_event(self, caplog):
+        """Regression: a non-batch-aware listener that raises on one
+        event of a batch still receives the remaining events — exactly
+        the N-separate-publishes semantics."""
+        bus = EventBus(propagate_errors=False)
+
+        class FlakyRecorder(Recorder):
+            def on_event(self, event):
+                if event.value == 2:
+                    raise RuntimeError("boom")
+                return super().on_event(event)
+
+        flaky = FlakyRecorder()
+        bus.add_listener(flaky)
+        with caplog.at_level(logging.ERROR):
+            values = bus.publish_batch(
+                [make_event(value=v) for v in (1, 2, 3)]
+            )
+        assert values == [1, 2, 3]
+        assert [v for _l, v in flaky.seen] == [1, 3]  # 3 still delivered
+
+
+# ---------------------------------------------------------------------------
+# EventBatch / EventDelta
+
+
+class TestEventBatch:
+    def test_sequence_protocol_and_values(self):
+        events = [make_event(value=v) for v in (1, 2, 3)]
+        batch = EventBatch(events)
+        assert len(batch) == 3
+        assert batch[1] is events[1]
+        assert list(batch) == events
+        assert batch.values == [1, 2, 3]
+
+    def test_by_execution_preserves_order(self):
+        events = [
+            make_event(execution_id=1, index=0),
+            make_event(execution_id=2, index=5),
+            make_event(execution_id=1, index=3),
+        ]
+        grouped = EventBatch(events).by_execution()
+        assert set(grouped) == {1, 2}
+        assert [e.index for e in grouped[1]] == [0, 3]
+        assert [e.index for e in grouped[2]] == [5]
+
+    def test_delta_summarizes_one_execution(self):
+        events = [
+            make_event(execution_id=9, index=1, when=When.BEFORE, timestamp=1.0),
+            make_event(
+                execution_id=9, index=2, when=When.AFTER,
+                where=Where.SKELETON, timestamp=2.5,
+            ),
+            make_event(
+                execution_id=9, index=1, when=When.AFTER,
+                where=Where.NESTED, timestamp=3.0,
+            ),
+        ]
+        delta = EventBatch(events).delta()
+        assert isinstance(delta, EventDelta)
+        assert delta.execution_id == 9
+        assert delta.events == 3
+        assert delta.analysis_points == 1  # AFTER NESTED is not one
+        assert delta.indices == (1, 2)
+        assert (delta.first_timestamp, delta.last_timestamp) == (1.0, 3.0)
+
+    def test_delta_rejects_mixed_executions(self):
+        batch = EventBatch(
+            [make_event(execution_id=1), make_event(execution_id=2)]
+        )
+        assert EventBatch([]).delta() is None
+        with pytest.raises(ValueError, match="spans executions"):
+            batch.delta()
+        deltas = batch.deltas()
+        assert set(deltas) == {1, 2}
+        assert all(d.events == 1 for d in deltas.values())
+
+
+# ---------------------------------------------------------------------------
+# the runtime actually emits batches
+
+
+def fanout_program(width, subskel):
+    return Map(
+        Split(lambda v, w=width: [v] * w, name="split"),
+        subskel,
+        Merge(lambda rs: rs[0], name="merge"),
+    )
+
+
+class TestRuntimeBatchEmission:
+    def test_map_fanout_markers_publish_as_one_batch(self):
+        platform = SimulatedPlatform(parallelism=2)
+        run(fanout_program(4, Seq(Execute(lambda v: v, name="work"))), 1, platform)
+        assert platform.bus.batches >= 1
+        assert platform.bus.batched_events >= 4
+
+    def test_inline_emitting_children_stay_per_event(self):
+        # A Farm child emits farm@b inline during _start: batching the
+        # markers would reorder the stream, so the runtime does not.
+        platform = SimulatedPlatform(parallelism=2)
+        run(
+            fanout_program(4, Farm(Seq(Execute(lambda v: v, name="work")))),
+            1,
+            platform,
+        )
+        assert platform.bus.batches == 0
+
+    def test_batched_and_single_width_runs_agree(self):
+        wide = SimulatedPlatform(parallelism=2)
+        result = run(
+            fanout_program(3, Seq(Execute(lambda v: v + 1, name="work"))),
+            1,
+            wide,
+        )
+        assert result == 2
+        narrow = SimulatedPlatform(parallelism=2)
+        assert (
+            run(
+                fanout_program(1, Seq(Execute(lambda v: v + 1, name="work"))),
+                1,
+                narrow,
+            )
+            == 2
+        )
+        assert narrow.bus.batches == 0  # single child: plain publish
