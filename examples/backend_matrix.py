@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Backend matrix: one skeleton program, every execution backend.
 
-The platform registry (`repro.make_platform`) constructs backends by
-name, so programs, benchmarks and tests can enumerate them instead of
-hard-coding platform classes.  This example runs the same Map program on
-all three shipped backends and checks they agree with the sequential
-reference evaluator.
+The platform registry (`repro.make_platform`) constructs backends from
+a typed ``PlatformSpec``, so programs, benchmarks and tests can enumerate
+them instead of hard-coding platform classes.  This example runs the same
+Map program on every shipped backend — simulated, threads, OS processes,
+simulated-distributed, and real socket workers — and checks they agree
+with the sequential reference evaluator.
 
 The muscles are module-level functions (plus ``functools.partial``) —
 the one extra rule the process backend imposes: everything that crosses
@@ -20,6 +21,7 @@ from repro import (
     Execute,
     Map,
     Merge,
+    PlatformSpec,
     Seq,
     Split,
     available_backends,
@@ -54,10 +56,11 @@ def main() -> None:
     print(f"input   : {value}   reference result: {expected}")
     print()
     for name in available_backends():
-        with make_platform(name, parallelism=2, max_parallelism=4) as platform:
+        spec = PlatformSpec(kind=name, workers=2, max_workers=4)
+        with make_platform(spec) as platform:
             result = make_program().compute(value, platform=platform)
         status = "ok" if result == expected else f"MISMATCH ({result})"
-        print(f"  {name:>9}: result={result} [{status}] — {descriptions[name]}")
+        print(f"  {name:>21}: result={result} [{status}] — {descriptions[name]}")
 
 
 if __name__ == "__main__":

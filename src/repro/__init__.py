@@ -18,6 +18,11 @@ Quickstart::
     result = skel.compute(data, platform=platform)
 
 See ``examples/quickstart.py`` for a complete runnable program.
+
+This module is the **stable front door**: everything in ``__all__`` here
+is the supported public API.  Submodules whose docstrings say "internal"
+(wire protocols, pool plumbing, worker entry points) may change without
+notice — import from ``repro`` directly.
 """
 
 from .errors import (
@@ -30,11 +35,13 @@ from .errors import (
     MuscleTypeError,
     PlatformError,
     QoSError,
+    RemoteProtocolError,
     ReproError,
     SchedulingError,
     ServiceError,
     SkeletonDefinitionError,
     StateMachineError,
+    WorkerLostError,
     WorkloadError,
 )
 from .events import (
@@ -55,13 +62,18 @@ from .runtime import (
     CallableCostModel,
     ConstantCostModel,
     CostModel,
+    DistributedPlatform,
     PerItemCostModel,
     Platform,
     PlatformRegistry,
+    PlatformSpec,
     ProcessPoolPlatform,
+    ProcessSpec,
     RealClock,
+    RemoteSpec,
     SimulatedDistributedPlatform,
     SimulatedPlatform,
+    SimulatedSpec,
     SkeletonFuture,
     TableCostModel,
     ThreadPoolPlatform,
@@ -69,7 +81,9 @@ from .runtime import (
     ZeroCostModel,
     available_backends,
     make_platform,
+    request_resize,
     run,
+    start_worker,
     submit,
 )
 from .skeletons import (
@@ -127,6 +141,8 @@ __all__ = [
     "ExecutionError",
     "MuscleExecutionError",
     "PlatformError",
+    "RemoteProtocolError",
+    "WorkerLostError",
     "SchedulingError",
     "ADGError",
     "EstimateNotReadyError",
@@ -170,11 +186,18 @@ __all__ = [
     "Platform",
     "SimulatedPlatform",
     "SimulatedDistributedPlatform",
+    "DistributedPlatform",
     "ThreadPoolPlatform",
     "ProcessPoolPlatform",
     "PlatformRegistry",
+    "PlatformSpec",
+    "SimulatedSpec",
+    "ProcessSpec",
+    "RemoteSpec",
     "make_platform",
     "available_backends",
+    "request_resize",
+    "start_worker",
     "SkeletonFuture",
     "run",
     "submit",

@@ -3,9 +3,18 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still being able to distinguish the failing subsystem.
+
+Errors that cross an OS-process or socket boundary (the process pool, the
+socket-distributed platform) must survive serialization: the pickle helpers
+(:func:`pickle_safe_exception`) and the JSON helpers
+(:func:`jsonable_error` / :func:`error_from_jsonable`) degrade gracefully
+when a user exception cannot make the trip intact, preserving as much of
+the original as possible instead of failing the transport itself.
 """
 
 from __future__ import annotations
+
+import pickle
 
 __all__ = [
     "ReproError",
@@ -15,6 +24,8 @@ __all__ = [
     "MuscleExecutionError",
     "PlatformError",
     "PlatformShutdownError",
+    "RemoteProtocolError",
+    "WorkerLostError",
     "SchedulingError",
     "ADGError",
     "EstimateNotReadyError",
@@ -24,6 +35,9 @@ __all__ = [
     "ServiceError",
     "AdmissionError",
     "ExecutionCancelledError",
+    "pickle_safe_exception",
+    "jsonable_error",
+    "error_from_jsonable",
 ]
 
 
@@ -73,6 +87,14 @@ class PlatformShutdownError(PlatformError):
     """Work was submitted to a platform that has been shut down."""
 
 
+class RemoteProtocolError(PlatformError):
+    """A socket peer violated the distributed platform's wire protocol."""
+
+
+class WorkerLostError(PlatformError):
+    """A remote worker vanished (heartbeat timeout or dropped connection)."""
+
+
 class SchedulingError(ReproError):
     """A scheduling computation received invalid input."""
 
@@ -116,3 +138,81 @@ class AdmissionError(ServiceError):
 
 class ExecutionCancelledError(ExecutionError):
     """An execution was cancelled through its service handle."""
+
+
+# ---------------------------------------------------------------------------
+# boundary-crossing helpers
+#
+# A worker process (pool pipe or remote socket) must never die because a
+# *user* exception refuses to serialize; these helpers are the single
+# treatment applied at every boundary.
+
+
+def _safe_str(obj: object) -> str:
+    """``str(obj)`` that survives a broken ``__str__``."""
+    try:
+        return str(obj)
+    except Exception:
+        try:
+            return object.__repr__(obj)
+        except Exception:  # pragma: no cover - pathological object
+            return f"<unprintable {type(obj).__name__}>"
+
+
+def pickle_safe_exception(exc: BaseException) -> BaseException:
+    """Return *exc* if it survives a pickle round-trip, else a safe stand-in.
+
+    A :class:`MuscleExecutionError` whose *cause* is the unpicklable part
+    keeps its structured fields (muscle name, trace) with the cause
+    replaced by a descriptive :class:`PlatformError`; anything else is
+    replaced wholesale.  This is the treatment the process pool applies to
+    muscle results, extended so the socket-distributed platform can use it
+    for every payload (results, enrollment, heartbeats) as well.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL))
+        return exc
+    except Exception:
+        pass
+    if isinstance(exc, MuscleExecutionError):
+        cause = exc.cause
+        safe_cause = PlatformError(
+            f"original cause {type(cause).__name__} was not picklable: "
+            f"{_safe_str(cause)!r}"
+        )
+        return MuscleExecutionError(exc.muscle_name, safe_cause, exc.trace)
+    return PlatformError(
+        f"original exception {type(exc).__name__} was not picklable: {_safe_str(exc)!r}"
+    )
+
+
+def jsonable_error(exc: BaseException) -> dict:
+    """Encode *exc* as a JSON-safe mapping for the control plane.
+
+    Used wherever an error must travel over the length-prefixed JSON
+    control plane (enrollment rejections, heartbeat protocol errors):
+    only the exception's type name and message cross the wire, both
+    guaranteed to be plain strings.
+    """
+    return {"type": type(exc).__name__, "message": _safe_str(exc)}
+
+
+def error_from_jsonable(payload: object) -> ReproError:
+    """Inverse of :func:`jsonable_error`, resolving known library types.
+
+    Unknown (user-defined) exception types come back as a
+    :class:`RemoteProtocolError` carrying the original type name and
+    message — the error stays catchable without importing arbitrary
+    user code on the receiving side.
+    """
+    if not isinstance(payload, dict):
+        return RemoteProtocolError(f"malformed error payload: {payload!r}")
+    name = payload.get("type", "ReproError")
+    message = payload.get("message", "")
+    cls = globals().get(name)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        try:
+            return cls(message)
+        except Exception:
+            pass
+    return RemoteProtocolError(f"{name}: {message}")

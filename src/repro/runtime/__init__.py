@@ -6,8 +6,11 @@ The runtime executes skeleton programs on three interchangeable platforms
 CPU-bound picklable muscles) and :class:`SimulatedPlatform`
 (deterministic discrete-event multicore simulation with virtual time) —
 through a single continuation-passing interpreter that emits the paper's
-events at every muscle boundary.  :func:`make_platform` constructs any of
-them by name.
+events at every muscle boundary.  Two distributed platforms complete the
+matrix: :class:`SimulatedDistributedPlatform` (virtual-time cluster) and
+:class:`DistributedPlatform` (real worker processes over localhost
+sockets).  :func:`make_platform` constructs any of them from a typed
+:class:`PlatformSpec`.
 """
 
 from .clock import Clock, RealClock, VirtualClock
@@ -31,7 +34,9 @@ from .registry import (
     available_backends,
     make_platform,
 )
+from .remote import DistributedPlatform, request_resize, start_worker
 from .simulator import SimulatedPlatform
+from .spec import PlatformSpec, ProcessSpec, RemoteSpec, SimulatedSpec
 from .task import Barrier, ConditionBody, Execution, MuscleTask, TaskEnvelope
 from .threadpool import ThreadPoolPlatform
 
@@ -53,12 +58,19 @@ __all__ = [
     "Platform",
     "SimulatedPlatform",
     "SimulatedDistributedPlatform",
+    "DistributedPlatform",
     "ThreadPoolPlatform",
     "ProcessPoolPlatform",
     "PlatformRegistry",
     "DEFAULT_REGISTRY",
+    "PlatformSpec",
+    "SimulatedSpec",
+    "ProcessSpec",
+    "RemoteSpec",
     "make_platform",
     "available_backends",
+    "request_resize",
+    "start_worker",
     "MuscleTask",
     "Barrier",
     "Execution",

@@ -53,7 +53,7 @@ import time
 from multiprocessing import connection as mpconnection
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import PlatformError
+from ..errors import PlatformError, pickle_safe_exception
 from ..events.bus import EventBus
 from .clock import Clock, RealClock
 from .poolbase import _PoolPlatformBase
@@ -70,8 +70,10 @@ def _send_result(
 ) -> None:
     """Send one ``(worker_id, index, ok, value, start_mono)`` message.
 
-    A muscle may return (or raise) something unpicklable; replace it with
-    a :class:`PlatformError` that names the problem instead of letting the
+    A muscle may return (or raise) something unpicklable; apply the shared
+    boundary treatment (:func:`repro.errors.pickle_safe_exception` — which
+    keeps a :class:`~repro.errors.MuscleExecutionError`'s structured
+    fields and replaces only the offending cause) instead of letting the
     send fail.  ``start_mono`` is the worker-side ``time.monotonic()``
     taken when the body started (CLOCK_MONOTONIC is system-wide, so the
     parent can translate it onto its platform clock).
@@ -79,19 +81,14 @@ def _send_result(
     try:
         res_conn.send((worker_id, index, ok, value, start_mono))
     except Exception as exc:
-        kind = "result" if ok else "exception"
-        res_conn.send(
-            (
-                worker_id,
-                index,
-                False,
-                PlatformError(
-                    f"worker {worker_id} could not pickle a muscle "
-                    f"{kind} of type {type(value).__name__}: {exc!r}"
-                ),
-                start_mono,
+        if isinstance(value, BaseException):
+            safe = pickle_safe_exception(value)
+        else:
+            safe = PlatformError(
+                f"worker {worker_id} could not pickle a muscle "
+                f"result of type {type(value).__name__}: {exc!r}"
             )
-        )
+        res_conn.send((worker_id, index, False, safe, start_mono))
 
 
 def _worker_main(worker_id: int, req_conn, res_conn) -> None:

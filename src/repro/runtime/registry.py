@@ -1,34 +1,56 @@
-"""Platform registry: construct execution backends by name.
+"""Platform registry: construct execution backends from typed specs.
 
-Examples, benchmarks and the cross-platform test suites should enumerate
-backends instead of hard-coding platform classes — that is what makes
-"run this on every backend" a one-line parametrization and lets new
-backends plug in without touching every call site::
+The front door is :func:`make_platform` with a
+:class:`~repro.runtime.spec.PlatformSpec`::
 
-    from repro import make_platform
+    from repro import PlatformSpec, make_platform
 
-    with make_platform("processes", parallelism=4) as platform:
+    with make_platform(PlatformSpec(kind="distributed", workers=4,
+                                    rtt=0.05, batching=8)) as platform:
         result = skeleton.compute(data, platform=platform)
 
-Three backends ship with the library:
+Factories are registered *against specs*: every factory receives one
+validated ``PlatformSpec`` and nothing else, and each rejects the spec
+fields that do not apply to its backend (``rtt`` on a thread pool,
+``batching`` on a simulator, a ``remote`` sub-spec anywhere but the
+socket-distributed backend) — a misdirected knob fails loudly instead of
+being silently ignored.
 
-========== =============================================== ==============
-name       class                                           aliases
-========== =============================================== ==============
-simulated  :class:`~repro.runtime.simulator.SimulatedPlatform`   sim
-threads    :class:`~repro.runtime.threadpool.ThreadPoolPlatform` threadpool, thread
-processes  :class:`~repro.runtime.processpool.ProcessPoolPlatform` processpool, procs
-========== =============================================== ==============
+The historical stringly-typed form ``make_platform(name, **kwargs)``
+still works through a deprecation shim that converts the legacy kwargs
+vocabulary (``parallelism``, ``chunk_size``, ``dispatch_latency``...)
+via :meth:`PlatformSpec.from_options` and emits a
+:class:`DeprecationWarning`.  Calling ``make_platform("threads")`` with a
+bare name and no kwargs stays warning-free: a name alone is already a
+complete (all-defaults) spec.
+
+Backends shipped with the library:
+
+===================== ======================================================= ====================
+kind                  class                                                   aliases
+===================== ======================================================= ====================
+simulated             :class:`~repro.runtime.simulator.SimulatedPlatform`     sim
+threads               :class:`~repro.runtime.threadpool.ThreadPoolPlatform`   threadpool, thread
+processes             :class:`~repro.runtime.processpool.ProcessPoolPlatform` processpool, procs
+simulated-distributed :class:`~repro.runtime.distributed.                     simdist
+                      SimulatedDistributedPlatform`
+distributed           :class:`~repro.runtime.remote.platform.                 remote, sockets
+                      DistributedPlatform`
+===================== ======================================================= ====================
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+import warnings
+from typing import Callable, Dict, Iterable, List, Union
 
 from ..errors import PlatformError
+from .distributed import SimulatedDistributedPlatform
 from .platform import Platform
 from .processpool import ProcessPoolPlatform
+from .remote.platform import DistributedPlatform
 from .simulator import SimulatedPlatform
+from .spec import PlatformSpec, ProcessSpec, RemoteSpec, SimulatedSpec
 from .threadpool import ThreadPoolPlatform
 
 __all__ = [
@@ -40,48 +62,65 @@ __all__ = [
 
 
 class PlatformRegistry:
-    """Name → platform-factory mapping with alias support."""
+    """Kind → spec-factory mapping with alias support."""
 
     def __init__(self):
-        self._factories: Dict[str, Callable[..., Platform]] = {}
+        self._factories: Dict[str, Callable[[PlatformSpec], Platform]] = {}
         self._canonical: Dict[str, str] = {}  # any accepted name -> canonical
         self._descriptions: Dict[str, str] = {}
 
     def register(
         self,
-        name: str,
-        factory: Callable[..., Platform],
+        kind: str,
+        factory: Callable[[PlatformSpec], Platform],
         *,
         aliases: Iterable[str] = (),
         description: str = "",
     ) -> None:
-        """Register *factory* under *name* (and optional aliases)."""
-        name = name.lower()
-        if name in self._canonical:
-            raise PlatformError(f"backend {name!r} is already registered")
-        self._factories[name] = factory
-        self._descriptions[name] = description
-        self._canonical[name] = name
+        """Register *factory* under *kind* (and optional aliases).
+
+        The factory receives exactly one argument: the fully validated
+        :class:`PlatformSpec` (with ``spec.kind`` already resolved to the
+        canonical name).  Applications can register third-party backends
+        here; free-form options reach such factories via ``spec.extra``.
+        """
+        kind = kind.lower()
+        if kind in self._canonical:
+            raise PlatformError(f"backend {kind!r} is already registered")
+        self._factories[kind] = factory
+        self._descriptions[kind] = description
+        self._canonical[kind] = kind
         for alias in aliases:
             alias = alias.lower()
             if alias in self._canonical:
                 raise PlatformError(f"backend alias {alias!r} is already registered")
-            self._canonical[alias] = name
+            self._canonical[alias] = kind
 
-    def create(self, name: str, **kwargs) -> Platform:
-        """Instantiate the backend registered under *name*.
-
-        Keyword arguments are passed straight to the platform constructor
-        (``parallelism``, ``max_parallelism``, ``bus``, backend-specific
-        knobs like ``cost_model`` or ``chunk_size``).
-        """
-        canonical = self._canonical.get(str(name).lower())
+    def resolve(self, kind: str) -> str:
+        """Canonical name for *kind* (or alias); raises on unknown."""
+        canonical = self._canonical.get(str(kind).lower())
         if canonical is None:
             raise PlatformError(
-                f"unknown execution backend {name!r}; available: "
+                f"unknown execution backend {kind!r}; available: "
                 f"{', '.join(self.names())}"
             )
-        return self._factories[canonical](**kwargs)
+        return canonical
+
+    def build(self, spec: PlatformSpec) -> Platform:
+        """Instantiate the backend the (typed, validated) *spec* requests."""
+        canonical = self.resolve(spec.kind)
+        if spec.kind != canonical:
+            spec = spec.with_overrides(kind=canonical)
+        return self._factories[canonical](spec)
+
+    def create(self, name: str, **kwargs) -> Platform:
+        """Legacy entry point: build from the old kwargs vocabulary.
+
+        Converts through :meth:`PlatformSpec.from_options` without a
+        deprecation warning — internal callers (e.g. the service) that
+        have not migrated yet still construct validated specs.
+        """
+        return self.build(PlatformSpec.from_options(self.resolve(name), **kwargs))
 
     def names(self) -> List[str]:
         """Sorted canonical backend names."""
@@ -95,34 +134,175 @@ class PlatformRegistry:
         return str(name).lower() in self._canonical
 
 
+# -- spec hygiene shared by the built-in factories ------------------------------
+
+
+def _reject_unused(spec: PlatformSpec, *allowed: str) -> None:
+    """Fail when *spec* populates a field this backend cannot honour."""
+    checks = {
+        "rtt": spec.rtt != 0.0,
+        "batching": spec.batching is not None,
+        "clock": spec.clock is not None,
+        "simulated": spec.simulated is not None,
+        "processes": spec.processes is not None,
+        "remote": spec.remote is not None,
+    }
+    for name, populated in checks.items():
+        if populated and name not in allowed:
+            raise PlatformError(
+                f"backend {spec.kind!r} does not accept spec field {name!r}"
+            )
+    if spec.extra:
+        raise PlatformError(
+            f"backend {spec.kind!r} does not accept extra options: "
+            f"{sorted(spec.extra)}"
+        )
+
+
+def _build_simulated(spec: PlatformSpec) -> Platform:
+    _reject_unused(spec, "simulated")
+    sub = spec.simulated or SimulatedSpec()
+    if sub.worker_speeds:
+        raise PlatformError(
+            "worker_speeds only applies to the simulated-distributed backend"
+        )
+    return SimulatedPlatform(
+        parallelism=spec.workers,
+        cost_model=sub.cost_model,
+        max_parallelism=spec.max_workers,
+        bus=spec.bus,
+        trace_tasks=sub.trace_tasks,
+        scheduling=sub.scheduling,
+    )
+
+
+def _build_threads(spec: PlatformSpec) -> Platform:
+    _reject_unused(spec, "clock")
+    return ThreadPoolPlatform(
+        parallelism=spec.workers,
+        max_parallelism=spec.max_workers,
+        bus=spec.bus,
+        clock=spec.clock,
+    )
+
+
+def _build_processes(spec: PlatformSpec) -> Platform:
+    _reject_unused(spec, "batching", "clock", "processes")
+    sub = spec.processes or ProcessSpec()
+    return ProcessPoolPlatform(
+        parallelism=spec.workers,
+        max_parallelism=spec.max_workers,
+        bus=spec.bus,
+        clock=spec.clock,
+        chunk_size=spec.batching if spec.batching is not None else 8,
+        start_method=sub.start_method,
+    )
+
+
+def _build_simulated_distributed(spec: PlatformSpec) -> Platform:
+    _reject_unused(spec, "rtt", "simulated")
+    sub = spec.simulated or SimulatedSpec()
+    return SimulatedDistributedPlatform(
+        parallelism=spec.workers,
+        cost_model=sub.cost_model,
+        max_parallelism=spec.max_workers,
+        bus=spec.bus,
+        dispatch_latency=spec.rtt / 2.0,
+        collect_latency=spec.rtt / 2.0,
+        worker_speeds=sub.worker_speeds or None,
+        trace_tasks=sub.trace_tasks,
+        scheduling=sub.scheduling,
+    )
+
+
+def _build_distributed(spec: PlatformSpec) -> Platform:
+    _reject_unused(spec, "rtt", "batching", "clock", "processes", "remote")
+    remote = spec.remote or RemoteSpec()
+    processes = spec.processes or ProcessSpec()
+    return DistributedPlatform(
+        parallelism=spec.workers,
+        max_parallelism=spec.max_workers,
+        bus=spec.bus,
+        clock=spec.clock,
+        chunk_size=spec.batching if spec.batching is not None else 8,
+        rtt=spec.rtt,
+        heartbeat_interval=remote.heartbeat_interval,
+        heartbeat_timeout=remote.heartbeat_timeout,
+        spawn_workers=remote.spawn_workers,
+        host=remote.host,
+        port=remote.port,
+        enroll_timeout=remote.enroll_timeout,
+        worker_delays=remote.worker_delays,
+        start_method=processes.start_method,
+    )
+
+
 #: The registry behind :func:`make_platform`; extendable by applications.
 DEFAULT_REGISTRY = PlatformRegistry()
 DEFAULT_REGISTRY.register(
     "simulated",
-    SimulatedPlatform,
+    _build_simulated,
     aliases=("sim",),
     description="deterministic discrete-event multicore simulation (virtual time)",
 )
 DEFAULT_REGISTRY.register(
     "threads",
-    ThreadPoolPlatform,
+    _build_threads,
     aliases=("threadpool", "thread"),
     description="resizable OS-thread pool (best for GIL-releasing or I/O muscles)",
 )
 DEFAULT_REGISTRY.register(
     "processes",
-    ProcessPoolPlatform,
+    _build_processes,
     aliases=("processpool", "procs"),
     description="resizable OS-process pool (true parallelism for picklable muscles)",
 )
+DEFAULT_REGISTRY.register(
+    "simulated-distributed",
+    _build_simulated_distributed,
+    aliases=("simdist",),
+    description="virtual-time distributed cluster (latency + per-worker speeds)",
+)
+DEFAULT_REGISTRY.register(
+    "distributed",
+    _build_distributed,
+    aliases=("remote", "sockets"),
+    description="real worker processes over localhost sockets "
+    "(enroll/heartbeat/retire control plane, batched data plane)",
+)
 
 
-def make_platform(name: str, **kwargs) -> Platform:
-    """Construct an execution platform by backend name.
+def make_platform(spec: Union[PlatformSpec, str], **kwargs) -> Platform:
+    """Construct an execution platform from a spec (or, deprecated, kwargs).
 
-    Shorthand for ``DEFAULT_REGISTRY.create(name, **kwargs)``.
+    The supported form takes a :class:`~repro.runtime.spec.PlatformSpec`::
+
+        make_platform(PlatformSpec(kind="processes", workers=4, batching=8))
+
+    A bare backend name — ``make_platform("threads")`` — is accepted as
+    shorthand for an all-defaults spec of that kind.  The historical
+    ``make_platform("threads", parallelism=4)`` kwargs form still works
+    but emits a :class:`DeprecationWarning` and converts through
+    :meth:`PlatformSpec.from_options`.
     """
-    return DEFAULT_REGISTRY.create(name, **kwargs)
+    if isinstance(spec, PlatformSpec):
+        if kwargs:
+            raise TypeError(
+                "make_platform(PlatformSpec, ...) does not accept keyword "
+                "arguments; use spec.with_overrides(...) instead"
+            )
+        return DEFAULT_REGISTRY.build(spec)
+    kind = DEFAULT_REGISTRY.resolve(spec)
+    if not kwargs:
+        return DEFAULT_REGISTRY.build(PlatformSpec(kind=kind))
+    warnings.warn(
+        "make_platform(name, **kwargs) is deprecated; build a typed "
+        "PlatformSpec instead, e.g. make_platform(PlatformSpec(kind="
+        f"{kind!r}, workers=...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return DEFAULT_REGISTRY.build(PlatformSpec.from_options(kind, **kwargs))
 
 
 def available_backends() -> List[str]:

@@ -1,0 +1,20 @@
+"""Socket-distributed execution: master platform, worker process, protocol.
+
+Public surface: :class:`DistributedPlatform` (also exported from
+:mod:`repro`), :func:`start_worker` for enrollment-only deployments, and
+:func:`request_resize` for retuning a running master over its socket.
+The :mod:`~repro.runtime.remote.protocol` and
+:mod:`~repro.runtime.remote.worker` internals are documented for
+operators but not part of the supported API.
+"""
+
+from .platform import DistributedPlatform
+from .protocol import request_resize
+from .worker import start_worker, worker_main
+
+__all__ = [
+    "DistributedPlatform",
+    "request_resize",
+    "start_worker",
+    "worker_main",
+]

@@ -1,0 +1,208 @@
+"""Wire protocol of the socket-distributed platform.
+
+Internal module — applications should import :class:`~repro.runtime.
+remote.platform.DistributedPlatform` through :mod:`repro`; nothing here is
+part of the supported public API except :func:`request_resize`.
+
+Two planes share one listening socket, distinguished by the first frame a
+connection sends:
+
+* **control plane** — length-prefixed UTF-8 JSON objects.  Message
+  vocabulary: ``ENROLL`` (worker → master: join the pool), ``ATTACH``
+  (worker → master: bind a data connection to an enrolled worker),
+  ``HEARTBEAT`` (worker → master: liveness), ``RETIRE`` (master →
+  worker: exit after the current chunk), ``RESIZE`` (client → master:
+  set the level of parallelism remotely).  Every error that crosses this
+  plane is encoded with :func:`repro.errors.jsonable_error`, so a broken
+  user exception can never take the control connection down with it.
+* **data plane** — length-prefixed pickle frames.  Master → worker:
+  ``("chunk", [envelope_blob, ...])`` and the ``("exit",)`` sentinel;
+  worker → master: ``("results", [(index, ok, value, start_mono,
+  end_mono), ...])`` with every ``value`` individually made pickle-safe
+  (:func:`repro.errors.pickle_safe_exception`) before the frame is built.
+
+Framing is a 4-byte big-endian length followed by the payload — the same
+for both planes, so one :class:`FrameBuffer` parses either.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from ...errors import RemoteProtocolError, error_from_jsonable, pickle_safe_exception
+
+__all__ = [
+    "ENROLL",
+    "ENROLL_OK",
+    "ENROLL_ERR",
+    "ATTACH",
+    "ATTACH_OK",
+    "HEARTBEAT",
+    "RETIRE",
+    "RESIZE",
+    "RESIZE_OK",
+    "FrameBuffer",
+    "send_frame",
+    "recv_frame",
+    "send_json",
+    "recv_json",
+    "encode_json",
+    "decode_json",
+    "encode_results",
+    "request_resize",
+]
+
+# Control-plane message types.
+ENROLL = "ENROLL"
+ENROLL_OK = "ENROLL_OK"
+ENROLL_ERR = "ENROLL_ERR"
+ATTACH = "ATTACH"
+ATTACH_OK = "ATTACH_OK"
+HEARTBEAT = "HEARTBEAT"
+RETIRE = "RETIRE"
+RESIZE = "RESIZE"
+RESIZE_OK = "RESIZE_OK"
+
+_HEADER = struct.Struct(">I")
+
+#: Refuse frames above this size to keep a corrupt header from allocating
+#: gigabytes; generous enough for any realistic task chunk.
+MAX_FRAME = 256 * 1024 * 1024
+
+
+class FrameBuffer:
+    """Incremental parser for length-prefixed frames (non-blocking side)."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def frames(self) -> Iterator[bytes]:
+        """Yield (and consume) every complete frame buffered so far."""
+        while True:
+            if len(self._buf) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack_from(self._buf)
+            if length > MAX_FRAME:
+                raise RemoteProtocolError(f"oversized frame announced: {length} bytes")
+            end = _HEADER.size + length
+            if len(self._buf) < end:
+                return
+            frame = bytes(self._buf[_HEADER.size : end])
+            del self._buf[:end]
+            yield frame
+
+
+# -- blocking helpers (worker / client side) ----------------------------------
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks = bytearray()
+    while len(chunks) < n:
+        block = sock.recv(n - len(chunks))
+        if not block:
+            return None
+        chunks.extend(block)
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[bytes]:
+    """One blocking frame read; ``None`` on a clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise RemoteProtocolError(f"oversized frame announced: {length} bytes")
+    if length == 0:
+        return b""
+    return _recv_exact(sock, length)
+
+
+def encode_json(message: dict) -> bytes:
+    return json.dumps(message, separators=(",", ":")).encode("utf-8")
+
+
+def decode_json(frame: bytes) -> dict:
+    try:
+        message = json.loads(frame.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RemoteProtocolError(f"malformed control frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise RemoteProtocolError(f"control frame without a type: {message!r}")
+    return message
+
+
+def send_json(sock: socket.socket, message: dict) -> None:
+    send_frame(sock, encode_json(message))
+
+
+def recv_json(sock: socket.socket) -> Optional[dict]:
+    frame = recv_frame(sock)
+    if frame is None:
+        return None
+    return decode_json(frame)
+
+
+# -- data-plane payloads ------------------------------------------------------
+
+
+def encode_results(
+    results: List[Tuple[int, bool, object, float, float]],
+) -> bytes:
+    """Pickle one ``("results", ...)`` frame, sanitizing each value.
+
+    Values are probed individually: a muscle result (or exception) that
+    cannot pickle is replaced by the :func:`pickle_safe_exception`
+    treatment instead of poisoning the whole frame — the other tasks of
+    the chunk still deliver their real results.
+    """
+    safe: List[Tuple[int, bool, object, float, float]] = []
+    for index, ok, value, start_mono, end_mono in results:
+        try:
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            if isinstance(value, BaseException):
+                value = pickle_safe_exception(value)
+            else:
+                value = pickle_safe_exception(
+                    RemoteProtocolError(
+                        f"task result of type {type(value).__name__} is not picklable"
+                    )
+                )
+            ok = False
+        safe.append((index, ok, value, start_mono, end_mono))
+    return pickle.dumps(("results", safe), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# -- control clients ----------------------------------------------------------
+
+
+def request_resize(address: Tuple[str, int], parallelism: int, timeout: float = 5.0) -> int:
+    """Ask a running master to change its level of parallelism.
+
+    This is the managing-system hook: an external control plane (or a
+    human with a REPL) can retune a running :class:`DistributedPlatform`
+    over its socket without sharing a process with it.  Returns the LP
+    actually applied; raises the decoded error on rejection.
+    """
+    with socket.create_connection(address, timeout=timeout) as sock:
+        send_json(sock, {"type": RESIZE, "parallelism": int(parallelism)})
+        reply = recv_json(sock)
+    if reply is None:
+        raise RemoteProtocolError("master closed the connection during RESIZE")
+    if reply.get("type") != RESIZE_OK:
+        raise error_from_jsonable(reply.get("error"))
+    return int(reply["parallelism"])

@@ -1,0 +1,236 @@
+"""The remote worker process: enroll, heartbeat, run chunks, retire.
+
+Internal module — the supported way to run one of these is either letting
+:class:`~repro.runtime.remote.platform.DistributedPlatform` spawn them, or
+calling :func:`start_worker` / ``python -m repro.runtime.remote.worker
+HOST PORT`` against a master in enrollment-only mode.
+
+Lifecycle (the managed-system half of the control-plane split):
+
+1. connect to the master, send ``ENROLL`` (with the worker's PID), and
+   receive the assigned worker id, session token, heartbeat interval and
+   any injected latency/slowdown knobs from ``ENROLL_OK``;
+2. open a second connection, bind it to the worker with ``ATTACH``
+   (echoing the token) — this becomes the binary data plane;
+3. start a heartbeat thread that sends ``HEARTBEAT`` every interval on
+   the control connection and watches it for ``RETIRE``;
+4. loop on the data plane: receive a ``("chunk", blobs)`` frame, run
+   every envelope, and reply with **one** ``("results", ...)`` frame per
+   chunk — worker-side batching: a chunk of N tasks pays the round-trip
+   latency once, not N times.  Each result carries the worker-side
+   monotonic start/end timestamps of its body so the master can emit
+   AFTER events with true per-task ``started_at`` spans.
+
+Every exception shipped back is made pickle-safe first
+(:func:`repro.errors.pickle_safe_exception` via
+:func:`~repro.runtime.remote.protocol.encode_results`), and enrollment
+failures arrive as JSON-safe error payloads — a hostile ``__reduce__`` or
+``__str__`` in user code cannot take the wire down.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from typing import Optional, Tuple
+
+from ...errors import RemoteProtocolError, error_from_jsonable
+from ..task import TaskEnvelope
+from . import protocol
+from .protocol import (
+    ATTACH,
+    ATTACH_OK,
+    ENROLL,
+    ENROLL_OK,
+    HEARTBEAT,
+    RETIRE,
+    recv_frame,
+    recv_json,
+    send_frame,
+    send_json,
+)
+
+__all__ = ["worker_main", "start_worker"]
+
+
+def _heartbeat_loop(ctrl: socket.socket, worker_id: int, interval: float,
+                    stop: threading.Event, data: socket.socket) -> None:
+    """Send HEARTBEATs until told to stop; watch the control plane for RETIRE.
+
+    The control socket is read with a timeout equal to the heartbeat
+    interval, so one thread both beats and listens.  A RETIRE (or the
+    master vanishing) shuts the data socket down, which unblocks the main
+    chunk loop mid-``recv`` and lets the worker exit gracefully.
+    """
+    ctrl.settimeout(interval)
+    while not stop.is_set():
+        try:
+            send_json(ctrl, {"type": HEARTBEAT, "worker": worker_id})
+        except OSError:
+            break  # master is gone
+        try:
+            message = recv_json(ctrl)
+        except socket.timeout:
+            continue
+        except (OSError, RemoteProtocolError):
+            break
+        if message is None or message.get("type") == RETIRE:
+            break
+    stop.set()
+    try:
+        data.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+
+
+def worker_main(host: str, port: int, connect_timeout: float = 10.0) -> None:
+    """Run one remote worker against the master at ``(host, port)``."""
+    ctrl = socket.create_connection((host, port), timeout=connect_timeout)
+    try:
+        send_json(ctrl, {"type": ENROLL, "pid": os.getpid()})
+        ctrl.settimeout(connect_timeout)
+        reply = recv_json(ctrl)
+        if reply is None:
+            raise RemoteProtocolError("master closed the connection during ENROLL")
+        if reply.get("type") != ENROLL_OK:
+            raise error_from_jsonable(reply.get("error"))
+        worker_id = int(reply["worker"])
+        token = reply.get("token", "")
+        interval = float(reply.get("heartbeat_interval", 0.2))
+        dispatch_delay = float(reply.get("dispatch_delay", 0.0))
+        collect_delay = float(reply.get("collect_delay", 0.0))
+        task_delay = float(reply.get("task_delay", 0.0))
+
+        data = socket.create_connection((host, port), timeout=connect_timeout)
+        try:
+            send_json(data, {"type": ATTACH, "worker": worker_id, "token": token})
+            data.settimeout(connect_timeout)
+            ack = recv_json(data)
+            if ack is None or ack.get("type") != ATTACH_OK:
+                raise error_from_jsonable((ack or {}).get("error"))
+            data.settimeout(None)
+
+            stop = threading.Event()
+            beats = threading.Thread(
+                target=_heartbeat_loop,
+                args=(ctrl, worker_id, interval, stop, data),
+                name=f"repro-remote-hb-{worker_id}",
+                daemon=True,
+            )
+            beats.start()
+            try:
+                _chunk_loop(data, dispatch_delay, collect_delay, task_delay, stop)
+            finally:
+                stop.set()
+                beats.join(timeout=2.0)
+        finally:
+            data.close()
+    finally:
+        ctrl.close()
+
+
+def _chunk_loop(
+    data: socket.socket,
+    dispatch_delay: float,
+    collect_delay: float,
+    task_delay: float,
+    stop: threading.Event,
+) -> None:
+    """Execute chunk frames until the exit sentinel, EOF or a RETIRE."""
+    while not stop.is_set():
+        try:
+            frame = recv_frame(data)
+        except OSError:
+            return
+        if frame is None:
+            return
+        try:
+            message = pickle.loads(frame)
+        except Exception:
+            return  # corrupt data plane; die and let the master re-dispatch
+        if not isinstance(message, tuple) or not message or message[0] == "exit":
+            return
+        if message[0] != "chunk":
+            continue
+        blobs = message[1]
+        # The injected dispatch latency is paid once per *frame* — the
+        # whole point of worker-side batching is that N batched tasks
+        # share it.
+        if dispatch_delay > 0:
+            time.sleep(dispatch_delay)
+        results = []
+        for index, blob in enumerate(blobs):
+            start_mono = time.monotonic()
+            try:
+                envelope = TaskEnvelope.decode(blob)
+            except BaseException as exc:
+                results.append(
+                    (
+                        index,
+                        False,
+                        RemoteProtocolError(
+                            f"remote worker could not deserialize a task "
+                            f"envelope: {exc!r}.  If the muscle was defined "
+                            f"after the platform started, create the platform "
+                            f"afterwards."
+                        ),
+                        start_mono,
+                        time.monotonic(),
+                    )
+                )
+                continue
+            start_mono = time.monotonic()
+            try:
+                value, ok = envelope.run(), True
+            except BaseException as exc:
+                value, ok = exc, False
+            if task_delay > 0:
+                time.sleep(task_delay)  # injected heterogeneity (tests/benches)
+            results.append((index, ok, value, start_mono, time.monotonic()))
+        if collect_delay > 0:
+            time.sleep(collect_delay)
+        try:
+            send_frame(data, protocol.encode_results(results))
+        except OSError:
+            return
+
+
+def start_worker(
+    address: Tuple[str, int], ctx=None, name: Optional[str] = None
+):
+    """Spawn one worker process aimed at *address*; returns the Process.
+
+    Convenience for enrollment-only masters (``spawn_workers=False``) in
+    examples and tests; production deployments would run
+    ``python -m repro.runtime.remote.worker HOST PORT`` on each machine.
+    """
+    import multiprocessing
+
+    if ctx is None:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    process = ctx.Process(
+        target=worker_main,
+        args=(address[0], address[1]),
+        name=name or "repro-remote-worker",
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+def _main(argv) -> int:  # pragma: no cover - thin CLI wrapper
+    if len(argv) != 2:
+        print("usage: python -m repro.runtime.remote.worker HOST PORT")
+        return 2
+    worker_main(argv[0], int(argv[1]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    raise SystemExit(_main(sys.argv[1:]))

@@ -1,0 +1,279 @@
+"""Typed platform construction: :class:`PlatformSpec` and its sub-specs.
+
+``make_platform(name, **kwargs)`` grew up stringly-typed: every backend
+knob travelled as an untyped keyword argument, typos surfaced as
+``TypeError`` deep inside a constructor, and adding a backend meant
+documenting another ad-hoc kwarg vocabulary.  This module is the typed
+replacement:
+
+* :class:`PlatformSpec` — the validated, backend-agnostic request
+  (``kind``, ``workers``, ``max_workers``, ``rtt``, ``batching``, shared
+  ``bus``/``clock``) plus optional backend-specific sub-specs;
+* :class:`SimulatedSpec` / :class:`ProcessSpec` / :class:`RemoteSpec` —
+  the per-backend knobs, each validated in one place;
+* :meth:`PlatformSpec.from_options` — the conversion from the legacy
+  kwargs vocabulary, shared by the deprecation shim in
+  :func:`~repro.runtime.registry.make_platform` and by internal callers
+  (which convert without warning).
+
+The registry (:mod:`repro.runtime.registry`) registers factories *against
+specs*: every factory receives a ``PlatformSpec`` and nothing else, so a
+request is fully validated before any worker process or socket exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING, dataclass, field, fields, replace
+from typing import Any, Mapping, Optional, Tuple
+
+from ..errors import PlatformError
+
+__all__ = [
+    "PlatformSpec",
+    "SimulatedSpec",
+    "ProcessSpec",
+    "RemoteSpec",
+]
+
+
+@dataclass(frozen=True)
+class SimulatedSpec:
+    """Knobs specific to the simulated (virtual-time) backends.
+
+    ``worker_speeds`` only applies to ``kind="simulated-distributed"``:
+    per-worker relative speed factors of the *virtual* cluster.  The real
+    socket-distributed backend deliberately has no such knob — per-worker
+    speeds there are learned by the estimators from observed spans, never
+    configured.
+    """
+
+    cost_model: Any = None
+    trace_tasks: bool = False
+    scheduling: str = "depth-first"
+    worker_speeds: Tuple[float, ...] = ()
+
+    def __post_init__(self):
+        if any(s <= 0 for s in self.worker_speeds):
+            raise PlatformError("worker speeds must be positive")
+        object.__setattr__(self, "worker_speeds", tuple(self.worker_speeds))
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """Knobs specific to OS-process workers (local pool or remote)."""
+
+    start_method: Optional[str] = None
+
+    def __post_init__(self):
+        if self.start_method is not None and self.start_method not in (
+            "fork",
+            "spawn",
+            "forkserver",
+        ):
+            raise PlatformError(
+                f"unknown multiprocessing start method {self.start_method!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RemoteSpec:
+    """Knobs specific to the socket-distributed backend.
+
+    ``spawn_workers=False`` runs the master in *enrollment-only* mode: it
+    spawns nothing and waits for external worker processes to ENROLL over
+    its listening socket (the managing-system/managed-system split).
+    ``worker_delays`` injects an artificial per-task slowdown into the
+    n-th enrolled worker — a test/bench heterogeneity knob applied on the
+    *worker* side; the master and planner never see it, which is exactly
+    what forces the estimators to learn per-worker speeds from spans.
+    """
+
+    heartbeat_interval: float = 0.2
+    heartbeat_timeout: float = 1.0
+    spawn_workers: bool = True
+    host: str = "127.0.0.1"
+    port: int = 0
+    enroll_timeout: float = 10.0
+    worker_delays: Tuple[float, ...] = ()
+
+    def __post_init__(self):
+        if self.heartbeat_interval <= 0:
+            raise PlatformError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise PlatformError(
+                "heartbeat_timeout must exceed heartbeat_interval "
+                f"({self.heartbeat_timeout} <= {self.heartbeat_interval})"
+            )
+        if self.enroll_timeout <= 0:
+            raise PlatformError("enroll_timeout must be positive")
+        if any(d < 0 for d in self.worker_delays):
+            raise PlatformError("worker delays must be non-negative")
+        object.__setattr__(self, "worker_delays", tuple(self.worker_delays))
+
+
+#: legacy kwarg -> (spec field, converter); the shared conversion table of
+#: the deprecation shim.
+_TOP_LEVEL_LEGACY = {
+    "parallelism": "workers",
+    "max_parallelism": "max_workers",
+    "bus": "bus",
+    "clock": "clock",
+    "chunk_size": "batching",
+    "batching": "batching",
+    "workers": "workers",
+    "max_workers": "max_workers",
+    "rtt": "rtt",
+}
+
+_SIMULATED_LEGACY = ("cost_model", "trace_tasks", "scheduling", "worker_speeds")
+_PROCESS_LEGACY = ("start_method",)
+_REMOTE_LEGACY = (
+    "heartbeat_interval",
+    "heartbeat_timeout",
+    "spawn_workers",
+    "host",
+    "port",
+    "enroll_timeout",
+    "worker_delays",
+)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A validated request for one execution platform.
+
+    Parameters
+    ----------
+    kind:
+        Backend name (or alias) as registered in the platform registry:
+        ``"simulated"``, ``"threads"``, ``"processes"``,
+        ``"simulated-distributed"``, ``"distributed"``, ...
+    workers:
+        Initial worker count (the paper's level of parallelism).
+    max_workers:
+        Upper bound the autonomic layer may never exceed.
+    rtt:
+        Round-trip communication latency per network message, in seconds.
+        Only meaningful for the distributed kinds (split evenly into
+        dispatch and collect halves); other kinds reject a non-zero value.
+    batching:
+        Maximum tasks shipped per worker handoff (IPC chunk / socket
+        frame).  Only meaningful for the process-based and distributed
+        kinds; ``None`` means the backend default.
+    bus / clock:
+        Shared event bus and clock, as on every platform constructor.
+    simulated / processes / remote:
+        Backend-specific sub-specs; each backend factory validates that
+        only its own sub-spec is populated.
+    extra:
+        Free-form options for third-party backends registered by
+        applications; built-in backends reject non-empty extras.
+    """
+
+    kind: str
+    workers: int = 1
+    max_workers: Optional[int] = None
+    rtt: float = 0.0
+    batching: Optional[int] = None
+    bus: Any = None
+    clock: Any = None
+    simulated: Optional[SimulatedSpec] = None
+    processes: Optional[ProcessSpec] = None
+    remote: Optional[RemoteSpec] = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.kind, str) or not self.kind:
+            raise PlatformError(f"spec kind must be a non-empty string, got {self.kind!r}")
+        if int(self.workers) < 1:
+            raise PlatformError(f"workers must be >= 1, got {self.workers}")
+        object.__setattr__(self, "workers", int(self.workers))
+        if self.max_workers is not None:
+            if int(self.max_workers) < self.workers:
+                raise PlatformError(
+                    f"max_workers {self.max_workers} below workers {self.workers}"
+                )
+            object.__setattr__(self, "max_workers", int(self.max_workers))
+        if self.rtt < 0:
+            raise PlatformError(f"rtt must be non-negative, got {self.rtt}")
+        if self.batching is not None and int(self.batching) < 1:
+            raise PlatformError(f"batching must be >= 1, got {self.batching}")
+        for name, cls in (
+            ("simulated", SimulatedSpec),
+            ("processes", ProcessSpec),
+            ("remote", RemoteSpec),
+        ):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, cls):
+                raise PlatformError(
+                    f"spec field {name!r} must be a {cls.__name__}, "
+                    f"got {type(value).__name__}"
+                )
+
+    # -- conversion from the legacy kwargs vocabulary ---------------------------
+
+    @classmethod
+    def from_options(cls, kind: str, **options: Any) -> "PlatformSpec":
+        """Build a spec from the legacy ``make_platform(name, **kwargs)`` form.
+
+        Maps ``parallelism`` → ``workers``, ``max_parallelism`` →
+        ``max_workers``, ``chunk_size`` → ``batching``,
+        ``dispatch_latency``/``collect_latency`` → ``rtt`` and routes
+        backend-specific knobs into the matching sub-spec.  Unknown
+        options raise :class:`TypeError`, mirroring what the old direct
+        constructor call would have done.
+        """
+        top: dict = {}
+        simulated: dict = {}
+        process: dict = {}
+        remote: dict = {}
+        rtt_parts = 0.0
+        saw_latency = False
+        for key, value in options.items():
+            if key in _TOP_LEVEL_LEGACY:
+                top[_TOP_LEVEL_LEGACY[key]] = value
+            elif key in ("dispatch_latency", "collect_latency"):
+                rtt_parts += float(value)
+                saw_latency = True
+            elif key in _SIMULATED_LEGACY:
+                simulated[key] = value
+            elif key in _PROCESS_LEGACY:
+                process[key] = value
+            elif key in _REMOTE_LEGACY:
+                remote[key] = value
+            else:
+                raise TypeError(
+                    f"unknown platform option {key!r} for backend {kind!r}"
+                )
+        if saw_latency:
+            if "rtt" in top:
+                raise TypeError("pass either rtt or dispatch/collect latencies, not both")
+            top["rtt"] = rtt_parts
+        return cls(
+            kind=kind,
+            simulated=SimulatedSpec(**simulated) if simulated else None,
+            processes=ProcessSpec(**process) if process else None,
+            remote=RemoteSpec(**remote) if remote else None,
+            **top,
+        )
+
+    def with_overrides(self, **changes: Any) -> "PlatformSpec":
+        """A copy of this spec with *changes* applied (validated again)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human summary (non-default fields only)."""
+        parts = [f"kind={self.kind!r}"]
+        for f in fields(self):
+            if f.name in ("kind", "bus", "clock"):
+                continue
+            value = getattr(self, f.name)
+            if f.default is not MISSING:
+                default = f.default
+            elif f.default_factory is not MISSING:
+                default = f.default_factory()
+            else:  # pragma: no cover - every field has a default
+                default = None
+            if value != default:
+                parts.append(f"{f.name}={value!r}")
+        return f"PlatformSpec({', '.join(parts)})"

@@ -28,7 +28,8 @@ from ..events.bus import Listener
 from ..events.types import Event
 from ..runtime.interpreter import submit as _submit_program
 from ..runtime.platform import Platform
-from ..runtime.registry import make_platform
+from ..runtime.registry import DEFAULT_REGISTRY
+from ..runtime.spec import PlatformSpec
 from ..runtime.task import Execution
 from ..skeletons.base import Skeleton
 from .admission import AdmissionController
@@ -93,7 +94,10 @@ class SkeletonService:
         :func:`~repro.runtime.registry.make_platform` from *backend* and
         *capacity* (and owned — shut down with the service).
     backend:
-        Backend name for the self-created platform (default ``threads``).
+        Backend for the self-created platform: a
+        :class:`~repro.runtime.spec.PlatformSpec` (its ``workers`` /
+        ``max_workers`` are overridden to ``1`` / *capacity*) or a
+        backend name (default ``threads``).
     capacity:
         Total worker budget arbitrated across executions.  Defaults to
         the platform's ``max_parallelism``; required if neither is set.
@@ -159,7 +163,7 @@ class SkeletonService:
     def __init__(
         self,
         platform: Optional[Platform] = None,
-        backend: str = "threads",
+        backend: Any = "threads",
         capacity: Optional[int] = None,
         quotas: Optional[Dict[str, TenantQuota]] = None,
         default_quota: Optional[TenantQuota] = None,
@@ -178,17 +182,33 @@ class SkeletonService:
     ):
         self._owns_platform = platform is None
         if platform is None:
-            if capacity is None:
-                raise ServiceError(
-                    "SkeletonService needs a worker budget: pass capacity "
-                    "(or an existing platform with max_parallelism)"
+            if isinstance(backend, PlatformSpec):
+                if platform_kwargs:
+                    raise ServiceError(
+                        "platform_kwargs are not accepted together with a "
+                        "PlatformSpec backend; put the knobs in the spec"
+                    )
+                if capacity is None:
+                    capacity = backend.max_workers
+                if capacity is None:
+                    raise ServiceError(
+                        "SkeletonService needs a worker budget: pass capacity "
+                        "or set max_workers on the backend spec"
+                    )
+                spec = backend.with_overrides(workers=1, max_workers=capacity)
+            else:
+                if capacity is None:
+                    raise ServiceError(
+                        "SkeletonService needs a worker budget: pass capacity "
+                        "(or an existing platform with max_parallelism)"
+                    )
+                spec = PlatformSpec.from_options(
+                    DEFAULT_REGISTRY.resolve(backend),
+                    parallelism=1,
+                    max_parallelism=capacity,
+                    **platform_kwargs,
                 )
-            platform = make_platform(
-                backend,
-                parallelism=1,
-                max_parallelism=capacity,
-                **platform_kwargs,
-            )
+            platform = DEFAULT_REGISTRY.build(spec)
         if capacity is None:
             capacity = platform.max_parallelism
         if capacity is None or capacity < 1:

@@ -11,7 +11,7 @@ backends.
 
 import pytest
 
-from repro import SimulatedPlatform, run
+from repro import PlatformSpec, SimulatedPlatform, run
 from repro.core.adg import ADG
 from repro.core.analysis import ExecutionAnalyzer, is_analysis_point
 from repro.core.delta import ChangeDelta
@@ -435,7 +435,7 @@ def test_patch_path_equivalence_on_real_backends(backend):
             cards={"svc_split": float(width)},
         ),
     )
-    platform = make_platform(backend, parallelism=2, max_parallelism=4)
+    platform = make_platform(PlatformSpec(kind=backend, workers=2, max_workers=4))
     try:
         checker = _PatchPathChecker(analyzer, platform)
         platform.add_listener(analyzer)

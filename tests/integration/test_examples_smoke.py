@@ -26,6 +26,8 @@ def test_examples_present():
         "dac_mergesort.py",
         "events_logger.py",
         "distributed_workers.py",
+        "distributed_localhost.py",
+        "backend_matrix.py",
     } <= set(EXAMPLES)
 
 

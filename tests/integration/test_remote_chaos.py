@@ -1,0 +1,141 @@
+"""Chaos tests: the distributed backend must survive losing workers.
+
+Workers are killed (SIGKILL) or wedged (SIGSTOP) mid-execution; the
+master must detect the loss — socket EOF for kills, heartbeat timeout
+for hangs — re-dispatch the in-flight chunk, and finish with the right
+answer and balanced events.  Muscles are pure, so at-least-once
+re-execution is semantically safe.
+"""
+
+import os
+import signal
+import threading
+import time
+from functools import partial
+
+from repro import (
+    EventRecorder,
+    Execute,
+    Map,
+    Merge,
+    PlatformSpec,
+    RemoteSpec,
+    Seq,
+    Split,
+    make_platform,
+    run,
+)
+from repro.skeletons import sequential_evaluate
+from tests.conftest import px_iota, px_sleep_echo, px_sum_mod
+
+
+def _slow_map(width, duration):
+    return Map(
+        Split(partial(px_iota, width=width), name="csplit"),
+        Seq(Execute(partial(px_sleep_echo, duration=duration), name="cleaf")),
+        Merge(px_sum_mod, name="csum"),
+    )
+
+
+def _chaos_spec(workers=3):
+    return PlatformSpec(
+        kind="distributed",
+        workers=workers,
+        batching=2,
+        remote=RemoteSpec(heartbeat_interval=0.05, heartbeat_timeout=0.4),
+    )
+
+
+def _wait_for_busy_worker(platform, deadline=10.0):
+    """Return the pid of a worker currently holding a chunk."""
+    limit = time.monotonic() + deadline
+    while time.monotonic() < limit:
+        busy = platform.busy_worker_pids()
+        if busy:
+            return busy[0]
+        time.sleep(0.005)
+    raise AssertionError("no worker ever became busy")
+
+
+class TestWorkerLoss:
+    def test_sigkill_mid_execution_is_survived(self):
+        """A killed worker's in-flight chunk is re-dispatched, not lost."""
+        program = _slow_map(9, 0.15)
+        expected = sequential_evaluate(program, 4)
+        with make_platform(_chaos_spec()) as platform:
+            recorder = EventRecorder()
+            platform.add_listener(recorder)
+            results = []
+            driver = threading.Thread(
+                target=lambda: results.append(run(program, 4, platform))
+            )
+            driver.start()
+            victim = _wait_for_busy_worker(platform)
+            os.kill(victim, signal.SIGKILL)
+            driver.join(timeout=60)
+            assert not driver.is_alive(), "execution hung after worker loss"
+            assert results == [expected]
+            assert platform.lost_workers == 1
+            assert recorder.is_balanced()
+            assert victim not in platform.worker_pids().values()
+
+    def test_sigstop_triggers_heartbeat_timeout(self):
+        """A wedged (not dead) worker is detected by heartbeat silence."""
+        program = _slow_map(9, 0.15)
+        expected = sequential_evaluate(program, 2)
+        stopped = []
+        try:
+            with make_platform(_chaos_spec()) as platform:
+                results = []
+                driver = threading.Thread(
+                    target=lambda: results.append(run(program, 2, platform))
+                )
+                driver.start()
+                victim = _wait_for_busy_worker(platform)
+                os.kill(victim, signal.SIGSTOP)
+                stopped.append(victim)
+                driver.join(timeout=60)
+                assert not driver.is_alive(), "execution hung after worker stall"
+                assert results == [expected]
+                assert platform.lost_workers == 1
+        finally:
+            for pid in stopped:
+                try:
+                    os.kill(pid, signal.SIGCONT)
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+
+    def test_pool_recovers_after_loss(self):
+        """After a loss the pool respawns and later work still runs."""
+        program = _slow_map(6, 0.05)
+        expected = sequential_evaluate(program, 1)
+        with make_platform(_chaos_spec(workers=2)) as platform:
+            assert run(program, 1, platform) == expected
+            victim = next(iter(platform.worker_pids().values()))
+            os.kill(victim, signal.SIGKILL)
+            # The next execution forces the dispatcher to respawn capacity.
+            assert run(program, 1, platform) == expected
+            assert platform.lost_workers == 1
+            deadline = time.monotonic() + 10
+            while platform.live_workers < 2:
+                assert time.monotonic() < deadline, "pool never respawned"
+                time.sleep(0.01)
+
+    def test_two_losses_in_one_execution(self):
+        program = _slow_map(12, 0.1)
+        expected = sequential_evaluate(program, 3)
+        with make_platform(_chaos_spec()) as platform:
+            results = []
+            driver = threading.Thread(
+                target=lambda: results.append(run(program, 3, platform))
+            )
+            driver.start()
+            for _ in range(2):
+                victim = _wait_for_busy_worker(platform)
+                os.kill(victim, signal.SIGKILL)
+                time.sleep(0.1)
+            driver.join(timeout=60)
+            assert not driver.is_alive()
+            assert results == [expected]
+            assert platform.lost_workers == 2

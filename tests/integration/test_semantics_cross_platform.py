@@ -2,14 +2,15 @@
 
 For random skeleton programs over integers, the simulator (at several LP
 values) and every *real* backend enumerated from the platform registry
-(threads, processes) must produce exactly the result of the sequential
+(threads, processes, distributed sockets) must produce exactly the
+result of the sequential
 reference evaluator.
 """
 
 import pytest
 from hypothesis import given, settings
 
-from repro import SimulatedPlatform, ThreadPoolPlatform, make_platform, run
+from repro import PlatformSpec, SimulatedPlatform, ThreadPoolPlatform, make_platform, run
 from repro.events import EventRecorder
 from repro.runtime.costmodel import ConstantCostModel
 from repro.skeletons import sequential_evaluate
@@ -23,7 +24,7 @@ from tests.conftest import (
 pytestmark = pytest.mark.integration
 
 #: Real (OS-level) backends, as registered in the platform registry.
-REAL_BACKENDS = ["threads", "processes"]
+REAL_BACKENDS = ["threads", "processes", "distributed"]
 
 
 class TestSimulatorSemantics:
@@ -84,20 +85,20 @@ class TestRealBackendSemantics:
     """The shared semantics suite, run over every real backend by name.
 
     Programs come from the *picklable* builder so the identical skeleton
-    runs unchanged on threads and on OS processes.
+    runs unchanged on threads, on OS processes, and on socket workers.
     """
 
     @given(picklable_program_descriptions)
     @settings(max_examples=8)
     def test_matches_reference(self, backend, desc):
         expected = sequential_evaluate(build_picklable_program(desc), 7)
-        with make_platform(backend, parallelism=3) as pool:
+        with make_platform(PlatformSpec(kind=backend, workers=3)) as pool:
             assert run(build_picklable_program(desc), 7, pool) == expected
 
     @given(picklable_program_descriptions)
     @settings(max_examples=6)
     def test_events_balanced(self, backend, desc):
-        with make_platform(backend, parallelism=2) as pool:
+        with make_platform(PlatformSpec(kind=backend, workers=2)) as pool:
             recorder = EventRecorder()
             pool.add_listener(recorder)
             run(build_picklable_program(desc), 2, pool)
@@ -109,6 +110,6 @@ class TestRealBackendSemantics:
         """Changing the LP never changes the functional result."""
         results = set()
         for lp in (1, 4):
-            with make_platform(backend, parallelism=lp) as pool:
+            with make_platform(PlatformSpec(kind=backend, workers=lp)) as pool:
                 results.add(run(build_picklable_program(desc), 3, pool))
         assert len(results) == 1

@@ -1,7 +1,7 @@
 """Stress tests: concurrent submissions + live resizes on the real pools.
 
-Parametrized over both real backends ("threads", "processes") through the
-platform registry — the same FIFO/resize semantics contract applies to
+Parametrized over every real backend ("threads", "processes",
+"distributed") through the platform registry — the same FIFO/resize semantics contract applies to
 each, so the same stress program must survive on either.  Muscles are
 module-level picklable callables so they cross the process boundary.
 """
@@ -13,7 +13,7 @@ from functools import partial
 
 import pytest
 
-from repro import Execute, Map, Merge, Seq, Split, make_platform
+from repro import Execute, Map, Merge, PlatformSpec, Seq, Split, make_platform
 from repro.events.types import When, Where
 from repro.runtime.interpreter import submit
 from repro.skeletons import sequential_evaluate
@@ -21,7 +21,7 @@ from tests.conftest import px_iota
 
 pytestmark = [pytest.mark.integration, pytest.mark.slow]
 
-BACKENDS = ["threads", "processes"]
+BACKENDS = ["threads", "processes", "distributed"]
 
 
 def _fe(v):
@@ -43,7 +43,7 @@ def backend(request):
 
 class TestStress:
     def test_many_concurrent_executions(self, backend):
-        with make_platform(backend, parallelism=4, max_parallelism=8) as pool:
+        with make_platform(PlatformSpec(kind=backend, workers=4, max_workers=8)) as pool:
             programs = [make_program(w) for w in (1, 2, 5, 9)]
             futures = [
                 (p, v, submit(p, v, pool))
@@ -59,13 +59,14 @@ class TestStress:
         """Random grow/shrink while work streams through: no deadlock, no
         lost results, pool converges to the final target."""
         stop = threading.Event()
-        # Worker churn is ~100x pricier for processes (fork/exit vs thread
-        # start/join); keep the storm meaningful but bounded there.
+        # Worker churn is ~100x pricier for processes and distributed
+        # sockets (fork/enroll/exit vs thread start/join); keep the storm
+        # meaningful but bounded there.
         top = 12 if backend == "threads" else 6
         executions = 60 if backend == "threads" else 30
         pause = 0.002 if backend == "threads" else 0.01
 
-        with make_platform(backend, parallelism=2, max_parallelism=top) as pool:
+        with make_platform(PlatformSpec(kind=backend, workers=2, max_workers=top)) as pool:
             def resizer():
                 rng = random.Random(99)
                 while not stop.is_set():
@@ -96,7 +97,7 @@ class TestStress:
         width, executions = 8, 12
         program = make_program(width)
         expected = [sequential_evaluate(make_program(width), v) for v in range(executions)]
-        with make_platform(backend, parallelism=1, max_parallelism=8) as pool:
+        with make_platform(PlatformSpec(kind=backend, workers=1, max_workers=8)) as pool:
             counts = {"seq_after": 0}
             lock = threading.Lock()
 
@@ -115,7 +116,7 @@ class TestStress:
         assert counts["seq_after"] == width * executions  # nothing double-run
 
     def test_metrics_consistent_after_stress(self, backend):
-        with make_platform(backend, parallelism=3, max_parallelism=6) as pool:
+        with make_platform(PlatformSpec(kind=backend, workers=3, max_workers=6)) as pool:
             program = make_program(4)
             futures = [submit(program, i, pool) for i in range(20)]
             for f in futures:

@@ -1,0 +1,168 @@
+"""Tests for PlatformSpec validation and the make_platform deprecation shim."""
+
+import pytest
+
+from repro import (
+    PlatformError,
+    PlatformSpec,
+    ProcessSpec,
+    RemoteSpec,
+    SimulatedSpec,
+    ThreadPoolPlatform,
+    make_platform,
+)
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = PlatformSpec(kind="threads")
+        assert spec.workers == 1
+        assert spec.max_workers is None
+        assert spec.rtt == 0.0
+        assert spec.batching is None
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(PlatformError, match="workers must be >= 1"):
+            PlatformSpec(kind="threads", workers=0)
+
+    def test_max_workers_must_cover_workers(self):
+        with pytest.raises(PlatformError, match="below workers"):
+            PlatformSpec(kind="threads", workers=4, max_workers=2)
+
+    def test_rtt_non_negative(self):
+        with pytest.raises(PlatformError, match="rtt"):
+            PlatformSpec(kind="distributed", rtt=-0.1)
+
+    def test_batching_positive(self):
+        with pytest.raises(PlatformError, match="batching"):
+            PlatformSpec(kind="processes", batching=0)
+
+    def test_kind_required(self):
+        with pytest.raises(PlatformError, match="kind"):
+            PlatformSpec(kind="")
+
+    def test_subspec_types_enforced(self):
+        with pytest.raises(PlatformError, match="RemoteSpec"):
+            PlatformSpec(kind="distributed", remote={"heartbeat_interval": 1})
+
+    def test_remote_spec_heartbeat_ordering(self):
+        with pytest.raises(PlatformError, match="heartbeat_timeout"):
+            RemoteSpec(heartbeat_interval=1.0, heartbeat_timeout=0.5)
+
+    def test_process_spec_start_method(self):
+        with pytest.raises(PlatformError, match="start method"):
+            ProcessSpec(start_method="teleport")
+
+    def test_simulated_spec_speeds_positive(self):
+        with pytest.raises(PlatformError, match="positive"):
+            SimulatedSpec(worker_speeds=(1.0, 0.0))
+
+    def test_with_overrides_revalidates(self):
+        spec = PlatformSpec(kind="threads", workers=2)
+        assert spec.with_overrides(workers=5).workers == 5
+        with pytest.raises(PlatformError):
+            spec.with_overrides(workers=0)
+
+    def test_describe_mentions_non_defaults_only(self):
+        text = PlatformSpec(kind="distributed", workers=4, rtt=0.05).describe()
+        assert "kind='distributed'" in text
+        assert "workers=4" in text and "rtt=0.05" in text
+        assert "batching" not in text
+
+
+class TestFromOptions:
+    def test_legacy_names_map_to_spec_fields(self):
+        spec = PlatformSpec.from_options(
+            "processes", parallelism=3, max_parallelism=9, chunk_size=4
+        )
+        assert (spec.workers, spec.max_workers, spec.batching) == (3, 9, 4)
+
+    def test_latencies_fold_into_rtt(self):
+        spec = PlatformSpec.from_options(
+            "simulated-distributed", dispatch_latency=0.02, collect_latency=0.03
+        )
+        assert spec.rtt == pytest.approx(0.05)
+
+    def test_rtt_and_latencies_conflict(self):
+        with pytest.raises(TypeError, match="not both"):
+            PlatformSpec.from_options("distributed", rtt=0.1, dispatch_latency=0.05)
+
+    def test_backend_knobs_route_to_subspecs(self):
+        spec = PlatformSpec.from_options(
+            "distributed",
+            heartbeat_interval=0.1,
+            heartbeat_timeout=0.5,
+            start_method="spawn",
+        )
+        assert spec.remote.heartbeat_interval == 0.1
+        assert spec.remote.heartbeat_timeout == 0.5
+        assert spec.processes.start_method == "spawn"
+
+    def test_simulated_knobs_route_to_subspec(self):
+        spec = PlatformSpec.from_options(
+            "simulated", trace_tasks=True, scheduling="fifo"
+        )
+        assert spec.simulated.trace_tasks is True
+        assert spec.simulated.scheduling == "fifo"
+
+    def test_unknown_option_is_a_type_error(self):
+        with pytest.raises(TypeError, match="unknown platform option"):
+            PlatformSpec.from_options("threads", bogus=1)
+
+
+class TestDeprecationShim:
+    def test_legacy_kwargs_call_warns_and_works(self):
+        # The exact historical call shape must keep working.
+        with pytest.deprecated_call(match="make_platform"):
+            platform = make_platform("threads", parallelism=4)
+        try:
+            assert isinstance(platform, ThreadPoolPlatform)
+            assert platform.get_parallelism() == 4
+        finally:
+            platform.shutdown()
+
+    def test_spec_field_names_also_work_through_the_shim(self):
+        with pytest.deprecated_call(match="make_platform"):
+            platform = make_platform("threads", workers=4)
+        try:
+            assert platform.get_parallelism() == 4
+        finally:
+            platform.shutdown()
+
+    def test_legacy_alias_with_kwargs_warns(self):
+        with pytest.deprecated_call():
+            platform = make_platform("threadpool", parallelism=2, max_parallelism=6)
+        try:
+            assert platform.max_parallelism == 6
+        finally:
+            platform.shutdown()
+
+    def test_typed_call_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            platform = make_platform(PlatformSpec(kind="threads", workers=2))
+        platform.shutdown()
+
+    def test_service_builds_spec_path_without_warning(self):
+        import warnings
+
+        from repro import SkeletonService
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            service = SkeletonService(backend="threads", capacity=2)
+        service.shutdown()
+
+    def test_service_accepts_platform_spec(self):
+        from repro import SkeletonService
+
+        service = SkeletonService(
+            backend=PlatformSpec(kind="threads"), capacity=3
+        )
+        try:
+            assert service.capacity == 3
+            assert service.platform.max_parallelism == 3
+        finally:
+            service.shutdown()

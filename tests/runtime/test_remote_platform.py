@@ -1,0 +1,221 @@
+"""Tests for DistributedPlatform: real workers over localhost sockets."""
+
+import threading
+import time
+from functools import partial
+
+import pytest
+
+from repro import (
+    EventRecorder,
+    Execute,
+    Map,
+    Merge,
+    MuscleExecutionError,
+    PlatformError,
+    PlatformSpec,
+    RemoteSpec,
+    Seq,
+    Split,
+    make_platform,
+    request_resize,
+    run,
+    start_worker,
+)
+from repro.runtime.remote.worker import worker_main
+from repro.skeletons import sequential_evaluate
+from tests.conftest import px_iota, px_leaf, px_sleep_echo, px_sum_mod
+
+
+class _EvilError(Exception):
+    """A user exception that refuses to pickle (closure payload)."""
+
+    def __init__(self, message):
+        super().__init__(message)
+        self.payload = lambda: None
+
+
+def px_raise_evil(v):
+    raise _EvilError(f"evil({v})")
+
+
+def _map_program(width, k=3):
+    return Map(
+        Split(partial(px_iota, width=width), name="dsplit"),
+        Seq(Execute(partial(px_leaf, k=k), name="dleaf")),
+        Merge(px_sum_mod, name="dsum"),
+    )
+
+
+def _spec(**kw):
+    remote = kw.pop("remote", RemoteSpec(heartbeat_interval=0.1, heartbeat_timeout=0.6))
+    return PlatformSpec(kind="distributed", remote=remote, **kw)
+
+
+class TestDistributedExecution:
+    def test_map_matches_reference(self):
+        expected = sequential_evaluate(_map_program(10), 5)
+        with make_platform(_spec(workers=3, batching=4)) as platform:
+            assert run(_map_program(10), 5, platform) == expected
+
+    def test_events_balanced_and_carry_started_at(self):
+        with make_platform(_spec(workers=2, batching=2)) as platform:
+            recorder = EventRecorder()
+            platform.add_listener(recorder)
+            run(_map_program(6), 3, platform)
+            assert recorder.is_balanced()
+            afters = [e for e in recorder.events if e.label == "seq@a"]
+            assert afters, "leaf AFTER events must be re-emitted in-process"
+            for event in afters:
+                assert isinstance(event.worker, int)
+                assert "started_at" in event.extra
+                assert event.extra["started_at"] <= event.timestamp
+
+    def test_worker_stats_cover_all_tasks(self):
+        with make_platform(_spec(workers=2)) as platform:
+            run(_map_program(8), 1, platform)
+            stats = platform.worker_stats()
+            # 8 leaf tasks plus the split and merge muscles = 10 executions.
+            assert sum(done for done, _ in stats.values()) == 10
+
+    def test_unpicklable_user_exception_crosses_the_socket(self):
+        """Regression: a hostile exception must not kill worker or master."""
+        program = Seq(Execute(px_raise_evil, name="evil"))
+        with make_platform(_spec(workers=1)) as platform:
+            with pytest.raises(MuscleExecutionError) as excinfo:
+                run(program, 7, platform)
+            assert excinfo.value.muscle_name == "evil"
+            assert isinstance(excinfo.value.cause, PlatformError)
+            assert "_EvilError" in str(excinfo.value.cause)
+            # The platform survives the hostile exception and keeps working.
+            assert run(_map_program(4), 2, platform) == sequential_evaluate(
+                _map_program(4), 2
+            )
+
+    def test_learned_worker_speeds_show_in_spans(self):
+        """Heterogeneity is injected worker-side only; spans reveal it."""
+        spec = _spec(
+            workers=2,
+            batching=1,
+            remote=RemoteSpec(
+                heartbeat_interval=0.1,
+                heartbeat_timeout=0.6,
+                worker_delays=(0.0, 0.12),
+            ),
+        )
+        program = Map(
+            Split(partial(px_iota, width=10), name="hsplit"),
+            Seq(Execute(partial(px_sleep_echo, duration=0.02), name="hleaf")),
+            Merge(px_sum_mod, name="hsum"),
+        )
+        with make_platform(spec) as platform:
+            recorder = EventRecorder()
+            platform.add_listener(recorder)
+            run(program, 1, platform)
+            spans = {}
+            for event in recorder.events:
+                if event.label == "seq@a":
+                    spans.setdefault(event.worker, []).append(
+                        event.timestamp - event.extra["started_at"]
+                    )
+            assert len(spans) == 2, "both workers must have run leaf tasks"
+            means = sorted(sum(v) / len(v) for v in spans.values())
+            # The slow worker's observed spans include its injected delay:
+            # that is the signal the estimators learn speeds from.
+            assert means[1] > means[0] + 0.06
+
+
+class TestControlPlane:
+    def test_resize_over_socket(self):
+        with make_platform(_spec(workers=1, max_workers=4)) as platform:
+            applied = request_resize(platform.address, 3)
+            assert applied == 3
+            assert platform.get_parallelism() == 3
+
+    def test_resize_clamps_to_max(self):
+        with make_platform(_spec(workers=1, max_workers=2)) as platform:
+            assert request_resize(platform.address, 99) == 2
+
+    def test_enrollment_only_mode_accepts_external_workers(self):
+        spec = _spec(
+            workers=2,
+            remote=RemoteSpec(
+                heartbeat_interval=0.1, heartbeat_timeout=0.6, spawn_workers=False
+            ),
+        )
+        with make_platform(spec) as platform:
+            processes = [start_worker(platform.address) for _ in range(2)]
+            try:
+                deadline = time.monotonic() + 10
+                while platform.live_workers < 2:
+                    assert time.monotonic() < deadline, "workers never enrolled"
+                    time.sleep(0.01)
+                expected = sequential_evaluate(_map_program(8), 5)
+                assert run(_map_program(8), 5, platform) == expected
+            finally:
+                for process in processes:
+                    if process.is_alive():
+                        process.terminate()
+                    process.join(timeout=5)
+
+    def test_enrollment_rejected_at_capacity(self):
+        """A cap rejection crosses the control plane as a typed error."""
+        spec = _spec(
+            workers=1,
+            max_workers=1,
+            remote=RemoteSpec(
+                heartbeat_interval=0.1, heartbeat_timeout=0.6, spawn_workers=False
+            ),
+        )
+        with make_platform(spec) as platform:
+            process = start_worker(platform.address)
+            try:
+                deadline = time.monotonic() + 10
+                while platform.live_workers < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                # The pool is at its cap: enrolling in-process must raise
+                # the decoded JSON-safe error from ENROLL_ERR.
+                with pytest.raises(PlatformError, match="cap"):
+                    worker_main(*platform.address)
+            finally:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=5)
+
+    def test_shutdown_is_idempotent_and_unblocks(self):
+        platform = make_platform(_spec(workers=2))
+        platform.shutdown()
+        platform.shutdown()
+        with pytest.raises(PlatformError):
+            run(_map_program(2), 1, platform)
+
+    def test_grow_and_shrink_live(self):
+        with make_platform(_spec(workers=1, max_workers=4)) as platform:
+            platform.set_parallelism(3)
+            deadline = time.monotonic() + 10
+            while platform.live_workers < 3:
+                assert time.monotonic() < deadline, "pool never grew"
+                time.sleep(0.01)
+            platform.set_parallelism(1)
+            while platform.live_workers > 1:
+                assert time.monotonic() < deadline, "pool never shrank"
+                time.sleep(0.01)
+            assert run(_map_program(4), 2, platform) == sequential_evaluate(
+                _map_program(4), 2
+            )
+
+    def test_concurrent_submissions_from_threads(self):
+        with make_platform(_spec(workers=3, batching=2)) as platform:
+            expected = sequential_evaluate(_map_program(6), 4)
+            results = []
+
+            def drive():
+                results.append(run(_map_program(6), 4, platform))
+
+            threads = [threading.Thread(target=drive) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert results == [expected] * 4

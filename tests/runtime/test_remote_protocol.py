@@ -1,0 +1,141 @@
+"""Tests for the wire protocol and boundary-safe error helpers."""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    MuscleExecutionError,
+    PlatformError,
+    RemoteProtocolError,
+    WorkerLostError,
+    error_from_jsonable,
+    jsonable_error,
+    pickle_safe_exception,
+)
+from repro.runtime.remote import protocol
+from repro.runtime.remote.protocol import FrameBuffer, decode_json, encode_json
+
+
+class _Unpicklable(Exception):
+    """A user exception whose payload cannot cross a process boundary."""
+
+    def __init__(self, message):
+        super().__init__(message)
+        self.payload = lambda: None  # closures do not pickle
+
+
+class TestFrameBuffer:
+    def test_yields_complete_frames_across_partial_feeds(self):
+        wire = b"".join(
+            protocol._HEADER.pack(len(p)) + p for p in (b"alpha", b"", b"omega")
+        )
+        buf = FrameBuffer()
+        frames = []
+        for i in range(0, len(wire), 3):  # drip-feed in 3-byte slices
+            buf.feed(wire[i : i + 3])
+            frames.extend(buf.frames())
+        assert frames == [b"alpha", b"", b"omega"]
+
+    def test_incomplete_frame_stays_buffered(self):
+        buf = FrameBuffer()
+        buf.feed(protocol._HEADER.pack(10) + b"part")
+        assert list(buf.frames()) == []
+        buf.feed(b"ialXXX")
+        assert list(buf.frames()) == [b"partialXXX"]
+
+    def test_oversized_frame_rejected(self):
+        buf = FrameBuffer()
+        buf.feed(protocol._HEADER.pack(protocol.MAX_FRAME + 1))
+        with pytest.raises(RemoteProtocolError, match="oversized"):
+            list(buf.frames())
+
+    def test_json_round_trip(self):
+        frame = encode_json({"type": "ENROLL", "pid": 42})
+        assert decode_json(frame) == {"type": "ENROLL", "pid": 42}
+
+    def test_malformed_json_raises_protocol_error(self):
+        with pytest.raises(RemoteProtocolError, match="malformed"):
+            decode_json(b"\x80\x04not json")
+
+    def test_typeless_message_rejected(self):
+        with pytest.raises(RemoteProtocolError, match="without a type"):
+            decode_json(b'{"pid": 1}')
+
+
+class TestEncodeResults:
+    def _round_trip(self, results):
+        kind, items = pickle.loads(protocol.encode_results(results))
+        assert kind == "results"
+        return items
+
+    def test_plain_results_pass_through(self):
+        items = self._round_trip([(0, True, 41, 1.0, 2.0)])
+        assert items == [(0, True, 41, 1.0, 2.0)]
+
+    def test_unpicklable_result_replaced_per_item(self):
+        items = self._round_trip(
+            [(0, True, 1, 0.0, 0.1), (1, True, lambda: None, 0.0, 0.1)]
+        )
+        # The healthy result survives; only the poisoned one is replaced.
+        assert items[0] == (0, True, 1, 0.0, 0.1)
+        index, ok, value, _, _ = items[1]
+        assert (index, ok) == (1, False)
+        assert isinstance(value, PlatformError)
+        assert "not picklable" in str(value)
+
+    def test_unpicklable_exception_keeps_muscle_error_structure(self):
+        exc = MuscleExecutionError("mymuscle", _Unpicklable("boom"), trace=("a", "b"))
+        (item,) = self._round_trip([(0, False, exc, 0.0, 0.1)])
+        _, ok, value, _, _ = item
+        assert ok is False
+        assert isinstance(value, MuscleExecutionError)
+        assert value.muscle_name == "mymuscle"
+        assert value.trace == ("a", "b")
+        assert isinstance(value.cause, PlatformError)
+        assert "_Unpicklable" in str(value.cause)
+
+
+class TestPickleSafeException:
+    def test_picklable_exception_returned_unchanged(self):
+        exc = ValueError("fine")
+        assert pickle_safe_exception(exc) is exc
+
+    def test_unpicklable_exception_replaced(self):
+        safe = pickle_safe_exception(_Unpicklable("nope"))
+        assert isinstance(safe, PlatformError)
+        pickle.loads(pickle.dumps(safe))  # the stand-in must round-trip
+
+    def test_broken_str_survives(self):
+        class _BrokenStr(Exception):
+            def __init__(self):
+                self.f = lambda: None
+
+            def __str__(self):
+                raise RuntimeError("no str for you")
+
+        safe = pickle_safe_exception(_BrokenStr())
+        assert isinstance(safe, PlatformError)
+        pickle.loads(pickle.dumps(safe))
+
+
+class TestJsonableErrors:
+    def test_known_type_round_trips(self):
+        payload = jsonable_error(WorkerLostError("worker 3 vanished"))
+        clone = error_from_jsonable(payload)
+        assert isinstance(clone, WorkerLostError)
+        assert "worker 3 vanished" in str(clone)
+
+    def test_unknown_type_degrades_to_protocol_error(self):
+        clone = error_from_jsonable({"type": "CustomUserError", "message": "hm"})
+        assert isinstance(clone, RemoteProtocolError)
+        assert "CustomUserError" in str(clone)
+
+    def test_malformed_payload_degrades(self):
+        assert isinstance(error_from_jsonable(None), RemoteProtocolError)
+        assert isinstance(error_from_jsonable("boom"), RemoteProtocolError)
+
+    def test_payload_is_json_serializable(self):
+        import json
+
+        json.dumps(jsonable_error(_Unpicklable("x")))

@@ -38,6 +38,7 @@ from repro.core.qos import QoS
 from repro.runtime.clock import VirtualClock
 from repro.runtime.platform import Platform
 from repro.runtime.registry import make_platform
+from repro.runtime.spec import PlatformSpec
 from repro.service import LPArbiter
 from tests.service.test_arbiter import StubAnalyzer
 
@@ -57,7 +58,7 @@ def shared_platform(request):
         )
         return
     platform = make_platform(
-        request.param, parallelism=1, max_parallelism=CAPACITY
+        PlatformSpec(kind=request.param, workers=1, max_workers=CAPACITY)
     )
     yield platform
     platform.shutdown()
