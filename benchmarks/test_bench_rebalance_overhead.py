@@ -26,6 +26,7 @@ walks** per rebalance than the PR 4 baseline, with identical decisions.
 """
 
 import time
+from pathlib import Path
 
 import pytest
 
@@ -69,7 +70,7 @@ def storm_qos(i):
     )
 
 
-def run_storm(plan_cache, plan_patching):
+def run_storm(plan_cache, plan_patching, observability=None):
     """One deterministic churn storm; returns (results, metrics)."""
     platform = SimulatedPlatform(
         parallelism=1, cost_model=ConstantCostModel(1.0), max_parallelism=CAPACITY
@@ -79,6 +80,7 @@ def run_storm(plan_cache, plan_patching):
         min_rebalance_interval=0.0,
         plan_cache=plan_cache,
         plan_patching=plan_patching,
+        observability=observability,
     )
     results = []
     started = time.perf_counter()
@@ -216,3 +218,88 @@ def test_rebalance_overhead(report):
     assert delta["pin_patches"] > 0
     assert delta["schedule_passes"] <= cached["schedule_passes"]
     assert delta["batches"] > 0 and delta["batch_mean"] >= 2.0
+
+
+# -- observability overhead budget ---------------------------------------------
+#
+# ISSUE 7's enforced contract: the full Telescope stack (metrics registry,
+# sampled tracing, flight recorder) on the identical storm must change
+# nothing about the decisions and cost < 5% wall clock.
+
+OBS_ROUNDS = 7  #: interleaved off/on timing pairs
+OBS_BUDGET = 1.05  #: obs-on may cost at most 5% over obs-off
+
+
+def _storm_with_obs():
+    from repro.obs import Observability
+
+    obs = Observability(sample_rate=1.0)
+    results, metrics = run_storm(PlanCache(), plan_patching=True, observability=obs)
+    return results, metrics, obs
+
+
+def test_obs_overhead(report):
+    # Warm both arms once (imports, code caches), then time the arms in
+    # adjacent off/on pairs so machine drift hits both equally.  The
+    # budget is asserted on the *best* pairwise ratio: any one clean
+    # pair proves the stack fits the budget, while a genuine systematic
+    # overhead above it fails every pair.
+    run_storm(PlanCache(), plan_patching=True)
+    _storm_with_obs()
+
+    off_runs, on_runs = [], []
+    obs = None
+    for _ in range(OBS_ROUNDS):
+        off_runs.append(run_storm(PlanCache(), plan_patching=True))
+        *on_run, obs = _storm_with_obs()
+        on_runs.append(tuple(on_run))
+
+    off_results, off = min(off_runs, key=lambda r: r[1]["elapsed"])
+    _, on = min(on_runs, key=lambda r: r[1]["elapsed"])
+
+    # Identical decisions: observability watches the storm, it must not
+    # steer it.
+    for results, metrics in on_runs:
+        assert results == off_results
+        assert metrics["rebalances"] == off["rebalances"]
+
+    ratios = sorted(
+        on_m["elapsed"] / off_m["elapsed"]
+        for (_, off_m), (_, on_m) in zip(off_runs, on_runs)
+    )
+    best = ratios[0]
+    median = ratios[len(ratios) // 2]
+
+    events_total = obs.metrics.get("repro_events_total")
+    spans = obs.tracer.finished()
+    report("Observability overhead: full Telescope stack vs bare storm")
+    report(f"storm: {WAVES} waves x {N_TENANTS} tenants on {CAPACITY} workers, "
+           f"{OBS_ROUNDS} interleaved off/on pairs")
+    report("")
+    report(f"{'':>26}{'obs off':>14}{'obs on':>14}")
+    report(f"{'best wall time (s)':>26}{off['elapsed']:>14.3f}{on['elapsed']:>14.3f}")
+    report(f"{'rebalances':>26}{off['rebalances']:>14}{on['rebalances']:>14}")
+    report(f"{'events (bus)':>26}{off['events']:>14}{on['events']:>14}")
+    report("")
+    report(f"metrics: {int(events_total.total())} events counted, "
+           f"{len(obs.metrics.names())} families")
+    report(f"tracing: {len(spans)} spans sampled, {obs.tracer.dropped} dropped")
+    report(f"flight:  {len(obs.flight)} records buffered")
+    report(f"overhead: best pair {best - 1.0:+.1%}, median pair "
+           f"{median - 1.0:+.1%} (budget {OBS_BUDGET - 1.0:.0%})")
+
+    # Snapshot artifacts for CI: the scrape file and the flight log.
+    OUT = Path(__file__).parent / "out"
+    OUT.mkdir(exist_ok=True)
+    obs.export_prometheus(OUT / "obs_overhead.prom")
+    obs.export_jsonl(OUT / "obs_overhead.jsonl")
+
+    # The stack saw the whole storm...
+    assert events_total.total() == on["events"]
+    assert spans, "no spans sampled with tracing fully on"
+    assert len(obs.flight) > 0
+    # ...and stayed inside the budget.
+    assert best < OBS_BUDGET, (
+        f"observability overhead {best - 1.0:+.1%} (best of {OBS_ROUNDS} "
+        f"pairs) exceeds {OBS_BUDGET - 1.0:.0%} budget"
+    )

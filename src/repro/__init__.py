@@ -131,6 +131,12 @@ from .service import (
     SkeletonService,
     TenantQuota,
 )
+from .obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+)
 
 __all__ = [
     "__version__",
@@ -232,4 +238,9 @@ __all__ = [
     "LPArbiter",
     "ServiceStats",
     "TenantQuota",
+    # observability
+    "Observability",
+    "MetricsRegistry",
+    "Tracer",
+    "FlightRecorder",
 ]

@@ -116,6 +116,13 @@ class Event:
         condition muscle), ``iteration`` (While/For loop counter),
         ``child`` (index of a nested sub-skeleton), ``stage`` (pipe stage)
         and ``depth`` (divide-and-conquer recursion depth).
+    trace_id / span_id:
+        Distributed-tracing correlation ids stamped from the owning
+        execution's :class:`~repro.obs.tracing.TraceContext` (``None``
+        for events raised outside an execution).  Every event of one
+        execution shares its ``trace_id`` — including events re-emitted
+        from remote socket workers — which is what lets the flight
+        recorder reconstruct a request end to end.
     """
 
     skeleton: Any
@@ -131,6 +138,8 @@ class Event:
     worker: Optional[int] = None
     extra: Mapping[str, Any] = field(default_factory=dict)
     execution_id: Optional[int] = None
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
     @property
     def label(self) -> str:

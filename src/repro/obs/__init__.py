@@ -1,0 +1,163 @@
+"""Telescope: unified observability for the skeleton runtime.
+
+One subsystem, three surfaces:
+
+* **Metrics** — a process-wide :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket latency histograms (p50/p95/p99 queries);
+  existing stat surfaces (``ServiceStats``, ``plan_stats()``) register
+  themselves as live *views* on it.
+* **Tracing** — a :class:`Tracer` threading ``trace_id``/``span_id``
+  through submit → admission → rebalance → plan → dispatch → muscle
+  execution → result, across the DistributedPlatform socket boundary
+  (envelopes carry trace context; worker spans are re-emitted
+  in-process like worker events already are).
+* **Exporters** — Prometheus text exposition, a JSONL flight recorder
+  reusing the event-recorder framing, and an ASCII live dashboard on
+  :mod:`repro.viz`.
+
+The :class:`Observability` facade wires all three onto a platform (and,
+through ``SkeletonService(observability=...)``, onto the service
+layer).  The overhead contract: with no facade attached the runtime
+pays only two attribute reads per event (trace stamping); the
+rebalance-storm bench enforces <5% wall-clock overhead with the full
+stack on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .dashboard import Dashboard, render_dashboard
+from .exporters import (
+    FlightRecorder,
+    load_jsonl,
+    prometheus_text,
+    trace_records,
+    write_prometheus,
+)
+from .instrument import BusInstrument
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracing import Span, TraceContext, Tracer, new_span_id, new_trace_id
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Tracer",
+    "TraceContext",
+    "Span",
+    "new_trace_id",
+    "new_span_id",
+    "BusInstrument",
+    "FlightRecorder",
+    "prometheus_text",
+    "write_prometheus",
+    "load_jsonl",
+    "trace_records",
+    "Dashboard",
+    "render_dashboard",
+    "Observability",
+]
+
+
+class Observability:
+    """Facade wiring metrics + tracing + flight recording onto a platform.
+
+    >>> obs = Observability(sample_rate=1.0)
+    >>> obs.attach(platform)                     # doctest: +SKIP
+    >>> ...run work...                           # doctest: +SKIP
+    >>> print(obs.prometheus())                  # doctest: +SKIP
+    >>> obs.export_jsonl("flight.jsonl")         # doctest: +SKIP
+
+    ``attach`` registers a batch-aware bus instrument and (optionally) a
+    flight recorder, and flips the platform tracer on; ``detach``
+    unregisters everything and turns the tracer back off.  A facade
+    that is never attached costs the runtime nothing.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_rate: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
+        flight: bool = True,
+        include_values: bool = False,
+        max_spans: int = 8192,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.sample_rate = float(sample_rate)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_spans = max_spans
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(include_values=include_values) if flight else None
+        )
+        self.instrument: Optional[BusInstrument] = None
+        self._platform = None
+
+    # -- wiring --------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self._platform.tracer if self._platform is not None else None
+
+    def attach(self, platform) -> "Observability":
+        """Wire this facade onto *platform* (idempotent per platform)."""
+        if self._platform is platform:
+            return self
+        if self._platform is not None:
+            raise RuntimeError("Observability facade is already attached")
+        platform.tracer.configure(
+            enabled=self.enabled, sample_rate=self.sample_rate, clock=platform.now
+        )
+        self.instrument = BusInstrument(self.metrics, tracer=platform.tracer)
+        if self.enabled:
+            platform.add_listener(self.instrument)
+            if self.flight is not None:
+                platform.add_listener(self.flight)
+        self._platform = platform
+        return self
+
+    def detach(self) -> None:
+        platform, self._platform = self._platform, None
+        if platform is None:
+            return
+        if self.instrument is not None:
+            platform.bus.remove_listener(self.instrument)
+        if self.flight is not None:
+            platform.bus.remove_listener(self.flight)
+        platform.tracer.configure(enabled=False)
+
+    # -- export --------------------------------------------------------
+
+    def prometheus(self) -> str:
+        return prometheus_text(self.metrics)
+
+    def export_prometheus(self, path) -> str:
+        return write_prometheus(path, self.metrics)
+
+    def export_jsonl(self, path) -> int:
+        """Fold tracer spans + a metrics snapshot into the flight log and dump."""
+        if self.flight is None:
+            raise RuntimeError("flight recording is disabled on this facade")
+        tracer = self.tracer
+        if tracer is not None:
+            self.flight.record_tracer(tracer)
+        self.flight.record_metrics(self.metrics)
+        return self.flight.dump(path)
+
+    def dashboard(self, title: str = "repro observability", width: int = 78) -> Dashboard:
+        return Dashboard(
+            self.metrics,
+            tracer=self.tracer,
+            platform=self._platform,
+            title=title,
+            width=width,
+        )

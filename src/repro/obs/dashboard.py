@@ -1,0 +1,147 @@
+"""ASCII live dashboard: registry + tracer + LP timeline in one screen.
+
+Built on :mod:`repro.viz` (no plotting deps): one call to
+:func:`render_dashboard` produces a text frame combining
+
+* headline counters/gauges from the registry,
+* latency percentiles (p50/p95/p99) from every histogram family,
+* the platform's LP timeline (``platform.metrics.as_steps()``) as an
+  area chart,
+* the most recent sampled spans as a mini waterfall.
+
+``Dashboard.render()`` wraps it with a frame counter for live loops
+(``examples/observability_dashboard.py`` redraws it against a running
+multi-tenant storm).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import Span, Tracer, walk_trace
+
+__all__ = ["render_dashboard", "Dashboard"]
+
+
+def _fmt(v: Optional[float]) -> str:
+    if v is None:
+        return "   -  "
+    if v >= 1000:
+        return f"{v:6.0f}"
+    return f"{v:6.3f}" if v < 10 else f"{v:6.1f}"
+
+
+def _metric_lines(registry: MetricsRegistry, max_rows: int) -> List[str]:
+    lines: List[str] = []
+    for family in registry.families():
+        if isinstance(family, Histogram):
+            for key, _counts, total, count in family.samples():
+                labels = ",".join(f"{k}={v}" for k, v in key)
+                pcts = family.percentiles(**dict(key))
+                lines.append(
+                    f"  {family.name}{{{labels}}}  n={count:<6d} "
+                    f"p50={_fmt(pcts['p50'])} p95={_fmt(pcts['p95'])} "
+                    f"p99={_fmt(pcts['p99'])} sum={_fmt(total)}"
+                )
+        elif isinstance(family, (Counter, Gauge)):
+            for key, value in family.samples():
+                labels = ",".join(f"{k}={v}" for k, v in key)
+                suffix = f"{{{labels}}}" if labels else ""
+                lines.append(f"  {family.name}{suffix} = {value:g}")
+        if len(lines) >= max_rows:
+            lines = lines[:max_rows]
+            lines.append("  … (truncated)")
+            break
+    return lines or ["  (no metrics yet)"]
+
+
+def _span_lines(spans: Sequence[Span], width: int, max_rows: int) -> List[str]:
+    if not spans:
+        return ["  (no sampled spans)"]
+    recent = sorted(spans, key=lambda s: s.start)[-max_rows:]
+    t0 = min(s.start for s in recent)
+    t1 = max(s.end if s.end is not None else s.start for s in recent)
+    span_total = (t1 - t0) or 1.0
+    bar_width = max(10, width - 40)
+    lines = []
+    for depth, span in walk_trace(list(recent)):
+        start_col = int((span.start - t0) / span_total * (bar_width - 1))
+        end = span.end if span.end is not None else span.start
+        end_col = max(start_col + 1, int((end - t0) / span_total * (bar_width - 1)) + 1)
+        bar = " " * start_col + "▇" * (end_col - start_col)
+        name = ("  " * depth + span.name)[:24]
+        dur = (span.duration or 0.0) * 1000.0
+        lines.append(f"  {name:<24} {bar:<{bar_width}} {dur:8.2f}ms")
+        if len(lines) >= max_rows:
+            break
+    return lines
+
+
+def render_dashboard(
+    registry: MetricsRegistry,
+    tracer: Optional[Tracer] = None,
+    lp_steps: Optional[Sequence[Tuple[float, int]]] = None,
+    title: str = "repro observability",
+    width: int = 78,
+    max_metric_rows: int = 18,
+    max_span_rows: int = 10,
+) -> str:
+    """Render one dashboard frame as a multi-section text block."""
+    rule = "═" * width
+    thin = "─" * width
+    sections: List[str] = [rule, f" {title}", rule]
+    sections.append(" metrics")
+    sections.append(thin)
+    sections.extend(_metric_lines(registry, max_metric_rows))
+    if lp_steps:
+        # Imported lazily: repro.viz pulls in repro.core, which imports
+        # the runtime — and the runtime's Platform imports repro.obs.
+        from ..viz import render_timeline
+
+        sections.append(thin)
+        sections.append(
+            render_timeline(list(lp_steps), title=" LP timeline", width=width - 10, height=8)
+        )
+    if tracer is not None:
+        sections.append(thin)
+        spans = tracer.finished()
+        sections.append(f" spans (sampled={len(spans)}, dropped={tracer.dropped})")
+        sections.extend(_span_lines(spans, width, max_span_rows))
+    sections.append(rule)
+    return "\n".join(sections)
+
+
+class Dashboard:
+    """Stateful wrapper for live redraw loops."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: Optional[Tracer] = None,
+        platform=None,
+        title: str = "repro observability",
+        width: int = 78,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.platform = platform
+        self.title = title
+        self.width = width
+        self.frames = 0
+
+    def render(self) -> str:
+        self.frames += 1
+        lp_steps = None
+        if self.platform is not None:
+            try:
+                lp_steps = self.platform.metrics.as_steps()
+            except Exception:
+                lp_steps = None
+        return render_dashboard(
+            self.registry,
+            tracer=self.tracer,
+            lp_steps=lp_steps,
+            title=f"{self.title} · frame {self.frames}",
+            width=self.width,
+        )

@@ -1,0 +1,96 @@
+"""Bus-level instrumentation: events → metrics + spans.
+
+``BusInstrument`` is a batch-aware :class:`~repro.events.bus.Listener`
+that turns the existing event stream into registry metrics and tracer
+spans, without touching the interpreter:
+
+* every event increments ``repro_events_total{label=...}``;
+* AFTER events whose extras carry ``started_at`` (real backends stamp
+  it; the simulator's virtual clock does too for timed tasks) feed the
+  ``repro_muscle_latency_seconds`` histogram;
+* one span is recorded **per batch** (not per event) under the batch's
+  dominant trace — the batch spine is the hot path, and a per-batch
+  span keeps tracing cost proportional to transactions, not events.
+
+Cost model: when observability is off the instrument simply is not
+registered on the bus, so the hot path pays nothing at all.  When on,
+the per-event cost is one counter increment (dict lookup + add under a
+small lock) and, for AFTER events with a start stamp, one histogram
+observe.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..events.bus import Listener
+from ..events.types import Event, When
+from .registry import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = ["BusInstrument"]
+
+
+class BusInstrument(Listener):
+    """Listener that mirrors the event stream into metrics and spans."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        tracer: Optional[Tracer] = None,
+        span_batches: bool = True,
+    ) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+        self.span_batches = span_batches
+        self.events_total = metrics.counter(
+            "repro_events_total", "Skeleton events published on the bus"
+        )
+        self.batches_total = metrics.counter(
+            "repro_event_batches_total", "publish_batch transactions observed"
+        )
+        self.muscle_latency = metrics.histogram(
+            "repro_muscle_latency_seconds",
+            "Muscle execution latency (AFTER.timestamp - started_at)",
+        )
+
+    def _observe(self, event: Event) -> None:
+        self.events_total.inc(label=event.label)
+        if event.when is When.AFTER:
+            started = event.extra.get("started_at")
+            if started is not None:
+                self.muscle_latency.observe(
+                    max(0.0, event.timestamp - started), kind=event.kind
+                )
+
+    def on_event(self, event: Event):
+        # No span for a lone event: it is already in the flight log with
+        # its trace ids, and a zero-duration span would only add cost.
+        self._observe(event)
+        return event.value
+
+    def on_batch(self, events: Sequence[Event]) -> None:
+        self.batches_total.inc()
+        for event in events:
+            self._observe(event)
+        if self.span_batches and self.tracer is not None and self.tracer.enabled:
+            ctx = None
+            for event in events:
+                ctx = _event_context(event)
+                if ctx is not None:
+                    break
+            if ctx is not None:
+                start = min(e.timestamp for e in events)
+                end = max(e.timestamp for e in events)
+                span = self.tracer.start_span(
+                    "event_batch", context=ctx, start=start, size=len(events)
+                )
+                span.finish(end=end)
+
+
+def _event_context(event: Event):
+    from .tracing import TraceContext
+
+    if event.trace_id is None:
+        return None
+    return TraceContext(event.trace_id, event.span_id or "", sampled=True)

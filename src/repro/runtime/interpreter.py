@@ -81,6 +81,7 @@ class _Instance:
     ) -> Event:
         """Construct (without publishing) one event for this instance."""
         platform = self.state.platform
+        ctx = self.state.execution.trace
         return Event(
             skeleton=self.skel,
             kind=self.skel.kind,
@@ -95,6 +96,8 @@ class _Instance:
             worker=worker if worker is not None else platform.current_worker(),
             extra=extra,
             execution_id=self.state.execution.id,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            span_id=ctx.span_id if ctx is not None else None,
         )
 
     def emit(
@@ -141,6 +144,11 @@ def submit(
     """
     if execution is None:
         execution = Execution(platform.new_future())
+    if execution.trace is None:
+        # Trace identity is minted unconditionally (two string ids per
+        # execution); whether *spans* are recorded is the tracer's
+        # sampling decision, not the interpreter's.
+        execution.trace = platform.tracer.new_context()
     future = execution.future
     state = _ExecState(platform, execution)
 

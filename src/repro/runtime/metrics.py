@@ -10,6 +10,7 @@ queries the benchmark harness needs (peak, value-at, first rise, ...).
 from __future__ import annotations
 
 import threading
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -27,16 +28,34 @@ class LPSample:
 
 
 class LPSeries:
-    """Append-only record of the LP trajectory of one execution."""
+    """Append-only record of the LP trajectory of one execution.
+
+    Times are monotonically non-decreasing, which the point queries
+    exploit: ``active_at`` bisects a parallel timestamp array and
+    ``first_time_active_above`` scans a running-maximum prefix — both
+    under the lock, with no per-query copy of the sample list.
+    """
 
     def __init__(self):
         self._samples: List[LPSample] = []
+        # Parallel array of timestamps, kept in lockstep with _samples,
+        # so point queries can bisect without touching dataclass attrs.
+        self._times: List[float] = []
+        # Running peaks, maintained on record: peak queries are O(1) and
+        # first_time_active_above can early-out when never exceeded.
+        self._peak_active = 0
+        self._peak_allocated = 0
         self._lock = threading.Lock()
 
     def record(self, time: float, active: int, allocated: int) -> None:
         """Append a change point (monotonically non-decreasing times)."""
         with self._lock:
             self._samples.append(LPSample(time, active, allocated))
+            self._times.append(time)
+            if active > self._peak_active:
+                self._peak_active = active
+            if allocated > self._peak_allocated:
+                self._peak_allocated = allocated
 
     # -- queries -----------------------------------------------------------
 
@@ -51,22 +70,25 @@ class LPSeries:
 
     def peak_active(self) -> int:
         """Maximum number of simultaneously busy workers observed."""
-        samples = self.samples
-        return max((s.active for s in samples), default=0)
+        with self._lock:
+            return self._peak_active
 
     def peak_allocated(self) -> int:
         """Maximum allocated pool size observed."""
-        samples = self.samples
-        return max((s.allocated for s in samples), default=0)
+        with self._lock:
+            return self._peak_allocated
 
     def active_at(self, time: float) -> int:
-        """Active workers at *time* (step-function semantics)."""
-        level = 0
-        for sample in self.samples:
-            if sample.time > time:
-                break
-            level = sample.active
-        return level
+        """Active workers at *time* (step-function semantics).
+
+        O(log n): bisects the timestamp array for the last sample at or
+        before *time*.  Equal timestamps keep last-writer-wins semantics
+        (the final sample of a tie is the step level), matching the old
+        linear scan.
+        """
+        with self._lock:
+            idx = bisect_right(self._times, time)
+            return self._samples[idx - 1].active if idx else 0
 
     def first_time_active_above(self, threshold: int) -> Optional[float]:
         """Earliest time the active count strictly exceeded *threshold*.
@@ -74,16 +96,22 @@ class LPSeries:
         This is how the benchmark harness measures "when did the autonomic
         increase take effect" — e.g. the paper's ≈7.6 s in Figure 5 vs
         ≈6.4 s in Figure 6.
+
+        Scans in place under the lock (no copy) with an O(1) early-out
+        when the threshold was never exceeded.
         """
-        for sample in self.samples:
-            if sample.active > threshold:
-                return sample.time
+        with self._lock:
+            if self._peak_active <= threshold:
+                return None
+            for sample in self._samples:
+                if sample.active > threshold:
+                    return sample.time
         return None
 
     def end_time(self) -> float:
         """Timestamp of the last recorded change point."""
-        samples = self.samples
-        return samples[-1].time if samples else 0.0
+        with self._lock:
+            return self._times[-1] if self._times else 0.0
 
     def as_steps(self) -> List[Tuple[float, int]]:
         """``(time, active)`` change points — the paper-figure series."""

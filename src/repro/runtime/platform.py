@@ -24,6 +24,7 @@ from typing import Dict, Mapping, Optional
 
 from ..errors import PlatformError
 from ..events.bus import EventBus, Listener
+from ..obs.tracing import Tracer
 from .clock import Clock
 from .futures import SkeletonFuture
 from .metrics import LPSeries
@@ -54,6 +55,11 @@ class Platform:
         self.bus = bus or EventBus()
         self._clock = clock
         self.metrics = LPSeries()
+        # Distributed-tracing identity source.  Disabled by default:
+        # it still mints trace/span ids for executions (so event
+        # correlation always works) but records no spans until an
+        # Observability facade flips it on (see repro.obs).
+        self.tracer = Tracer(enabled=False)
         self._lp_lock = threading.Lock()
         # Per-execution worker shares (execution id -> max concurrently
         # running tasks).  Executions absent from the mapping are

@@ -56,6 +56,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ...errors import PlatformError, jsonable_error
 from ...events.bus import EventBus
+from ...obs.tracing import new_span_id as _span_id
 from ..clock import Clock, RealClock
 from ..poolbase import _PoolPlatformBase
 from ..task import MuscleTask
@@ -506,7 +507,15 @@ class DistributedPlatform(_PoolPlatformBase):
                     continue
                 try:
                     value = task.emit_before(worker.worker_id)
-                    blobs.append(task.envelope(value).encode())
+                    env = task.envelope(value)
+                    ctx = task.execution.trace
+                    if ctx is not None and ctx.sampled and self.tracer.enabled:
+                        # Trace context crosses the wire inside the
+                        # envelope; because re-dispatch reuses the encoded
+                        # blob, a retried chunk keeps the original trace.
+                        env.trace_id = ctx.trace_id
+                        env.span_id = ctx.span_id
+                    blobs.append(env.encode())
                 except Exception as exc:
                     task.execution.fail(exc)
                     dropped.append(task)
@@ -804,7 +813,11 @@ class DistributedPlatform(_PoolPlatformBase):
         except Exception:
             self._drop_conn(conn)
             return
-        if not isinstance(message, tuple) or len(message) != 2 or message[0] != "results":
+        if (
+            not isinstance(message, tuple)
+            or len(message) not in (2, 3)
+            or message[0] != "results"
+        ):
             return
         worker = self._find_worker(conn.worker_id)
         if worker is None:
@@ -817,6 +830,31 @@ class DistributedPlatform(_PoolPlatformBase):
                 return  # stale frame of an already-requeued chunk
             worker.busy = None
             worker.blobs = None
+            # Optional third element: span records of traced tasks.
+            # Worker-side monotonic timestamps map onto this platform's
+            # clock via the chunk's handoff reference pair, then the
+            # spans re-emit into the in-process tracer — the same
+            # treatment worker events get.
+            if len(message) == 3 and self.tracer.enabled:
+                for rec in message[2]:
+                    try:
+                        self.tracer.record_span(
+                            str(rec.get("name", "muscle")),
+                            str(rec["trace_id"]),
+                            _span_id(),
+                            rec.get("parent_id"),
+                            worker.sent_at
+                            + max(0.0, float(rec["start_mono"]) - worker.sent_mono),
+                            worker.sent_at
+                            + max(0.0, float(rec["end_mono"]) - worker.sent_mono),
+                            status=str(rec.get("status", "ok")),
+                            attrs={
+                                **dict(rec.get("attrs") or {}),
+                                "worker": worker.worker_id,
+                            },
+                        )
+                    except (KeyError, TypeError, ValueError):
+                        continue  # malformed span record; results still land
             for index, ok, value, start_mono, end_mono in message[1]:
                 if not 0 <= index < len(tasks):
                     continue

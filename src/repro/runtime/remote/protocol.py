@@ -20,6 +20,14 @@ connection sends:
   worker → master: ``("results", [(index, ok, value, start_mono,
   end_mono), ...])`` with every ``value`` individually made pickle-safe
   (:func:`repro.errors.pickle_safe_exception`) before the frame is built.
+  When the master enabled tracing, envelopes carry their execution's
+  ``trace_id``/``span_id`` (see :class:`repro.runtime.task.TaskEnvelope`)
+  and the results frame grows an optional third element: a list of
+  JSON-safe *span records* — one per traced task, with worker-side
+  monotonic timestamps — which the master maps onto its clock and
+  re-emits into its in-process tracer, exactly the treatment worker
+  events already get.  Both 2- and 3-element frames are accepted on
+  either end, so mixed-version master/worker pairs interoperate.
 
 Framing is a 4-byte big-endian length followed by the payload — the same
 for both planes, so one :class:`FrameBuffer` parses either.
@@ -161,6 +169,7 @@ def recv_json(sock: socket.socket) -> Optional[dict]:
 
 def encode_results(
     results: List[Tuple[int, bool, object, float, float]],
+    spans: Optional[List[dict]] = None,
 ) -> bytes:
     """Pickle one ``("results", ...)`` frame, sanitizing each value.
 
@@ -168,6 +177,11 @@ def encode_results(
     cannot pickle is replaced by the :func:`pickle_safe_exception`
     treatment instead of poisoning the whole frame — the other tasks of
     the chunk still deliver their real results.
+
+    *spans* (optional) is a list of JSON-safe span-record dicts for the
+    traced tasks of the chunk; when present the frame carries it as a
+    third element (see module docstring).  Untraced chunks keep the
+    classic 2-element framing.
     """
     safe: List[Tuple[int, bool, object, float, float]] = []
     for index, ok, value, start_mono, end_mono in results:
@@ -184,7 +198,11 @@ def encode_results(
                 )
             ok = False
         safe.append((index, ok, value, start_mono, end_mono))
-    return pickle.dumps(("results", safe), protocol=pickle.HIGHEST_PROTOCOL)
+    if spans:
+        payload: Tuple = ("results", safe, spans)
+    else:
+        payload = ("results", safe)
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 # -- control clients ----------------------------------------------------------

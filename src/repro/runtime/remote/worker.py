@@ -162,6 +162,8 @@ def _chunk_loop(
         if dispatch_delay > 0:
             time.sleep(dispatch_delay)
         results = []
+        spans = []
+        pid = os.getpid()
         for index, blob in enumerate(blobs):
             start_mono = time.monotonic()
             try:
@@ -189,11 +191,29 @@ def _chunk_loop(
                 value, ok = exc, False
             if task_delay > 0:
                 time.sleep(task_delay)  # injected heterogeneity (tests/benches)
-            results.append((index, ok, value, start_mono, time.monotonic()))
+            end_mono = time.monotonic()
+            results.append((index, ok, value, start_mono, end_mono))
+            if envelope.trace_id is not None:
+                # A traced envelope: report the muscle execution as a
+                # JSON-safe span record under the envelope's context.
+                # Timestamps are worker-side monotonic; the master maps
+                # them onto its clock with the chunk's handoff reference
+                # pair, the same way it maps result started_at.
+                spans.append(
+                    {
+                        "name": "muscle",
+                        "trace_id": envelope.trace_id,
+                        "parent_id": envelope.span_id,
+                        "start_mono": start_mono,
+                        "end_mono": end_mono,
+                        "status": "ok" if ok else "error",
+                        "attrs": {"muscle": envelope.muscle_name, "worker_pid": pid},
+                    }
+                )
         if collect_delay > 0:
             time.sleep(collect_delay)
         try:
-            send_frame(data, protocol.encode_results(results))
+            send_frame(data, protocol.encode_results(results, spans))
         except OSError:
             return
 

@@ -53,6 +53,12 @@ class Execution:
         self.future = future
         self.name = name
         self._failed = threading.Event()
+        # TraceContext of this execution (assigned by the interpreter at
+        # submit, or earlier by the service layer).  Every event of the
+        # execution is stamped with its trace_id/span_id, which is what
+        # correlates the request end to end — including events re-emitted
+        # from remote socket workers.
+        self.trace = None
         with Execution._id_lock:
             Execution._id_counter += 1
             self.id = Execution._id_counter
@@ -191,18 +197,40 @@ class TaskEnvelope:
     platform's result pump.
     """
 
-    __slots__ = ("fn", "value", "muscle_name")
+    __slots__ = ("fn", "value", "muscle_name", "trace_id", "span_id")
 
-    def __init__(self, fn: Callable[[Any], Any], value: Any, muscle_name: str):
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        value: Any,
+        muscle_name: str,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+    ):
         self.fn = fn
         self.value = value
         self.muscle_name = muscle_name
+        # Trace context riding along to remote workers: the distributed
+        # backend stamps these before encoding, the worker reports its
+        # muscle spans under them, and because loss re-dispatch reuses
+        # the *encoded* envelope blob, a retried chunk automatically
+        # keeps the original trace.
+        self.trace_id = trace_id
+        self.span_id = span_id
 
     def __getstate__(self):
-        return (self.fn, self.value, self.muscle_name)
+        if self.trace_id is None and self.span_id is None:
+            return (self.fn, self.value, self.muscle_name)
+        return (self.fn, self.value, self.muscle_name, self.trace_id, self.span_id)
 
     def __setstate__(self, state):
-        self.fn, self.value, self.muscle_name = state
+        # Tolerates the pre-tracing 3-tuple framing so mixed-version
+        # master/worker pairs keep interoperating.
+        if len(state) == 3:
+            self.fn, self.value, self.muscle_name = state
+            self.trace_id = self.span_id = None
+        else:
+            self.fn, self.value, self.muscle_name, self.trace_id, self.span_id = state
 
     def encode(self) -> bytes:
         """Pickle the envelope, raising a *clear* error when impossible.

@@ -150,6 +150,10 @@ class ThreadPoolPlatform(_PoolPlatformBase):
         self._local.worker_id = worker_id
         try:
             value = task.emit_before(worker_id)
+            # Threads run the body in place, so the true start is simply
+            # "now"; stamping it gives AFTER events the same started_at
+            # extra the process/distributed backends already attach.
+            task.started_at = self.now()
             result = task.body(value)
             result = task.emit_after(result, worker_id)
         except Exception as exc:

@@ -155,6 +155,16 @@ class SkeletonService:
         instead of re-walking the tracking machines.  On by default;
         ``False`` restores the plain rev-keyed plan caching (the
         delta-path benchmark's baseline).
+    observability:
+        An optional :class:`~repro.obs.Observability` facade.  When
+        given, the service attaches it to the platform (bus instrument +
+        flight recorder + tracer), binds :class:`~repro.service.stats.
+        ServiceStats` and the plan cache as registry views, and traces
+        the request path: a root ``execution`` span per submission
+        (submit → admission → ... → outcome) plus ``rebalance`` spans,
+        with execution durations feeding
+        ``repro_execution_duration_seconds``.  ``None`` (default) keeps
+        the service entirely un-instrumented.
     platform_kwargs:
         Extra keyword arguments for the self-created platform
         (``chunk_size``, ``start_method``, ...).
@@ -178,6 +188,7 @@ class SkeletonService:
         starvation_aging: str = "virtual-time",
         plan_cache: Optional[PlanCache] = None,
         plan_patching: bool = True,
+        observability: Optional[Any] = None,
         **platform_kwargs: Any,
     ):
         self._owns_platform = platform is None
@@ -246,6 +257,48 @@ class SkeletonService:
         self._closed = False
         self._ticker = _AnalysisTicker(self)
         self.platform.add_listener(self._ticker)
+        # Observability wiring (all None/no-op when not configured: the
+        # only residual cost is a couple of is-None checks per lifecycle
+        # transition and a disabled-tracer start_span per rebalance).
+        self.observability = observability
+        self._exec_spans: Dict[int, Any] = {}
+        if observability is not None:
+            observability.attach(self.platform)
+            self.stats.bind_registry(observability.metrics)
+            self._bind_plan_view(observability.metrics)
+            self._exec_duration = observability.metrics.histogram(
+                "repro_execution_duration_seconds",
+                "End-to-end execution duration (admission start to finish)",
+            )
+            self._rebalance_duration = observability.metrics.histogram(
+                "repro_rebalance_duration_seconds",
+                "Wall-clock cost of one applied arbiter rebalance",
+            )
+        else:
+            self._exec_duration = None
+            self._rebalance_duration = None
+        # One trace identity for the service's own control loop: every
+        # rebalance span lands under it instead of each minting a fresh
+        # single-span trace (execution spans get per-request traces).
+        # Minted after attach() so it inherits the enabled sampling state.
+        self._service_trace = self.platform.tracer.new_context()
+
+    def _bind_plan_view(self, registry) -> None:
+        """Expose the shared plan cache as callback gauges (a live view).
+
+        ``plan_stats()`` remains the dict-shaped compatibility surface;
+        the registry samples the very same counters lazily at export
+        time, so there is no double bookkeeping to drift.
+        """
+        family = registry.gauge(
+            "repro_plan_cache", "Shared plan-cache counters (callback view)"
+        )
+
+        def reader(key: str):
+            return lambda: float(self.plan_cache.stats_dict().get(key, 0))
+
+        for key in self.plan_cache.stats_dict():
+            family.set_function(reader(key), stat=key)
 
     # -- submission -------------------------------------------------------------
 
@@ -273,6 +326,16 @@ class SkeletonService:
             if self._closed:
                 raise ServiceError("service has been shut down")
             execution = Execution(self.platform.new_future(), name=name)
+            # The request's trace identity is minted here, at the service
+            # boundary, so admission/hold/launch all happen under it (the
+            # interpreter would otherwise mint one at launch).
+            execution.trace = self.platform.tracer.new_context()
+            root_span = self.platform.tracer.start_span(
+                "execution",
+                context=execution.trace,
+                tenant=tenant,
+                execution_id=execution.id,
+            )
             analyzer = ExecutionAnalyzer(
                 qos=qos,
                 execution_id=execution.id,
@@ -322,11 +385,15 @@ class SkeletonService:
                 engine=analyzer.plan,
                 reserved=reserved,
             )
+            if root_span.recording:
+                self._exec_spans[execution.id] = root_span
             if decision.rejected:
                 self.stats.record_rejected(tenant)
                 handle._mark_rejected(decision.reason)
+                self._finish_exec_span(execution.id, "rejected")
                 return handle
             if decision.held:
+                root_span.set_attr("held", True)
                 self.stats.record_held(tenant)
                 self.tenants.queued(tenant)
                 record = _ExecutionRecord(handle, analyzer)
@@ -365,6 +432,12 @@ class SkeletonService:
 
     # -- lifecycle callbacks ----------------------------------------------------
 
+    def _finish_exec_span(self, execution_id: int, status: str) -> None:
+        """Close the root request span of one execution (no-op untraced)."""
+        span = self._exec_spans.pop(execution_id, None)
+        if span is not None:
+            span.finish(status="ok" if status == "completed" else status)
+
     def _on_done(self, handle: ExecutionHandle) -> None:
         with self._lock:
             record = self._live.pop(handle.execution_id, None)
@@ -383,6 +456,13 @@ class SkeletonService:
             self.stats.record_finished(
                 handle.tenant, outcome, handle.finished_at, handle.goal_met()
             )
+            self._finish_exec_span(handle.execution_id, outcome)
+            if self._exec_duration is not None and handle.started_at is not None:
+                self._exec_duration.observe(
+                    max(0.0, handle.finished_at - handle.started_at),
+                    tenant=handle.tenant,
+                    outcome=outcome,
+                )
             self._promote_held_locked()
             self._rebalance_locked(trigger=f"done:{handle.execution_id}", force=True)
             self._idle.notify_all()
@@ -520,9 +600,23 @@ class SkeletonService:
 
     def _rebalance_locked(self, trigger: str, force: bool) -> Optional[Any]:
         analyzers = {eid: rec.analyzer for eid, rec in self._live.items()}
+        started = (
+            self.platform.now() if self._rebalance_duration is not None else None
+        )
+        span = self.platform.tracer.start_span(
+            "rebalance", context=self._service_trace, trigger=trigger
+        )
         outcome = self.arbiter.rebalance(
             self.platform.now(), analyzers, trigger=trigger, force=force
         )
+        if span.recording:
+            span.set_attr("applied", outcome is not None)
+            span.set_attr("live", len(analyzers))
+            span.finish()
+        if started is not None and outcome is not None:
+            self._rebalance_duration.observe(
+                max(0.0, self.platform.now() - started)
+            )
         if outcome is not None:
             infeasible = set(outcome.infeasible)
             cold = set(outcome.cold)
@@ -556,6 +650,7 @@ class SkeletonService:
                     self.stats.record_finished(
                         handle.tenant, "cancelled", self.platform.now(), ran=False
                     )
+                    self._finish_exec_span(handle.execution_id, "cancelled")
                     self._idle.notify_all()
                     return True
             # Failing the execution resolves the future, which triggers
@@ -598,7 +693,9 @@ class SkeletonService:
         benchmarks and operators read the event→plan cost of the service
         without reaching into planner internals.  Counters are
         service-lifetime cumulative; ``plan_cache.reset_stats()`` zeroes
-        them.
+        them.  With an :class:`~repro.obs.Observability` facade bound,
+        the same counters export as the ``repro_plan_cache`` callback
+        gauges — this dict stays the compatibility surface.
         """
         return self.plan_cache.stats_dict()
 
@@ -631,6 +728,7 @@ class SkeletonService:
                 self.tenants.dequeued(record.handle.tenant)
                 self.stats.record_rejected(record.handle.tenant)
                 record.handle._mark_rejected("service shutting down")
+                self._finish_exec_span(record.handle.execution_id, "rejected")
             self._idle.notify_all()
         if wait:
             with self._idle:

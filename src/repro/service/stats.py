@@ -4,6 +4,13 @@ The service records every lifecycle transition here; benchmarks and
 operators read aggregate throughput inputs (completions, busy window) and
 the per-tenant **goal-miss rate** — the service-level quality metric the
 multi-tenant arbitration is judged by.
+
+A stats object can additionally be *bound* to a
+:class:`~repro.obs.registry.MetricsRegistry` (see :meth:`ServiceStats.
+bind_registry`): lifecycle counters then mirror into labelled registry
+counters as they happen, and the aggregates export as callback gauges —
+``as_dict()`` stays the compatibility surface, now built from one
+consistent snapshot.
 """
 
 from __future__ import annotations
@@ -67,6 +74,8 @@ class ServiceStats:
         self._lock = threading.Lock()
         self._tenants: Dict[str, TenantStats] = {}
         self._window = _Window()
+        # Optional registry mirror (see bind_registry).
+        self._lifecycle = None
 
     def _tenant(self, tenant: str) -> TenantStats:
         stats = self._tenants.get(tenant)
@@ -74,11 +83,39 @@ class ServiceStats:
             stats = self._tenants[tenant] = TenantStats(tenant)
         return stats
 
+    # -- registry view ----------------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        """Mirror these stats into a :class:`~repro.obs.registry.MetricsRegistry`.
+
+        Lifecycle transitions additionally increment
+        ``repro_service_lifecycle_total{tenant=...,event=...}`` as they
+        are recorded, and the aggregates register as callback gauges
+        sampled at export time — the registry is a live *view*, not a
+        second bookkeeping path that could drift.
+        """
+        self._lifecycle = registry.counter(
+            "repro_service_lifecycle_total",
+            "Service lifecycle transitions by tenant and event",
+        )
+        agg = registry.gauge(
+            "repro_service_aggregate", "Aggregate service stats (callback view)"
+        )
+        agg.set_function(lambda: float(self.completed), stat="completed")
+        agg.set_function(lambda: self.busy_window or 0.0, stat="busy_window")
+        agg.set_function(lambda: self.throughput() or 0.0, stat="throughput")
+        agg.set_function(lambda: self.goal_miss_rate() or 0.0, stat="goal_miss_rate")
+
+    def _mirror(self, tenant: str, event: str) -> None:
+        if self._lifecycle is not None:
+            self._lifecycle.inc(tenant=tenant, event=event)
+
     # -- recording --------------------------------------------------------------
 
     def record_submitted(self, tenant: str) -> None:
         with self._lock:
             self._tenant(tenant).submitted += 1
+        self._mirror(tenant, "submitted")
 
     def record_admitted(self, tenant: str, started_at: float) -> None:
         with self._lock:
@@ -87,14 +124,17 @@ class ServiceStats:
             w = self._window
             if w.first_start is None or started_at < w.first_start:
                 w.first_start = started_at
+        self._mirror(tenant, "admitted")
 
     def record_held(self, tenant: str) -> None:
         with self._lock:
             self._tenant(tenant).held += 1
+        self._mirror(tenant, "held")
 
     def record_rejected(self, tenant: str) -> None:
         with self._lock:
             self._tenant(tenant).rejected += 1
+        self._mirror(tenant, "rejected")
 
     def record_finished(
         self,
@@ -129,6 +169,9 @@ class ServiceStats:
                 w = self._window
                 if w.last_finish is None or finished_at > w.last_finish:
                     w.last_finish = finished_at
+        self._mirror(tenant, outcome)
+        if outcome != "cancelled" and goal_met is not None:
+            self._mirror(tenant, "goal_met" if goal_met else "goal_missed")
 
     # -- reading ----------------------------------------------------------------
 
@@ -173,10 +216,30 @@ class ServiceStats:
         return None if judged == 0 else missed / judged
 
     def as_dict(self) -> Dict[str, object]:
+        """One *consistent* snapshot of tenants + aggregates.
+
+        Everything is read under a single lock acquisition, so the
+        aggregate fields always agree with the per-tenant rows — a
+        concurrent :meth:`record_finished` can never land between the
+        tenant table and the totals (the old implementation re-acquired
+        the lock five times and could).
+        """
+        with self._lock:
+            tenants = {t: s.as_dict() for t, s in self._tenants.items()}
+            completed = sum(s.completed for s in self._tenants.values())
+            met = sum(s.goals_met for s in self._tenants.values())
+            missed = sum(s.goals_missed for s in self._tenants.values())
+            w = self._window
+            if w.first_start is None or w.last_finish is None:
+                busy_window = None
+            else:
+                busy_window = max(0.0, w.last_finish - w.first_start)
+        throughput = (completed / busy_window) if busy_window and completed else None
+        judged = met + missed
         return {
-            "tenants": {t: s.as_dict() for t, s in self.tenants().items()},
-            "completed": self.completed,
-            "busy_window": self.busy_window,
-            "throughput": self.throughput(),
-            "goal_miss_rate": self.goal_miss_rate(),
+            "tenants": tenants,
+            "completed": completed,
+            "busy_window": busy_window,
+            "throughput": throughput,
+            "goal_miss_rate": None if judged == 0 else missed / judged,
         }

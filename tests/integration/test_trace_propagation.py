@@ -1,0 +1,213 @@
+"""Trace propagation: one trace identity from submit to result, everywhere.
+
+The interpreter mints a trace context per execution (the service mints it
+even earlier, at the submission boundary) and stamps it on every event it
+emits — on all four backends, including across the distributed platform's
+socket boundary, and including chunks that are *re-dispatched* after a
+worker is killed mid-flight (the envelope blob, trace stamp included, is
+kept until its results land).
+"""
+
+import os
+import signal
+import threading
+import time
+from functools import partial
+
+import pytest
+
+from repro import (
+    EventRecorder,
+    Execute,
+    Map,
+    Merge,
+    PlatformSpec,
+    QoS,
+    RemoteSpec,
+    Seq,
+    SimulatedPlatform,
+    SkeletonService,
+    Split,
+    make_platform,
+    run,
+)
+from repro.obs import Observability, load_jsonl, trace_records
+from repro.runtime.costmodel import ConstantCostModel
+from repro.skeletons import sequential_evaluate
+from tests.conftest import px_iota, px_sleep_echo, px_sum_mod
+
+pytestmark = pytest.mark.integration
+
+REAL_BACKENDS = ["threads", "processes", "distributed"]
+
+
+def _map_program(width, duration=0.0):
+    leaf = (
+        Execute(partial(px_sleep_echo, duration=duration), name="leaf")
+        if duration
+        else Execute(px_echo, name="leaf")
+    )
+    return Map(
+        Split(partial(px_iota, width=width), name="split"),
+        Seq(leaf),
+        Merge(px_sum_mod, name="merge"),
+    )
+
+
+def px_echo(v):
+    return v
+
+
+def _single_trace(events):
+    """Assert every event carries the same non-None trace id; return it."""
+    trace_ids = {e.trace_id for e in events}
+    assert None not in trace_ids, "an event escaped without a trace stamp"
+    assert len(trace_ids) == 1, f"expected one trace, saw {len(trace_ids)}"
+    return trace_ids.pop()
+
+
+class TestTraceIdentityOnSimulator:
+    def test_events_share_one_trace(self):
+        platform = SimulatedPlatform(parallelism=2, cost_model=ConstantCostModel(1.0))
+        recorder = EventRecorder()
+        platform.add_listener(recorder)
+        run(_map_program(4), 3, platform)
+        assert recorder.is_balanced()
+        _single_trace(recorder.events)
+
+    def test_distinct_executions_get_distinct_traces(self):
+        platform = SimulatedPlatform(parallelism=2, cost_model=ConstantCostModel(1.0))
+        traces = []
+        for value in (1, 2):
+            recorder = EventRecorder()
+            platform.add_listener(recorder)
+            run(_map_program(3), value, platform)
+            traces.append(_single_trace(recorder.events))
+            platform.bus.remove_listener(recorder)
+        assert traces[0] != traces[1]
+
+    def test_before_after_pairs_share_identity(self):
+        platform = SimulatedPlatform(parallelism=2, cost_model=ConstantCostModel(1.0))
+        recorder = EventRecorder()
+        platform.add_listener(recorder)
+        run(_map_program(4), 3, platform)
+        for before, after in recorder.pairs():
+            assert before.trace_id == after.trace_id
+            assert before.span_id == after.span_id
+
+
+@pytest.mark.parametrize("backend", REAL_BACKENDS)
+class TestTraceIdentityOnRealBackends:
+    def test_events_share_one_trace(self, backend):
+        with make_platform(PlatformSpec(kind=backend, workers=3)) as pool:
+            recorder = EventRecorder()
+            pool.add_listener(recorder)
+            run(_map_program(6), 3, pool)
+            assert recorder.is_balanced()
+            _single_trace(recorder.events)
+
+    def test_before_after_pairs_share_identity(self, backend):
+        with make_platform(PlatformSpec(kind=backend, workers=2)) as pool:
+            recorder = EventRecorder()
+            pool.add_listener(recorder)
+            run(_map_program(4), 2, pool)
+            for before, after in recorder.pairs():
+                assert before.trace_id == after.trace_id
+                assert before.span_id == after.span_id
+
+
+class TestDistributedWorkerSpans:
+    """The wire crossing: worker-side muscle spans re-emitted in-process."""
+
+    def test_muscle_spans_carry_the_execution_trace(self):
+        with make_platform(PlatformSpec(kind="distributed", workers=2)) as pool:
+            obs = Observability(sample_rate=1.0)
+            obs.attach(pool)
+            recorder = EventRecorder()
+            pool.add_listener(recorder)
+            run(_map_program(6), 3, pool)
+            trace_id = _single_trace(recorder.events)
+            spans = [s for s in pool.tracer.finished() if s.name == "muscle"]
+            assert spans, "no worker muscle spans crossed the wire"
+            assert {s.trace_id for s in spans} == {trace_id}
+            for span in spans:
+                assert span.attrs.get("worker_pid") is not None
+                assert span.end >= span.start
+
+    def test_trace_survives_sigkill_redispatch(self):
+        """A chunk re-dispatched after SIGKILL keeps its original trace."""
+        program = _map_program(9, duration=0.15)
+        expected = sequential_evaluate(program, 4)
+        spec = PlatformSpec(
+            kind="distributed",
+            workers=3,
+            batching=2,
+            remote=RemoteSpec(heartbeat_interval=0.05, heartbeat_timeout=0.4),
+        )
+        with make_platform(spec) as platform:
+            obs = Observability(sample_rate=1.0)
+            obs.attach(platform)
+            recorder = EventRecorder()
+            platform.add_listener(recorder)
+            results = []
+            driver = threading.Thread(
+                target=lambda: results.append(run(program, 4, platform))
+            )
+            driver.start()
+            victim = _wait_for_busy_worker(platform)
+            os.kill(victim, signal.SIGKILL)
+            driver.join(timeout=60)
+            assert not driver.is_alive(), "execution hung after worker loss"
+            assert results == [expected]
+            assert platform.lost_workers == 1
+            trace_id = _single_trace(recorder.events)
+            spans = [s for s in platform.tracer.finished() if s.name == "muscle"]
+            assert spans, "no worker spans survived the re-dispatch"
+            # Every span — including those from the replacement worker that
+            # re-ran the victim's chunk — belongs to the original trace.
+            assert {s.trace_id for s in spans} == {trace_id}
+
+
+def _wait_for_busy_worker(platform, deadline=10.0):
+    limit = time.monotonic() + deadline
+    while time.monotonic() < limit:
+        busy = platform.busy_worker_pids()
+        if busy:
+            return busy[0]
+        time.sleep(0.005)
+    raise AssertionError("no worker ever became busy")
+
+
+class TestServiceTraceEndToEnd:
+    """ISSUE acceptance: one trace id queryable end to end from JSONL."""
+
+    def test_jsonl_export_answers_a_trace_query(self, tmp_path):
+        obs = Observability(sample_rate=1.0)
+        with make_platform(PlatformSpec(kind="distributed", workers=2)) as pool:
+            service = SkeletonService(platform=pool, capacity=2, observability=obs)
+            handle = service.submit(
+                _map_program(6), 3, qos=QoS.wall_clock(100.0), tenant="acme"
+            )
+            assert handle.result() == sequential_evaluate(_map_program(6), 3)
+            service.shutdown()
+        path = tmp_path / "flight.jsonl"
+        obs.export_jsonl(str(path))
+        records = load_jsonl(str(path))
+        roots = [
+            r
+            for r in records
+            if r["type"] == "span"
+            and r.get("name") == "execution"
+            and r.get("attrs", {}).get("execution_id") == handle.execution_id
+        ]
+        assert len(roots) == 1
+        trace_id = roots[0]["trace_id"]
+        trace = trace_records(records, trace_id)
+        kinds = {r["type"] for r in trace}
+        assert kinds == {"span", "event"}
+        names = {r.get("name") for r in trace if r["type"] == "span"}
+        # submit → ... → remote muscle execution → result, one trace id.
+        assert "execution" in names
+        assert "muscle" in names
+        events = [r for r in trace if r["type"] == "event"]
+        assert events and all(r["trace_id"] == trace_id for r in events)

@@ -1,0 +1,112 @@
+"""Exporter round-trips: flight recorder JSONL and Prometheus files."""
+
+import json
+
+from repro.events.types import Event, When, Where
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    load_jsonl,
+    trace_records,
+    write_prometheus,
+)
+from repro.obs.exporters import event_record, span_record
+
+
+def make_event(**kw):
+    defaults = dict(
+        skeleton=None,
+        kind="map",
+        when=When.BEFORE,
+        where=Where.SPLIT,
+        index=1,
+        parent_index=None,
+        value=[1, 2],
+        timestamp=0.5,
+        trace_id="tid",
+        span_id="sid",
+    )
+    defaults.update(kw)
+    return Event(**defaults)
+
+
+class TestEventFraming:
+    def test_event_record_fields(self):
+        rec = event_record(make_event())
+        assert rec["type"] == "event"
+        assert rec["label"] == "map@bs"
+        assert rec["trace_id"] == "tid"
+        assert "value" not in rec  # payloads excluded by default
+
+    def test_include_value_serializes_safely(self):
+        rec = event_record(make_event(value={1: object()}), include_value=True)
+        assert isinstance(rec["value"]["1"], str)  # repr fallback
+
+    def test_extra_is_preserved(self):
+        rec = event_record(make_event(extra={"started_at": 0.25}))
+        assert rec["extra"] == {"started_at": 0.25}
+
+
+class TestFlightRecorder:
+    def test_round_trip_events_spans_metrics(self, tmp_path):
+        flight = FlightRecorder()
+        flight.on_event(make_event())
+        flight.on_batch([make_event(index=2), make_event(index=3)])
+        tracer = Tracer(enabled=True)
+        tracer.start_span("op", context=tracer.new_context()).finish()
+        flight.record_tracer(tracer)
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        flight.record_metrics(reg)
+        path = tmp_path / "flight.jsonl"
+        n = flight.dump(str(path))
+        records = load_jsonl(str(path))
+        assert len(records) == n == 5
+        assert [r["type"] for r in records] == [
+            "event", "event", "event", "span", "metrics",
+        ]
+        assert records[-1]["snapshot"]["c"]["samples"][0]["value"] == 1.0
+
+    def test_trace_query(self):
+        flight = FlightRecorder()
+        flight.on_event(make_event(trace_id="a"))
+        flight.on_event(make_event(trace_id="b"))
+        tracer = Tracer(enabled=True)
+        tracer.record_span("muscle", "a", "s", None, 0.0, 1.0)
+        flight.record_tracer(tracer)
+        records = flight.records()
+        mine = trace_records(records, "a")
+        assert len(mine) == 2
+        assert {r["type"] for r in mine} == {"event", "span"}
+        assert len(trace_records(records, "a", type="span")) == 1
+
+    def test_bounded_and_drop_counting(self):
+        flight = FlightRecorder(max_records=2)
+        for i in range(5):
+            flight.on_event(make_event(index=i))
+        assert len(flight) == 2
+        assert flight.dropped == 3
+
+    def test_dumps_is_valid_jsonl(self):
+        flight = FlightRecorder()
+        flight.on_event(make_event())
+        lines = flight.dumps().strip().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == ["event"]
+
+    def test_span_record_sanitizes_attrs(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.start_span("x", blob=object())
+        span.finish()
+        rec = span_record(tracer.finished()[0])
+        assert isinstance(rec["attrs"]["blob"], str)
+
+
+class TestPrometheusFile:
+    def test_write_prometheus(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "help").inc(7)
+        path = tmp_path / "metrics.prom"
+        text = write_prometheus(str(path), reg)
+        assert path.read_text() == text
+        assert "c_total 7" in text

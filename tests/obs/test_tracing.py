@@ -1,0 +1,156 @@
+"""Unit tests of the tracer: identity, sampling, spans, ring buffer."""
+
+import pytest
+
+from repro.obs import Span, TraceContext, Tracer, new_span_id, new_trace_id
+from repro.obs.tracing import NOOP_SPAN, walk_trace
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestIdentity:
+    def test_ids_have_fixed_width(self):
+        assert len(new_trace_id()) == 16
+        assert len(new_span_id()) == 8
+
+    def test_context_is_immutable(self):
+        ctx = TraceContext("t", "s")
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "other"
+
+    def test_child_keeps_trace_and_sampling(self):
+        ctx = TraceContext("t", "s", sampled=False)
+        child = ctx.child()
+        assert child.trace_id == "t"
+        assert child.span_id != "s"
+        assert child.sampled is False
+
+    def test_disabled_tracer_still_mints_identity(self):
+        tracer = Tracer(enabled=False)
+        ctx = tracer.new_context()
+        assert ctx.trace_id and ctx.span_id
+        assert ctx.sampled is False
+
+    def test_enabled_tracer_samples(self):
+        tracer = Tracer(enabled=True, sample_rate=1.0)
+        assert tracer.new_context().sampled is True
+        tracer.configure(sample_rate=0.0)
+        assert tracer.new_context().sampled is False
+
+
+class TestSpans:
+    def test_disabled_start_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.start_span("x")
+        assert span is NOOP_SPAN
+        assert not span.recording
+        span.set_attr("k", 1)
+        span.finish()
+        assert len(tracer) == 0
+
+    def test_unsampled_context_yields_noop(self):
+        tracer = Tracer(enabled=True)
+        ctx = TraceContext("t", "s", sampled=False)
+        assert tracer.start_span("x", context=ctx) is NOOP_SPAN
+
+    def test_span_records_on_finish(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, enabled=True)
+        ctx = tracer.new_context()
+        span = tracer.start_span("op", context=ctx, tenant="acme")
+        clock.t = 2.0
+        span.finish()
+        (got,) = tracer.finished()
+        assert got.name == "op"
+        assert got.trace_id == ctx.trace_id
+        assert got.parent_id == ctx.span_id
+        assert got.duration == pytest.approx(2.0)
+        assert got.attrs == {"tenant": "acme"}
+        assert got.status == "ok"
+
+    def test_context_manager_marks_errors(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.start_span("boom"):
+                raise RuntimeError("nope")
+        (got,) = tracer.finished()
+        assert got.status == "error"
+        assert "error" in got.attrs
+
+    def test_active_span_nesting_via_thread_local(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert tracer.current() is None
+
+    def test_double_finish_is_idempotent(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.start_span("x")
+        span.finish()
+        span.finish()
+        assert len(tracer) == 1
+
+    def test_explicit_start_and_end_times(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.start_span("x", start=10.0)
+        span.finish(end=11.5)
+        assert tracer.finished()[0].duration == pytest.approx(1.5)
+
+
+class TestRingBuffer:
+    def test_ring_drops_and_counts(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        for _ in range(5):
+            tracer.start_span("x").finish()
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_drain_empties(self):
+        tracer = Tracer(enabled=True)
+        tracer.start_span("x").finish()
+        assert len(tracer.drain()) == 1
+        assert len(tracer) == 0
+
+    def test_trace_filter(self):
+        tracer = Tracer(enabled=True)
+        a = tracer.new_context()
+        b = tracer.new_context()
+        tracer.start_span("x", context=a).finish()
+        tracer.start_span("y", context=b).finish()
+        assert [s.name for s in tracer.trace(a.trace_id)] == ["x"]
+
+
+class TestRemoteReemission:
+    def test_record_span_lands_fully_formed(self):
+        tracer = Tracer(enabled=True)
+        tracer.record_span(
+            "muscle", "tid", "sid", "pid", 1.0, 2.0,
+            status="error", attrs={"worker": 3},
+        )
+        (got,) = tracer.finished()
+        assert (got.name, got.trace_id, got.parent_id) == ("muscle", "tid", "pid")
+        assert got.duration == pytest.approx(1.0)
+        assert got.status == "error"
+        assert got.attrs == {"worker": 3}
+
+
+class TestWalkTrace:
+    def test_tree_order_and_depths(self):
+        spans = [
+            Span("root", "t", "r", None, 0.0),
+            Span("child", "t", "c", "r", 1.0),
+            Span("grand", "t", "g", "c", 2.0),
+            Span("orphan", "t", "o", "gone", 3.0),
+        ]
+        walked = [(d, s.name) for d, s in walk_trace(spans)]
+        assert walked == [
+            (0, "root"), (1, "child"), (2, "grand"), (0, "orphan"),
+        ]
