@@ -15,6 +15,8 @@ program shape (muscle uids differ between constructions).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
@@ -24,6 +26,9 @@ from ..skeletons.muscles import Muscle
 from .estimator import EstimatorRegistry
 
 __all__ = [
+    "SNAPSHOT_VERSION",
+    "atomic_write_text",
+    "atomic_write_bytes",
     "muscle_keys",
     "snapshot_estimates",
     "snapshot_from_names",
@@ -31,6 +36,42 @@ __all__ = [
     "save_estimates",
     "load_estimates",
 ]
+
+#: Format version stamped on every estimate snapshot.  Restores refuse
+#: snapshots from a future format instead of silently misapplying them.
+SNAPSHOT_VERSION = 1
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write *data* to *path* atomically (write-then-rename commit).
+
+    The bytes land in a temporary file in the same directory first and
+    are fsynced before an :func:`os.replace` into place, so a crash at
+    any point leaves either the previous file or the new one — never a
+    truncated hybrid.  Stray ``*.tmp`` files from an interrupted write
+    are harmless (readers only ever open the committed name).
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as tmp:
+            tmp.write(data)
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Atomic UTF-8 twin of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def muscle_keys(skel: Skeleton) -> Iterator[Tuple[str, Muscle]]:
@@ -47,7 +88,7 @@ def muscle_keys(skel: Skeleton) -> Iterator[Tuple[str, Muscle]]:
 
 def snapshot_estimates(skel: Skeleton, registry: EstimatorRegistry) -> Dict[str, Any]:
     """Capture the current estimates of *skel*'s muscles as a plain dict."""
-    data: Dict[str, Any] = {"version": 1, "estimates": {}}
+    data: Dict[str, Any] = {"version": SNAPSHOT_VERSION, "estimates": {}}
     for key, muscle in muscle_keys(skel):
         entry: Dict[str, float] = {}
         t_est = registry.time_estimator(muscle)
@@ -84,7 +125,7 @@ def snapshot_from_names(
             entry["card"] = float(cards[muscle.name])
         if entry:
             estimates[key] = entry
-    return {"version": 1, "estimates": estimates}
+    return {"version": SNAPSHOT_VERSION, "estimates": estimates}
 
 
 def restore_estimates(
@@ -93,10 +134,18 @@ def restore_estimates(
     """Warm-start *registry* from a snapshot; returns #estimates restored.
 
     Unknown keys are ignored (the snapshot may come from a larger
-    program); malformed payloads raise :class:`ReproError`.
+    program); malformed payloads and snapshots from an unknown (future)
+    format version raise :class:`ReproError`.
     """
     if not isinstance(data, dict) or "estimates" not in data:
         raise ReproError("malformed estimate snapshot (missing 'estimates')")
+    version = data.get("version", SNAPSHOT_VERSION)
+    if version != SNAPSHOT_VERSION:
+        raise ReproError(
+            f"estimate snapshot has unknown version {version!r} (this "
+            f"library reads version {SNAPSHOT_VERSION}); refusing to "
+            f"misapply a future-format snapshot"
+        )
     estimates = data["estimates"]
     restored = 0
     for key, muscle in muscle_keys(skel):
@@ -115,8 +164,13 @@ def restore_estimates(
 def save_estimates(
     path: Union[str, Path], skel: Skeleton, registry: EstimatorRegistry
 ) -> None:
-    """Snapshot to a JSON file."""
-    Path(path).write_text(json.dumps(snapshot_estimates(skel, registry), indent=2))
+    """Snapshot to a JSON file (atomic write-then-rename commit).
+
+    A crash mid-write can no longer leave a corrupt warm-start file
+    behind: the snapshot is committed with :func:`atomic_write_text`,
+    so readers observe either the previous snapshot or the new one.
+    """
+    atomic_write_text(path, json.dumps(snapshot_estimates(skel, registry), indent=2))
 
 
 def load_estimates(

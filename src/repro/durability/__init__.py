@@ -1,0 +1,60 @@
+"""Durable executions: checkpoint, crash-recovery and deterministic replay.
+
+Three cooperating pieces:
+
+* :mod:`~repro.durability.store` — :class:`Checkpoint` +
+  :class:`CheckpointStore` implementations (dir-backed atomic JSON, and
+  in-memory for tests);
+* :mod:`~repro.durability.checkpoint` — the :class:`Checkpointer` bus
+  listener persisting progress at root skeleton boundaries, plus the
+  structural helpers (:func:`program_fingerprint`,
+  :func:`remainder_program`) resume is built on;
+* :mod:`~repro.durability.replay` — record a live service run
+  (:class:`RunRecorder`) and re-derive its arbitration decisions
+  offline (:func:`replay_rebalances`).
+
+The service front door ties them together:
+``SkeletonService(checkpoints=store)`` +
+``submit(..., checkpoint="key")`` +
+``resubmit_from_checkpoint(program, "key")``.
+"""
+
+from .checkpoint import (
+    Checkpointer,
+    program_fingerprint,
+    qos_from_dict,
+    qos_to_dict,
+    remainder_program,
+    remaining_qos,
+)
+from .replay import (
+    ReplayLog,
+    RunRecorder,
+    normalize_rebalance,
+    replay_rebalances,
+)
+from .store import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointStore,
+    DirectoryStore,
+    MemoryStore,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointStore",
+    "DirectoryStore",
+    "MemoryStore",
+    "Checkpointer",
+    "program_fingerprint",
+    "remainder_program",
+    "remaining_qos",
+    "qos_to_dict",
+    "qos_from_dict",
+    "ReplayLog",
+    "RunRecorder",
+    "normalize_rebalance",
+    "replay_rebalances",
+]

@@ -1,0 +1,344 @@
+"""Checkpoint policy: what gets persisted, when, and how resume re-plans.
+
+The :class:`Checkpointer` is a bus listener scoped to one execution.  It
+fires on the execution's **root boundary events** — the points where the
+partial solution is a complete, self-contained value:
+
+* ``pipe@an`` on a root pipe (a stage completed),
+* ``for@an`` on a root for (an iteration completed),
+* ``while@ac`` with ``cond_result=True`` on a root while (the loop value
+  entering the next body — re-running the condition on resume is
+  harmless because condition muscles are pure),
+* ``<root>@a`` on any root (the execution finished → ``final``).
+
+Each firing persists a :class:`~repro.durability.store.Checkpoint`:
+the boundary value, cumulative root progress, the full program's
+estimate snapshot, the original QoS and the wall-clock consumed so far.
+Checkpoint writes are best-effort by design — a failing store must not
+take down the execution it is protecting — so errors are swallowed into
+a counter/log (:attr:`Checkpointer.errors`), never raised into the bus.
+
+:func:`remainder_program` turns recorded progress back into the program
+for the *remaining* work (sharing muscle objects with the full program,
+so a full-program estimate snapshot applies to it unchanged), and
+:func:`program_fingerprint` gives programs the structural identity that
+guards against resuming a checkpoint onto the wrong program shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+from typing import Any, Callable, Dict, Optional
+
+from ..core.estimator import EstimatorRegistry
+from ..core.persistence import snapshot_estimates
+from ..core.qos import MaxLPGoal, QoS, WCTGoal
+from ..errors import DurabilityError
+from ..events.bus import Listener
+from ..events.types import Event, When, Where
+from ..skeletons.base import Skeleton
+from ..skeletons.loops import For
+from ..skeletons.pipe import Pipe
+from .store import (
+    KIND_BOUNDARY,
+    KIND_FINAL,
+    KIND_INITIAL,
+    Checkpoint,
+    CheckpointStore,
+)
+
+_log = logging.getLogger(__name__)
+
+__all__ = [
+    "program_fingerprint",
+    "remainder_program",
+    "qos_to_dict",
+    "qos_from_dict",
+    "remaining_qos",
+    "Checkpointer",
+]
+
+#: Smallest WCT goal a resumed execution plans against when the original
+#: deadline is already blown: planning needs *some* positive horizon, and
+#: a blown deadline should surface as an at-risk goal, not a crash.
+_MIN_REMAINING_WCT = 1e-3
+
+
+def program_fingerprint(program: Skeleton) -> str:
+    """Structural identity of a skeleton program, stable across processes.
+
+    Covers node kinds, child arities, ``for`` trip counts and muscle
+    flavours in pre-order — everything resume relies on — and nothing
+    identity-based (muscle uids and auto-generated names differ between
+    constructions of the same program).
+    """
+    parts = []
+    for node in program.walk():
+        bits = [node.kind, str(len(node.children))]
+        if isinstance(node, For):
+            bits.append(f"n={node.times}")
+        bits.extend(muscle.kind.value for muscle in node.own_muscles)
+        parts.append("/".join(bits))
+    digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def remainder_program(program: Skeleton, progress: Dict[str, int]) -> Skeleton:
+    """The program for the work *after* the checkpointed progress.
+
+    Shares every sub-skeleton (and therefore every muscle object) with
+    *program*, so estimates restored against the full program apply to
+    the remainder unchanged.  With empty progress the remainder **is**
+    the full program (the resumed run re-executes from the checkpointed
+    value — correct for initial checkpoints and while-loop boundaries).
+    """
+    stages_done = int(progress.get("completed_stages", 0))
+    iterations_done = int(progress.get("completed_iterations", 0))
+    if stages_done:
+        if not isinstance(program, Pipe):
+            raise DurabilityError(
+                f"checkpoint records {stages_done} completed stages but the "
+                f"program root is {program.kind!r}, not a pipe"
+            )
+        if stages_done > len(program.stages):
+            raise DurabilityError(
+                f"checkpoint records {stages_done} completed stages of a "
+                f"{len(program.stages)}-stage pipe"
+            )
+        remaining = program.stages[stages_done:]
+        if not remaining:
+            # Every stage completed but the final checkpoint never
+            # landed (crash in the gap): a zero-trip loop passes the
+            # checkpointed value through as the result.
+            return For(0, program.stages[0])
+        if len(remaining) == 1:
+            return remaining[0]
+        return Pipe(*remaining)
+    if iterations_done:
+        if not isinstance(program, For):
+            raise DurabilityError(
+                f"checkpoint records {iterations_done} completed iterations "
+                f"but the program root is {program.kind!r}, not a for"
+            )
+        if iterations_done > program.times:
+            raise DurabilityError(
+                f"checkpoint records {iterations_done} completed iterations "
+                f"of a {program.times}-trip for"
+            )
+        return For(program.times - iterations_done, program.subskel)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# QoS (de)serialization and resume-time re-planning
+
+
+def qos_to_dict(qos: Optional[QoS]) -> Optional[Dict[str, Any]]:
+    """Encode a QoS as a plain JSON-safe dict (``None`` passes through)."""
+    if qos is None:
+        return None
+    return {
+        "wct": (
+            {"seconds": qos.wct.seconds, "margin": qos.wct.margin}
+            if qos.wct is not None
+            else None
+        ),
+        "max_lp": qos.max_lp.threads if qos.max_lp is not None else None,
+        "weight": qos.weight,
+        "priority": int(qos.priority),
+    }
+
+
+def qos_from_dict(data: Optional[Dict[str, Any]]) -> Optional[QoS]:
+    """Inverse of :func:`qos_to_dict` (all-empty dicts map back to ``None``)."""
+    if data is None:
+        return None
+    wct = data.get("wct")
+    max_lp = data.get("max_lp")
+    weight = data.get("weight")
+    priority = int(data.get("priority", 0))
+    if wct is None and max_lp is None and weight is None and priority == 0:
+        return None
+    return QoS(
+        wct=(
+            WCTGoal(wct["seconds"], margin=wct.get("margin", 0.0))
+            if wct is not None
+            else None
+        ),
+        max_lp=MaxLPGoal(max_lp) if max_lp is not None else None,
+        weight=weight,
+        priority=priority,
+    )
+
+
+def remaining_qos(
+    qos: Optional[QoS], elapsed: float
+) -> Optional[QoS]:
+    """The QoS a resumed execution plans against.
+
+    The WCT goal shrinks by the wall-clock the original run(s) already
+    consumed — the tenant asked for an end-to-end deadline, not a fresh
+    one per resume.  A goal already blown keeps a tiny positive horizon
+    so planning stays well-formed and the arbiter flags it at-risk.
+    Weight, priority and the LP cap carry over unchanged.
+    """
+    if qos is None or qos.wct is None or elapsed <= 0:
+        return qos
+    remaining = max(_MIN_REMAINING_WCT, qos.wct.seconds - elapsed)
+    return QoS.wall_clock(
+        seconds=remaining,
+        margin=qos.wct.margin,
+        max_lp=qos.max_threads,
+        weight=qos.weight,
+        priority=int(qos.priority),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the boundary listener
+
+
+class Checkpointer(Listener):
+    """Bus listener persisting one execution's progress at root boundaries.
+
+    Created by the service at launch (one per checkpointed execution),
+    removed at completion.  The listener runs synchronously on the worker
+    that published the boundary event — exactly the paper's same-thread
+    guarantee — so a committed checkpoint always reflects a value the
+    execution really reached.
+
+    Parameters
+    ----------
+    store / key:
+        Where checkpoints land, and under which durable identity.
+    execution_id:
+        The run's process-local execution id (scopes the listener on the
+        shared bus).
+    program:
+        The **full** program (not the remainder a resumed run executes);
+        fingerprints and estimate snapshots are always taken against it.
+    estimators:
+        The execution's estimator registry (shared with its analyzer).
+    qos:
+        The *original* submission's QoS dict (kept verbatim in every
+        checkpoint so any resume re-plans from the true end-to-end goal).
+    base_progress / base_elapsed:
+        Progress and consumed wall-clock inherited from the checkpoint
+        this run resumed from (zero for a fresh submission).  Observed
+        stage/iteration boundaries add onto the base, so checkpoint
+        chains stay cumulative across any number of crashes.
+    clock:
+        Platform clock (``platform.now``).
+    meta:
+        Free-form metadata stored in every checkpoint.
+    on_write:
+        Optional callback ``(checkpoint)`` after each committed write
+        (the service counts these into Telescope).
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        key: str,
+        execution_id: int,
+        program: Skeleton,
+        estimators: EstimatorRegistry,
+        qos: Optional[Dict[str, Any]] = None,
+        base_progress: Optional[Dict[str, int]] = None,
+        base_elapsed: float = 0.0,
+        clock: Callable[[], float] = lambda: 0.0,
+        meta: Optional[Dict[str, Any]] = None,
+        on_write: Optional[Callable[[Checkpoint], None]] = None,
+    ):
+        self.store = store
+        self.key = key
+        self.execution_id = execution_id
+        self.program = program
+        self.estimators = estimators
+        self.qos = qos
+        self.fingerprint = program_fingerprint(program)
+        self.base_progress = dict(base_progress or {})
+        self.base_elapsed = float(base_elapsed)
+        self.clock = clock
+        self.meta = dict(meta or {})
+        self.on_write = on_write
+        self.errors = 0
+        self.written = 0
+        self._started_at: Optional[float] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, now: float, value: Any) -> None:
+        """Record the run's start and commit the ``initial`` checkpoint."""
+        self._started_at = now
+        self._write(KIND_INITIAL, dict(self.base_progress), value, now)
+
+    def _elapsed(self, now: float) -> float:
+        if self._started_at is None:
+            return self.base_elapsed
+        return self.base_elapsed + max(0.0, now - self._started_at)
+
+    def _write(self, kind: str, progress: Dict[str, int], value: Any, now: float) -> None:
+        checkpoint = Checkpoint(
+            key=self.key,
+            kind=kind,
+            fingerprint=self.fingerprint,
+            progress=progress,
+            value=value,
+            estimates=snapshot_estimates(self.program, self.estimators),
+            qos=self.qos,
+            elapsed=self._elapsed(now),
+            created_at=now,
+            meta=dict(self.meta),
+        )
+        try:
+            self.store.save(checkpoint)
+        except Exception:
+            # Durability protects the execution; it must never kill it.
+            self.errors += 1
+            _log.exception(
+                "checkpoint write failed for key %r (kind=%s)", self.key, kind
+            )
+            return
+        self.written += 1
+        if self.on_write is not None:
+            self.on_write(checkpoint)
+
+    # -- Listener API ------------------------------------------------------
+
+    def accepts(self, event: Event) -> bool:
+        if event.execution_id != self.execution_id:
+            return False
+        if event.parent_index is not None or event.when is not When.AFTER:
+            return False
+        if event.where is Where.SKELETON:
+            return True
+        if event.where is Where.NESTED:
+            return event.kind in ("pipe", "for")
+        if event.where is Where.CONDITION:
+            return event.kind == "while" and bool(
+                event.extra.get("cond_result")
+            )
+        return False
+
+    def on_event(self, event: Event) -> Any:
+        now = self.clock()
+        if event.where is Where.SKELETON:
+            progress = dict(self.base_progress)
+            self._write(KIND_FINAL, progress, event.value, now)
+        else:
+            progress = dict(self.base_progress)
+            if event.kind == "pipe" and "stage" in event.extra:
+                progress["completed_stages"] = (
+                    progress.get("completed_stages", 0) + event.extra["stage"] + 1
+                )
+            elif event.kind == "for" and "iteration" in event.extra:
+                progress["completed_iterations"] = (
+                    progress.get("completed_iterations", 0)
+                    + event.extra["iteration"]
+                    + 1
+                )
+            # while@ac boundaries advance the value, not the progress.
+            self._write(KIND_BOUNDARY, progress, event.value, now)
+        return event.value

@@ -1,0 +1,360 @@
+"""Checkpoint stores — durable snapshots of in-flight executions.
+
+A :class:`Checkpoint` captures everything needed to re-admit a crashed or
+preempted execution warm: the partial solution at a skeleton/stage
+boundary, how much of the root pattern has completed (so the service can
+construct the *remainder* program), the estimate snapshot of the full
+program (:mod:`repro.core.persistence`), the original QoS and the
+wall-clock already consumed (so the resumed run plans against the
+*remaining* deadline).
+
+Stores are pluggable behind :class:`CheckpointStore`; the two bundled
+implementations are :class:`DirectoryStore` (one JSON file per checkpoint
+under ``<root>/<key>/``, committed with the same atomic
+write-then-rename helper ``save_estimates`` uses, corrupt files skipped
+on read) and :class:`MemoryStore` (tests, examples).  Checkpoint values
+are arbitrary Python objects; they travel inside the JSON document as
+base64-wrapped pickles.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import logging
+import pickle
+import re
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.persistence import atomic_write_text
+from ..errors import DurabilityError
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointStore",
+    "DirectoryStore",
+    "MemoryStore",
+]
+
+_log = logging.getLogger(__name__)
+
+#: Format version stamped on every checkpoint document.  Loads refuse
+#: future-format checkpoints instead of silently misapplying them — the
+#: same policy :func:`~repro.core.persistence.restore_estimates` applies
+#: to estimate snapshots.
+CHECKPOINT_VERSION = 1
+
+#: Checkpoint kinds, in lifecycle order.
+KIND_INITIAL = "initial"  # written at launch, before any progress
+KIND_BOUNDARY = "boundary"  # a root stage/iteration boundary completed
+KIND_FINAL = "final"  # the execution finished; value is the result
+
+
+@dataclass
+class Checkpoint:
+    """One durable snapshot of an execution's progress.
+
+    Attributes
+    ----------
+    key:
+        The caller-chosen durable identity of the execution (stable
+        across crashes and resumes — *not* the process-local execution
+        id).
+    seq:
+        Monotonically increasing sequence number within the key,
+        assigned by the store on :meth:`CheckpointStore.save`.
+    kind:
+        ``"initial"`` (written at launch), ``"boundary"`` (a root
+        stage/iteration boundary completed) or ``"final"`` (the
+        execution finished; :attr:`value` is its result).
+    fingerprint:
+        Structural fingerprint of the **full** program
+        (:func:`~repro.durability.checkpoint.program_fingerprint`);
+        resume verifies it against the freshly constructed program.
+    progress:
+        How much of the full program's root pattern completed:
+        ``{"completed_stages": k}`` for a pipe root,
+        ``{"completed_iterations": k}`` for a for root, ``{}``
+        otherwise.  Cumulative across resumes.
+    value:
+        The partial solution entering the remainder (or, for a
+        ``final`` checkpoint, the execution's result).
+    estimates:
+        Estimate snapshot of the full program
+        (:func:`~repro.core.persistence.snapshot_estimates`) — the
+        resumed run warm-starts its ``t(m)`` / ``|m|`` from it.
+    qos:
+        The original submission's QoS as a plain dict
+        (:func:`~repro.durability.checkpoint.qos_to_dict`), or ``None``.
+    elapsed:
+        Platform-clock seconds of execution consumed up to this
+        checkpoint, accumulated across resumes — what the resumed run
+        subtracts from the original WCT goal.
+    created_at:
+        Platform clock at write time (informational).
+    meta:
+        Free-form metadata (tenant, submission name, execution id of
+        the run that wrote it, ...).
+    """
+
+    key: str
+    kind: str
+    fingerprint: str
+    progress: Dict[str, int] = field(default_factory=dict)
+    value: Any = None
+    estimates: Dict[str, Any] = field(default_factory=dict)
+    qos: Optional[Dict[str, Any]] = None
+    elapsed: float = 0.0
+    created_at: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Encode as a JSON-safe dict (the value as a base64 pickle)."""
+        payload = pickle.dumps(self.value, protocol=pickle.HIGHEST_PROTOCOL)
+        return {
+            "version": CHECKPOINT_VERSION,
+            "key": self.key,
+            "seq": self.seq,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "progress": dict(self.progress),
+            "value_pickle": base64.b64encode(payload).decode("ascii"),
+            "estimates": self.estimates,
+            "qos": self.qos,
+            "elapsed": self.elapsed,
+            "created_at": self.created_at,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "Checkpoint":
+        if not isinstance(data, dict) or "value_pickle" not in data:
+            raise DurabilityError("malformed checkpoint document")
+        version = data.get("version", CHECKPOINT_VERSION)
+        if version != CHECKPOINT_VERSION:
+            raise DurabilityError(
+                f"checkpoint has unknown version {version!r} (this library "
+                f"reads version {CHECKPOINT_VERSION}); refusing to misapply "
+                f"a future-format checkpoint"
+            )
+        value = pickle.loads(base64.b64decode(data["value_pickle"]))
+        return cls(
+            key=data["key"],
+            seq=int(data.get("seq", 0)),
+            kind=data.get("kind", KIND_BOUNDARY),
+            fingerprint=data.get("fingerprint", ""),
+            progress={k: int(v) for k, v in (data.get("progress") or {}).items()},
+            value=value,
+            estimates=data.get("estimates") or {},
+            qos=data.get("qos"),
+            elapsed=float(data.get("elapsed", 0.0)),
+            created_at=float(data.get("created_at", 0.0)),
+            meta=data.get("meta") or {},
+        )
+
+
+class CheckpointStore:
+    """Interface every checkpoint store implements.
+
+    ``save`` assigns the checkpoint's sequence number and commits it;
+    ``latest`` returns the most recent *readable* checkpoint of a key
+    (corrupt entries — e.g. from a crash predating the atomic-commit
+    fix — are skipped, not fatal).
+    """
+
+    def save(self, checkpoint: Checkpoint) -> Checkpoint:
+        raise NotImplementedError
+
+    def latest(self, key: str) -> Optional[Checkpoint]:
+        raise NotImplementedError
+
+    def history(self, key: str) -> List[Checkpoint]:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+
+_SAFE_KEY = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _key_dirname(key: str) -> str:
+    """Filesystem-safe directory name for a checkpoint key.
+
+    Keys that survive sanitization unchanged map to themselves; anything
+    else gets a short content hash appended so distinct keys can never
+    collide after sanitization (``a/b`` vs ``a_b``).
+    """
+    if not key:
+        raise DurabilityError("checkpoint key must be a non-empty string")
+    safe = _SAFE_KEY.sub("_", key)
+    if safe == key:
+        return safe
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:10]
+    return f"{safe}-{digest}"
+
+
+class DirectoryStore(CheckpointStore):
+    """Directory-backed store: ``<root>/<key>/ckpt-<seq>.json``.
+
+    Every checkpoint is one JSON document committed atomically
+    (write-then-rename), so a crash mid-write leaves the previous
+    checkpoint intact — readers never observe a truncated hybrid.
+    Unreadable files (truncated by a pre-atomic writer, foreign junk)
+    are skipped on read and counted in :attr:`corrupt_skipped`.
+
+    Parameters
+    ----------
+    root:
+        Base directory (created on demand).
+    keep:
+        When set, retain only the newest *keep* checkpoints per key
+        (older files are pruned after each save).  ``None`` keeps all.
+    """
+
+    def __init__(self, root: Union[str, Path], keep: Optional[int] = None):
+        if keep is not None and keep < 1:
+            raise DurabilityError(f"keep must be >= 1, got {keep}")
+        self.root = Path(root)
+        self.keep = keep
+        self.corrupt_skipped = 0
+        self._lock = threading.Lock()
+
+    # -- internals ---------------------------------------------------------
+
+    def _key_dir(self, key: str) -> Path:
+        return self.root / _key_dirname(key)
+
+    @staticmethod
+    def _seq_of(path: Path) -> Optional[int]:
+        name = path.name
+        if not (name.startswith("ckpt-") and name.endswith(".json")):
+            return None
+        try:
+            return int(name[len("ckpt-") : -len(".json")])
+        except ValueError:
+            return None
+
+    def _files(self, key: str) -> List[Path]:
+        """Checkpoint files of *key*, ascending by sequence number."""
+        directory = self._key_dir(key)
+        if not directory.is_dir():
+            return []
+        entries = []
+        for path in directory.iterdir():
+            seq = self._seq_of(path)
+            if seq is not None:
+                entries.append((seq, path))
+        return [path for _seq, path in sorted(entries)]
+
+    def _load(self, path: Path) -> Optional[Checkpoint]:
+        try:
+            return Checkpoint.from_json_dict(json.loads(path.read_text()))
+        except Exception:
+            self.corrupt_skipped += 1
+            _log.warning("skipping unreadable checkpoint file %s", path)
+            return None
+
+    # -- CheckpointStore ---------------------------------------------------
+
+    def save(self, checkpoint: Checkpoint) -> Checkpoint:
+        with self._lock:
+            directory = self._key_dir(checkpoint.key)
+            directory.mkdir(parents=True, exist_ok=True)
+            files = self._files(checkpoint.key)
+            last = self._seq_of(files[-1]) if files else 0
+            checkpoint.seq = (last or 0) + 1
+            path = directory / f"ckpt-{checkpoint.seq:08d}.json"
+            atomic_write_text(
+                path, json.dumps(checkpoint.to_json_dict(), indent=2)
+            )
+            if self.keep is not None:
+                for stale in files[: max(0, len(files) + 1 - self.keep)]:
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
+        return checkpoint
+
+    def latest(self, key: str) -> Optional[Checkpoint]:
+        for path in reversed(self._files(key)):
+            checkpoint = self._load(path)
+            if checkpoint is not None:
+                return checkpoint
+        return None
+
+    def history(self, key: str) -> List[Checkpoint]:
+        out = []
+        for path in self._files(key):
+            checkpoint = self._load(path)
+            if checkpoint is not None:
+                out.append(checkpoint)
+        return out
+
+    def keys(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def delete(self, key: str) -> None:
+        directory = self._key_dir(key)
+        if not directory.is_dir():
+            return
+        for path in list(directory.iterdir()):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            directory.rmdir()
+        except OSError:
+            pass
+
+
+class MemoryStore(CheckpointStore):
+    """In-process store (tests, examples; nothing survives the process).
+
+    Checkpoints still make the pickle round-trip on save, so a value
+    that would not survive :class:`DirectoryStore` fails here too —
+    tests catch serialization problems without touching disk.
+    """
+
+    def __init__(self):
+        self._data: Dict[str, List[Checkpoint]] = {}
+        self._lock = threading.Lock()
+
+    def save(self, checkpoint: Checkpoint) -> Checkpoint:
+        frozen = Checkpoint.from_json_dict(checkpoint.to_json_dict())
+        with self._lock:
+            chain = self._data.setdefault(checkpoint.key, [])
+            frozen.seq = checkpoint.seq = (chain[-1].seq if chain else 0) + 1
+            chain.append(frozen)
+        return checkpoint
+
+    def latest(self, key: str) -> Optional[Checkpoint]:
+        with self._lock:
+            chain = self._data.get(key)
+            return chain[-1] if chain else None
+
+    def history(self, key: str) -> List[Checkpoint]:
+        with self._lock:
+            return list(self._data.get(key, ()))
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._data)
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._data.pop(key, None)

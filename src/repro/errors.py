@@ -35,6 +35,7 @@ __all__ = [
     "ServiceError",
     "AdmissionError",
     "ExecutionCancelledError",
+    "DurabilityError",
     "pickle_safe_exception",
     "jsonable_error",
     "error_from_jsonable",
@@ -138,6 +139,11 @@ class AdmissionError(ServiceError):
 
 class ExecutionCancelledError(ExecutionError):
     """An execution was cancelled through its service handle."""
+
+
+class DurabilityError(ReproError):
+    """A checkpoint/recovery operation failed (missing key, mismatched
+    program fingerprint, corrupt or future-format checkpoint, ...)."""
 
 
 # ---------------------------------------------------------------------------

@@ -122,6 +122,17 @@ class EventBus:
         self._listeners: List[Listener] = []
         self._lock = threading.Lock()
         self.propagate_errors = propagate_errors
+        #: Listener exceptions swallowed under ``propagate_errors=False``.
+        #: Historically these vanished into the log, which made chaos
+        #: tests blind to misbehaving monitors; the counter (and the
+        #: optional :attr:`error_hook`) makes every swallow observable.
+        self.listener_errors = 0
+        #: Optional callback ``(listener, label)`` invoked on every
+        #: swallowed listener error (after the counter bump and the log
+        #: line).  Telescope wires this to the
+        #: ``repro_events_listener_errors_total`` counter.  Must not
+        #: raise: a failing hook is itself swallowed.
+        self.error_hook: Optional[Callable[[Listener, str], None]] = None
         #: Total number of events published (cheap observability counter;
         #: updated lock-free on the per-event path, so it may undercount
         #: slightly under concurrent single-event publishes).
@@ -215,6 +226,17 @@ class EventBus:
 
     # -- dispatch ----------------------------------------------------------------
 
+    def _swallowed(self, listener: Listener, label: str) -> None:
+        """Account one swallowed listener error (count, log, hook)."""
+        self.listener_errors += 1
+        _log.exception("listener %r failed on %s; continuing", listener, label)
+        hook = self.error_hook
+        if hook is not None:
+            try:
+                hook(listener, label)
+            except Exception:
+                _log.exception("bus error_hook itself failed; continuing")
+
     def publish(self, event: Event) -> Any:
         """Deliver *event* to every accepting listener, in order.
 
@@ -236,9 +258,7 @@ class EventBus:
             except Exception:
                 if self.propagate_errors:
                     raise
-                _log.exception(
-                    "listener %r failed on %s; continuing", listener, event.label
-                )
+                self._swallowed(listener, event.label)
         return event.value
 
     def publish_batch(self, events: Sequence[Event]) -> List[Any]:
@@ -292,20 +312,12 @@ class EventBus:
                     except Exception:
                         if self.propagate_errors:
                             raise
-                        _log.exception(
-                            "listener %r failed on %s; continuing",
-                            listener,
-                            event.label,
-                        )
+                        self._swallowed(listener, event.label)
                 continue
             try:
                 listener.on_batch(accepted)
             except Exception:
                 if self.propagate_errors:
                     raise
-                _log.exception(
-                    "listener %r failed on a %d-event batch; continuing",
-                    listener,
-                    len(accepted),
-                )
+                self._swallowed(listener, f"{len(accepted)}-event batch")
         return [event.value for event in events]

@@ -122,6 +122,22 @@ class Observability:
             platform.add_listener(self.instrument)
             if self.flight is not None:
                 platform.add_listener(self.flight)
+            # Surface errors that would otherwise vanish: listener
+            # exceptions the bus swallows under propagate_errors=False,
+            # and (process-locally) frames a remote worker dropped.
+            listener_errors = self.metrics.counter(
+                "repro_events_listener_errors_total",
+                "Listener exceptions swallowed by the event bus",
+            )
+            platform.bus.error_hook = lambda listener, label: listener_errors.inc(
+                listener=type(listener).__name__
+            )
+            from ..runtime.remote.worker import swallowed_error_count
+
+            self.metrics.gauge(
+                "repro_worker_swallowed_errors_total",
+                "Errors a remote worker swallowed (process-local count)",
+            ).set_function(lambda: float(swallowed_error_count()))
         self._platform = platform
         return self
 
@@ -133,6 +149,7 @@ class Observability:
             platform.bus.remove_listener(self.instrument)
         if self.flight is not None:
             platform.bus.remove_listener(self.flight)
+        platform.bus.error_hook = None
         platform.tracer.configure(enabled=False)
 
     # -- export --------------------------------------------------------

@@ -30,6 +30,7 @@ failures arrive as JSON-safe error payloads — a hostile ``__reduce__`` or
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import socket
@@ -53,7 +54,31 @@ from .protocol import (
     send_json,
 )
 
-__all__ = ["worker_main", "start_worker"]
+__all__ = ["worker_main", "start_worker", "swallowed_error_count"]
+
+_log = logging.getLogger(__name__)
+
+# Worker-side swallowed errors (corrupt data-plane frames).  The counter
+# is process-local — a remote worker cannot reach the master's Telescope
+# registry — but it makes the failure observable: the worker logs it
+# before dying, and in-process chunk-loop tests (and a future
+# worker-side metrics push) can assert the count instead of staring at
+# a silent `return`.
+_swallowed_errors = 0
+_swallowed_lock = threading.Lock()
+
+
+def _note_swallowed(what: str, exc: BaseException) -> None:
+    global _swallowed_errors
+    with _swallowed_lock:
+        _swallowed_errors += 1
+    _log.exception("remote worker swallowed %s: %r", what, exc)
+
+
+def swallowed_error_count() -> int:
+    """Process-local count of errors the worker swallowed (``worker_swallowed_errors_total``)."""
+    with _swallowed_lock:
+        return _swallowed_errors
 
 
 def _heartbeat_loop(ctrl: socket.socket, worker_id: int, interval: float,
@@ -149,8 +174,11 @@ def _chunk_loop(
             return
         try:
             message = pickle.loads(frame)
-        except Exception:
-            return  # corrupt data plane; die and let the master re-dispatch
+        except Exception as exc:
+            # Corrupt data plane; die and let the master re-dispatch —
+            # but never silently: count + log first.
+            _note_swallowed("a corrupt data-plane frame", exc)
+            return
         if not isinstance(message, tuple) or not message or message[0] == "exit":
             return
         if message[0] != "chunk":

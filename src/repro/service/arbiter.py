@@ -52,7 +52,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.analysis import AnalysisReport, ExecutionAnalyzer
 from ..runtime.platform import Platform
@@ -159,6 +159,15 @@ class LPArbiter:
         self.aging = aging
         self.starvation_unit = float(starvation_unit)
         self.rebalances: Deque[Rebalance] = deque(maxlen=history)
+        #: Optional hook called after every *applied* rebalance with the
+        #: outcome and the live execution ids in arbitration-input order
+        #: (dict insertion order matters: stable sorts break allocation
+        #: ties by it).  The durability layer's run recorder uses this to
+        #: capture a replayable rebalance schedule.  Called under the
+        #: arbiter lock — hooks must not re-enter the arbiter.
+        self.on_rebalance: Optional[
+            Callable[[Rebalance, Tuple[int, ...]], None]
+        ] = None
         self._last: Optional[float] = None
         self._ticks = 0
         #: execution id -> (consecutive passed-over rounds, time first
@@ -226,6 +235,8 @@ class LPArbiter:
             self.platform.set_parallelism(outcome.total_lp)
             self.platform.set_shares(outcome.shares)
             self.rebalances.append(outcome)
+            if self.on_rebalance is not None:
+                self.on_rebalance(outcome, tuple(analyzers.keys()))
             return outcome
 
     # -- per-execution scheduling class -----------------------------------------

@@ -23,7 +23,16 @@ from typing import Any, Dict, List, Optional
 from ..core.analysis import ExecutionAnalyzer, is_analysis_point
 from ..core.planning import PlanCache
 from ..core.qos import Priority, QoS
-from ..errors import ExecutionCancelledError, ServiceError
+from ..durability.checkpoint import (
+    Checkpointer,
+    program_fingerprint,
+    qos_from_dict,
+    qos_to_dict,
+    remainder_program,
+    remaining_qos,
+)
+from ..durability.store import KIND_FINAL, Checkpoint, CheckpointStore
+from ..errors import DurabilityError, ExecutionCancelledError, ServiceError
 from ..events.bus import Listener
 from ..events.types import Event
 from ..runtime.interpreter import submit as _submit_program
@@ -65,11 +74,21 @@ class _AnalysisTicker(Listener):
 class _ExecutionRecord:
     """Service-internal record of one submission (live or held)."""
 
-    __slots__ = ("handle", "analyzer", "blocked_usable", "load_held", "reserved_lp")
+    __slots__ = (
+        "handle",
+        "analyzer",
+        "blocked_usable",
+        "load_held",
+        "reserved_lp",
+        "checkpointer",
+    )
 
     def __init__(self, handle: ExecutionHandle, analyzer: ExecutionAnalyzer):
         self.handle = handle
         self.analyzer = analyzer
+        #: The execution's boundary checkpointer, when it runs under a
+        #: durable checkpoint key (None otherwise).
+        self.checkpointer: Optional[Checkpointer] = None
         #: Largest usable-LP the load gate last failed this held
         #: submission at; promotion skips the (expensive) re-projection
         #: until the budget actually grows past it.
@@ -155,6 +174,13 @@ class SkeletonService:
         instead of re-walking the tracking machines.  On by default;
         ``False`` restores the plain rev-keyed plan caching (the
         delta-path benchmark's baseline).
+    checkpoints:
+        An optional :class:`~repro.durability.store.CheckpointStore`.
+        When given, submissions carrying a ``checkpoint=`` key persist
+        their progress at root skeleton boundaries, and
+        :meth:`resubmit_from_checkpoint` re-admits crashed or preempted
+        executions warm-started from their latest checkpoint.  ``None``
+        (default) disables durable executions entirely.
     observability:
         An optional :class:`~repro.obs.Observability` facade.  When
         given, the service attaches it to the platform (bus instrument +
@@ -188,6 +214,7 @@ class SkeletonService:
         starvation_aging: str = "virtual-time",
         plan_cache: Optional[PlanCache] = None,
         plan_patching: bool = True,
+        checkpoints: Optional[CheckpointStore] = None,
         observability: Optional[Any] = None,
         **platform_kwargs: Any,
     ):
@@ -260,6 +287,7 @@ class SkeletonService:
         # Observability wiring (all None/no-op when not configured: the
         # only residual cost is a couple of is-None checks per lifecycle
         # transition and a disabled-tracer start_span per rebalance).
+        self.checkpoints = checkpoints
         self.observability = observability
         self._exec_spans: Dict[int, Any] = {}
         if observability is not None:
@@ -274,9 +302,14 @@ class SkeletonService:
                 "repro_rebalance_duration_seconds",
                 "Wall-clock cost of one applied arbiter rebalance",
             )
+            self._ckpt_counter = observability.metrics.counter(
+                "repro_checkpoints_total",
+                "Checkpoints committed, by kind (initial/boundary/final)",
+            )
         else:
             self._exec_duration = None
             self._rebalance_duration = None
+            self._ckpt_counter = None
         # One trace identity for the service's own control loop: every
         # rebalance span lands under it instead of each minting a fresh
         # single-span trace (execution spans get per-request traces).
@@ -310,6 +343,9 @@ class SkeletonService:
         tenant: str = DEFAULT_TENANT,
         name: Optional[str] = None,
         warm_start: Optional[Dict[str, Any]] = None,
+        checkpoint: Optional[str] = None,
+        _warm_program: Optional[Skeleton] = None,
+        _ckpt_base: Optional[Dict[str, Any]] = None,
     ) -> ExecutionHandle:
         """Submit one skeleton execution; returns its handle immediately.
 
@@ -321,7 +357,19 @@ class SkeletonService:
         Rejected submissions are **not** raised here: the handle reports
         ``REJECTED`` and :meth:`~ExecutionHandle.result` raises
         :class:`~repro.errors.AdmissionError`.
+
+        *checkpoint* names the durable identity the execution persists
+        its progress under (requires a ``checkpoints=`` store on the
+        service); a crashed or preempted run resumes with
+        :meth:`resubmit_from_checkpoint` under the same key.
+        ``_warm_program`` / ``_ckpt_base`` are the resume path's private
+        plumbing (restore targets and checkpoint-chain bases).
         """
+        if checkpoint is not None and self.checkpoints is None:
+            raise ServiceError(
+                "submit(checkpoint=...) requires a checkpoint store: "
+                "construct the service with checkpoints=DirectoryStore(...)"
+            )
         with self._lock:
             if self._closed:
                 raise ServiceError("service has been shut down")
@@ -357,7 +405,13 @@ class SkeletonService:
                 qos.priority if qos is not None else Priority.NORMAL
             )
             if warm_start is not None:
-                analyzer.initialize_estimates(program, warm_start)
+                # A resume restores against the *full* program (the
+                # remainder shares its muscle objects, and snapshot keys
+                # are structural indices of the full construction).
+                analyzer.initialize_estimates(
+                    _warm_program if _warm_program is not None else program,
+                    warm_start,
+                )
             handle = ExecutionHandle(
                 execution=execution,
                 program=program,
@@ -368,6 +422,8 @@ class SkeletonService:
             )
             handle._service = self
             handle.analyzer = analyzer
+            handle.checkpoint_key = checkpoint
+            handle._ckpt_base = _ckpt_base
             self.stats.record_submitted(tenant)
             reserved = self._reserved_against_locked(
                 analyzer.share_priority, requesting=None
@@ -412,13 +468,38 @@ class SkeletonService:
     ) -> None:
         eid = handle.execution_id
         self.tenants.started(handle.tenant)
-        self._live[eid] = _ExecutionRecord(handle, analyzer)
-        # Scoped Monitor first, then the arbitration ticker last again
-        # (atomically — a concurrent publish must never miss a tick), so
-        # ticks always see fully updated per-execution state.
+        record = _ExecutionRecord(handle, analyzer)
+        self._live[eid] = record
+        # Scoped Monitor first, then the checkpointer (so boundary
+        # snapshots include the boundary event's own estimator update),
+        # then the arbitration ticker last again (atomically — a
+        # concurrent publish must never miss a tick), so ticks always
+        # see fully updated per-execution state.
         self.platform.add_listener(analyzer)
+        if self.checkpoints is not None and handle.checkpoint_key is not None:
+            base = handle._ckpt_base or {}
+            record.checkpointer = Checkpointer(
+                store=self.checkpoints,
+                key=handle.checkpoint_key,
+                execution_id=eid,
+                program=base.get("program", handle.program),
+                estimators=analyzer.estimators,
+                qos=base.get("qos", qos_to_dict(handle.qos)),
+                base_progress=base.get("progress"),
+                base_elapsed=base.get("elapsed", 0.0),
+                clock=self.platform.now,
+                meta={
+                    "tenant": handle.tenant,
+                    "name": handle.execution.name,
+                    "execution_id": eid,
+                },
+                on_write=self._note_checkpoint,
+            )
+            self.platform.add_listener(record.checkpointer)
         self.platform.bus.move_to_end(self._ticker)
         handle.started_at = self.platform.now()
+        if record.checkpointer is not None:
+            record.checkpointer.start(handle.started_at, handle.value)
         self.stats.record_admitted(handle.tenant, handle.started_at)
         # Newcomers enter the arbitration cold: one worker guaranteed
         # (the paper's LP-1 cold start as a floor) plus whatever budget
@@ -430,7 +511,101 @@ class SkeletonService:
             handle.program, handle.value, self.platform, execution=handle.execution
         )
 
+    def resubmit_from_checkpoint(
+        self,
+        program: Skeleton,
+        key: str,
+        tenant: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> ExecutionHandle:
+        """Re-admit a crashed/preempted execution from its latest checkpoint.
+
+        *program* must be a construction of the **same program shape** the
+        checkpoint was taken against (verified structurally via
+        :func:`~repro.durability.checkpoint.program_fingerprint`); the
+        service derives the remainder program from the recorded progress,
+        warm-starts the estimators from the snapshot, shrinks the WCT goal
+        by the wall-clock already consumed, and submits the remainder
+        through the normal admission path — the arbiter plans only the
+        work that is actually left.  Completed root stages/iterations are
+        therefore *pinned*: their muscles never re-execute.
+
+        A checkpoint of kind ``final`` short-circuits: the returned handle
+        is already resolved with the recorded result (the crash happened
+        after completion but before the caller observed it).
+
+        Raises :class:`~repro.errors.DurabilityError` when no checkpoint
+        exists under *key* or the fingerprint does not match, and
+        :class:`~repro.errors.ServiceError` without a configured store.
+        """
+        if self.checkpoints is None:
+            raise ServiceError(
+                "resubmit_from_checkpoint() requires a checkpoint store: "
+                "construct the service with checkpoints=DirectoryStore(...)"
+            )
+        ckpt = self.checkpoints.latest(key)
+        if ckpt is None:
+            raise DurabilityError(f"no checkpoint recorded under key {key!r}")
+        fingerprint = program_fingerprint(program)
+        if ckpt.fingerprint != fingerprint:
+            raise DurabilityError(
+                f"checkpoint {key!r} was taken against program "
+                f"{ckpt.fingerprint}, not {fingerprint}: refusing to resume "
+                "onto a different program shape"
+            )
+        if tenant is None:
+            tenant = ckpt.meta.get("tenant", DEFAULT_TENANT)
+        if name is None:
+            name = ckpt.meta.get("name")
+        if ckpt.kind == KIND_FINAL:
+            # The run finished; only the acknowledgement was lost.  Hand
+            # back a handle already resolved with the recorded result —
+            # no admission, no stats, no re-execution.
+            with self._lock:
+                if self._closed:
+                    raise ServiceError("service has been shut down")
+                execution = Execution(self.platform.new_future(), name=name)
+                execution.trace = self.platform.tracer.new_context()
+                handle = ExecutionHandle(
+                    execution=execution,
+                    program=program,
+                    value=ckpt.value,
+                    qos=qos_from_dict(ckpt.qos),
+                    tenant=tenant,
+                    submitted_at=self.platform.now(),
+                )
+                handle._service = self
+                handle.checkpoint_key = key
+                handle.started_at = handle.finished_at = self.platform.now()
+                execution.finish(ckpt.value)
+                return handle
+        original_qos = qos_from_dict(ckpt.qos)
+        qos = remaining_qos(original_qos, ckpt.elapsed)
+        remainder = remainder_program(program, ckpt.progress)
+        warm = ckpt.estimates if ckpt.estimates.get("estimates") else None
+        return self.submit(
+            remainder,
+            ckpt.value,
+            qos=qos,
+            tenant=tenant,
+            name=name,
+            warm_start=warm,
+            checkpoint=key,
+            _warm_program=program,
+            _ckpt_base={
+                "program": program,
+                "qos": ckpt.qos,
+                "progress": ckpt.progress,
+                "elapsed": ckpt.elapsed,
+            },
+        )
+
     # -- lifecycle callbacks ----------------------------------------------------
+
+    def _note_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Per-commit hook from the checkpointers (Telescope accounting)."""
+        if self._ckpt_counter is not None:
+            self._ckpt_counter.inc(kind=checkpoint.kind)
 
     def _finish_exec_span(self, execution_id: int, status: str) -> None:
         """Close the root request span of one execution (no-op untraced)."""
@@ -444,6 +619,8 @@ class SkeletonService:
             if record is None:
                 return  # already finalized (e.g. during shutdown)
             self.platform.bus.remove_listener(record.analyzer)
+            if record.checkpointer is not None:
+                self.platform.bus.remove_listener(record.checkpointer)
             self.tenants.finished(handle.tenant)
             handle.finished_at = self.platform.now()
             exc = handle.future.exception(timeout=0)
@@ -651,6 +828,12 @@ class SkeletonService:
                         handle.tenant, "cancelled", self.platform.now(), ran=False
                     )
                     self._finish_exec_span(handle.execution_id, "cancelled")
+                    # The cancelled record may have been the queue head
+                    # holding a backfill reservation: later load-held
+                    # records could now fit, so re-run the promotion
+                    # sweep instead of leaving them stuck until the next
+                    # completion.
+                    self._promote_held_locked()
                     self._idle.notify_all()
                     return True
             # Failing the execution resolves the future, which triggers

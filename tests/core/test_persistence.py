@@ -7,6 +7,8 @@ import pytest
 from repro import Execute, Map, Merge, Seq, Split, While
 from repro.core.estimator import EstimatorRegistry
 from repro.core.persistence import (
+    SNAPSHOT_VERSION,
+    atomic_write_text,
     load_estimates,
     muscle_keys,
     restore_estimates,
@@ -79,6 +81,20 @@ class TestRoundTrip:
         with pytest.raises(ReproError):
             restore_estimates(Seq(lambda v: v), EstimatorRegistry(), {"bogus": 1})
 
+    def test_future_version_rejected(self):
+        # Regression: unknown snapshot versions used to be restored
+        # blindly, silently misinterpreting future formats.
+        snap = {"version": SNAPSHOT_VERSION + 1, "estimates": {}}
+        with pytest.raises(ReproError, match="version"):
+            restore_estimates(Seq(lambda v: v), EstimatorRegistry(), snap)
+
+    def test_missing_version_treated_as_current(self):
+        snap = {"estimates": {"0:execute": {"t": 2.0}}}
+        skel = Seq(lambda v: v)
+        reg = EstimatorRegistry()
+        assert restore_estimates(skel, reg, snap) == 1
+        assert reg.t(skel.execute) == pytest.approx(2.0)
+
     def test_json_file_round_trip(self, tmp_path):
         src = make_program()
         reg = EstimatorRegistry()
@@ -94,3 +110,44 @@ class TestRoundTrip:
         reg2 = EstimatorRegistry()
         assert load_estimates(path, dst, reg2) == 4
         assert reg2.t(dst.merge) == pytest.approx(2.0)
+
+
+class TestAtomicWrites:
+    def test_atomic_write_replaces_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "estimates.json"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+        assert [p.name for p in tmp_path.iterdir()] == ["estimates.json"]
+
+    def test_failed_commit_leaves_old_content_and_no_temp(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: save_estimates wrote with write_text — a crash
+        # mid-write left a torn file under the destination name.  The
+        # atomic path stages a temp file and renames, so a failure at
+        # the commit point must leave the old content untouched and
+        # clean up the staged file.
+        import repro.core.persistence as persistence
+
+        path = tmp_path / "estimates.json"
+        path.write_text("precious")
+
+        def boom(src, dst):
+            raise OSError("simulated crash at the commit point")
+
+        monkeypatch.setattr(persistence.os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(path, "torn")
+        monkeypatch.undo()
+        assert path.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["estimates.json"]
+
+    def test_save_estimates_uses_atomic_path(self, tmp_path):
+        src = make_program()
+        reg = EstimatorRegistry()
+        reg.observe_time(src.split, 1.0)
+        path = tmp_path / "estimates.json"
+        save_estimates(path, src, reg)
+        assert json.loads(path.read_text())["version"] == SNAPSHOT_VERSION
+        assert [p.name for p in tmp_path.iterdir()] == ["estimates.json"]

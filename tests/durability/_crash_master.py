@@ -1,0 +1,52 @@
+"""Subprocess body for the SIGKILL crash-recovery test.
+
+Runs a thread-backend service executing a four-stage pipe under a
+checkpoint key, with stage 3 blocked on a long sleep so the parent test
+can SIGKILL this process while stages 1-2 are durably checkpointed and
+stages 3-4 never completed.  Each completed stage appends its number to
+an invocation log *file*, so execution counts survive the process
+boundary.
+
+Invoked as::
+
+    python _crash_master.py <store_root> <invocation_log>
+"""
+
+import sys
+import time
+
+
+def stage(i, delay, invocation_log):
+    from repro import Execute, Seq
+
+    def fn(v, i=i, delay=delay):
+        if delay:
+            time.sleep(delay)
+        # Log on *completion* only: a stage killed mid-body never counts.
+        with open(invocation_log, "a") as fh:
+            fh.write(f"{i}\n")
+        return v + i
+
+    return Seq(Execute(fn, name=f"s{i}"))
+
+
+def main(store_root, invocation_log):
+    from repro import Pipe, QoS, SkeletonService
+    from repro.durability import DirectoryStore
+
+    program = Pipe(
+        stage(1, 0.0, invocation_log),
+        stage(2, 0.0, invocation_log),
+        stage(3, 120.0, invocation_log),  # parent SIGKILLs us in here
+        stage(4, 0.0, invocation_log),
+    )
+    store = DirectoryStore(store_root)
+    service = SkeletonService(backend="threads", capacity=2, checkpoints=store)
+    handle = service.submit(
+        program, 0, qos=QoS.wall_clock(600.0), checkpoint="job"
+    )
+    handle.result(timeout=300.0)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1], sys.argv[2])

@@ -1,0 +1,482 @@
+"""Checkpoint-on-boundary and resume-from-checkpoint semantics.
+
+The acceptance bar: an interrupted execution resumed with
+``resubmit_from_checkpoint()`` completes with the same final result as an
+uninterrupted run, re-executing only the activities *after* its last
+committed checkpoint — asserted here via muscle-invocation counts on the
+deterministic simulator and on a real thread pool.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    Execute,
+    For,
+    Pipe,
+    QoS,
+    Seq,
+    SimulatedPlatform,
+    SkeletonService,
+    While,
+)
+from repro.durability import (
+    MemoryStore,
+    program_fingerprint,
+    qos_from_dict,
+    qos_to_dict,
+    remainder_program,
+    remaining_qos,
+)
+from repro.durability.store import KIND_BOUNDARY, KIND_FINAL, KIND_INITIAL
+from repro.errors import DurabilityError, ServiceError
+from repro.runtime.costmodel import ConstantCostModel
+from repro.service import ExecutionStatus
+
+
+def counting_pipe(calls, n=4):
+    """An n-stage pipe; stage i appends i to *calls* and adds i."""
+
+    def stage(i):
+        def fn(v, i=i):
+            calls.append(i)
+            return v + i
+
+        return Seq(Execute(fn, name=f"s{i}"))
+
+    return Pipe(*(stage(i) for i in range(1, n + 1)))
+
+
+def sim_service(store=None, **kwargs):
+    platform = SimulatedPlatform(
+        parallelism=1, cost_model=ConstantCostModel(1.0), max_parallelism=4
+    )
+    return SkeletonService(platform=platform, checkpoints=store, **kwargs)
+
+
+def crash_copy(store, src_key, dst_key, predicate):
+    """Stash the first checkpoint of *src_key* matching *predicate* under
+    *dst_key*, simulating a crash right after that commit."""
+    for ckpt in store.history(src_key):
+        if predicate(ckpt):
+            clone = type(ckpt)(**{**ckpt.__dict__, "key": dst_key, "seq": 0})
+            store.save(clone)
+            return ckpt
+    raise AssertionError("no checkpoint matched the crash predicate")
+
+
+# ---------------------------------------------------------------------------
+# structural helpers
+
+
+class TestFingerprint:
+    def test_same_shape_same_fingerprint(self):
+        a = counting_pipe([], 4)
+        b = counting_pipe([], 4)
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_shape_changes_fingerprint(self):
+        assert program_fingerprint(counting_pipe([], 4)) != program_fingerprint(
+            counting_pipe([], 3)
+        )
+
+    def test_for_trip_count_is_structural(self):
+        body = Seq(Execute(lambda v: v + 1, name="inc"))
+        assert program_fingerprint(For(3, body)) != program_fingerprint(
+            For(4, body)
+        )
+
+
+class TestRemainderProgram:
+    def test_empty_progress_is_identity(self):
+        program = counting_pipe([], 4)
+        assert remainder_program(program, {}) is program
+
+    def test_pipe_remainder_shares_stages(self):
+        program = counting_pipe([], 4)
+        remainder = remainder_program(program, {"completed_stages": 2})
+        assert isinstance(remainder, Pipe)
+        assert remainder.stages == program.stages[2:]
+
+    def test_single_remaining_stage_unwrapped(self):
+        program = counting_pipe([], 4)
+        remainder = remainder_program(program, {"completed_stages": 3})
+        assert remainder is program.stages[3]
+
+    def test_all_stages_done_passes_value_through(self):
+        program = counting_pipe([], 4)
+        remainder = remainder_program(program, {"completed_stages": 4})
+        assert isinstance(remainder, For) and remainder.times == 0
+
+    def test_for_remainder(self):
+        program = For(5, Seq(Execute(lambda v: v + 1, name="inc")))
+        remainder = remainder_program(program, {"completed_iterations": 2})
+        assert isinstance(remainder, For) and remainder.times == 3
+        assert remainder.subskel is program.subskel
+
+    def test_progress_kind_mismatch_rejected(self):
+        with pytest.raises(DurabilityError, match="not a pipe"):
+            remainder_program(
+                For(2, Seq(lambda v: v)), {"completed_stages": 1}
+            )
+        with pytest.raises(DurabilityError, match="not a for"):
+            remainder_program(counting_pipe([], 2), {"completed_iterations": 1})
+
+    def test_progress_overflow_rejected(self):
+        with pytest.raises(DurabilityError):
+            remainder_program(counting_pipe([], 2), {"completed_stages": 3})
+
+
+class TestQosRoundTrip:
+    def test_round_trip(self):
+        qos = QoS.wall_clock(10.0, margin=0.2, max_lp=3, weight=2.0, priority=1)
+        assert qos_from_dict(qos_to_dict(qos)) == qos
+
+    def test_none_passes_through(self):
+        assert qos_to_dict(None) is None
+        assert qos_from_dict(None) is None
+
+    def test_remaining_qos_shrinks_deadline(self):
+        qos = QoS.wall_clock(10.0, weight=2.0, priority=1)
+        left = remaining_qos(qos, 4.0)
+        assert left.wct.seconds == pytest.approx(6.0)
+        assert left.weight == 2.0 and int(left.priority) == 1
+
+    def test_blown_deadline_keeps_positive_horizon(self):
+        left = remaining_qos(QoS.wall_clock(10.0), 50.0)
+        assert 0 < left.wct.seconds < 0.01
+
+
+# ---------------------------------------------------------------------------
+# boundary policy on the simulator
+
+
+class TestCheckpointerBoundaries:
+    def test_pipe_writes_initial_boundaries_final(self):
+        store = MemoryStore()
+        service = sim_service(store)
+        handle = service.submit(
+            counting_pipe([], 4), 0, qos=QoS.wall_clock(100.0), checkpoint="p"
+        )
+        assert handle.result() == 10
+        history = store.history("p")
+        assert [c.kind for c in history] == (
+            [KIND_INITIAL] + [KIND_BOUNDARY] * 4 + [KIND_FINAL]
+        )
+        assert [c.progress.get("completed_stages", 0) for c in history[1:5]] == [
+            1,
+            2,
+            3,
+            4,
+        ]
+        # Each boundary persists the value entering the next stage.
+        assert [c.value for c in history] == [0, 1, 3, 6, 10, 10]
+        assert history[-1].value == 10
+
+    def test_for_records_iterations(self):
+        store = MemoryStore()
+        service = sim_service(store)
+        program = For(3, Seq(Execute(lambda v: v + 1, name="inc")))
+        handle = service.submit(
+            program, 0, qos=QoS.wall_clock(100.0), checkpoint="f"
+        )
+        assert handle.result() == 3
+        boundaries = [
+            c for c in store.history("f") if c.kind == KIND_BOUNDARY
+        ]
+        assert [c.progress["completed_iterations"] for c in boundaries] == [1, 2, 3]
+
+    def test_while_advances_value_not_progress(self):
+        store = MemoryStore()
+        service = sim_service(store)
+        program = While(
+            lambda v: v < 3, Seq(Execute(lambda v: v + 1, name="inc"))
+        )
+        handle = service.submit(
+            program, 0, qos=QoS.wall_clock(100.0), checkpoint="w"
+        )
+        assert handle.result() == 3
+        boundaries = [
+            c for c in store.history("w") if c.kind == KIND_BOUNDARY
+        ]
+        assert boundaries, "while boundaries missing"
+        assert all(c.progress == {} for c in boundaries)
+        assert [c.value for c in boundaries] == [0, 1, 2]
+
+    def test_elapsed_accumulates(self):
+        store = MemoryStore()
+        service = sim_service(store)
+        handle = service.submit(
+            counting_pipe([], 3), 0, qos=QoS.wall_clock(100.0), checkpoint="e"
+        )
+        handle.result()
+        elapsed = [c.elapsed for c in store.history("e")]
+        assert elapsed == sorted(elapsed)
+        assert elapsed[-1] > 0
+
+    def test_failing_store_never_kills_the_execution(self):
+        class ExplodingStore(MemoryStore):
+            def save(self, checkpoint):
+                raise OSError("disk on fire")
+
+        store = ExplodingStore()
+        service = sim_service(store)
+        handle = service.submit(
+            counting_pipe([], 3), 0, qos=QoS.wall_clock(100.0), checkpoint="x"
+        )
+        assert handle.result() == 6  # unharmed
+        assert store.latest("x") is None  # nothing committed, nothing raised
+
+    def test_checkpointer_counts_swallowed_store_errors(self):
+        from repro.core.estimator import EstimatorRegistry
+        from repro.durability import Checkpointer
+
+        class ExplodingStore(MemoryStore):
+            def save(self, checkpoint):
+                raise OSError("disk on fire")
+
+        ckptr = Checkpointer(
+            store=ExplodingStore(),
+            key="x",
+            execution_id=1,
+            program=counting_pipe([], 2),
+            estimators=EstimatorRegistry(),
+        )
+        ckptr.start(0.0, value=0)
+        assert ckptr.errors == 1 and ckptr.written == 0
+
+
+# ---------------------------------------------------------------------------
+# resume on the simulator (muscle-invocation counts)
+
+
+class TestResumeSimulator:
+    def test_resume_runs_only_the_remainder(self):
+        store = MemoryStore()
+        calls = []
+        service = sim_service(store)
+        handle = service.submit(
+            counting_pipe(calls, 4), 0, qos=QoS.wall_clock(100.0), checkpoint="a"
+        )
+        uninterrupted = handle.result()
+        assert uninterrupted == 10 and calls == [1, 2, 3, 4]
+
+        crash_copy(
+            store, "a", "crashed",
+            lambda c: c.progress.get("completed_stages") == 2,
+        )
+        calls.clear()
+        resumed = sim_service(store).resubmit_from_checkpoint(
+            counting_pipe(calls, 4), "crashed"
+        )
+        assert resumed.result() == uninterrupted
+        assert calls == [3, 4], "checkpointed stages must not re-execute"
+
+    def test_resumed_final_checkpoint_chains_progress(self):
+        store = MemoryStore()
+        service = sim_service(store)
+        handle = service.submit(
+            counting_pipe([], 4), 0, qos=QoS.wall_clock(100.0), checkpoint="a"
+        )
+        handle.result()
+        crash_copy(
+            store, "a", "crashed",
+            lambda c: c.progress.get("completed_stages") == 2,
+        )
+        resumed = sim_service(store).resubmit_from_checkpoint(
+            counting_pipe([], 4), "crashed"
+        )
+        assert resumed.result() == 10
+        history = store.history("crashed")
+        # The resumed run chains: its boundaries add onto the base (the
+        # first history entry is the crash checkpoint itself).
+        assert [
+            c.progress.get("completed_stages")
+            for c in history
+            if c.kind == KIND_BOUNDARY
+        ] == [2, 3, 4]
+        assert history[-1].kind == KIND_FINAL and history[-1].value == 10
+
+    def test_resume_from_final_returns_result_without_rerun(self):
+        store = MemoryStore()
+        calls = []
+        service = sim_service(store)
+        service.submit(
+            counting_pipe(calls, 3), 5, qos=QoS.wall_clock(100.0), checkpoint="d"
+        ).result()
+        ran = list(calls)
+        resumed = sim_service(store).resubmit_from_checkpoint(
+            counting_pipe(calls, 3), "d"
+        )
+        assert resumed.result(timeout=1.0) == 5 + 1 + 2 + 3
+        assert resumed.status() is ExecutionStatus.COMPLETED
+        assert calls == ran, "resume from a final checkpoint must not re-run"
+
+    def test_resume_warm_starts_estimators(self):
+        # A for-loop's remainder shares the body muscles with the full
+        # program, so estimates observed before the crash warm the whole
+        # remainder (the paper's scenario-2 initialization, from a
+        # checkpoint instead of a file).
+        store = MemoryStore()
+        service = sim_service(store)
+
+        def make():
+            return For(4, Seq(Execute(lambda v: v + 1, name="inc")))
+
+        service.submit(
+            make(), 0, qos=QoS.wall_clock(100.0), checkpoint="warm"
+        ).result()
+        crash_copy(
+            store, "warm", "crashed",
+            lambda c: c.progress.get("completed_iterations") == 2,
+        )
+        fresh = make()
+        resumed = sim_service(store).resubmit_from_checkpoint(fresh, "crashed")
+        # The remainder's estimators are warm before any remainder event.
+        assert resumed.analyzer.estimators.ready_for(
+            remainder_program(fresh, {"completed_iterations": 2})
+        )
+        assert resumed.result() == 4
+
+    def test_resume_shrinks_the_deadline(self):
+        store = MemoryStore()
+        service = sim_service(store)
+        service.submit(
+            counting_pipe([], 4), 0, qos=QoS.wall_clock(50.0), checkpoint="q"
+        ).result()
+        crash = crash_copy(
+            store, "q", "crashed",
+            lambda c: c.progress.get("completed_stages") == 2,
+        )
+        assert crash.elapsed > 0
+        resumed = sim_service(store).resubmit_from_checkpoint(
+            counting_pipe([], 4), "crashed"
+        )
+        assert resumed.qos.wct.seconds == pytest.approx(50.0 - crash.elapsed)
+        assert resumed.result() == 10
+
+    def test_fingerprint_mismatch_rejected(self):
+        store = MemoryStore()
+        service = sim_service(store)
+        service.submit(
+            counting_pipe([], 4), 0, qos=QoS.wall_clock(100.0), checkpoint="fp"
+        ).result()
+        with pytest.raises(DurabilityError, match="program shape"):
+            service.resubmit_from_checkpoint(counting_pipe([], 3), "fp")
+
+    def test_missing_key_rejected(self):
+        service = sim_service(MemoryStore())
+        with pytest.raises(DurabilityError, match="no checkpoint"):
+            service.resubmit_from_checkpoint(counting_pipe([], 2), "nope")
+
+    def test_checkpoint_requires_store(self):
+        service = sim_service(store=None)
+        with pytest.raises(ServiceError, match="checkpoint store"):
+            service.submit(counting_pipe([], 2), 0, checkpoint="k")
+        with pytest.raises(ServiceError, match="checkpoint store"):
+            service.resubmit_from_checkpoint(counting_pipe([], 2), "k")
+
+    def test_checkpoint_counter_exported(self):
+        from repro.obs import Observability
+
+        store = MemoryStore()
+        obs = Observability(sample_rate=0.0)
+        platform = SimulatedPlatform(
+            parallelism=1, cost_model=ConstantCostModel(1.0), max_parallelism=4
+        )
+        service = SkeletonService(
+            platform=platform, checkpoints=store, observability=obs
+        )
+        service.submit(
+            counting_pipe([], 3), 0, qos=QoS.wall_clock(100.0), checkpoint="m"
+        ).result()
+        counter = obs.metrics.counter("repro_checkpoints_total")
+        assert counter.value(kind="initial") == 1
+        assert counter.value(kind="boundary") == 3
+        assert counter.value(kind="final") == 1
+
+
+# ---------------------------------------------------------------------------
+# resume on a real thread pool (cancel-as-preemption)
+
+
+class TestResumeThreads:
+    def test_preempted_execution_resumes_to_same_result(self):
+        store = MemoryStore()
+        calls = []
+        gate = threading.Event()
+        boundary_seen = threading.Event()
+
+        def stage(i, block=False):
+            def fn(v, i=i, block=block):
+                if block and not gate.is_set():
+                    boundary_seen.set()
+                    gate.wait(timeout=10.0)
+                calls.append(i)
+                return v + i
+
+            return Seq(Execute(fn, name=f"s{i}"))
+
+        def program():
+            return Pipe(stage(1), stage(2), stage(3, block=True), stage(4))
+
+        with SkeletonService(
+            backend="threads", capacity=2, checkpoints=store
+        ) as service:
+            handle = service.submit(
+                program(), 0, qos=QoS.wall_clock(100.0), checkpoint="job"
+            )
+            # Stage 3 is blocked on the gate: stages 1+2 committed their
+            # boundary checkpoints, the rest never ran.
+            assert boundary_seen.wait(timeout=10.0)
+            assert handle.cancel() is True
+            gate.set()  # release the blocked muscle so the pool drains
+            assert service.drain(timeout=10.0)
+
+        latest = store.latest("job")
+        assert latest.kind == KIND_BOUNDARY
+        assert latest.progress == {"completed_stages": 2}
+        # The in-flight stage-3 muscle runs to completion after the gate
+        # opens (cancel drops pending tasks, not running ones), but its
+        # boundary never commits — the checkpointer detached at cancel —
+        # and stage 4 is never scheduled.
+        assert calls == [1, 2, 3]
+        assert 4 not in calls
+
+        calls.clear()
+        with SkeletonService(
+            backend="threads", capacity=2, checkpoints=store
+        ) as resumed_service:
+            resumed = resumed_service.resubmit_from_checkpoint(program(), "job")
+            assert resumed.result(timeout=10.0) == 1 + 2 + 3 + 4
+            assert resumed_service.drain(timeout=10.0)
+        assert calls == [3, 4], "pinned stages must not re-execute"
+        assert store.latest("job").kind == KIND_FINAL
+
+    def test_uninterrupted_and_resumed_results_match(self):
+        store = MemoryStore()
+        calls = []
+        with SkeletonService(
+            backend="threads", capacity=2, checkpoints=store
+        ) as service:
+            baseline = service.submit(
+                counting_pipe(calls, 4),
+                7,
+                qos=QoS.wall_clock(100.0),
+                checkpoint="base",
+            ).result(timeout=10.0)
+        crash_copy(
+            store, "base", "crashed",
+            lambda c: c.progress.get("completed_stages") == 3,
+        )
+        calls.clear()
+        with SkeletonService(
+            backend="threads", capacity=2, checkpoints=store
+        ) as service:
+            resumed = service.resubmit_from_checkpoint(
+                counting_pipe(calls, 4), "crashed"
+            )
+            assert resumed.result(timeout=10.0) == baseline
+        assert calls == [4]

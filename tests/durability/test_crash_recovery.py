@@ -1,0 +1,114 @@
+"""Crash recovery: SIGKILL the master mid-run, resume from its checkpoints.
+
+The hardest durability scenario ROADMAP's north star requires: not a
+worker dying but the *whole master process*.  A subprocess runs a
+checkpointed four-stage pipeline and is SIGKILLed while stage 3 is in
+flight; a fresh service (this test process, standing in for the restarted
+master) resumes from the surviving ``DirectoryStore`` and must produce
+the same final result while re-executing only the un-checkpointed
+stages — proven by a muscle-invocation log file that outlives the dead
+process.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Execute, Pipe, QoS, Seq, SkeletonService
+from repro.durability import DirectoryStore
+from repro.durability.store import KIND_FINAL
+
+_HELPER = Path(__file__).with_name("_crash_master.py")
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def parent_side_program(invocation_log):
+    """Same program shape as the helper's (fingerprints must match),
+    without the stage-3 stall, logging to the same invocation file."""
+
+    def stage(i):
+        def fn(v, i=i):
+            with open(invocation_log, "a") as fh:
+                fh.write(f"{i}\n")
+            return v + i
+
+        return Seq(Execute(fn, name=f"s{i}"))
+
+    return Pipe(stage(1), stage(2), stage(3), stage(4))
+
+
+def read_invocations(invocation_log):
+    path = Path(invocation_log)
+    if not path.exists():
+        return []
+    return [int(line) for line in path.read_text().split() if line]
+
+
+@pytest.mark.durability
+@pytest.mark.integration
+class TestMasterCrashRecovery:
+    def test_sigkilled_master_resumes_to_same_result(self, tmp_path):
+        store_root = tmp_path / "ckpts"
+        invocation_log = tmp_path / "invocations.log"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        master = subprocess.Popen(
+            [sys.executable, str(_HELPER), str(store_root), str(invocation_log)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            # Wait until the stage-2 boundary checkpoint is durably
+            # committed (atomic commits make concurrent reads safe),
+            # then SIGKILL the master while stage 3 sleeps.
+            store = DirectoryStore(store_root)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                latest = store.latest("job")
+                if (
+                    latest is not None
+                    and latest.progress.get("completed_stages") == 2
+                ):
+                    break
+                if master.poll() is not None:
+                    out, err = master.communicate(timeout=10.0)
+                    raise AssertionError(
+                        f"master exited early: {err.decode(errors='replace')}"
+                    )
+                time.sleep(0.02)
+            else:
+                raise AssertionError("stage-2 checkpoint never appeared")
+            os.kill(master.pid, signal.SIGKILL)
+            master.wait(timeout=30.0)
+        finally:
+            if master.poll() is None:
+                master.kill()
+                master.wait(timeout=30.0)
+
+        assert master.returncode == -signal.SIGKILL
+        # The dead master completed exactly stages 1 and 2.
+        assert read_invocations(invocation_log) == [1, 2]
+        latest = store.latest("job")
+        assert latest.progress == {"completed_stages": 2}
+        assert latest.value == 0 + 1 + 2
+
+        # The "restarted master": a fresh service over the same store.
+        with SkeletonService(
+            backend="threads", capacity=2, checkpoints=DirectoryStore(store_root)
+        ) as service:
+            resumed = service.resubmit_from_checkpoint(
+                parent_side_program(invocation_log), "job"
+            )
+            assert resumed.result(timeout=60.0) == 0 + 1 + 2 + 3 + 4
+            assert service.drain(timeout=30.0)
+
+        # Across crash + resume, every stage executed exactly once.
+        assert sorted(read_invocations(invocation_log)) == [1, 2, 3, 4]
+        final = DirectoryStore(store_root).latest("job")
+        assert final.kind == KIND_FINAL and final.value == 10

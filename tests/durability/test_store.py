@@ -1,0 +1,141 @@
+"""Unit tests for checkpoint stores (atomic commits, corruption, pruning)."""
+
+import json
+
+import pytest
+
+from repro.durability import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    DirectoryStore,
+    MemoryStore,
+)
+from repro.durability.store import KIND_BOUNDARY, KIND_FINAL, _key_dirname
+from repro.errors import DurabilityError
+
+
+def ckpt(key="job", kind=KIND_BOUNDARY, value=41, **kw):
+    return Checkpoint(key=key, kind=kind, fingerprint="f" * 16, value=value, **kw)
+
+
+@pytest.fixture(params=["dir", "mem"])
+def store(request, tmp_path):
+    if request.param == "dir":
+        return DirectoryStore(tmp_path / "ckpts")
+    return MemoryStore()
+
+
+class TestStoreContract:
+    def test_save_assigns_monotonic_seq(self, store):
+        assert store.save(ckpt(value=1)).seq == 1
+        assert store.save(ckpt(value=2)).seq == 2
+        assert store.save(ckpt(key="other")).seq == 1
+
+    def test_latest_and_history(self, store):
+        store.save(ckpt(value="a"))
+        store.save(ckpt(value="b", kind=KIND_FINAL))
+        latest = store.latest("job")
+        assert latest.value == "b" and latest.kind == KIND_FINAL
+        assert [c.value for c in store.history("job")] == ["a", "b"]
+        assert store.latest("missing") is None
+        assert store.history("missing") == []
+
+    def test_value_round_trips_arbitrary_objects(self, store):
+        value = {"nested": [1, (2, 3)], "s": {"x"}}
+        store.save(ckpt(value=value))
+        assert store.latest("job").value == value
+
+    def test_keys_and_delete(self, store):
+        store.save(ckpt(key="a"))
+        store.save(ckpt(key="b"))
+        assert set(store.keys()) == {"a", "b"}
+        store.delete("a")
+        assert store.latest("a") is None
+        assert set(store.keys()) == {"b"}
+
+    def test_progress_and_metadata_preserved(self, store):
+        store.save(
+            ckpt(
+                progress={"completed_stages": 3},
+                qos={"wct": {"seconds": 9.0, "margin": 0.0}},
+                elapsed=1.5,
+                meta={"tenant": "t0"},
+            )
+        )
+        latest = store.latest("job")
+        assert latest.progress == {"completed_stages": 3}
+        assert latest.qos["wct"]["seconds"] == 9.0
+        assert latest.elapsed == 1.5
+        assert latest.meta["tenant"] == "t0"
+
+
+class TestDirectoryStore:
+    def test_commit_is_atomic_no_temp_residue(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        store.save(ckpt())
+        files = list((tmp_path / "job").iterdir())
+        assert [p.name for p in files] == ["ckpt-00000001.json"]
+
+    def test_corrupt_files_skipped_not_fatal(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        store.save(ckpt(value="good"))
+        # A torn write from a pre-atomic-commit crash.
+        (tmp_path / "job" / "ckpt-00000002.json").write_text('{"version": 1, "trunc')
+        latest = store.latest("job")
+        assert latest.value == "good"
+        assert store.corrupt_skipped == 1
+
+    def test_future_version_rejected_on_load(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        saved = store.save(ckpt(value="v1"))
+        path = tmp_path / "job" / f"ckpt-{saved.seq + 1:08d}.json"
+        doc = ckpt(value="v2").to_json_dict()
+        doc["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(doc))
+        # latest() treats it as unreadable and falls back...
+        assert store.latest("job").value == "v1"
+        # ...but direct decoding surfaces the real reason.
+        with pytest.raises(DurabilityError, match="version"):
+            Checkpoint.from_json_dict(json.loads(path.read_text()))
+
+    def test_keep_prunes_old_checkpoints(self, tmp_path):
+        store = DirectoryStore(tmp_path, keep=2)
+        for i in range(5):
+            store.save(ckpt(value=i))
+        history = store.history("job")
+        assert [c.value for c in history] == [3, 4]
+        assert store.latest("job").value == 4
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(DurabilityError):
+            DirectoryStore(tmp_path, keep=0)
+
+    def test_reopened_store_continues_sequence(self, tmp_path):
+        DirectoryStore(tmp_path).save(ckpt(value=1))
+        reopened = DirectoryStore(tmp_path)
+        assert reopened.save(ckpt(value=2)).seq == 2
+        assert [c.value for c in reopened.history("job")] == [1, 2]
+
+    def test_unsafe_keys_cannot_collide(self, tmp_path):
+        assert _key_dirname("a/b") != _key_dirname("a_b")
+        assert _key_dirname("plain-key.1") == "plain-key.1"
+        store = DirectoryStore(tmp_path)
+        store.save(ckpt(key="a/b", value="slash"))
+        store.save(ckpt(key="a_b", value="underscore"))
+        assert store.latest("a/b").value == "slash"
+        assert store.latest("a_b").value == "underscore"
+
+    def test_empty_key_rejected(self, tmp_path):
+        with pytest.raises(DurabilityError):
+            DirectoryStore(tmp_path).save(ckpt(key=""))
+
+
+class TestMalformedDocuments:
+    def test_missing_value_rejected(self):
+        with pytest.raises(DurabilityError):
+            Checkpoint.from_json_dict({"version": 1, "key": "x"})
+
+    def test_round_trip_preserves_version(self):
+        doc = ckpt().to_json_dict()
+        assert doc["version"] == CHECKPOINT_VERSION
+        assert Checkpoint.from_json_dict(doc).value == 41

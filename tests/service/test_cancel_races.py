@@ -1,0 +1,144 @@
+"""Cancellation races: cancel-while-held, cancel-mid-run, cancel-after-done.
+
+Exercised on the real thread and process pools, where cancellation truly
+races the run.  The held-path regression this locks in: cancelling a held
+queue *head* that holds a backfill reservation must immediately re-run
+the promotion sweep — before the fix, later load-held submissions stayed
+stuck behind a reservation whose owner no longer existed, until some
+unrelated completion happened to promote them.
+"""
+
+import time
+
+import pytest
+
+from repro import QoS, SkeletonService
+from repro.errors import ExecutionCancelledError
+from repro.service import ExecutionStatus
+from tests.conftest import sleepy_map_program, sleepy_map_snapshot
+
+pytestmark = [pytest.mark.integration]
+
+CAPACITY = 4
+BACKENDS = ["threads", "processes"]
+
+HOG = dict(width=8, leaf=0.15)  # commits all 4 workers for its tight goal
+WIDE = dict(width=4, leaf=0.15)  # held: needs the whole pool at once
+SMALL = dict(width=1, leaf=0.05)  # trivially feasible, loose goal
+
+
+def submit_map(service, tenant, width, leaf, value=1, qos=None):
+    program = sleepy_map_program(width, leaf)
+    return service.submit(
+        program,
+        value,
+        qos=qos,
+        tenant=tenant,
+        warm_start=sleepy_map_snapshot(program, width, leaf),
+    )
+
+
+def make_service(backend, **kwargs):
+    kwargs.setdefault("capacity", CAPACITY)
+    kwargs.setdefault("min_rebalance_interval", 0.0)
+    return SkeletonService(backend=backend, **kwargs)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCancelWhileHeld:
+    def test_cancelled_held_head_releases_its_reservation(self, backend):
+        """The regression: cancelling the held queue head must promote
+        the submissions queued behind its backfill reservation."""
+        with make_service(backend) as service:
+            hog = submit_map(service, "hog", qos=QoS.wall_clock(0.4), **HOG)
+            wide = submit_map(
+                service, "wide", value=2, qos=QoS.wall_clock(0.28), **WIDE
+            )
+            assert wide.status() is ExecutionStatus.QUEUED
+            small = submit_map(
+                service, "small", value=3, qos=QoS.wall_clock(5.0), **SMALL
+            )
+            # Held behind the wide goal's reservation, although feasible.
+            assert small.status() is ExecutionStatus.QUEUED
+
+            assert wide.cancel() is True
+            assert wide.status() is ExecutionStatus.CANCELLED
+            # The promotion sweep runs synchronously inside cancel():
+            # the small goal must be running before the hog finishes.
+            assert small.status() is ExecutionStatus.RUNNING
+            assert hog.done() is False
+
+            with pytest.raises(ExecutionCancelledError):
+                wide.result(timeout=5.0)
+            assert hog.result(timeout=30.0) == 8
+            assert small.result(timeout=30.0) == 3
+            assert service.drain(timeout=30.0)
+            assert service.stats.tenant("wide").cancelled == 1
+            # Never admitted: cancel-while-held must not count a start.
+            assert service.stats.tenant("wide").admitted == 0
+
+    def test_cancel_non_head_held_record(self, backend):
+        """Cancelling a held record that is *not* the head leaves the
+        head's reservation (and the queue order) intact."""
+        with make_service(backend) as service:
+            hog = submit_map(service, "hog", qos=QoS.wall_clock(0.4), **HOG)
+            wide = submit_map(
+                service, "wide", value=2, qos=QoS.wall_clock(0.28), **WIDE
+            )
+            small = submit_map(
+                service, "small", value=3, qos=QoS.wall_clock(5.0), **SMALL
+            )
+            assert small.status() is ExecutionStatus.QUEUED
+            assert small.cancel() is True
+            assert small.status() is ExecutionStatus.CANCELLED
+            # The wide goal is still held (its blocker is load, not the
+            # cancelled sibling) and still launches before finishing.
+            assert wide.status() is ExecutionStatus.QUEUED
+            assert hog.result(timeout=30.0) == 8
+            assert wide.result(timeout=30.0) == 8
+            assert service.drain(timeout=30.0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCancelMidRunAndAfterDone:
+    def test_cancel_mid_run(self, backend):
+        with make_service(backend) as service:
+            handle = submit_map(
+                service, "t0", width=16, leaf=0.1, qos=QoS.wall_clock(30.0)
+            )
+            deadline = time.monotonic() + 10.0
+            while (
+                handle.status() is not ExecutionStatus.RUNNING
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert handle.cancel() is True
+            assert handle.status() is ExecutionStatus.CANCELLED
+            with pytest.raises(ExecutionCancelledError):
+                handle.result(timeout=10.0)
+            assert service.drain(timeout=30.0)
+            assert service.stats.tenant("t0").cancelled == 1
+
+    def test_cancel_after_done_reports_the_truth(self, backend):
+        with make_service(backend) as service:
+            handle = submit_map(
+                service, "t0", width=2, leaf=0.01, qos=QoS.wall_clock(30.0)
+            )
+            assert handle.result(timeout=30.0) == 2
+            # The race is lost deterministically here: the future is
+            # resolved, so cancel must report failure, not lie.
+            assert handle.cancel() is False
+            assert handle.status() is ExecutionStatus.COMPLETED
+            assert service.stats.tenant("t0").cancelled == 0
+
+    def test_cancel_is_idempotent(self, backend):
+        with make_service(backend) as service:
+            hog = submit_map(service, "hog", qos=QoS.wall_clock(0.4), **HOG)
+            wide = submit_map(
+                service, "wide", value=2, qos=QoS.wall_clock(0.28), **WIDE
+            )
+            assert wide.cancel() is True
+            assert wide.cancel() is False  # second cancel: already done
+            assert hog.result(timeout=30.0) == 8
+            assert service.drain(timeout=30.0)
+            assert service.stats.tenant("wide").cancelled == 1
