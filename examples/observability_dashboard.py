@@ -11,6 +11,7 @@ question: *show me everything request X did*, by trace id.
 Run:  PYTHONPATH=src python examples/observability_dashboard.py
 """
 
+import os
 import sys
 import time
 from functools import partial
@@ -76,7 +77,15 @@ def main() -> None:
             if line.startswith("repro_service_lifecycle_total"):
                 print(f"  {line}")
 
-        flight_path = "observability_flight.jsonl"
+        # Example/bench output lands under benchmarks/out/ (gitignored),
+        # never at the repo root.
+        out_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "benchmarks",
+            "out",
+        )
+        os.makedirs(out_dir, exist_ok=True)
+        flight_path = os.path.join(out_dir, "observability_flight.jsonl")
         n = obs.export_jsonl(flight_path)
         print(f"\nflight recorder: {n} records -> {flight_path}")
 

@@ -28,7 +28,7 @@ from .delta import ChangeDelta
 __all__ = ["Activity", "ADG"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Activity:
     """One muscle execution in the dependency graph."""
 

@@ -168,6 +168,11 @@ class ExecutionAnalyzer(Listener):
         and pinned base in place when the machine changelog allows it) —
         on by default; off restores plain rev-keyed caching, which the
         delta-path benchmark uses as its baseline.
+    plan_compiled:
+        Run the engine's scheduling passes over compiled
+        :class:`~repro.core.planning.table.PlanTable` flat arrays — on by
+        default; off restores the dict-based passes bit for bit (see
+        :class:`~repro.core.planning.PlanEngine`).
     """
 
     def __init__(
@@ -180,6 +185,7 @@ class ExecutionAnalyzer(Listener):
         extensions: bool = False,
         plan_cache: Optional[PlanCache] = None,
         plan_patching: bool = True,
+        plan_compiled: bool = True,
     ):
         self.qos = qos
         self.execution_id = execution_id
@@ -192,6 +198,7 @@ class ExecutionAnalyzer(Listener):
             skeleton=skeleton,
             cache=plan_cache,
             patching=plan_patching,
+            compiled=plan_compiled,
         )
         self.exec_start: Dict[int, float] = {}  # root index -> start time
         if skeleton is not None:

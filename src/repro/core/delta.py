@@ -30,7 +30,7 @@ from typing import Tuple
 __all__ = ["ChangeDelta"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChangeDelta:
     """What changed between two revisions of a tracked structure.
 

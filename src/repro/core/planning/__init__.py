@@ -8,7 +8,11 @@ package is the single seam all planning flows through:
   revision counters, estimator version stamps);
 * :class:`~repro.core.planning.cache.PlanCache` — the shared bounded
   store with recompute accounting (the rebalance-overhead benchmark's
-  instrument).
+  instrument);
+* :class:`~repro.core.planning.table.PlanTable` — a projected ADG
+  compiled once into struct-of-arrays form, over which the engine runs
+  every hot scheduling pass as index arithmetic (``compiled=True``,
+  the default).
 
 Consumers: :class:`~repro.core.analysis.ExecutionAnalyzer` builds its
 reports through the engine, :class:`~repro.service.admission.
@@ -19,5 +23,13 @@ minimal/optimal LPs from cached plans during rebalances.
 
 from .cache import PlanCache, PlanCacheStats
 from .engine import PlanEngine
+from .table import CompiledPinnedBase, CompiledSchedule, PlanTable
 
-__all__ = ["PlanCache", "PlanCacheStats", "PlanEngine"]
+__all__ = [
+    "CompiledPinnedBase",
+    "CompiledSchedule",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanEngine",
+    "PlanTable",
+]

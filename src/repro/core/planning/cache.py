@@ -55,6 +55,8 @@ class PlanCacheStats:
     projection_passes: int
     projection_patches: int
     pin_patches: int
+    table_compiles: int
+    table_patches: int
     size: int
 
     @property
@@ -76,7 +78,11 @@ class PlanCache:
       previous ADG in place from the machine changelog instead of
       re-walking;
     * ``pin_patches`` — pinned-actuals bases advanced by the delta
-      re-pin instead of a full pinning pass.
+      re-pin instead of a full pinning pass;
+    * ``table_compiles`` / ``table_patches`` — projected ADGs flattened
+      into :class:`~repro.core.planning.table.PlanTable` array form,
+      versus tables kept current by writing a non-structural delta
+      through in place.
 
     The rebalance-overhead benchmark compares these between the full
     delta path, a patch-disabled run, and a ``maxsize=0`` (from-scratch)
@@ -112,6 +118,8 @@ class PlanCache:
         self._projection_passes = 0
         self._projection_patches = 0
         self._pin_patches = 0
+        self._table_compiles = 0
+        self._table_patches = 0
 
     # -- quantization ------------------------------------------------------------
 
@@ -173,6 +181,14 @@ class PlanCache:
         with self._lock:
             self._pin_patches += 1
 
+    def count_table_compile(self) -> None:
+        with self._lock:
+            self._table_compiles += 1
+
+    def count_table_patch(self) -> None:
+        with self._lock:
+            self._table_patches += 1
+
     @property
     def stats(self) -> PlanCacheStats:
         with self._lock:
@@ -184,6 +200,8 @@ class PlanCache:
                 projection_passes=self._projection_passes,
                 projection_patches=self._projection_patches,
                 pin_patches=self._pin_patches,
+                table_compiles=self._table_compiles,
+                table_patches=self._table_patches,
                 size=len(self._store),
             )
 
@@ -196,6 +214,8 @@ class PlanCache:
             self._projection_passes = 0
             self._projection_patches = 0
             self._pin_patches = 0
+            self._table_compiles = 0
+            self._table_patches = 0
 
     def stats_dict(self) -> Dict[str, Any]:
         """Counters as a plain dict (for reports and benches)."""
@@ -208,6 +228,8 @@ class PlanCache:
             "projection_passes": s.projection_passes,
             "projection_patches": s.projection_patches,
             "pin_patches": s.pin_patches,
+            "table_compiles": s.table_compiles,
+            "table_patches": s.table_patches,
             "size": s.size,
             "hit_rate": s.hit_rate,
         }

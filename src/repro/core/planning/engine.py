@@ -75,6 +75,15 @@ from ..schedule import (
 from ..statemachines import MachineRegistry
 from ..statemachines.base import refresh_from_sources
 from .cache import PlanCache
+from .table import (
+    CompiledPinnedBase,
+    PlanTable,
+    compiled_best_effort,
+    compiled_critical_path,
+    compiled_pin,
+    compiled_pin_delta,
+    compiled_schedule_pending,
+)
 
 __all__ = ["PlanEngine"]
 
@@ -113,6 +122,17 @@ class PlanEngine:
         full re-walks — pinned by the plan-engine property harness —
         so this flag exists for benchmarking the delta pipeline against
         the plain cached baseline, not for safety.
+    compiled:
+        Run the hot scheduling passes over :class:`~repro.core.planning.
+        table.PlanTable` flat arrays (default).  A projected ADG is
+        flattened once per revision (``count_table_compile``), kept
+        current by writing non-structural deltas through in place
+        (``count_table_patch``), and best-effort / pinning /
+        critical-path / limited-LP passes run as index arithmetic over
+        the table, sharing one pinned base and one priority list across
+        every LP of a minimal-LP scan.  Answers are bit-for-bit equal to
+        the dict path — pinned by the compiled-vs-dict property harness
+        — and ``compiled=False`` restores the dict path outright.
     """
 
     def __init__(
@@ -122,12 +142,14 @@ class PlanEngine:
         skeleton: Optional[Skeleton] = None,
         cache: Optional[PlanCache] = None,
         patching: bool = True,
+        compiled: bool = True,
     ):
         self.machines = machines
         self.estimators = estimators
         self.skeleton = skeleton
         self.cache = cache if cache is not None else PlanCache()
         self.patching = patching
+        self.compiled = compiled
         self._uid = next(_engine_ids)
         # id(adg) -> (weakref, version token) for ADGs this engine built;
         # lets plan calls key correctly on any ADG they are handed back.
@@ -139,6 +161,15 @@ class PlanEngine:
         # id(adg) -> (weakref, adg rev, pinned base) for delta re-pinning
         # across rebalances (the base's `now` changes, the graph does not).
         self._pin_prev: Dict[int, Tuple[weakref.ref, int, PinnedPlanBase]] = {}
+        # id(adg) -> (weakref, synced adg rev, table): the flattened
+        # array form of each projected ADG, kept current by writing
+        # non-structural deltas through in place.
+        self._tables: Dict[int, Tuple[weakref.ref, int, PlanTable]] = {}
+        # Compiled twin of _pin_prev (the two pin paths patch from their
+        # own previous bases, so flipping `compiled` never mixes types).
+        self._cpin_prev: Dict[
+            int, Tuple[weakref.ref, int, CompiledPinnedBase]
+        ] = {}
         self._lock = threading.RLock()
 
     # -- token bookkeeping --------------------------------------------------------
@@ -287,6 +318,109 @@ class PlanEngine:
             self._remember(adg, token)
         return adg
 
+    # -- compiled plan tables --------------------------------------------------------
+
+    def _table_for(self, adg: ADG) -> Optional[PlanTable]:
+        """The flat array form of *adg*, synced to its revision.
+
+        ``None`` routes the caller to the dict path: compilation is off,
+        or the ADG's ids are not dense (impossible for graphs built
+        through the public API, guarded anyway).  A held table whose
+        revision lags is advanced by writing the changelog window
+        through in place (``count_table_patch``) when the window is
+        non-structural, and recompiled from scratch otherwise
+        (``count_table_compile``).
+        """
+        if not self.compiled:
+            return None
+        with self._lock:
+            entry = self._tables.get(id(adg))
+        if entry is not None and entry[0]() is adg:
+            ref, synced_rev, table = entry
+            if synced_rev == adg.rev:
+                return table
+            delta = adg.delta_since(synced_rev)
+            if delta is not None and not delta.structural:
+                table.refresh(adg, delta.touched)
+                self.cache.count_table_patch()
+                with self._lock:
+                    self._tables[id(adg)] = (ref, adg.rev, table)
+                return table
+        table = PlanTable.compile(adg)
+        if table is None:
+            return None
+        self.cache.count_table_compile()
+        with self._lock:
+            if len(self._tables) > 64:
+                self._tables = {
+                    k: e for k, e in self._tables.items() if e[0]() is not None
+                }
+            self._tables[id(adg)] = (weakref.ref(adg), adg.rev, table)
+        return table
+
+    def _critical_path_compiled(self, adg: ADG, table: PlanTable) -> Tuple:
+        """``(cp array, prio heap entries)`` for *table*, cached per rev."""
+        token = self._token_of(adg)
+        key = ("ccp", token) if token is not None else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        pair = compiled_critical_path(table)
+        if key is not None:
+            self.cache.put(key, pair)
+        return pair
+
+    def _pinned_compiled(
+        self, adg: ADG, now: float, table: PlanTable
+    ) -> CompiledPinnedBase:
+        """Compiled twin of :meth:`_pinned` (same caching and delta
+        re-pin discipline, over array columns)."""
+        token = self._token_of(adg)
+        key = ("cpin", token, now) if token is not None else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        base = (
+            self._patch_pinned_compiled(adg, now, table)
+            if token is not None
+            else None
+        )
+        if base is None:
+            base = compiled_pin(table, now)
+        if key is not None:
+            self.cache.put(key, base)
+            with self._lock:
+                self._cpin_prev[id(adg)] = (weakref.ref(adg), adg.rev, base)
+                if len(self._cpin_prev) > 64:
+                    self._cpin_prev = {
+                        k: entry
+                        for k, entry in self._cpin_prev.items()
+                        if entry[0]() is not None
+                    }
+            adg.compact_changelog(adg.rev if self.patching else 0)
+        return base
+
+    def _patch_pinned_compiled(
+        self, adg: ADG, now: float, table: PlanTable
+    ) -> Optional[CompiledPinnedBase]:
+        if not self.patching:
+            return None
+        with self._lock:
+            entry = self._cpin_prev.get(id(adg))
+        if entry is None or entry[0]() is not adg:
+            return None
+        _ref, prev_rev, prev_base = entry
+        delta = adg.delta_since(prev_rev)
+        if delta is None or delta.structural:
+            return None
+        # _table_for already wrote this window through to the table, so
+        # the delta re-pin reads post-refresh truth.
+        base = compiled_pin_delta(table, now, prev_base, delta.touched)
+        self.cache.count_pin_patch()
+        return base
+
     # -- cached schedule primitives -------------------------------------------------
 
     def best_effort(self, adg: ADG, now: float) -> ScheduleResult:
@@ -294,9 +428,24 @@ class PlanEngine:
 
         Under the cache's quantized-now mode, *now* is floored to its
         bucket first — rebalances within one bucket share the schedule.
+        With compilation on, the result is a :class:`~repro.core.
+        planning.table.CompiledSchedule` (same public surface, lazy
+        entries) computed over the flat table.
         """
         now = self.cache.quantize(now)
         token = self._token_of(adg)
+        table = self._table_for(adg)
+        if table is not None:
+            key = ("cbe", token, now) if token is not None else None
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return cached
+            result = compiled_best_effort(table, now)
+            self.cache.count_schedule_pass()
+            if key is not None:
+                self.cache.put(key, result)
+            return result
         key = ("be", token, now) if token is not None else None
         if key is not None:
             cached = self.cache.get(key)
@@ -374,10 +523,26 @@ class PlanEngine:
         On a miss only the pending frontier is re-scheduled: the pinned
         actuals and the critical-path table come from their own caches,
         shared across every LP of a scan.  Under the quantized-now mode,
-        *now* is floored to its bucket first.
+        *now* is floored to its bucket first.  With compilation on, the
+        frontier pass runs over the flat table's arrays.
         """
         now = self.cache.quantize(now)
         token = self._token_of(adg)
+        table = self._table_for(adg)
+        if table is not None:
+            key = ("clim", token, now, lp) if token is not None else None
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return cached
+            _cp, prio = self._critical_path_compiled(adg, table)
+            result = compiled_schedule_pending(
+                table, now, lp, self._pinned_compiled(adg, now, table), prio
+            )
+            self.cache.count_schedule_pass()
+            if key is not None:
+                self.cache.put(key, result)
+            return result
         key = ("lim", token, now, lp) if token is not None else None
         if key is not None:
             cached = self.cache.get(key)
@@ -440,7 +605,29 @@ class PlanEngine:
         if cap is not None:
             upper = min(upper, cap)
         answer: Optional[int] = None
+        pending_work: Optional[float] = None
+        table = self._table_for(adg)
+        if table is not None:
+            # Work-bound prune (see compiled_minimal_lp): with lp
+            # workers the pending worker-occupying work W cannot finish
+            # before now + W / lp, so candidates whose bound already
+            # misses the deadline skip their frontier pass.  The bound
+            # is a true lower bound on the greedy WCT, so the first
+            # feasible LP — the answer — is unchanged.
+            base = self._pinned_compiled(adg, now, table)
+            duration = table.duration
+            pp = base.pp
+            pending_work = sum(
+                d
+                for i in range(table.n)
+                if pp[i] != -1 and (d := duration[i]) > _EPS
+            )
         for lp in range(max(1, start_lp), upper + 1):
+            if (
+                pending_work is not None
+                and now + pending_work / lp > deadline + _EPS
+            ):
+                continue
             if self.limited(adg, now, lp).wct <= deadline + _EPS:
                 answer = lp
                 break

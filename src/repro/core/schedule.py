@@ -53,7 +53,7 @@ __all__ = [
 _EPS = 1e-9
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduledActivity:
     """Start/end assigned to one activity by a scheduling strategy."""
 
@@ -64,14 +64,26 @@ class ScheduledActivity:
     status: str  # "finished" | "running" | "pending" at scheduling time
 
 
-@dataclass
+@dataclass(slots=True)
 class ScheduleResult:
-    """Outcome of one scheduling pass over an ADG."""
+    """Outcome of one scheduling pass over an ADG.
+
+    Timelines and peaks memoize per ``from_time`` — a scheduling pass
+    populates ``entries`` before the result is served, and results are
+    never mutated after that, so repeated Figure-2 queries (the arbiter
+    asks for the same peak on every report) pay the sweep once.
+    """
 
     strategy: str
     now: float
     lp: Optional[int]  # None for best effort (infinite)
     entries: Dict[int, ScheduledActivity] = field(default_factory=dict)
+    _timelines: Dict[Optional[float], List[Tuple[float, int]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _peaks: Dict[Optional[float], int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def wct(self) -> float:
@@ -84,16 +96,23 @@ class ScheduleResult:
 
     def timeline(self, from_time: Optional[float] = None) -> List[Tuple[float, int]]:
         """Step function ``(time, concurrent activities)`` — Figure 2."""
-        intervals = [
-            (e.start, e.end)
-            for e in self.entries.values()
-            if e.end > (from_time if from_time is not None else -float("inf"))
-        ]
-        return concurrency_timeline(intervals, from_time=from_time)
+        cached = self._timelines.get(from_time)
+        if cached is None:
+            floor = from_time if from_time is not None else -float("inf")
+            intervals = [
+                (e.start, e.end) for e in self.entries.values() if e.end > floor
+            ]
+            cached = concurrency_timeline(intervals, from_time=from_time)
+            self._timelines[from_time] = cached
+        return cached
 
     def peak(self, from_time: Optional[float] = None) -> int:
         """Maximum concurrency (optionally only from *from_time* onwards)."""
-        return peak_concurrency(self.timeline(from_time))
+        cached = self._peaks.get(from_time)
+        if cached is None:
+            cached = peak_concurrency(self.timeline(from_time))
+            self._peaks[from_time] = cached
+        return cached
 
     def start_of(self, aid: int) -> float:
         return self.entries[aid].start
@@ -177,7 +196,7 @@ def _actual_or_estimate(
 # limited LP (greedy list scheduling)
 
 
-@dataclass
+@dataclass(slots=True)
 class PinnedPlanBase:
     """Pass-1 output of limited-LP list scheduling: the actuals pinned.
 

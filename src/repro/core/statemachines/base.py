@@ -128,6 +128,18 @@ class MuscleSpan:
 class TrackingMachine:
     """One machine instance per skeleton-instance execution (one index)."""
 
+    __slots__ = (
+        "skel",
+        "index",
+        "parent_index",
+        "estimators",
+        "children",
+        "parent",
+        "started_at",
+        "finished_at",
+        "depth",
+    )
+
     kind: str = "?"
 
     def __init__(

@@ -17,6 +17,8 @@ __all__ = ["FarmMachine", "PipeMachine"]
 
 
 class FarmMachine(TrackingMachine):
+    __slots__ = ()
+
     kind = "farm"
 
     def project(self, adg: ADG, preds: List[int], now: float) -> List[int]:
@@ -26,6 +28,8 @@ class FarmMachine(TrackingMachine):
 
 
 class PipeMachine(TrackingMachine):
+    __slots__ = ()
+
     kind = "pipe"
 
     def project(self, adg: ADG, preds: List[int], now: float) -> List[int]:

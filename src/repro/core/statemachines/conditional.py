@@ -20,6 +20,8 @@ __all__ = ["IfMachine"]
 
 
 class IfMachine(TrackingMachine):
+    __slots__ = ("cond_span",)
+
     kind = "if"
 
     def __init__(self, *args, **kwargs):

@@ -32,6 +32,14 @@ __all__ = ["DacMachine"]
 
 
 class DacMachine(TrackingMachine):
+    __slots__ = (
+        "cond_span",
+        "split_span",
+        "merge_span",
+        "divided",
+        "_depth_bootstrapped",
+    )
+
     kind = "dac"
 
     def __init__(self, *args, **kwargs):

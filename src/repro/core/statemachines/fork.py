@@ -22,6 +22,8 @@ __all__ = ["ForkMachine"]
 
 
 class ForkMachine(TrackingMachine):
+    __slots__ = ("split_span", "merge_span")
+
     kind = "fork"
 
     def __init__(self, *args, **kwargs):

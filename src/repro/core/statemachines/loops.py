@@ -24,6 +24,8 @@ __all__ = ["WhileMachine", "ForMachine"]
 
 
 class WhileMachine(TrackingMachine):
+    __slots__ = ("cond_spans", "trues")
+
     kind = "while"
 
     def __init__(self, *args, **kwargs):
@@ -92,6 +94,8 @@ class WhileMachine(TrackingMachine):
 
 
 class ForMachine(TrackingMachine):
+    __slots__ = ()
+
     kind = "for"
 
     def project(self, adg: ADG, preds: List[int], now: float) -> List[int]:

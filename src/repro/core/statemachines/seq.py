@@ -16,6 +16,8 @@ __all__ = ["SeqMachine"]
 
 
 class SeqMachine(TrackingMachine):
+    __slots__ = ("span",)
+
     kind = "seq"
 
     def __init__(self, *args, **kwargs):

@@ -18,6 +18,8 @@ __all__ = ["MapMachine"]
 
 
 class MapMachine(TrackingMachine):
+    __slots__ = ("split_span", "merge_span")
+
     kind = "map"
 
     def __init__(self, *args, **kwargs):

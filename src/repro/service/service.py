@@ -174,6 +174,11 @@ class SkeletonService:
         instead of re-walking the tracking machines.  On by default;
         ``False`` restores the plain rev-keyed plan caching (the
         delta-path benchmark's baseline).
+    plan_compiled:
+        Run every execution's scheduling passes over compiled
+        :class:`~repro.core.planning.PlanTable` flat arrays.  On by
+        default; ``False`` restores the dict-based passes bit for bit
+        (the compiled-scalability benchmark's baseline).
     checkpoints:
         An optional :class:`~repro.durability.store.CheckpointStore`.
         When given, submissions carrying a ``checkpoint=`` key persist
@@ -214,6 +219,7 @@ class SkeletonService:
         starvation_aging: str = "virtual-time",
         plan_cache: Optional[PlanCache] = None,
         plan_patching: bool = True,
+        plan_compiled: bool = True,
         checkpoints: Optional[CheckpointStore] = None,
         observability: Optional[Any] = None,
         **platform_kwargs: Any,
@@ -261,6 +267,7 @@ class SkeletonService:
         self.backfill_reservation = backfill_reservation
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.plan_patching = plan_patching
+        self.plan_compiled = plan_compiled
         self.tenants = TenantBook(default_quota=default_quota, quotas=quotas)
         self.admission = AdmissionController(
             capacity=self.capacity,
@@ -392,6 +399,7 @@ class SkeletonService:
                 extensions=self.extensions,
                 plan_cache=self.plan_cache,
                 plan_patching=self.plan_patching,
+                plan_compiled=self.plan_compiled,
             )
             # Resolve the scheduling class once, at the submission
             # boundary: QoS override first, tenant quota default second.

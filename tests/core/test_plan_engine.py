@@ -11,7 +11,13 @@ pin that contract:
   and live (mid-execution) plans at real analysis points;
 * explicit invalidation tests: a new event (ADG/machine revision) or an
   estimator update (version stamp) must produce fresh answers, while an
-  unchanged world must hit the cache (same object back).
+  unchanged world must hit the cache (same object back);
+* compiled-vs-dict equivalence: every :mod:`repro.core.planning.table`
+  array pass (best-effort, critical path, pinning, limited-LP frontier,
+  minimal-LP scan) must equal its dict twin bit for bit — structurally,
+  live at analysis points, and across the delta/patch path — and a
+  ``plan_compiled=False`` engine must answer identically while touching
+  no tables at all.
 
 The sweeps carry the ``service_stress`` marker so the dedicated CI job
 runs them alongside the arbiter property harness.
@@ -25,7 +31,14 @@ from repro.core.adg import ADG
 from repro.core.analysis import ExecutionAnalyzer, is_analysis_point
 from repro.core.estimator import EstimatorRegistry
 from repro.core.persistence import snapshot_from_names
-from repro.core.planning import PlanCache
+from repro.core.planning import PlanCache, PlanTable
+from repro.core.planning.table import (
+    compiled_best_effort,
+    compiled_critical_path,
+    compiled_minimal_lp,
+    compiled_pin,
+    compiled_schedule_pending,
+)
 from repro.core.projection import project_skeleton, projected_wct
 from repro.core.qos import QoS
 from repro.core.schedule import (
@@ -33,6 +46,7 @@ from repro.core.schedule import (
     limited_lp_schedule,
     minimal_lp_greedy,
     pin_actuals,
+    remaining_critical_path,
 )
 from repro.events.bus import Listener
 from repro.events.recorder import EventRecorder
@@ -59,9 +73,11 @@ def map_program(width=3):
     )
 
 
-def warm_map_analyzer(width=3, qos=None, cache=None, work_t=1.0):
+def warm_map_analyzer(width=3, qos=None, cache=None, work_t=1.0, plan_compiled=True):
     program = map_program(width)
-    analyzer = ExecutionAnalyzer(qos=qos, skeleton=program, plan_cache=cache)
+    analyzer = ExecutionAnalyzer(
+        qos=qos, skeleton=program, plan_cache=cache, plan_compiled=plan_compiled
+    )
     analyzer.initialize_estimates(
         program,
         snapshot_from_names(
@@ -297,6 +313,50 @@ def assert_pinned_equal(base, full) -> None:
     assert base.to_schedule == full.to_schedule
 
 
+def assert_compiled_schedule_equal(compiled, reference) -> None:
+    """A CompiledSchedule must equal its dict ScheduleResult twin on the
+    whole public surface: WCT, timelines, peaks and materialized entries
+    — bit for bit, no tolerances."""
+    assert compiled.now == reference.now
+    assert compiled.lp == reference.lp
+    assert compiled.wct == reference.wct
+    assert compiled.remaining() == reference.remaining()
+    assert compiled.timeline() == reference.timeline()
+    assert compiled.timeline(from_time=reference.now) == reference.timeline(
+        from_time=reference.now
+    )
+    assert compiled.peak(from_time=reference.now) == reference.peak(
+        from_time=reference.now
+    )
+    assert set(compiled.entries) == set(reference.entries)
+    for aid, want in reference.entries.items():
+        got = compiled.entries[aid]
+        assert (got.id, got.name, got.start, got.end, got.status) == (
+            want.id,
+            want.name,
+            want.start,
+            want.end,
+            want.status,
+        )
+
+
+def assert_compiled_pinned_equal(cbase, full) -> None:
+    """A CompiledPinnedBase (array columns, -1 = pinned) must encode the
+    exact state of a dict PinnedPlanBase from a full pin_actuals pass."""
+    assert cbase.now == full.now
+    n = len(cbase.pp)
+    pinned = {i for i in range(n) if cbase.pp[i] == -1}
+    assert pinned == set(full.ends)
+    for i in pinned:
+        assert cbase.ends[i] == full.ends[i]
+    assert {
+        i: cbase.pp[i] for i in range(n) if cbase.pp[i] >= 0
+    } == full.pending_preds
+    assert sorted(cbase.busy) == sorted(full.busy)
+    assert {aid: r for r, aid in cbase.ready_items} == full.ready_time
+    assert cbase.to_schedule == full.to_schedule
+
+
 class _PatchPathChecker(Listener):
     """At every analysis point, compare the (possibly patched) projection
     and pinned base against from-scratch machine walks, atomically with
@@ -323,6 +383,23 @@ class _PatchPathChecker(Listener):
             # Drive the pinned base (and its delta re-pin across nows)
             # through the engine, then compare with a full pinning pass.
             engine.limited(adg, now, 2)
+            table = engine._table_for(adg)
+            if table is not None:
+                # Compiled passes against their dict twins on the same
+                # (possibly patched, delta-refreshed) graph — including
+                # the compiled delta re-pin, which `limited` above drove
+                # across nows.
+                assert_compiled_pinned_equal(
+                    engine._pinned_compiled(adg, now, table),
+                    pin_actuals(adg, now),
+                )
+                assert_compiled_schedule_equal(
+                    engine.limited(adg, now, 2),
+                    limited_lp_schedule(adg, now, 2),
+                )
+                cp, _prio = engine._critical_path_compiled(adg, table)
+                ref_cp = remaining_critical_path(adg)
+                assert list(cp) == [ref_cp[i] for i in range(len(adg))]
             assert_pinned_equal(engine._pinned(adg, now), pin_actuals(adg, now))
             self.checked += 1
         return event.value
@@ -589,3 +666,136 @@ class TestSharedCache:
             == limited_lp_schedule(foreign, 0.0, 1).timeline()
         )
         assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# compiled tables: every array pass == its dict twin, bit for bit
+
+
+@pytest.mark.service_stress
+class TestCompiledPassesMatchDict:
+    """ISSUE 9 acceptance: the flat-array passes of
+    :mod:`repro.core.planning.table` must be bit-for-bit equal to the
+    dict passes of :mod:`repro.core.schedule` — structurally on
+    generated programs here, live and across the delta/patch path via
+    the extended ``_LivePlanChecker``/``_PatchPathChecker`` sweeps, and
+    with ``plan_compiled=False`` restoring the dict path outright."""
+
+    @given(program_descriptions)
+    def test_structural_compiled_passes_equal_dict_passes(self, desc):
+        program = build_program(desc)
+        platform = timed_sim()
+        analyzer = ExecutionAnalyzer(skeleton=program, extensions=True)
+        platform.add_listener(analyzer)
+        run(program, 5, platform)
+        est = analyzer.estimators
+        assume(est.ready_for(program))
+
+        adg = ADG()
+        project_skeleton(program, adg, [], est)
+        table = PlanTable.compile(adg)
+        assert table is not None
+        now = 0.0
+
+        best_ref = best_effort_schedule(adg, now)
+        assert_compiled_schedule_equal(compiled_best_effort(table, now), best_ref)
+
+        cp, prio = compiled_critical_path(table)
+        ref_cp = remaining_critical_path(adg)
+        assert list(cp) == [ref_cp[i] for i in range(len(adg))]
+
+        base = compiled_pin(table, now)
+        assert_compiled_pinned_equal(base, pin_actuals(adg, now))
+
+        for lp in (1, 2, 3, 5):
+            assert_compiled_schedule_equal(
+                compiled_schedule_pending(table, now, lp, base, prio),
+                limited_lp_schedule(adg, now, lp),
+            )
+
+        # The minimal-LP scan at a generous, a just-met and two
+        # unmeetable deadlines: the compiled scan's work-bound prune
+        # must never change an answer, feasible or not.
+        for deadline in (
+            best_ref.wct * 4,
+            best_ref.wct + 1e-6,
+            best_ref.wct * 0.5,
+            now,
+        ):
+            ref = minimal_lp_greedy(adg, now, deadline, max_lp=8)
+            got = compiled_minimal_lp(
+                table, now, deadline, max_lp=8, base=base, prio=prio
+            )
+            if ref is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got[0] == ref[0]
+                assert_compiled_schedule_equal(got[1], ref[1])
+
+    def test_compiled_tables_compile_and_patch_on_wide_map(self):
+        """Deterministic non-vacuity for the compiled pipeline: the warm
+        wide map must compile a table, write deltas through in place and
+        delta re-pin the compiled base — with the checker holding
+        compiled==dict equality at every analysis point."""
+        program, analyzer = warm_map_analyzer(
+            width=6, qos=QoS.wall_clock(30.0), work_t=1.0
+        )
+        analyzer.initialize_estimates(
+            program,
+            snapshot_from_names(
+                program,
+                times={"split": 1.0, "work": 1.0, "merge": 1.0},
+                cards={"split": 6.0},
+            ),
+        )
+        platform = timed_sim()
+        checker = _PatchPathChecker(analyzer, platform)
+        platform.add_listener(analyzer)
+        platform.add_listener(checker)
+        run(program, 3, platform)
+        stats = analyzer.plan.cache.stats
+        assert checker.checked >= 6
+        assert stats.table_compiles >= 1
+        assert stats.table_patches >= 1
+        assert stats.pin_patches >= 1
+
+    def test_uncompiled_engine_matches_dict_path_live(self):
+        """plan_compiled=False must restore the dict path bit for bit:
+        the live checker holds, and no table is ever compiled."""
+        program, analyzer = warm_map_analyzer(
+            width=4, qos=QoS.wall_clock(30.0), plan_compiled=False
+        )
+        platform = timed_sim()
+        checker = _LivePlanChecker(analyzer, platform)
+        platform.add_listener(analyzer)
+        platform.add_listener(checker)
+        run(program, 5, platform)
+        assert checker.checked >= 4
+        stats = analyzer.plan.cache.stats
+        assert stats.table_compiles == 0
+        assert stats.table_patches == 0
+
+    def test_uncompiled_patch_path_still_agrees(self):
+        """With compilation off, the dict delta pipeline carries the
+        patch path alone — and still fires."""
+        program, analyzer = warm_map_analyzer(
+            width=6, qos=QoS.wall_clock(30.0), work_t=1.0, plan_compiled=False
+        )
+        analyzer.initialize_estimates(
+            program,
+            snapshot_from_names(
+                program,
+                times={"split": 1.0, "work": 1.0, "merge": 1.0},
+                cards={"split": 6.0},
+            ),
+        )
+        platform = timed_sim()
+        checker = _PatchPathChecker(analyzer, platform)
+        platform.add_listener(analyzer)
+        platform.add_listener(checker)
+        run(program, 3, platform)
+        stats = analyzer.plan.cache.stats
+        assert checker.checked >= 6
+        assert stats.table_compiles == 0
+        assert stats.pin_patches >= 1
