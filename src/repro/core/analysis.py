@@ -315,7 +315,9 @@ class ExecutionAnalyzer(Listener):
         The deadline assumes the execution starts *now* — optimistic by
         at most the (tiny) submit-to-first-task latency.
         """
-        adg = self.plan.structural_projection()
+        adg = self.plan.structural_plan()
+        if adg is None:
+            adg = self.plan.structural_projection()
         if adg is None or len(adg) == 0:
             return None
         deadline = None

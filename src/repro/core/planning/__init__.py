@@ -12,7 +12,12 @@ package is the single seam all planning flows through:
 * :class:`~repro.core.planning.table.PlanTable` — a projected ADG
   compiled once into struct-of-arrays form, over which the engine runs
   every hot scheduling pass as index arithmetic (``compiled=True``,
-  the default).
+  the default);
+* :class:`~repro.core.planning.compile.ProjectionCompiler` — walks a
+  skeleton structure and emits PlanTable columns *directly* (no
+  ``Activity`` objects, no intermediate ADG), stamping repeated
+  sub-structures from relocatable templates; its output is memoized
+  across engines by ``(structural fingerprint, estimate values)``.
 
 Consumers: :class:`~repro.core.analysis.ExecutionAnalyzer` builds its
 reports through the engine, :class:`~repro.service.admission.
@@ -22,14 +27,24 @@ minimal/optimal LPs from cached plans during rebalances.
 """
 
 from .cache import PlanCache, PlanCacheStats
+from .compile import (
+    CompiledProjection,
+    ProjectionCompiler,
+    compile_structural,
+    structural_fingerprint,
+)
 from .engine import PlanEngine
 from .table import CompiledPinnedBase, CompiledSchedule, PlanTable
 
 __all__ = [
     "CompiledPinnedBase",
+    "CompiledProjection",
     "CompiledSchedule",
     "PlanCache",
     "PlanCacheStats",
     "PlanEngine",
     "PlanTable",
+    "ProjectionCompiler",
+    "compile_structural",
+    "structural_fingerprint",
 ]

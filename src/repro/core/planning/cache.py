@@ -57,6 +57,8 @@ class PlanCacheStats:
     pin_patches: int
     table_compiles: int
     table_patches: int
+    struct_compiles: int
+    struct_memo_hits: int
     size: int
 
     @property
@@ -82,7 +84,12 @@ class PlanCache:
     * ``table_compiles`` / ``table_patches`` — projected ADGs flattened
       into :class:`~repro.core.planning.table.PlanTable` array form,
       versus tables kept current by writing a non-structural delta
-      through in place.
+      through in place;
+    * ``struct_compiles`` / ``struct_memo_hits`` — skeleton structures
+      compiled *directly* to tables by the :class:`~repro.core.planning.
+      compile.ProjectionCompiler` (each also counts as a projection
+      pass), versus structural plans served by the cross-engine
+      ``(fingerprint, estimate values)`` shape memo without any walk.
 
     The rebalance-overhead benchmark compares these between the full
     delta path, a patch-disabled run, and a ``maxsize=0`` (from-scratch)
@@ -120,6 +127,8 @@ class PlanCache:
         self._pin_patches = 0
         self._table_compiles = 0
         self._table_patches = 0
+        self._struct_compiles = 0
+        self._struct_memo_hits = 0
 
     # -- quantization ------------------------------------------------------------
 
@@ -189,6 +198,23 @@ class PlanCache:
         with self._lock:
             self._table_patches += 1
 
+    def count_struct_compile(self) -> None:
+        """One skeleton structure compiled directly to a PlanTable.
+
+        The direct compile *is* this program shape's projection walk, so
+        the walk counter moves with it: across N same-shape submissions
+        sharing the memo, ``projection_passes`` advances exactly once.
+        """
+        with self._lock:
+            self._struct_compiles += 1
+            self._projection_passes += 1
+
+    def count_struct_memo_hit(self) -> None:
+        """One structural plan served from the cross-engine shape memo
+        (no projection walk, no compile)."""
+        with self._lock:
+            self._struct_memo_hits += 1
+
     @property
     def stats(self) -> PlanCacheStats:
         with self._lock:
@@ -202,6 +228,8 @@ class PlanCache:
                 pin_patches=self._pin_patches,
                 table_compiles=self._table_compiles,
                 table_patches=self._table_patches,
+                struct_compiles=self._struct_compiles,
+                struct_memo_hits=self._struct_memo_hits,
                 size=len(self._store),
             )
 
@@ -216,6 +244,8 @@ class PlanCache:
             self._pin_patches = 0
             self._table_compiles = 0
             self._table_patches = 0
+            self._struct_compiles = 0
+            self._struct_memo_hits = 0
 
     def stats_dict(self) -> Dict[str, Any]:
         """Counters as a plain dict (for reports and benches)."""
@@ -230,6 +260,8 @@ class PlanCache:
             "pin_patches": s.pin_patches,
             "table_compiles": s.table_compiles,
             "table_patches": s.table_patches,
+            "struct_compiles": s.struct_compiles,
+            "struct_memo_hits": s.struct_memo_hits,
             "size": s.size,
             "hit_rate": s.hit_rate,
         }

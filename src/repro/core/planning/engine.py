@@ -14,7 +14,11 @@ owns all of it behind explicit invalidation:
   rebalance reuses its projected ADG outright (projection walks machine
   state and estimates only; it is independent of *now*);
 * **structural projections** (pre-start analysis, admission gates) are
-  cached on the estimator version alone;
+  cached on the estimator version alone — and, with compilation on,
+  served as directly-compiled tables memoized *across engines* by
+  ``(structural fingerprint, estimate values)``, so same-shape
+  submissions share one table without any walk (:meth:`PlanEngine.
+  structural_plan`);
 * **schedules** are cached on ``(adg revision, estimator version, lp,
   now)`` and recomputed *incrementally*: the pinned actuals
   (:func:`~repro.core.schedule.pin_actuals`) and the critical-path
@@ -75,6 +79,12 @@ from ..schedule import (
 from ..statemachines import MachineRegistry
 from ..statemachines.base import refresh_from_sources
 from .cache import PlanCache
+from .compile import (
+    CompiledProjection,
+    compile_structural,
+    structural_fingerprint,
+    structural_values_key,
+)
 from .table import (
     CompiledPinnedBase,
     PlanTable,
@@ -170,6 +180,11 @@ class PlanEngine:
         self._cpin_prev: Dict[
             int, Tuple[weakref.ref, int, CompiledPinnedBase]
         ] = {}
+        # Lazy identity of the skeleton's structure (stable for the
+        # engine's lifetime) and the estimate values the structural memo
+        # keys on, re-derived only when the estimator version moves.
+        self._struct_fp: Optional[str] = None
+        self._struct_vkey: Optional[Tuple[int, Tuple]] = None
         self._lock = threading.RLock()
 
     # -- token bookkeeping --------------------------------------------------------
@@ -192,7 +207,13 @@ class PlanEngine:
         The ADG's own revision counter is folded in live, so mutating a
         projected ADG (``add``/``touch``) retires every plan derived
         from the old revision — the stale entries become LRU garbage.
+        A :class:`CompiledProjection` carries its own engine-independent
+        token (shape fingerprint + estimate values, revision frozen at
+        0), so schedules derived from a shared structural plan are
+        shared across engines too.
         """
+        if type(adg) is CompiledProjection:
+            return adg.token + (0,)
         with self._lock:
             entry = self._known.get(id(adg))
         if entry is not None and entry[0]() is adg:
@@ -318,6 +339,52 @@ class PlanEngine:
             self._remember(adg, token)
         return adg
 
+    def structural_plan(self) -> Optional[CompiledProjection]:
+        """The skeleton's structural projection, compiled straight to a
+        table and memoized *across engines* by program shape.
+
+        The :class:`~repro.core.planning.compile.ProjectionCompiler`
+        walks the skeleton structure once and emits the PlanTable
+        columns directly — no ``Activity`` objects, no intermediate ADG
+        — and the result is cached in the (shared) :class:`PlanCache`
+        under ``(structural fingerprint, estimate values)``.  Identical
+        program shapes at identical estimates — multi-tenant
+        same-workload submissions, admission gates, held-queue
+        re-promotions — therefore share one compiled table *and*, since
+        the plan's token is engine-independent, every schedule derived
+        from it (``count_struct_memo_hit`` / ``count_struct_compile``).
+
+        ``None`` with compilation off, without a skeleton, or while its
+        estimates are cold — callers fall back to
+        :meth:`structural_projection`.
+        """
+        if (
+            not self.compiled
+            or self.skeleton is None
+            or not self.estimators.ready_for(self.skeleton)
+        ):
+            return None
+        fp = self._struct_fp
+        if fp is None:
+            fp = self._struct_fp = structural_fingerprint(self.skeleton)
+        version = self.estimators.version
+        cached_vkey = self._struct_vkey
+        if cached_vkey is not None and cached_vkey[0] == version:
+            vkey = cached_vkey[1]
+        else:
+            vkey = structural_values_key(self.skeleton, self.estimators)
+            self._struct_vkey = (version, vkey)
+        key = ("cproj", fp, vkey)
+        plan = self.cache.get(key)
+        if plan is not None:
+            self.cache.count_struct_memo_hit()
+            return plan
+        plan = compile_structural(
+            self.skeleton, self.estimators, token=("cstruct", fp, vkey)
+        )
+        self.cache.count_struct_compile()
+        return self.cache.put(key, plan)
+
     # -- compiled plan tables --------------------------------------------------------
 
     def _table_for(self, adg: ADG) -> Optional[PlanTable]:
@@ -329,10 +396,13 @@ class PlanEngine:
         revision lags is advanced by writing the changelog window
         through in place (``count_table_patch``) when the window is
         non-structural, and recompiled from scratch otherwise
-        (``count_table_compile``).
+        (``count_table_compile``).  A :class:`CompiledProjection` *is*
+        its table — immutable, no sync bookkeeping.
         """
         if not self.compiled:
             return None
+        if type(adg) is CompiledProjection:
+            return adg.table
         with self._lock:
             entry = self._tables.get(id(adg))
         if entry is not None and entry[0]() is adg:
@@ -375,7 +445,19 @@ class PlanEngine:
         self, adg: ADG, now: float, table: PlanTable
     ) -> CompiledPinnedBase:
         """Compiled twin of :meth:`_pinned` (same caching and delta
-        re-pin discipline, over array columns)."""
+        re-pin discipline, over array columns).
+
+        Structural plans short-circuit: an all-pending immutable table
+        pins by pure array copies (:meth:`CompiledProjection.
+        pinned_fresh`), with no previous-base tracking or changelog
+        compaction to maintain.
+        """
+        if type(adg) is CompiledProjection:
+            key = ("cpin", adg.token + (0,), now)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            return self.cache.put(key, adg.pinned_fresh(now))
         token = self._token_of(adg)
         key = ("cpin", token, now) if token is not None else None
         if key is not None:
@@ -645,7 +727,9 @@ class PlanEngine:
         clock: held-queue re-evaluations hit the cache until an estimate
         changes.  ``None`` while the estimates are cold.
         """
-        adg = self.structural_projection()
+        adg = self.structural_plan()
+        if adg is None:
+            adg = self.structural_projection()
         if adg is None:
             return None
         return self.limited(adg, start, lp).wct
@@ -659,7 +743,9 @@ class PlanEngine:
         held queue head.  ``None`` while cold or when no LP up to *cap*
         meets the goal.
         """
-        adg = self.structural_projection()
+        adg = self.structural_plan()
+        if adg is None:
+            adg = self.structural_projection()
         if adg is None:
             return None
         return self.minimal_lp(adg, 0.0, goal_seconds, cap=cap)

@@ -52,6 +52,7 @@ back to the dict path whenever compilation is unsound
 from __future__ import annotations
 
 import heapq
+import operator
 from array import array
 from math import nan
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -63,6 +64,11 @@ from ..schedule import (
     concurrency_timeline,
     peak_concurrency,
 )
+
+try:  # optional accelerator; every user keeps a pure-stdlib fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
 
 __all__ = [
     "PlanTable",
@@ -357,10 +363,20 @@ class CompiledSchedule:
         return cached
 
     def peak(self, from_time: Optional[float] = None) -> int:
-        """Maximum concurrency (optionally only from *from_time* onwards)."""
+        """Maximum concurrency (optionally only from *from_time* onwards).
+
+        When the step function itself was never asked for, the peak is
+        computed directly from the start/end columns (same filtering,
+        grouping and crop rules as :func:`~repro.core.schedule.
+        concurrency_timeline` — the value is identical); a memoized
+        timeline is reused for free.
+        """
         cached = self._peaks.get(from_time)
         if cached is None:
-            cached = peak_concurrency(self.timeline(from_time))
+            if _np is not None and from_time not in self._timelines:
+                cached = _np_peak(self._starts, self._ends, from_time)
+            else:
+                cached = peak_concurrency(self.timeline(from_time))
             self._peaks[from_time] = cached
         return cached
 
@@ -369,6 +385,52 @@ class CompiledSchedule:
 
     def end_of(self, aid: int) -> float:
         return self._ends[aid]
+
+
+def _np_peak(starts: array, ends: array, from_time: Optional[float]) -> int:
+    """Peak concurrency straight from the schedule columns (numpy).
+
+    Reproduces ``peak_concurrency(concurrency_timeline(intervals,
+    from_time))`` over ``CompiledSchedule.timeline``'s interval filter
+    exactly: zero-length intervals (``end - start <= _EPS``) contribute
+    nothing, deltas aggregate per *distinct* time before a level is
+    recorded (the cumulative sum at each time-group's end — order inside
+    a group cannot matter), and the crop keeps levels at ``t >=
+    from_time`` plus the entry level when the first kept time lies
+    strictly after *from_time*.  Levels are exact small-integer sums, so
+    the value is bit-identical to the dict computation.
+    """
+    s = _np.frombuffer(starts, dtype=_np.float64)
+    e = _np.frombuffer(ends, dtype=_np.float64)
+    keep = e - s > _EPS
+    if from_time is not None:
+        keep &= e > from_time
+    s = s[keep]
+    e = e[keep]
+    if not s.size:
+        return 0
+    t = _np.concatenate((s, e))
+    d = _np.concatenate(
+        (_np.ones(s.size, dtype=_np.int64), _np.full(e.size, -1, dtype=_np.int64))
+    )
+    order = _np.argsort(t)
+    t = t[order]
+    levels = _np.cumsum(d[order])
+    group_end = _np.empty(t.size, dtype=bool)
+    group_end[:-1] = t[1:] != t[:-1]
+    group_end[-1] = True
+    t = t[group_end]
+    levels = levels[group_end]
+    if from_time is None:
+        return int(levels.max())
+    at = int(_np.searchsorted(t, from_time, side="left"))
+    level_at = int(levels[at - 1]) if at else 0
+    if at == t.size:
+        return level_at  # the crop degenerates to [(from_time, level_at)]
+    best = int(levels[at:].max())
+    if t[at] > from_time and level_at > best:
+        best = level_at
+    return best
 
 
 # ---------------------------------------------------------------------------
@@ -411,7 +473,10 @@ def compiled_critical_path(table: PlanTable) -> Tuple[array, list]:
         if state[i] != FINISHED:
             best += duration[i]
         cp[i] = best
-    prio = [(-cp[i], i) for i in range(n)]
+    # zip(map(neg, ...)) builds the (-cp, aid) entries at C speed; float
+    # negation is exact, so the entries equal the comprehension's bit for
+    # bit.
+    prio = list(zip(map(operator.neg, cp), range(n)))
     return cp, prio
 
 
@@ -680,6 +745,11 @@ def compiled_schedule_pending(
     succ1 = table.succ1
     succ_ptr = table.succ_ptr
     succ_ext = table.succ_ext
+    npred = table.npred
+    pred0 = table.pred0
+    pred1 = table.pred1
+    pred_ptr = table.pred_ptr
+    pred_ext = table.pred_ext
     heappush = heapq.heappush
     heappop = heapq.heappop
 
@@ -719,7 +789,30 @@ def compiled_schedule_pending(
                         cnt -= 1
                         pp[s] = cnt
                         if cnt == 0:
-                            r = _ready_time(table, s, ends, cursor)
+                            # max predecessor end, clamped to the cursor
+                            # (_ready_time inlined over hoisted columns —
+                            # this runs once per scheduled activity per
+                            # scanned LP).
+                            r = cursor
+                            pc = npred[s]
+                            if pc:
+                                if pc == 1:
+                                    pe = ends[pred0[s]]
+                                    if pe > r:
+                                        r = pe
+                                elif pc == 2:
+                                    pe = ends[pred0[s]]
+                                    if pe > r:
+                                        r = pe
+                                    pe = ends[pred1[s]]
+                                    if pe > r:
+                                        r = pe
+                                else:
+                                    o = pred_ptr[s]
+                                    for p in pred_ext[o:o + pc]:
+                                        pe = ends[p]
+                                        if pe > r:
+                                            r = pe
                             heappush(waiting, (r, s))
             continue
         # Advance the cursor to the next event: a worker freeing up or a
@@ -777,6 +870,7 @@ def compiled_minimal_lp(
     start_lp: int = 1,
     base: Optional[CompiledPinnedBase] = None,
     prio: Optional[list] = None,
+    peak: Optional[int] = None,
 ) -> Optional[Tuple[int, CompiledSchedule]]:
     """Smallest LP whose greedy schedule meets *deadline* — array twin of
     :func:`~repro.core.schedule.minimal_lp_greedy`.
@@ -793,7 +887,11 @@ def compiled_minimal_lp(
     the greedy schedule's WCT, so the returned answer — first feasible
     LP, its schedule, or ``None`` — is identical to the unpruned scan.
     """
-    upper = max(compiled_best_effort(table, now).peak(from_time=now), 1)
+    if peak is None:
+        # A caller that already ran the best-effort pass (every analysis
+        # recipe does) passes its peak in and skips this duplicate pass.
+        peak = compiled_best_effort(table, now).peak(from_time=now)
+    upper = max(peak, 1)
     if max_lp is not None:
         upper = min(upper, max_lp)
     if base is None:

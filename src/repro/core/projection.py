@@ -167,8 +167,80 @@ def estimated_total_work(skel: Skeleton, est: EstimatorRegistry) -> float:
     """Total estimated sequential work of *skel* (sum of all ``t(m)``).
 
     Used to pick the conservative branch of an If projection and by the
-    controller's decision log for observability.
+    controller's decision log for observability.  Summed directly over
+    the skeleton structure — no ADG is allocated — adding the same
+    ``t(m)`` terms in the same order as a projection walk would create
+    activities, so the value equals ``sum(a.duration for a in adg)`` of
+    :func:`project_skeleton`'s output bit for bit (float addition is
+    order-sensitive; the order is preserved, and both sums start from an
+    exact zero).  That matters because :func:`project_skeleton` calls
+    this for **every** ``If`` to pick the conservative branch — the old
+    implementation projected a throwaway ADG per If per walk.
     """
-    adg = ADG()
-    project_skeleton(skel, adg, [], est)
-    return sum(a.duration for a in adg)
+    return _sum_work(skel, est, 0.0)
+
+
+def _sum_work(skel: Skeleton, est: EstimatorRegistry, acc: float) -> float:
+    """Thread *acc* through *skel*'s ``t(m)`` terms in projection order."""
+    if isinstance(skel, Seq):
+        return acc + est.t(skel.execute)
+
+    if isinstance(skel, Farm):
+        return _sum_work(skel.subskel, est, acc)
+
+    if isinstance(skel, Pipe):
+        for stage in skel.stages:
+            acc = _sum_work(stage, est, acc)
+        return acc
+
+    if isinstance(skel, For):
+        for _ in range(skel.times):
+            acc = _sum_work(skel.subskel, est, acc)
+        return acc
+
+    if isinstance(skel, While):
+        n = est.card_int_zero(skel.condition)
+        tc = est.t(skel.condition)
+        for _ in range(n):
+            acc = _sum_work(skel.subskel, est, acc + tc)
+        return acc + tc
+
+    if isinstance(skel, If):
+        branch = max(
+            (skel.true_skel, skel.false_skel),
+            key=lambda b: estimated_total_work(b, est),
+        )
+        return _sum_work(branch, est, acc + est.t(skel.condition))
+
+    if isinstance(skel, Map):
+        acc += est.t(skel.split)
+        for _ in range(est.card_int(skel.split)):
+            acc = _sum_work(skel.subskel, est, acc)
+        return acc + est.t(skel.merge)
+
+    if isinstance(skel, Fork):
+        acc += est.t(skel.split)
+        for sub in skel.subskels:
+            acc = _sum_work(sub, est, acc)
+        return acc + est.t(skel.merge)
+
+    if isinstance(skel, DivideAndConquer):
+        depth = est.card_int_zero(skel.condition)
+        return _sum_dac(skel, est, acc, remaining_depth=depth)
+
+    raise ADGError(f"cannot project skeleton type {type(skel).__name__}")
+
+
+def _sum_dac(
+    skel: DivideAndConquer,
+    est: EstimatorRegistry,
+    acc: float,
+    remaining_depth: int,
+) -> float:
+    acc += est.t(skel.condition)
+    if remaining_depth <= 0:
+        return _sum_work(skel.subskel, est, acc)
+    acc += est.t(skel.split)
+    for _ in range(est.card_int(skel.split)):
+        acc = _sum_dac(skel, est, acc, remaining_depth - 1)
+    return acc + est.t(skel.merge)

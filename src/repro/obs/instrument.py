@@ -21,14 +21,37 @@ observe.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from ..events.bus import Listener
 from ..events.types import Event, When
 from .registry import MetricsRegistry
 from .tracing import Tracer
 
-__all__ = ["BusInstrument"]
+__all__ = ["BusInstrument", "bind_stats_gauges"]
+
+
+def bind_stats_gauges(
+    metrics: MetricsRegistry,
+    name: str,
+    help_text: str,
+    stats_fn: Callable[[], Dict[str, Any]],
+) -> None:
+    """Expose every key of a stats dict as one callback-gauge family.
+
+    The registry samples ``stats_fn`` lazily at export time, so there is
+    no double bookkeeping to drift, and counters added to the source
+    dict later (e.g. new :class:`~repro.core.planning.cache.
+    PlanCacheStats` fields) appear as gauges automatically — the key set
+    is read once at bind time, the *values* on every scrape.
+    """
+    family = metrics.gauge(name, help_text)
+
+    def reader(key: str):
+        return lambda: float(stats_fn().get(key, 0))
+
+    for key in stats_fn():
+        family.set_function(reader(key), stat=key)
 
 
 class BusInstrument(Listener):

@@ -139,13 +139,18 @@ class AdmissionController:
         program: Skeleton,
         estimators: EstimatorRegistry,
         lp: Optional[int] = None,
+        engine: Optional[PlanEngine] = None,
     ) -> Optional[float]:
         """Projected WCT (seconds from start) of *program* under *lp* workers.
 
         ``None`` when the estimators are cold — prediction is impossible
         until every muscle has an estimate (warm start or a prior run of
-        the same registry).
+        the same registry).  With *engine* the answer comes off the
+        shared plan cache (directly-compiled structural plan plus
+        memoized schedule) instead of a fresh projection walk.
         """
+        if engine is not None:
+            return engine.structural_wct(lp or self.capacity)
         if not estimators.ready_for(program):
             return None
         return projected_wct(program, estimators, lp or self.capacity)
@@ -165,6 +170,9 @@ class AdmissionController:
         if qos is None or qos.wct is None:
             return None
         if engine is not None:
+            plan = engine.structural_plan()
+            if plan is not None:
+                return plan
             return engine.structural_projection()
         if not estimators.ready_for(program):
             return None

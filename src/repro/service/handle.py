@@ -93,6 +93,11 @@ class ExecutionHandle:
         self.goal_at_risk = False
         self._rejected_reason: Optional[str] = None
         self._cancelled = False
+        # Set once the owning service has stamped finished_at: the future
+        # wakes result() waiters *before* its done-callbacks run, so the
+        # consumer thread could otherwise observe a completed result with
+        # wall_clock()/goal_met() still None.
+        self._finalized = threading.Event()
         self._lock = threading.Lock()
         # The owning service wires itself in so cancel() can remove held
         # submissions from the admission queue.
@@ -150,11 +155,18 @@ class ExecutionHandle:
     def _mark_rejected(self, reason: str) -> None:
         with self._lock:
             self._rejected_reason = reason
+        self._finalized.set()
         self.future.set_exception(AdmissionError(reason))
 
     def _mark_cancelled(self) -> None:
         with self._lock:
             self._cancelled = True
+
+    def _mark_finished(self, finished_at: float) -> None:
+        """Stamp the finish time and release result() waiters."""
+        if self.finished_at is None:
+            self.finished_at = finished_at
+        self._finalized.set()
 
     # -- consumption ------------------------------------------------------------
 
@@ -165,8 +177,13 @@ class ExecutionHandle:
         :class:`~repro.errors.AdmissionError` for rejected submissions and
         :class:`~repro.errors.ExecutionCancelledError` after
         :meth:`cancel`.
+
+        On return, completion bookkeeping is settled: :meth:`wall_clock`
+        and :meth:`goal_met` never see a half-finalized handle.
         """
-        return self.future.get(timeout=timeout)
+        value = self.future.get(timeout=timeout)
+        self._finalized.wait(timeout)
+        return value
 
     def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
         """Block until finished; return the failure (or ``None``)."""

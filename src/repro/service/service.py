@@ -328,17 +328,18 @@ class SkeletonService:
 
         ``plan_stats()`` remains the dict-shaped compatibility surface;
         the registry samples the very same counters lazily at export
-        time, so there is no double bookkeeping to drift.
+        time, so there is no double bookkeeping to drift — new cache
+        counters (``struct_compiles``/``struct_memo_hits``, ...) show up
+        without service changes.
         """
-        family = registry.gauge(
-            "repro_plan_cache", "Shared plan-cache counters (callback view)"
+        from ..obs.instrument import bind_stats_gauges
+
+        bind_stats_gauges(
+            registry,
+            "repro_plan_cache",
+            "Shared plan-cache counters (callback view)",
+            self.plan_cache.stats_dict,
         )
-
-        def reader(key: str):
-            return lambda: float(self.plan_cache.stats_dict().get(key, 0))
-
-        for key in self.plan_cache.stats_dict():
-            family.set_function(reader(key), stat=key)
 
     # -- submission -------------------------------------------------------------
 
@@ -584,7 +585,8 @@ class SkeletonService:
                 )
                 handle._service = self
                 handle.checkpoint_key = key
-                handle.started_at = handle.finished_at = self.platform.now()
+                handle.started_at = self.platform.now()
+                handle._mark_finished(handle.started_at)
                 execution.finish(ckpt.value)
                 return handle
         original_qos = qos_from_dict(ckpt.qos)
@@ -622,6 +624,11 @@ class SkeletonService:
             span.finish(status="ok" if status == "completed" else status)
 
     def _on_done(self, handle: ExecutionHandle) -> None:
+        # Stamp completion before anything that can block: result() waiters
+        # wake before done-callbacks run and then block on the handle's
+        # finalization event, so it must be set without first contending
+        # for the service lock.
+        handle._mark_finished(self.platform.now())
         with self._lock:
             record = self._live.pop(handle.execution_id, None)
             if record is None:
@@ -630,7 +637,6 @@ class SkeletonService:
             if record.checkpointer is not None:
                 self.platform.bus.remove_listener(record.checkpointer)
             self.tenants.finished(handle.tenant)
-            handle.finished_at = self.platform.now()
             exc = handle.future.exception(timeout=0)
             if exc is None:
                 outcome = "completed"

@@ -32,6 +32,11 @@ from repro.core.analysis import ExecutionAnalyzer, is_analysis_point
 from repro.core.estimator import EstimatorRegistry
 from repro.core.persistence import snapshot_from_names
 from repro.core.planning import PlanCache, PlanTable
+from repro.core.planning.compile import (
+    CompiledProjection,
+    compile_structural,
+    structural_fingerprint,
+)
 from repro.core.planning.table import (
     compiled_best_effort,
     compiled_critical_path,
@@ -799,3 +804,200 @@ class TestCompiledPassesMatchDict:
         assert checker.checked >= 6
         assert stats.table_compiles == 0
         assert stats.pin_patches >= 1
+
+
+# ---------------------------------------------------------------------------
+# projection compiler == Activity-walk + PlanTable.compile, bit for bit
+
+
+_TABLE_COLUMNS = (
+    "duration",
+    "start",
+    "end",
+    "state",
+    "npred",
+    "pred0",
+    "pred1",
+    "pred_ptr",
+    "pred_ext",
+    "nsucc",
+    "succ0",
+    "succ1",
+    "succ_ptr",
+    "succ_ext",
+)
+
+
+def assert_tables_bit_equal(direct: PlanTable, walked: PlanTable) -> None:
+    """Every column identical down to the array typecode and raw bytes."""
+    assert direct.n == walked.n
+    assert direct.names == walked.names
+    assert direct.roles == walked.roles
+    for col in _TABLE_COLUMNS:
+        a, b = getattr(direct, col), getattr(walked, col)
+        assert a.typecode == b.typecode, f"typecode mismatch in {col}"
+        assert a.tobytes() == b.tobytes(), f"column {col} diverged"
+
+
+def assert_pinned_bases_equal(fresh, pinned) -> None:
+    assert fresh.now == pinned.now
+    assert fresh.ends.tobytes() == pinned.ends.tobytes()
+    assert fresh.pp.tobytes() == pinned.pp.tobytes()
+    assert fresh.state.tobytes() == pinned.state.tobytes()
+    assert fresh.busy == pinned.busy
+    assert fresh.ready_items == pinned.ready_items
+    assert fresh.to_schedule == pinned.to_schedule
+
+
+@pytest.mark.service_stress
+class TestProjectionCompilerTwin:
+    """ISSUE 10 acceptance: the :class:`~repro.core.planning.compile.
+    ProjectionCompiler` emits PlanTable columns straight from the
+    skeleton structure — the result must be **bit-for-bit** the table
+    the Activity path produces (``project_skeleton`` → ``PlanTable.
+    compile``), every generated pattern included (nested D&C/While/If
+    hit the template-stamping multipliers), and the cross-engine
+    structural memo must serve repeats without a walk yet never survive
+    an estimate-value change."""
+
+    @given(program_descriptions)
+    def test_direct_compiled_tables_equal_activity_walk(self, desc):
+        program = build_program(desc)
+        platform = timed_sim()
+        analyzer = ExecutionAnalyzer(skeleton=program, extensions=True)
+        platform.add_listener(analyzer)
+        run(program, 5, platform)
+        est = analyzer.estimators
+        assume(est.ready_for(program))
+
+        fresh = ADG()
+        project_skeleton(program, fresh, [], est)
+        walked = PlanTable.compile(fresh)
+        assert walked is not None
+
+        plan = compile_structural(program, est)
+        assert isinstance(plan, CompiledProjection)
+        assert_tables_bit_equal(plan.table, walked)
+        # The all-pending pinned base built by pure array copies equals
+        # a real pinning pass over the walked table (bit for bit, so
+        # every schedule derived from it is equal too).
+        assert_pinned_bases_equal(
+            plan.pinned_fresh(0.0), compiled_pin(walked, 0.0)
+        )
+
+        # The engine serves the same answers through the memoized plan
+        # as the dict path computes from scratch.
+        engine = analyzer.plan
+        served = engine.structural_plan()
+        assert served is not None
+        assert_tables_bit_equal(served.table, walked)
+        for lp in (1, 3):
+            assert engine.structural_wct(lp) == projected_wct(program, est, lp)
+
+    def test_memo_shared_across_engines_walk_counter_flat(self):
+        """N same-shape, same-estimate submissions share ONE compiled
+        structural table: the first compiles (one projection pass), the
+        rest are memo hits — the walk counter stays flat."""
+        cache = PlanCache()
+        analyzers = [
+            warm_map_analyzer(width=4, cache=cache)[1] for _ in range(4)
+        ]
+        base = cache.stats
+        plans = [a.plan.structural_plan() for a in analyzers]
+        assert all(p is plans[0] for p in plans)  # one shared object
+        stats = cache.stats
+        assert stats.struct_compiles - base.struct_compiles == 1
+        assert stats.struct_memo_hits - base.struct_memo_hits == 3
+        # The compile *is* the only projection walk for the shape.
+        assert stats.projection_passes - base.projection_passes == 1
+        # Re-asking on every engine stays flat too.
+        for a in analyzers:
+            assert a.plan.structural_plan() is plans[0]
+        again = cache.stats
+        assert again.struct_compiles == stats.struct_compiles
+        assert again.projection_passes == stats.projection_passes
+
+    def test_memo_invalidated_by_value_change_not_version_churn(self):
+        """The memo keys on estimate *values*: a version bump that
+        changes a duration recompiles; a version bump that re-initializes
+        the same values still hits."""
+        cache = PlanCache()
+        program, analyzer = warm_map_analyzer(width=3, cache=cache)
+        engine = analyzer.plan
+        first = engine.structural_plan()
+        assert first is not None
+        compiles0 = cache.stats.struct_compiles
+
+        # Same structural values, new estimator version (an unrelated
+        # muscle's estimate moved — e.g. registry churn from another
+        # part of a shared workload): memo must still hit.
+        v0 = analyzer.estimators.version
+        unrelated = Execute(lambda v: v, name="unrelated")
+        analyzer.estimators.initialize_time(unrelated, 42.0)
+        assert analyzer.estimators.version > v0
+        assert engine.structural_plan() is first
+        assert cache.stats.struct_compiles == compiles0
+
+        # Changed value: fresh compile, and the duration column moved.
+        work = next(m for m in program.muscles() if m.name == "work")
+        analyzer.estimators.initialize_time(work, 9.0)
+        second = engine.structural_plan()
+        assert second is not None and second is not first
+        assert cache.stats.struct_compiles == compiles0 + 1
+        assert second.table.duration.tobytes() != first.table.duration.tobytes()
+        assert engine.structural_wct(2) == projected_wct(
+            program, analyzer.estimators, 2
+        )
+
+    def test_fingerprint_separates_shapes_and_names(self):
+        """Same pattern tree with different muscle names (or different
+        cardinalities changing the stamped structure) must not share."""
+        prog_a = map_program(width=3)
+        prog_b = map_program(width=3)
+        assert structural_fingerprint(prog_a) == structural_fingerprint(prog_b)
+        renamed = Map(
+            Split(lambda v: [v] * 3, name="split2"),
+            Seq(Execute(lambda v: v, name="work")),
+            Merge(lambda rs: rs[0], name="merge"),
+        )
+        assert structural_fingerprint(prog_a) != structural_fingerprint(renamed)
+
+    def test_counters_surface_in_stats_dict(self):
+        """Deterministic non-vacuity: the new counters are visible on
+        the dict surface every exporter (plan_stats, the Telescope
+        gauge family) reads."""
+        cache = PlanCache()
+        _, analyzer = warm_map_analyzer(width=2, cache=cache)
+        _, other = warm_map_analyzer(width=2, cache=cache)
+        assert analyzer.plan.structural_plan() is not None
+        assert other.plan.structural_plan() is not None
+        d = cache.stats_dict()
+        assert d["struct_compiles"] == 1
+        assert d["struct_memo_hits"] == 1
+
+    def test_admission_gates_ride_the_structural_memo(self):
+        """The admission controller's ``_project``/``predict_wct`` pull
+        the compiled structural plan when handed the submission's
+        engine — no per-evaluation projection walk."""
+        from repro.core.qos import QoS as _QoS
+        from repro.service.admission import AdmissionController
+
+        cache = PlanCache()
+        program, analyzer = warm_map_analyzer(width=4, cache=cache)
+        ctl = AdmissionController(capacity=4)
+        qos = _QoS.wall_clock(1000.0)
+        walks0 = cache.stats.projection_passes
+        d1 = ctl.evaluate(
+            program, qos, analyzer.estimators, "t", 0, engine=analyzer.plan
+        )
+        assert not d1.rejected
+        # Re-evaluation (held-queue style) adds no projection walk.
+        d2 = ctl.evaluate(
+            program, qos, analyzer.estimators, "t", 0, engine=analyzer.plan
+        )
+        assert not d2.rejected
+        assert cache.stats.projection_passes == walks0 + 1
+        assert cache.stats.struct_memo_hits >= 1
+        assert ctl.predict_wct(
+            program, analyzer.estimators, engine=analyzer.plan
+        ) == projected_wct(program, analyzer.estimators, 4)

@@ -144,3 +144,97 @@ class TestErrors:
         skel = Seq(lambda v: v)
         with pytest.raises(EstimateNotReadyError):
             project(skel, EstimatorRegistry())
+
+
+class TestEstimatedTotalWorkRegression:
+    """``estimated_total_work`` no longer projects a throwaway ADG (it
+    runs for every ``If`` of every projection walk); the direct
+    structural sum must pin the old ADG-summing value **bit for bit** —
+    float addition is order-sensitive, so the terms must be folded in
+    exact activity-creation order."""
+
+    @staticmethod
+    def adg_sum(skel, reg):
+        """The replaced implementation: project, then sum durations."""
+        adg = ADG()
+        project_skeleton(skel, adg, [], reg)
+        return sum(a.duration for a in adg)
+
+    @staticmethod
+    def varied_registry(skel, card=2):
+        """Distinct irrational-ish durations per muscle so any reordering
+        of the float sum shows up in the low mantissa bits."""
+        reg = EstimatorRegistry()
+        for i, muscle in enumerate(skel.muscles()):
+            reg.time_estimator(muscle).initialize(0.0137 + 0.61803398875 * (i + 1))
+        for muscle in EstimatorRegistry.required_cards(skel):
+            reg.card_estimator(muscle).initialize(card)
+        return reg
+
+    def check(self, skel, card=2):
+        reg = self.varied_registry(skel, card=card)
+        expected = self.adg_sum(skel, reg)
+        got = estimated_total_work(skel, reg)
+        assert got == expected
+        if expected != 0:
+            assert got.hex() == expected.hex()
+
+    def test_every_pattern_bit_exact(self):
+        leaf = lambda name: Seq(Execute(lambda v: v, name=name))
+        cases = [
+            leaf("e"),
+            Farm(leaf("e")),
+            Pipe(leaf("a"), leaf("b"), leaf("c")),
+            For(3, leaf("e")),
+            While(lambda v: False, leaf("e")),
+            If(lambda v: True, Pipe(leaf("a"), leaf("b")), leaf("c")),
+            Map(lambda v: [v], leaf("e"), sum),
+            Fork(lambda v: [v, v], [leaf("a"), leaf("b")], sum),
+            DivideAndConquer(
+                lambda v: False, lambda v: [v, v], leaf("e"), sum
+            ),
+        ]
+        for skel in cases:
+            self.check(skel)
+
+    def test_nested_structures_bit_exact(self):
+        leaf = lambda name: Seq(Execute(lambda v: v, name=name))
+        nested = Pipe(
+            Map(
+                lambda v: [v],
+                If(
+                    lambda v: True,
+                    DivideAndConquer(
+                        lambda v: False,
+                        lambda v: [v, v],
+                        While(lambda v: False, leaf("w")),
+                        sum,
+                    ),
+                    For(2, leaf("f")),
+                ),
+                sum,
+            ),
+            Fork(lambda v: [v, v], [leaf("x"), Farm(leaf("y"))], sum),
+        )
+        for card in (0, 1, 2, 3):
+            self.check(nested, card=card)
+
+    def test_if_branch_choice_unchanged(self):
+        """The If projection picks its branch by estimated_total_work;
+        the rewritten sum must keep the same winner (ties included)."""
+        cheap = Seq(Execute(lambda v: v, name="cheap"))
+        dear = Pipe(
+            Seq(Execute(lambda v: v, name="d1")),
+            Seq(Execute(lambda v: v, name="d2")),
+        )
+        reg = EstimatorRegistry()
+        for skel, t in ((cheap, 1.0), (dear, 5.0)):
+            for m in skel.muscles():
+                reg.time_estimator(m).initialize(t)
+        cond = If(lambda v: True, cheap, dear)
+        reg.time_estimator(cond.condition).initialize(0.5)
+        adg = ADG()
+        project_skeleton(cond, adg, [], reg)
+        names = [a.name for a in adg.activities]
+        assert "d1" in names and "cheap" not in names
+        assert estimated_total_work(cond, reg) == self.adg_sum(cond, reg)
